@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one exhibit of the paper (a table, the
+figure, or an ablation DESIGN.md calls for) and prints it in a form
+directly comparable with the original.  pytest-benchmark times the
+computational core; the assertions check the *shape* of the results
+(who wins, rough factors, crossovers) rather than exact platform-
+dependent numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from typing import List, Sequence
+
+
+def print_exhibit(title: str, lines: Sequence[str]) -> None:
+    """Print a reproduced table/figure with a banner (visible with -s)."""
+    width = max([len(title) + 4] + [len(line) for line in lines])
+    print()
+    print("=" * width)
+    print(title)
+    print("=" * width)
+    for line in lines:
+        print(line)
+    print("=" * width)
+
+
+def format_row(columns: Sequence[object], widths: Sequence[int]) -> str:
+    """Right-align columns to fixed widths."""
+    cells = []
+    for value, width in zip(columns, widths):
+        if isinstance(value, float):
+            if value != 0 and abs(value) < 0.01:
+                cells.append(f"{value:>{width}.4g}")
+            else:
+                cells.append(f"{value:>{width}.2f}")
+        else:
+            cells.append(f"{value!s:>{width}}")
+    return " ".join(cells)

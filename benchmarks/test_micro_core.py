@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the core mechanism's hot paths.
+
+The paper's cost argument ("the extra storage and processing required
+... are small") assumes the per-operation constants are sane.  These
+benchmarks pin them with wall-clock statistics:
+
+* condition algebra (AND/OR/negation/substitution) at realistic sizes;
+* polyvalue construction with flattening and validation;
+* a polytransaction over two in-doubt inputs (fork, prune, merge);
+* one full commit round of the system simulator;
+* one Monte-Carlo simulated second at the Table 2 operating point.
+
+There are no paper numbers to compare against (1979 hardware); the
+assertions only guard against pathological regressions.
+"""
+
+import pytest
+
+from repro.analysis.model import ModelParams
+from repro.analysis.montecarlo import PolyvalueSimulation
+from repro.core.conditions import Condition
+from repro.core.polytransaction import execute
+from repro.core.polyvalue import Polyvalue
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction
+
+
+def in_doubt(txn, new, old):
+    return Polyvalue.in_doubt(txn, new, old)
+
+
+def test_condition_algebra(benchmark):
+    t1, t2, t3 = Condition.of("T1"), Condition.of("T2"), Condition.of("T3")
+
+    def algebra():
+        condition = (t1 & ~t2) | (t2 & t3) | ~t1
+        negated = ~condition
+        reduced = condition.substitute({"T2": True})
+        return condition, negated, reduced
+
+    condition, negated, reduced = benchmark(algebra)
+    assert not (condition & negated).is_satisfiable()
+    assert reduced.variables() <= {"T1", "T3"}
+
+
+def test_polyvalue_construction_with_flattening(benchmark):
+    inner = in_doubt("T1", 100, 150)
+
+    def construct():
+        outer = Polyvalue(
+            [(inner, Condition.of("T2")), (7, Condition.not_of("T2"))]
+        )
+        return outer.reduce({"T1": True})
+
+    result = benchmark(construct)
+    assert set(result.possible_values()) == {100, 7}
+
+
+def test_polytransaction_two_doubts(benchmark):
+    snapshot = {
+        "a": in_doubt("T1", 10, 20),
+        "b": in_doubt("T2", 1, 2),
+        "out": 0,
+    }
+
+    def body(ctx):
+        ctx.write("out", ctx.read("a") + ctx.read("b"))
+
+    def run():
+        return execute(body, snapshot).merged_writes(snapshot)
+
+    merged = benchmark(run)
+    assert len(merged["out"].possible_values()) == 4
+
+
+def test_full_commit_round(benchmark):
+    def commit_round():
+        system = DistributedSystem.build(
+            sites=3, items={"a": 1, "b": 2}, seed=5, jitter=0.0
+        )
+
+        def move(ctx):
+            ctx.write("a", ctx.read("a") - 1)
+            ctx.write("b", ctx.read("b") + 1)
+
+        handle = system.submit(Transaction(body=move, items=("a", "b")))
+        system.run_for(0.2)
+        return handle
+
+    handle = benchmark(commit_round)
+    assert handle.status.value == "committed"
+
+
+def test_montecarlo_throughput(benchmark):
+    params = ModelParams(
+        updates_per_second=10,
+        failure_probability=0.01,
+        items=10_000,
+        recovery_rate=0.01,
+        dependency_mean=1,
+        update_independence=0,
+    )
+
+    def one_thousand_seconds():
+        simulation = PolyvalueSimulation(params, seed=3)
+        return simulation.run(1000.0)
+
+    result = benchmark.pedantic(one_thousand_seconds, rounds=3, iterations=1)
+    assert result.transactions > 8000

@@ -1,0 +1,100 @@
+"""Table 2 — "Results of Simulating the Polyvalue Mechanism".
+
+Re-runs the paper's Monte-Carlo simulation (section 4.2) for each of
+the six parameter rows and prints simulated ("actual") against model
+("predicted") P, exactly the two result columns of Table 2.
+
+The paper's qualitative findings, asserted below:
+* the simulation tracks the prediction in the small-P regime;
+* simulated values sit near or below the prediction ("in general
+  smaller than predicted");
+* the parameter trends (U up -> P up; F down -> P down; D up -> P up;
+  Y up -> P down) all hold.
+"""
+
+import pytest
+
+from repro.analysis.model import table2_rows
+from repro.analysis.montecarlo import simulate_averaged
+
+from conftest import format_row, print_exhibit
+
+WIDTHS = (4, 8, 8, 6, 3, 3, 12, 12, 12, 12)
+
+#: Simulated seconds per run; 40 recovery time constants (1/R = 100 s).
+DURATION = 4000.0
+RUNS = 3
+
+
+def run_all_rows():
+    measured = []
+    for index, row in enumerate(table2_rows()):
+        results = simulate_averaged(
+            row.params,
+            runs=RUNS,
+            duration=DURATION,
+            seed=1000 + index,
+        )
+        mean = sum(r.mean_polyvalues for r in results) / len(results)
+        measured.append((row, mean))
+    return measured
+
+
+def test_table2_simulation_vs_model(benchmark):
+    measured = benchmark.pedantic(run_all_rows, rounds=1, iterations=1)
+
+    lines = [
+        format_row(
+            (
+                "U",
+                "F",
+                "R",
+                "I",
+                "Y",
+                "D",
+                "our sim P",
+                "model P",
+                "paper sim",
+                "paper pred",
+            ),
+            WIDTHS,
+        )
+    ]
+    for row, mean in measured:
+        params = row.params
+        lines.append(
+            format_row(
+                (
+                    int(params.U),
+                    params.F,
+                    params.R,
+                    int(params.I),
+                    int(params.Y),
+                    int(params.D),
+                    mean,
+                    row.model_value,
+                    row.paper_actual,
+                    row.paper_predicted,
+                ),
+                WIDTHS,
+            )
+        )
+    print_exhibit("Table 2: simulated vs predicted polyvalue count", lines)
+
+    by_index = [mean for _, mean in measured]
+
+    # Model reproduces the paper's predicted column exactly.
+    for row, _ in measured:
+        assert row.model_value == pytest.approx(row.paper_predicted, rel=0.01)
+
+    # Our simulation tracks the prediction for every row (the paper's
+    # "results agree well with the predictions of the model").
+    for row, mean in measured:
+        assert mean == pytest.approx(row.model_value, rel=0.35), row.params
+
+    # Parameter trends across rows (same comparisons Table 2 supports):
+    u2, u5, u10, f_low, d5, d5y1 = by_index
+    assert u2 < u5 < u10  # P grows with U
+    assert f_low < u10  # P shrinks with F
+    assert d5 > u10  # P grows with D
+    assert d5y1 < d5  # P shrinks with Y

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Inventory / process control under uncertainty (§5's third application).
+
+A two-warehouse inventory keeps per-site stock levels.  Cross-warehouse
+rebalancing is the multi-site atomic update; a failure interrupts one,
+leaving both stock levels polyvalued.  The real-time control decision —
+"should we reorder?" — still computes *exactly*, because a rebalance
+moves stock without changing the total: the lifted sum collapses the
+correlated uncertainty.
+
+An interrupted *order* (stock leaving the system) then shows the other
+case: the total becomes genuinely uncertain and the reorder trigger
+fires conservatively.
+
+Run:  python examples/inventory_control.py
+"""
+
+from repro import DistributedSystem, TxnStatus, is_polyvalue
+from repro.workloads.inventory import (
+    order,
+    rebalance,
+    reorder_check,
+    restock,
+    stock_item,
+    stock_items,
+)
+
+WAREHOUSES = ["east", "west"]
+PRODUCT = "widget"
+REORDER_POINT = 60
+
+
+def settle(system, handle, limit=3.0):
+    deadline = system.sim.now + limit
+    while handle.status is TxnStatus.PENDING and system.sim.now < deadline:
+        system.run_for(0.1)
+    return handle
+
+
+def check(system):
+    handle = settle(
+        system,
+        system.submit(reorder_check(WAREHOUSES, PRODUCT, REORDER_POINT)),
+    )
+    return handle.outputs
+
+
+def show_stocks(system, label):
+    east = system.read_item(stock_item("east", PRODUCT))
+    west = system.read_item(stock_item("west", PRODUCT))
+    print(f"{label}")
+    print(f"  east: {east}")
+    print(f"  west: {west}")
+
+
+def main():
+    items = {item: 50 for item in stock_items(WAREHOUSES, [PRODUCT, "gear"])}
+    system = DistributedSystem.build(sites=3, items=items, seed=23, jitter=0.0)
+    # site-2 holds only gear stock; it is the "neutral" coordinator we
+    # crash to interrupt widget transactions without taking widget data
+    # offline.
+    neutral = "site-2"
+
+    show_stocks(system, "Initial stocks (east 50 + west 50 = 100):")
+
+    # ------------------------------------------------------------------
+    print("\n--- An interrupted rebalance: correlated uncertainty ---")
+    system.submit(rebalance("east", "west", PRODUCT, 20), at=neutral)
+    system.run_for(0.035)
+    system.crash_site(neutral)
+    system.run_for(1.0)
+    show_stocks(system, "Both levels are polyvalues now:")
+
+    outputs = check(system)
+    print(f"Reorder check (point={REORDER_POINT}): reorder={outputs['reorder']}, "
+          f"certainly_low={outputs['certainly_low']}")
+    print("  -> EXACT answer despite the uncertainty: a rebalance cannot")
+    print("     change the total, and the condition algebra knows it.")
+
+    system.recover_site(neutral)
+    system.run_for(6.0)
+    show_stocks(system, "\nAfter recovery (rebalance presumed aborted):")
+
+    # ------------------------------------------------------------------
+    print("\n--- An interrupted order: genuine uncertainty ---")
+    # Bring the total near the reorder point first.
+    settle(system, system.submit(order("east", PRODUCT, 20)))
+    settle(system, system.submit(order("west", PRODUCT, 15)))
+    show_stocks(system, "After shipping 35 units (total 65, point 60):")
+
+    system.submit(order("east", PRODUCT, 10), at=neutral)
+    system.run_for(0.035)
+    system.crash_site(neutral)
+    system.run_for(1.0)
+    show_stocks(system, "An order for 10 is in doubt:")
+
+    outputs = check(system)
+    print(f"Reorder check: reorder={outputs['reorder']}, "
+          f"certainly_low={outputs['certainly_low']}")
+    print("  -> total might be 55 (< 60) or 65: the conservative trigger")
+    print("     fires early — the safe direction for process control.")
+
+    # ------------------------------------------------------------------
+    system.recover_site(neutral)
+    system.run_for(6.0)
+    outputs = check(system)
+    show_stocks(system, "\nAfter recovery (order presumed aborted):")
+    print(f"Reorder check: reorder={outputs['reorder']}, "
+          f"certainly_low={outputs['certainly_low']}")
+    restocked = settle(system, system.submit(restock("east", PRODUCT, 40)))
+    assert restocked.status is TxnStatus.COMMITTED
+    outputs = check(system)
+    print(f"After restocking 40 at east: reorder={outputs['reorder']}")
+    assert system.all_certain()
+
+
+if __name__ == "__main__":
+    main()

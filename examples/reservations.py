@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Reservations under uncertainty — the paper's ticket-agent scenario (§5).
+
+    "If the number of reservations granted is a polyvalue, then a new
+    reservation can be granted so long as the largest value in that
+    polyvalue is less than the number of available rooms or seats."
+
+The demo books a flight toward capacity, interrupts one booking with a
+failure (leaving the sold count uncertain), and shows that:
+
+* reservations keep being granted with *certain* answers while there is
+  definitely room,
+* the grant decision only becomes uncertain right at the capacity
+  boundary,
+* a seats-remaining inquiry can present its uncertain answer
+  ("a ticket agent would not be bothered"),
+* recovery converges the count to the exact value and the flight is
+  never oversold.
+
+Run:  python examples/reservations.py
+"""
+
+from repro import DistributedSystem, TxnStatus, is_polyvalue
+from repro.workloads.reservations import (
+    never_oversold,
+    reserve,
+    seats_remaining,
+)
+
+CAPACITY = 20
+FLIGHT = "flight-SF-BOS"
+
+
+def settle(system, handle, limit=3.0):
+    deadline = system.sim.now + limit
+    while handle.status is TxnStatus.PENDING and system.sim.now < deadline:
+        system.run_for(0.1)
+    return handle
+
+
+def book(system, at=None):
+    handle = settle(system, system.submit(reserve(FLIGHT, CAPACITY), at=at))
+    return handle.outputs.get("granted") if handle.status is TxnStatus.COMMITTED else "(aborted)"
+
+
+def main():
+    system = DistributedSystem.build(
+        sites=3,
+        items={FLIGHT: 0, "flight-other-1": 0, "flight-other-2": 0},
+        seed=11,
+        jitter=0.0,
+    )
+    home = system.catalog.site_of(FLIGHT)
+    remote = next(s for s in sorted(system.sites) if s != home)
+
+    print(f"Flight {FLIGHT}: capacity {CAPACITY}, home site {home}")
+
+    # Fill most of the flight normally.
+    for _ in range(15):
+        book(system)
+    print(f"\nAfter 15 bookings: sold = {system.read_item(FLIGHT)}")
+
+    # A booking interrupted at the commit instant: its remote
+    # coordinator crashes, and the sold count becomes a polyvalue.
+    system.submit(reserve(FLIGHT, CAPACITY), at=remote)
+    system.run_for(0.035)
+    system.crash_site(remote)
+    system.run_for(1.0)
+    sold = system.read_item(FLIGHT)
+    print(f"\nBooking #16 interrupted by a failure at {remote}!")
+    print(f"sold is now a polyvalue: {sold}")
+
+    # The paper's rule in action: grants continue, with certain answers,
+    # while even the LARGEST possible count leaves room.
+    print("\nBooking while the count is uncertain:")
+    grants = 0
+    while True:
+        granted = book(system)
+        sold = system.read_item(FLIGHT)
+        certainty = "uncertain" if is_polyvalue(granted) else "certain"
+        print(f"  grant #{17 + grants}: {granted!s:<40} [{certainty}]")
+        assert never_oversold(sold, CAPACITY)
+        if is_polyvalue(granted) or granted is False:
+            break
+        grants += 1
+        if grants > CAPACITY:
+            break
+
+    # The ticket agent asks how many seats remain.
+    handle = settle(system, system.submit(seats_remaining(FLIGHT, CAPACITY)))
+    print(f"\nSeats remaining, as presented to the agent (may be a "
+          f"polyvalue): {handle.outputs['remaining']}")
+
+    # Recovery: the interrupted booking resolves (presumed abort) and
+    # the count becomes exact again.
+    system.recover_site(remote)
+    system.run_for(6.0)
+    final = system.read_item(FLIGHT)
+    print(f"\nAfter recovery: sold = {final} (exact: {not is_polyvalue(final)})")
+    assert not is_polyvalue(final)
+    assert final <= CAPACITY
+    print(f"Never oversold: True (capacity {CAPACITY})")
+
+
+if __name__ == "__main__":
+    main()

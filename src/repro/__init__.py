@@ -1,0 +1,86 @@
+"""repro — a reproduction of Montgomery's *Polyvalues* (SOSP 1979).
+
+"Polyvalues: A Tool for Implementing Atomic Updates to Distributed
+Data" proposes that when a failure catches a two-phase-commit
+transaction in its in-doubt window, a participant should — instead of
+blocking — install a *polyvalue* for each item the transaction wrote: a
+set of ``<value, condition>`` pairs recording every value the item
+could have, conditioned on the unknown outcome.  Later transactions
+operate on polyvalues as *polytransactions*, and often produce exact
+results anyway; when the failure recovers, the uncertainty is
+substituted away.
+
+Package map
+-----------
+* :mod:`repro.core` — the mechanism itself: conditions, polyvalues,
+  polytransactions, outcome tables.
+* :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.net` — simulated network with crash/partition/loss faults.
+* :mod:`repro.db` — per-site storage, locking, data placement.
+* :mod:`repro.txn` — the 2PC update protocol with polyvalue, blocking
+  and relaxed wait-timeout policies; the
+  :class:`~repro.txn.system.DistributedSystem` facade.
+* :mod:`repro.analysis` — the section 4 analytic model and Monte-Carlo
+  simulation (Tables 1 and 2).
+* :mod:`repro.workloads` — random-update streams and the section 5
+  applications (funds transfer, reservations, inventory).
+* :mod:`repro.metrics` — counters and time-series used by experiments.
+
+Quick start
+-----------
+>>> from repro import DistributedSystem, Transaction
+>>> system = DistributedSystem.build(sites=3, items={"a": 10, "b": 0}, seed=1)
+>>> def move(ctx):
+...     a = ctx.read("a")
+...     ctx.write("a", a - 4)
+...     ctx.write("b", ctx.read("b") + 4)
+>>> handle = system.submit(Transaction(body=move, items=("a", "b")))
+>>> system.run_for(1.0)
+>>> handle.status.value
+'committed'
+"""
+
+from repro.core import (
+    Condition,
+    Polyvalue,
+    certain,
+    combine,
+    definitely,
+    is_polyvalue,
+    possible_values,
+    possibly,
+)
+from repro.txn import (
+    CommitPolicy,
+    DistributedSystem,
+    ProtocolConfig,
+    Transaction,
+    TransactionHandle,
+    TxnStatus,
+    blocking_system,
+    polyvalue_system,
+    relaxed_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommitPolicy",
+    "Condition",
+    "DistributedSystem",
+    "Polyvalue",
+    "ProtocolConfig",
+    "Transaction",
+    "TransactionHandle",
+    "TxnStatus",
+    "blocking_system",
+    "certain",
+    "combine",
+    "definitely",
+    "is_polyvalue",
+    "polyvalue_system",
+    "possible_values",
+    "possibly",
+    "relaxed_system",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Section 4 of the paper: the analytic model and the Monte-Carlo simulation."""
+
+from repro.analysis.model import (
+    TYPICAL,
+    ModelParams,
+    Table1Row,
+    Table2Row,
+    UnstableRegimeError,
+    decay_rate,
+    is_stable,
+    stability_margin,
+    steady_state_polyvalues,
+    table1_rows,
+    table2_rows,
+    time_to_settle,
+    transient_polyvalues,
+)
+from repro.analysis.cost import (
+    PolyvalueSize,
+    ProcessingReport,
+    StorageReport,
+    measure_processing,
+    measure_storage,
+    predicted_storage_fraction,
+)
+from repro.analysis.montecarlo import (
+    PolyvalueSimulation,
+    SimulationResult,
+    simulate,
+    simulate_averaged,
+)
+from repro.analysis.sweep import SweepPoint, format_sweep_table, sweep
+
+__all__ = [
+    "ModelParams",
+    "PolyvalueSimulation",
+    "PolyvalueSize",
+    "ProcessingReport",
+    "SimulationResult",
+    "StorageReport",
+    "SweepPoint",
+    "TYPICAL",
+    "Table1Row",
+    "Table2Row",
+    "UnstableRegimeError",
+    "decay_rate",
+    "format_sweep_table",
+    "is_stable",
+    "measure_processing",
+    "measure_storage",
+    "predicted_storage_fraction",
+    "simulate",
+    "simulate_averaged",
+    "stability_margin",
+    "steady_state_polyvalues",
+    "sweep",
+    "table1_rows",
+    "table2_rows",
+    "time_to_settle",
+    "transient_polyvalues",
+]

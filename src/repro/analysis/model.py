@@ -1,0 +1,289 @@
+"""The section 4.1 analytic model of polyvalue creation and deletion.
+
+The paper models the expected number of polyvalued items ``P(t)`` in a
+database with parameters
+
+* ``I`` — number of items,
+* ``U`` — updates per second,
+* ``F`` — probability an update fails (is interrupted in its window),
+* ``R`` — proportion of failures recovered per second,
+* ``D`` — mean number of items a new value depends on,
+* ``Y`` — probability a new value does **not** depend on the item's
+  previous value,
+
+by the first-order ODE (valid while ``P(t)/I`` is small)::
+
+    P'(t) = U F  +  U D P(t)/I  -  U Y P(t)/I  -  R P(t)
+
+whose steady state is the paper's headline formula::
+
+    P_inf = U F I / (I R + U Y - U D)
+
+Note on the printed transient: the paper prints the exponent as
+``exp(-((IR+UY-UD)/(UFI)) t)``, which is dimensionally inconsistent with
+its own ODE (the numerator of a rate cannot carry F).  Solving the
+printed ODE gives decay rate ``lambda = (I R + U Y - U D)/I`` and the
+same steady state; we implement the correct solution and record the
+discrepancy in EXPERIMENTS.md.  Every steady-state number printed in
+Tables 1 and 2 matches ``P_inf`` above, confirming the formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.core.errors import ReproError
+
+
+class UnstableRegimeError(ReproError):
+    """The parameters put the model outside its stable regime.
+
+    When ``I R + U Y - U D <= 0`` polyvalue creation by propagation
+    outpaces recovery and the first-order model predicts unbounded
+    growth — the paper notes one "would not wish to operate a database
+    with such values".
+    """
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """The six parameters of the section 4 model (names as in the paper)."""
+
+    updates_per_second: float  # U
+    failure_probability: float  # F
+    items: float  # I
+    recovery_rate: float  # R
+    dependency_mean: float  # D
+    update_independence: float  # Y
+
+    def __post_init__(self) -> None:
+        if self.items <= 0:
+            raise ReproError(f"I must be positive, got {self.items}")
+        if self.updates_per_second < 0:
+            raise ReproError(f"U must be >= 0, got {self.updates_per_second}")
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ReproError(f"F must be in [0,1], got {self.failure_probability}")
+        if self.recovery_rate <= 0:
+            raise ReproError(f"R must be positive, got {self.recovery_rate}")
+        if self.dependency_mean < 0:
+            raise ReproError(f"D must be >= 0, got {self.dependency_mean}")
+        if not 0.0 <= self.update_independence <= 1.0:
+            raise ReproError(f"Y must be in [0,1], got {self.update_independence}")
+
+    # Single-letter accessors matching the paper's notation.
+    @property
+    def U(self) -> float:  # noqa: N802 - paper notation
+        return self.updates_per_second
+
+    @property
+    def F(self) -> float:  # noqa: N802
+        return self.failure_probability
+
+    @property
+    def I(self) -> float:  # noqa: N802, E743
+        return self.items
+
+    @property
+    def R(self) -> float:  # noqa: N802
+        return self.recovery_rate
+
+    @property
+    def D(self) -> float:  # noqa: N802
+        return self.dependency_mean
+
+    @property
+    def Y(self) -> float:  # noqa: N802
+        return self.update_independence
+
+    def vary(self, **changes) -> "ModelParams":
+        """A copy with some parameters changed (Table 1 style)."""
+        return replace(self, **changes)
+
+
+#: The paper's "typical database" (first row of Table 1).
+TYPICAL = ModelParams(
+    updates_per_second=10,
+    failure_probability=0.0001,
+    items=1_000_000,
+    recovery_rate=0.001,
+    dependency_mean=1,
+    update_independence=0,
+)
+
+
+def stability_margin(params: ModelParams) -> float:
+    """The denominator ``I R + U Y - U D``; positive in the stable regime."""
+    return (
+        params.items * params.recovery_rate
+        + params.updates_per_second * params.update_independence
+        - params.updates_per_second * params.dependency_mean
+    )
+
+
+def is_stable(params: ModelParams) -> bool:
+    """True iff the model has a finite positive steady state."""
+    return stability_margin(params) > 0
+
+
+def steady_state_polyvalues(params: ModelParams) -> float:
+    """The paper's ``P = U F I / (I R + U Y - U D)``."""
+    margin = stability_margin(params)
+    if margin <= 0:
+        raise UnstableRegimeError(
+            f"I*R + U*Y - U*D = {margin:.6g} <= 0: polyvalue propagation "
+            "outpaces recovery; the model predicts unbounded growth"
+        )
+    return (
+        params.updates_per_second
+        * params.failure_probability
+        * params.items
+        / margin
+    )
+
+
+def decay_rate(params: ModelParams) -> float:
+    """The transient decay rate ``lambda = (I R + U Y - U D) / I``.
+
+    (The correct exponent for the paper's ODE; see the module docstring
+    for the discrepancy with the printed formula.)
+    """
+    margin = stability_margin(params)
+    if margin <= 0:
+        raise UnstableRegimeError(
+            f"decay rate non-positive ({margin / params.items:.6g}); "
+            "unstable regime"
+        )
+    return margin / params.items
+
+
+def transient_polyvalues(
+    params: ModelParams, initial: float, time: float
+) -> float:
+    """``P(t)`` from ``P(0) = initial``: exponential approach to steady state.
+
+    This is the stability property the paper highlights: "A serious
+    failure causing the introduction of many polyvalues does not cause
+    the number of polyvalues to grow without limit" — any excess decays
+    at rate :func:`decay_rate`.
+    """
+    if time < 0:
+        raise ReproError(f"time must be >= 0, got {time}")
+    steady = steady_state_polyvalues(params)
+    rate = decay_rate(params)
+    return steady + (initial - steady) * math.exp(-rate * time)
+
+
+def time_to_settle(
+    params: ModelParams, initial: float, tolerance: float = 0.01
+) -> float:
+    """How long until ``P(t)`` is within *tolerance* (fraction of the
+    initial excess) of the steady state."""
+    if not 0 < tolerance < 1:
+        raise ReproError(f"tolerance must be in (0,1), got {tolerance}")
+    steady = steady_state_polyvalues(params)
+    if initial == steady:
+        return 0.0
+    return math.log(1.0 / tolerance) / decay_rate(params)
+
+
+# ----------------------------------------------------------------------
+# The paper's tables
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: parameters plus the paper's printed P.
+
+    ``paper_value`` is None for rows whose printed value is not legible
+    in the archival scan; the model value is still reported.
+    """
+
+    params: ModelParams
+    paper_value: Optional[float]
+    note: str = ""
+
+    @property
+    def model_value(self) -> float:
+        return steady_state_polyvalues(self.params)
+
+
+def table1_rows() -> List[Table1Row]:
+    """The Table 1 parameter grid.
+
+    Row 1 is the paper's "typical database"; each later row varies one
+    or two parameters.  Printed P values are attached where the archival
+    scan is unambiguous (eight of the eleven rows); the remaining rows
+    are reconstructed one-parameter variations and marked accordingly.
+    """
+    typical = TYPICAL
+    return [
+        Table1Row(typical, 1.01, "typical database"),
+        Table1Row(typical.vary(updates_per_second=100), 11.11, "U x10"),
+        Table1Row(typical.vary(items=100_000), 1.11, "I /10"),
+        Table1Row(
+            typical.vary(items=100_000, dependency_mean=5), 2.00, "I /10, D=5"
+        ),
+        Table1Row(
+            typical.vary(items=100_000, update_independence=1),
+            1.00,
+            "I /10, Y=1",
+        ),
+        Table1Row(typical.vary(items=20_000), 2.00, "I /50"),
+        Table1Row(typical.vary(failure_probability=0.001), 10.10, "F x10"),
+        Table1Row(typical.vary(failure_probability=0.005), 50.50, "F x50"),
+        Table1Row(
+            typical.vary(recovery_rate=0.0001),
+            None,
+            "R /10 (scan illegible; model 11.11)",
+        ),
+        Table1Row(
+            typical.vary(dependency_mean=10),
+            None,
+            "D=10 (reconstructed variation)",
+        ),
+        Table1Row(
+            typical.vary(update_independence=1),
+            None,
+            "Y=1 (reconstructed variation)",
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2: parameters, the paper's prediction and its
+    simulation measurement."""
+
+    params: ModelParams
+    paper_predicted: float
+    paper_actual: float
+
+    @property
+    def model_value(self) -> float:
+        return steady_state_polyvalues(self.params)
+
+
+def table2_rows() -> List[Table2Row]:
+    """The six parameter rows of Table 2 (all legible in the scan)."""
+
+    def params(u, f, r, i, y, d):
+        return ModelParams(
+            updates_per_second=u,
+            failure_probability=f,
+            items=i,
+            recovery_rate=r,
+            dependency_mean=d,
+            update_independence=y,
+        )
+
+    return [
+        Table2Row(params(2, 0.01, 0.01, 10_000, 0, 1), 2.04, 2.00),
+        Table2Row(params(5, 0.01, 0.01, 10_000, 0, 1), 5.26, 2.71),
+        Table2Row(params(10, 0.01, 0.01, 10_000, 0, 1), 11.11, 9.5),
+        Table2Row(params(10, 0.001, 0.01, 10_000, 0, 1), 1.11, 0.74),
+        Table2Row(params(10, 0.01, 0.01, 10_000, 0, 5), 20.0, 19.8),
+        Table2Row(params(10, 0.01, 0.01, 10_000, 1, 5), 16.7, 15.8),
+    ]

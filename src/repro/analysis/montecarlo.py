@@ -1,0 +1,332 @@
+"""The section 4.2 Monte-Carlo simulation of the polyvalue mechanism.
+
+This is the paper's own abstract simulation, re-derived from its prose:
+
+    "The simulation maintained a description of the items of the
+    database having polyvalues, and the transactions on which those
+    items depended.  Transactions were introduced at a rate U.  Each
+    transaction updated a single item chosen at random from the
+    database.  This update depended on a set of d items, also selected
+    at random, where d was chosen from an exponential distribution with
+    mean D.  The previous value of the updated item was included in its
+    new value with probability (1-Y). ...  Transactions were chosen to
+    fail with probability F.  For a failed transaction, a polyvalue was
+    created for the item that it updated and a recovery time was chosen
+    from an exponential distribution with a mean value of 1/R. ...
+    each item with a polyvalue is tagged with the identity of all
+    transactions on which the polyvalue depends.  When a failure is
+    recovered, the tag for the recovered transaction is removed from
+    all polyvalues, and any polyvalue with no remaining tags is
+    converted to a simple value."
+
+Unlike the full-system simulator (:mod:`repro.txn`), this model skips
+the network and the commit protocol entirely — items are integers, and
+polyvalues are tag *sets* rather than value/condition pairs — so it runs
+at the paper's scale (10^4..10^6 items, thousands of simulated seconds)
+in well under a second per configuration.  The full-system simulator
+demonstrates the mechanism; this one reproduces Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.model import ModelParams, steady_state_polyvalues
+from repro.core.errors import SimulationError
+from repro.metrics.series import TimeSeries
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of one Monte-Carlo run."""
+
+    params: ModelParams
+    seed: int
+    duration: float
+    #: Time-weighted average polyvalue count over the measurement
+    #: window (the paper's "average number of polyvalues in the
+    #: database during such a stable period").
+    mean_polyvalues: float
+    #: Polyvalue count at the end of the run.
+    final_polyvalues: int
+    #: Full sampled trajectory of the polyvalue count.
+    series: TimeSeries
+    transactions: int
+    failures: int
+    recoveries: int
+    #: Transactions that read or overwrote at least one polyvalued item.
+    polytransactions: int
+
+    @property
+    def model_prediction(self) -> float:
+        """The analytic steady state for the same parameters."""
+        return steady_state_polyvalues(self.params)
+
+
+class PolyvalueSimulation:
+    """The abstract tag-set simulation of section 4.2.
+
+    State is two indexes kept exactly inverse to each other:
+
+    * ``_tags[item]`` — the in-doubt transactions item's polyvalue
+      depends on (items absent from the map are simple);
+    * ``_items_of[txn]`` — the items currently tagged with txn.
+
+    Hot-spot selection (``hot_fraction``/``hot_weight``) implements the
+    paper's remark that "in a real system, the selection of items to
+    participate in transactions is not likely to be uniform ...  This
+    has the effect of reducing the effective size of the database": a
+    ``hot_fraction`` of the items receives ``hot_weight`` of all
+    accesses.  :func:`effective_items` gives the equivalent uniform
+    database size for that skew, and the model evaluated at the
+    effective size predicts the skewed simulation.
+    """
+
+    def __init__(
+        self,
+        params: ModelParams,
+        *,
+        seed: int = 0,
+        hot_fraction: float = 0.0,
+        hot_weight: float = 0.0,
+    ) -> None:
+        if params.items > 50_000_000:
+            raise SimulationError(
+                f"I={params.items:g} items is beyond this simulation's "
+                "practical range"
+            )
+        if not 0.0 <= hot_fraction < 1.0 or not 0.0 <= hot_weight < 1.0:
+            raise SimulationError("hot_fraction/hot_weight must be in [0,1)")
+        if (hot_fraction == 0.0) != (hot_weight == 0.0):
+            raise SimulationError(
+                "hot_fraction and hot_weight must be set together"
+            )
+        self.hot_fraction = hot_fraction
+        self.hot_weight = hot_weight
+        self._hot_count = max(1, int(params.items * hot_fraction)) if hot_fraction else 0
+        self.params = params
+        self.seed = seed
+        self._rng = Rng(seed)
+        self._sim = Simulator()
+        self._tags: Dict[int, Set[str]] = {}
+        self._items_of: Dict[str, Set[int]] = {}
+        self._txn_counter = 0
+        self.transactions = 0
+        self.failures = 0
+        self.recoveries = 0
+        self.polytransactions = 0
+        self.series = TimeSeries()
+        self.series.record(0.0, 0)
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def polyvalue_count(self) -> int:
+        """The number of items currently holding polyvalues."""
+        return len(self._tags)
+
+    def effective_items(self) -> float:
+        """The equivalent uniform database size under the access skew.
+
+        An access lands on hot item ``i`` with probability
+        ``w/H + (1-w)/I`` and on a cold item with ``(1-w)/I`` (a
+        non-hot draw is uniform over *all* items).  The collision
+        probability of two independent accesses is ``sum p_i^2``; a
+        uniform database with ``I_eff = 1 / sum p_i^2`` items has the
+        same collision behaviour, which is what drives polyvalue
+        propagation and overwriting.  With no skew this is exactly I.
+        """
+        item_count = self.params.items
+        if not self._hot_count:
+            return item_count
+        hot = self._hot_count
+        weight = self.hot_weight
+        p_hot = weight / hot + (1 - weight) / item_count
+        p_cold = (1 - weight) / item_count
+        collision = hot * p_hot**2 + (item_count - hot) * p_cold**2
+        return 1.0 / collision
+
+    def pending_failures(self) -> int:
+        """The number of transactions still awaiting recovery."""
+        return len(self._items_of)
+
+    # ------------------------------------------------------------------
+    # One transaction (the paper's workload step)
+    # ------------------------------------------------------------------
+
+    def _next_arrival(self) -> None:
+        delay = self._rng.exponential(1.0 / self.params.updates_per_second)
+        self._sim.schedule(delay, self._transaction)
+
+    def _pick_item(self) -> int:
+        item_count = int(self.params.items)
+        if self._hot_count and self._rng.bernoulli(self.hot_weight):
+            return self._rng.randint(0, self._hot_count - 1)
+        return self._rng.randint(0, item_count - 1)
+
+    def _transaction(self) -> None:
+        params = self.params
+        rng = self._rng
+        self.transactions += 1
+        target = self._pick_item()
+        # d ~ Exponential(mean D), realised as a count of distinct
+        # randomly selected dependency items.
+        d = int(round(rng.exponential(params.dependency_mean))) if params.dependency_mean > 0 else 0
+        dependencies = {self._pick_item() for _ in range(d)}
+        include_previous = not rng.bernoulli(params.update_independence)
+        # Tags the new value inherits from its inputs (polytransaction
+        # propagation, section 3.2).
+        inherited: Set[str] = set()
+        for dependency in dependencies:
+            inherited |= self._tags.get(dependency, set())
+        if include_previous:
+            inherited |= self._tags.get(target, set())
+        failed = rng.bernoulli(params.failure_probability)
+        was_poly_involved = bool(inherited) or target in self._tags
+        if was_poly_involved:
+            self.polytransactions += 1
+        if failed:
+            self.failures += 1
+            txn = f"T{self._txn_counter}"
+            self._txn_counter += 1
+            # The in-doubt polyvalue {<new, T>, <old, ~T>}: the old
+            # value (with any uncertainty it already carried) survives
+            # under ~T, so existing tags persist alongside T and the
+            # inherited ones.
+            new_tags = {txn} | inherited | self._tags.get(target, set())
+            self._set_tags(target, new_tags)
+            recovery = rng.exponential(1.0 / params.recovery_rate)
+            self._sim.schedule(recovery, lambda t=txn: self._recover(t))
+        else:
+            # Completed update: the item takes the new value.  If the
+            # inputs carried uncertainty it propagates; otherwise the
+            # write *removes* any polyvalue the item had.
+            self._set_tags(target, set(inherited))
+        self._record_sample()
+        self._next_arrival()
+
+    def _set_tags(self, item: int, tags: Set[str]) -> None:
+        old_tags = self._tags.get(item, set())
+        for gone in old_tags - tags:
+            holders = self._items_of.get(gone)
+            if holders is not None:
+                holders.discard(item)
+                if not holders:
+                    del self._items_of[gone]
+        for added in tags - old_tags:
+            self._items_of.setdefault(added, set()).add(item)
+        if tags:
+            self._tags[item] = set(tags)
+        else:
+            self._tags.pop(item, None)
+
+    def _recover(self, txn: str) -> None:
+        """Failure recovery: remove txn's tag everywhere (section 3.3)."""
+        self.recoveries += 1
+        for item in self._items_of.pop(txn, set()):
+            tags = self._tags.get(item)
+            if tags is None:
+                continue
+            tags.discard(txn)
+            if not tags:
+                del self._tags[item]
+        self._record_sample()
+
+    def _record_sample(self) -> None:
+        self.series.record(self._sim.now, self.polyvalue_count())
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        duration: float,
+        *,
+        warmup_fraction: float = 0.5,
+    ) -> SimulationResult:
+        """Run for *duration* simulated seconds and summarise.
+
+        The mean polyvalue count is taken over the post-warmup window
+        (default: the second half), which the paper calls the "stable
+        period".  The warmup must comfortably exceed the recovery time
+        constant ``1/R`` for the average to be meaningful; a duration
+        below ``4/R`` raises.
+        """
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError(
+                f"warmup_fraction must be in [0,1), got {warmup_fraction}"
+            )
+        time_constant = 1.0 / self.params.recovery_rate
+        if duration < 4 * time_constant:
+            raise SimulationError(
+                f"duration {duration:g}s is too short to stabilise; need "
+                f">= {4 * time_constant:g}s (4/R) for a stable period"
+            )
+        self._next_arrival()
+        self._sim.run_until(duration)
+        self._record_sample()
+        window_start = duration * warmup_fraction
+        mean = self.series.time_weighted_mean(window_start, duration)
+        return SimulationResult(
+            params=self.params,
+            seed=self.seed,
+            duration=duration,
+            mean_polyvalues=mean,
+            final_polyvalues=self.polyvalue_count(),
+            series=self.series,
+            transactions=self.transactions,
+            failures=self.failures,
+            recoveries=self.recoveries,
+            polytransactions=self.polytransactions,
+        )
+
+
+def simulate(
+    params: ModelParams,
+    *,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    warmup_fraction: float = 0.5,
+) -> SimulationResult:
+    """One-call Monte-Carlo run.
+
+    *duration* defaults to ``10/R`` — long enough for several recovery
+    time constants of warmup plus a stable measurement window.
+    """
+    if duration is None:
+        duration = 10.0 / params.recovery_rate
+    simulation = PolyvalueSimulation(params, seed=seed)
+    return simulation.run(duration, warmup_fraction=warmup_fraction)
+
+
+def simulate_averaged(
+    params: ModelParams,
+    *,
+    runs: int = 3,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    warmup_fraction: float = 0.5,
+) -> List[SimulationResult]:
+    """Several independent runs with derived seeds (for error bars)."""
+    if runs <= 0:
+        raise SimulationError(f"runs must be positive, got {runs}")
+    return [
+        simulate(
+            params,
+            duration=duration,
+            seed=seed + run_index * 7919,
+            warmup_fraction=warmup_fraction,
+        )
+        for run_index in range(runs)
+    ]

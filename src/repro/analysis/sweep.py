@@ -1,0 +1,107 @@
+"""Parameter sweeps over the model and the Monte-Carlo simulation.
+
+The paper notes that "space limitations ... prevent a thorough
+exploration of the parameter space".  This module is that exploration:
+sweep one parameter of :class:`~repro.analysis.model.ModelParams` while
+holding the rest, and compare the analytic steady state against the
+Monte-Carlo measurement at each point.  The figure-style ablation
+benches print these series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.model import (
+    ModelParams,
+    is_stable,
+    steady_state_polyvalues,
+)
+from repro.analysis.montecarlo import simulate
+from repro.core.errors import ReproError
+
+#: ModelParams field names accepted by :func:`sweep`.
+SWEEPABLE = (
+    "updates_per_second",
+    "failure_probability",
+    "items",
+    "recovery_rate",
+    "dependency_mean",
+    "update_independence",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the varied value, model and simulation P."""
+
+    parameter: str
+    value: float
+    params: ModelParams
+    model: Optional[float]  # None when the point is unstable
+    simulated: Optional[float]  # None when simulation was skipped
+
+    @property
+    def stable(self) -> bool:
+        return self.model is not None
+
+
+def sweep(
+    base: ModelParams,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    run_simulation: bool = False,
+    duration: Optional[float] = None,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Vary *parameter* of *base* over *values*.
+
+    Unstable points (propagation outpacing recovery) get ``model=None``
+    rather than raising, so a sweep can cross the stability boundary —
+    that boundary itself is one of the model's qualitative predictions.
+    Simulation (optional, slower) is skipped at unstable points.
+    """
+    if parameter not in SWEEPABLE:
+        raise ReproError(
+            f"cannot sweep {parameter!r}; choose one of {SWEEPABLE}"
+        )
+    points: List[SweepPoint] = []
+    for index, value in enumerate(values):
+        params = base.vary(**{parameter: value})
+        if is_stable(params):
+            model_value: Optional[float] = steady_state_polyvalues(params)
+        else:
+            model_value = None
+        simulated: Optional[float] = None
+        if run_simulation and model_value is not None:
+            result = simulate(
+                params, duration=duration, seed=seed + index * 104729
+            )
+            simulated = result.mean_polyvalues
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=value,
+                params=params,
+                model=model_value,
+                simulated=simulated,
+            )
+        )
+    return points
+
+
+def format_sweep_table(points: Sequence[SweepPoint]) -> str:
+    """Render sweep points as an aligned text table (for bench output)."""
+    if not points:
+        return "(empty sweep)"
+    parameter = points[0].parameter
+    lines = [f"{parameter:>22} {'model P':>12} {'simulated P':>12}"]
+    for point in points:
+        model = f"{point.model:.3f}" if point.model is not None else "unstable"
+        simulated = (
+            f"{point.simulated:.3f}" if point.simulated is not None else "-"
+        )
+        lines.append(f"{point.value:>22.6g} {model:>12} {simulated:>12}")
+    return "\n".join(lines)

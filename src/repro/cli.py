@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's quantitative content without writing
+code:
+
+* ``table1`` — the Table 1 model predictions;
+* ``table2`` — the Table 2 Monte-Carlo comparison (configurable length);
+* ``model`` — steady state, decay rate and settling time for arbitrary
+  parameters;
+* ``simulate`` — one Monte-Carlo run with arbitrary parameters;
+* ``sweep`` — vary one parameter, model vs. (optional) simulation;
+* ``demo`` — the quickstart failure/polyvalue/recovery walkthrough.
+
+All randomness is seeded (``--seed``), so every invocation is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.model import (
+    ModelParams,
+    UnstableRegimeError,
+    decay_rate,
+    steady_state_polyvalues,
+    table1_rows,
+    table2_rows,
+    time_to_settle,
+)
+from repro.analysis.montecarlo import simulate
+from repro.analysis.sweep import SWEEPABLE, format_sweep_table, sweep
+
+
+def _add_model_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--updates", "-u", type=float, default=10,
+                        help="U: updates per second (default 10)")
+    parser.add_argument("--failure-probability", "-f", type=float,
+                        default=0.0001, help="F: per-update failure "
+                        "probability (default 1e-4)")
+    parser.add_argument("--items", "-i", type=float, default=1_000_000,
+                        help="I: database items (default 1e6)")
+    parser.add_argument("--recovery-rate", "-r", type=float, default=0.001,
+                        help="R: fraction of failures recovered per second "
+                        "(default 1e-3)")
+    parser.add_argument("--dependency-mean", "-d", type=float, default=1,
+                        help="D: mean items a new value depends on "
+                        "(default 1)")
+    parser.add_argument("--update-independence", "-y", type=float, default=0,
+                        help="Y: probability the new value ignores the old "
+                        "(default 0)")
+
+
+def _params_from(args: argparse.Namespace) -> ModelParams:
+    return ModelParams(
+        updates_per_second=args.updates,
+        failure_probability=args.failure_probability,
+        items=args.items,
+        recovery_rate=args.recovery_rate,
+        dependency_mean=args.dependency_mean,
+        update_independence=args.update_independence,
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print("Table 1: predicted steady-state polyvalue count")
+    print(f"{'U':>6} {'F':>8} {'I':>10} {'R':>7} {'Y':>3} {'D':>3} "
+          f"{'model P':>9} {'paper P':>8}  note")
+    for row in table1_rows():
+        p = row.params
+        paper = f"{row.paper_value:.2f}" if row.paper_value is not None else "-"
+        print(f"{p.U:>6g} {p.F:>8g} {p.I:>10g} {p.R:>7g} {p.Y:>3g} "
+              f"{p.D:>3g} {row.model_value:>9.2f} {paper:>8}  {row.note}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print("Table 2: Monte-Carlo simulation vs model "
+          f"(duration={args.duration:g}s, seed={args.seed})")
+    print(f"{'U':>4} {'F':>7} {'R':>6} {'I':>7} {'Y':>3} {'D':>3} "
+          f"{'sim P':>8} {'model P':>8} {'paper sim':>10} {'paper pred':>11}")
+    for index, row in enumerate(table2_rows()):
+        result = simulate(
+            row.params, duration=args.duration, seed=args.seed + index
+        )
+        p = row.params
+        print(f"{p.U:>4g} {p.F:>7g} {p.R:>6g} {p.I:>7g} {p.Y:>3g} {p.D:>3g} "
+              f"{result.mean_polyvalues:>8.2f} {row.model_value:>8.2f} "
+              f"{row.paper_actual:>10.2f} {row.paper_predicted:>11.2f}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    try:
+        steady = steady_state_polyvalues(params)
+    except UnstableRegimeError as error:
+        print(f"UNSTABLE regime: {error}")
+        return 1
+    rate = decay_rate(params)
+    print(f"steady-state polyvalues  P   = {steady:.4f}")
+    print(f"fraction of database     P/I = {steady / params.items:.3e}")
+    print(f"decay rate               λ   = {rate:.6g} /s "
+          f"(time constant {1 / rate:.4g} s)")
+    print(f"settling time (1% of a burst) = "
+          f"{time_to_settle(params, steady + 1000):.4g} s")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    result = simulate(params, duration=args.duration, seed=args.seed)
+    print(f"duration          {result.duration:g} simulated seconds")
+    print(f"transactions      {result.transactions}")
+    print(f"failures          {result.failures}")
+    print(f"recoveries        {result.recoveries}")
+    print(f"polytransactions  {result.polytransactions}")
+    print(f"mean polyvalues   {result.mean_polyvalues:.3f}")
+    try:
+        print(f"model prediction  {result.model_prediction:.3f}")
+    except UnstableRegimeError:
+        print("model prediction  (unstable regime)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        values = [float(v) for v in args.values.split(",")]
+    except ValueError:
+        print(f"error: --values must be comma-separated numbers, got "
+              f"{args.values!r}", file=sys.stderr)
+        return 2
+    base = _params_from(args)
+    points = sweep(
+        base,
+        args.parameter,
+        values,
+        run_simulation=args.simulate,
+        duration=args.duration if args.simulate else None,
+        seed=args.seed,
+    )
+    print(format_sweep_table(points))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.txn.system import DistributedSystem
+    from repro.txn.transaction import Transaction
+
+    system = DistributedSystem.build(
+        sites=3,
+        items={"alice": 100, "bob": 100, "carol": 100},
+        seed=args.seed,
+        jitter=0.0,
+    )
+
+    def transfer(ctx):
+        a = ctx.read("alice")
+        ctx.write("alice", a - 25)
+        ctx.write("bob", ctx.read("bob") + 25)
+
+    print("initial:", system.database_state())
+    system.submit(Transaction(body=transfer, items=("alice", "bob")))
+    system.run_for(0.035)
+    system.crash_site("site-0")
+    system.run_for(1.0)
+    print("in-doubt window hit; bob =", system.read_item("bob"))
+    system.recover_site("site-0")
+    system.run_for(5.0)
+    print("after recovery:", system.database_state())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Montgomery's Polyvalues (SOSP 1979)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="print Table 1 (model)")
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = commands.add_parser("table2", help="run Table 2 (Monte-Carlo)")
+    table2.add_argument("--duration", type=float, default=2000.0)
+    table2.add_argument("--seed", type=int, default=0)
+    table2.set_defaults(handler=_cmd_table2)
+
+    model = commands.add_parser("model", help="evaluate the analytic model")
+    _add_model_params(model)
+    model.set_defaults(handler=_cmd_model)
+
+    sim = commands.add_parser("simulate", help="one Monte-Carlo run")
+    _add_model_params(sim)
+    sim.add_argument("--duration", type=float, default=None)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(handler=_cmd_simulate)
+
+    sweep_cmd = commands.add_parser("sweep", help="sweep one parameter")
+    _add_model_params(sweep_cmd)
+    sweep_cmd.add_argument("--parameter", "-p", required=True,
+                           choices=SWEEPABLE)
+    sweep_cmd.add_argument("--values", "-v", required=True,
+                           help="comma-separated values")
+    sweep_cmd.add_argument("--simulate", action="store_true",
+                           help="also run the Monte-Carlo sim per point")
+    sweep_cmd.add_argument("--duration", type=float, default=None)
+    sweep_cmd.add_argument("--seed", type=int, default=0)
+    sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    demo = commands.add_parser("demo", help="failure/polyvalue walkthrough")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(handler=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except UnstableRegimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. head).
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Core of the reproduction: the polyvalue mechanism itself.
+
+This package is deliberately free of any simulation, networking or
+storage concerns — it is the pure data-structure and algorithm layer
+described in section 3 of the paper:
+
+* :mod:`repro.core.conditions` — predicates over transaction identifiers.
+* :mod:`repro.core.polyvalue` — the ``<value, condition>`` pair sets.
+* :mod:`repro.core.polytransaction` — alternative-transaction execution.
+* :mod:`repro.core.outcome` — per-site outcome tables and the
+  coordinator's outcome log.
+* :mod:`repro.core.errors` — the library-wide exception hierarchy.
+"""
+
+from repro.core.conditions import (
+    FALSE,
+    TRUE,
+    Condition,
+    Literal,
+    TxnId,
+    conditions_are_complete,
+    conditions_are_complete_and_disjoint,
+    conditions_are_disjoint,
+)
+from repro.core.errors import (
+    ConditionError,
+    IncompleteConditionsError,
+    LockError,
+    NetworkError,
+    OverlappingConditionsError,
+    PolyvalueError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SiteDownError,
+    TransactionAborted,
+    TransactionError,
+    TransactionInDoubt,
+    UncertainValueError,
+    UnknownItemError,
+)
+from repro.core.minimize import literal_count, minimize, product_count
+from repro.core.parser import parse_condition
+from repro.core.outcome import OutcomeLog, OutcomeLogEntry, OutcomeTable, Resolution
+from repro.core.polytransaction import (
+    Alternative,
+    PolyContext,
+    PolyTransactionResult,
+    TooManyAlternativesError,
+    execute,
+)
+from repro.core.polyvalue import (
+    Polyvalue,
+    as_pairs,
+    certain,
+    combine,
+    definitely,
+    depends_on,
+    is_polyvalue,
+    possible_values,
+    possibly,
+    reduce_value,
+    simplify,
+)
+from repro.core.serialize import (
+    SerializationError,
+    decode_condition,
+    decode_state,
+    decode_value,
+    encode_condition,
+    encode_state,
+    encode_value,
+)
+
+__all__ = [
+    "Alternative",
+    "Condition",
+    "ConditionError",
+    "FALSE",
+    "IncompleteConditionsError",
+    "Literal",
+    "LockError",
+    "NetworkError",
+    "OutcomeLog",
+    "OutcomeLogEntry",
+    "OutcomeTable",
+    "OverlappingConditionsError",
+    "PolyContext",
+    "PolyTransactionResult",
+    "Polyvalue",
+    "PolyvalueError",
+    "ProtocolError",
+    "ReproError",
+    "Resolution",
+    "SerializationError",
+    "SimulationError",
+    "SiteDownError",
+    "TRUE",
+    "TooManyAlternativesError",
+    "TransactionAborted",
+    "TransactionError",
+    "TransactionInDoubt",
+    "TxnId",
+    "UncertainValueError",
+    "UnknownItemError",
+    "as_pairs",
+    "certain",
+    "combine",
+    "conditions_are_complete",
+    "conditions_are_complete_and_disjoint",
+    "conditions_are_disjoint",
+    "decode_condition",
+    "decode_state",
+    "decode_value",
+    "definitely",
+    "depends_on",
+    "encode_condition",
+    "encode_state",
+    "encode_value",
+    "execute",
+    "is_polyvalue",
+    "literal_count",
+    "minimize",
+    "parse_condition",
+    "possible_values",
+    "possibly",
+    "product_count",
+    "reduce_value",
+    "simplify",
+]

@@ -1,0 +1,453 @@
+"""Boolean condition algebra over transaction identifiers.
+
+Section 3 of the paper defines a polyvalue as a set of ``<value,
+condition>`` pairs where each *condition* is a predicate whose variables
+stand for transactions ("transaction identifiers").  The paper requires
+conditions to be manipulated in *sum-of-products* form (section 3.1,
+simplification rule 3), and it requires the set of conditions within one
+polyvalue to be *complete* (one predicate is true under any assignment of
+outcomes) and *disjoint* (only one is).
+
+This module implements that algebra:
+
+* :class:`Literal` — a transaction identifier or its negation
+  ("T committed" / "T aborted").
+* a *product* — a conjunction of literals, represented as a
+  ``frozenset`` of :class:`Literal`.
+* :class:`Condition` — a disjunction of products (sum-of-products),
+  represented as a ``frozenset`` of products.
+
+Conditions are immutable and hashable; all operations return new
+conditions.  Simplification (contradiction removal, absorption and
+single-variable resolution) is applied automatically by the constructors,
+so conditions are kept in a compact canonical-ish form.  Exact
+equivalence, completeness and disjointness are decided by truth-table
+enumeration over the (always small in practice) set of mentioned
+transactions.
+
+Example
+-------
+>>> t1, t2 = Condition.of("T1"), Condition.of("T2")
+>>> c = t1 & ~t2
+>>> c.evaluate({"T1": True, "T2": False})
+True
+>>> c.substitute({"T1": True})
+Condition(~T2)
+>>> (t1 | ~t1).is_true()
+True
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set
+
+from repro.core.errors import ConditionError
+
+#: Transaction identifiers are plain strings (e.g. ``"T17"``).
+TxnId = str
+
+#: The largest number of distinct transaction identifiers for which the
+#: truth-table decision procedures will run.  Beyond this the table has
+#: more than 2**20 rows and the caller is almost certainly misusing the
+#: mechanism (the paper's whole point is that very few transactions are
+#: in doubt at once).
+MAX_TRUTH_TABLE_VARIABLES = 20
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A transaction identifier or its negation.
+
+    ``Literal("T1", True)`` is true iff transaction ``T1`` completed
+    (committed); ``Literal("T1", False)`` is true iff it aborted.
+    """
+
+    txn: TxnId
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        """Return the complementary literal."""
+        return Literal(self.txn, not self.positive)
+
+    def satisfied_by(self, assignment: Mapping[TxnId, bool]) -> bool:
+        """Evaluate under a complete outcome *assignment*.
+
+        Raises :class:`~repro.core.errors.ConditionError` if the
+        assignment does not mention this literal's transaction.
+        """
+        if self.txn not in assignment:
+            raise ConditionError(
+                f"assignment does not give an outcome for transaction {self.txn!r}"
+            )
+        return assignment[self.txn] == self.positive
+
+    def __str__(self) -> str:
+        return self.txn if self.positive else "~" + self.txn
+
+    def __repr__(self) -> str:
+        return f"Literal({str(self)})"
+
+
+Product = FrozenSet[Literal]
+
+
+def _product_is_contradictory(product: Product) -> bool:
+    """True if the product contains both ``T`` and ``~T`` for some T."""
+    seen: Dict[TxnId, bool] = {}
+    for literal in product:
+        previous = seen.get(literal.txn)
+        if previous is not None and previous != literal.positive:
+            return True
+        seen[literal.txn] = literal.positive
+    return False
+
+
+def _absorb(products: Set[Product]) -> Set[Product]:
+    """Remove products subsumed by a more general (smaller) product.
+
+    In sum-of-products form, ``p + p·q = p``: any product that is a
+    strict superset of another contributes nothing to the disjunction.
+    """
+    kept: Set[Product] = set()
+    for product in sorted(products, key=len):
+        if not any(other <= product for other in kept):
+            kept.add(product)
+    return kept
+
+
+def _resolve_once(products: Set[Product]) -> Optional[Set[Product]]:
+    """Apply one step of single-variable resolution, if possible.
+
+    Merges two products that differ only in one complemented literal:
+    ``p·T + p·~T = p``.  Returns the new product set, or ``None`` when
+    no merge applies.  Combined with absorption and iterated to a fixed
+    point this collapses ``{T} + {~T}`` to *true*, which is exactly what
+    failure recovery needs when substituting outcomes (section 3.3).
+    """
+    product_list = sorted(products, key=lambda p: (len(p), sorted(map(str, p))))
+    for i, first in enumerate(product_list):
+        for second in product_list[i + 1 :]:
+            if len(first) != len(second):
+                continue
+            difference = first ^ second
+            if len(difference) != 2:
+                continue
+            lit_a, lit_b = difference
+            if lit_a.txn == lit_b.txn and lit_a.positive != lit_b.positive:
+                merged = first & second
+                reduced = set(products)
+                reduced.discard(first)
+                reduced.discard(second)
+                reduced.add(merged)
+                return reduced
+    return None
+
+
+def _simplify_products(products: Iterable[Product]) -> FrozenSet[Product]:
+    """Canonicalise a sum of products.
+
+    Drops contradictory products (rule 3 of section 3.1), then applies
+    absorption and single-variable resolution to a fixed point.  The
+    result is not a guaranteed-minimal form (that would be Quine-
+    McCluskey), but it is small, deterministic and — crucially for the
+    mechanism — reduces to the canonical ``TRUE``/``FALSE`` forms when
+    the sum is a tautology over one variable or is unsatisfiable.
+    """
+    current: Set[Product] = {p for p in products if not _product_is_contradictory(p)}
+    while True:
+        current = _absorb(current)
+        resolved = _resolve_once(current)
+        if resolved is None:
+            return frozenset(current)
+        current = resolved
+
+
+class Condition:
+    """An immutable predicate over transaction outcomes, in sum-of-products form.
+
+    A condition is a disjunction of *products*; each product is a
+    conjunction of :class:`Literal`.  The canonical *true* condition is
+    the disjunction containing the empty product; the canonical *false*
+    condition is the empty disjunction.
+
+    Conditions support ``&`` (and), ``|`` (or), ``~`` (not), equality
+    (structural, after simplification), :meth:`equivalent` (semantic),
+    and hashing, so they can be used as dict keys and set members.
+    """
+
+    __slots__ = ("_products",)
+
+    def __init__(self, products: Iterable[Iterable[Literal]] = ()) -> None:
+        self._products: FrozenSet[Product] = _simplify_products(
+            frozenset(product) for product in products
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def true() -> "Condition":
+        """The condition that always holds."""
+        return Condition([frozenset()])
+
+    @staticmethod
+    def false() -> "Condition":
+        """The condition that never holds."""
+        return Condition([])
+
+    @staticmethod
+    def of(txn: TxnId) -> "Condition":
+        """The condition "transaction *txn* completed"."""
+        return Condition([[Literal(txn, True)]])
+
+    @staticmethod
+    def not_of(txn: TxnId) -> "Condition":
+        """The condition "transaction *txn* aborted"."""
+        return Condition([[Literal(txn, False)]])
+
+    @staticmethod
+    def literal(txn: TxnId, positive: bool) -> "Condition":
+        """The single-literal condition for *txn* with the given polarity."""
+        return Condition([[Literal(txn, positive)]])
+
+    @staticmethod
+    def all_of(*txns: TxnId) -> "Condition":
+        """The conjunction "every one of *txns* completed"."""
+        return Condition([[Literal(t, True) for t in txns]])
+
+    @staticmethod
+    def any_of(*txns: TxnId) -> "Condition":
+        """The disjunction "at least one of *txns* completed"."""
+        return Condition([[Literal(t, True)] for t in txns])
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def products(self) -> FrozenSet[Product]:
+        """The simplified set of products (conjunctions) of this condition."""
+        return self._products
+
+    def variables(self) -> FrozenSet[TxnId]:
+        """The set of transaction identifiers this condition mentions."""
+        return frozenset(
+            literal.txn for product in self._products for literal in product
+        )
+
+    def is_true(self) -> bool:
+        """True iff this condition is the canonical *true* form.
+
+        Because the constructor simplifies, any single-variable tautology
+        (``T | ~T``) reaches this form; for a semantic check on arbitrary
+        conditions use :meth:`is_tautology`.
+        """
+        return self._products == frozenset([frozenset()])
+
+    def is_false(self) -> bool:
+        """True iff this condition is the canonical *false* form (empty sum)."""
+        return len(self._products) == 0
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def __and__(self, other: "Condition") -> "Condition":
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return Condition(
+            p | q for p in self._products for q in other._products
+        )
+
+    def __or__(self, other: "Condition") -> "Condition":
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return Condition(itertools.chain(self._products, other._products))
+
+    def __invert__(self) -> "Condition":
+        # De Morgan: negate a sum of products by taking, for every way of
+        # choosing one literal from each product, the product of the
+        # complements.  The constructor simplifies the (possibly large)
+        # intermediate form; condition sizes in this system are tiny.
+        if self.is_false():
+            return Condition.true()
+        negated = Condition.true()
+        for product in self._products:
+            complements = Condition(
+                [[literal.negate()] for literal in product]
+            )
+            negated = negated & complements
+        return negated
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self._products == other._products
+
+    def __hash__(self) -> int:
+        return hash(self._products)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[TxnId, bool]) -> bool:
+        """Evaluate under a (at least covering) outcome assignment.
+
+        *assignment* maps each transaction identifier to ``True``
+        (completed) or ``False`` (aborted).  Every variable of the
+        condition must be present.
+        """
+        return any(
+            all(literal.satisfied_by(assignment) for literal in product)
+            for product in self._products
+        )
+
+    def substitute(self, outcomes: Mapping[TxnId, bool]) -> "Condition":
+        """Replace known transaction outcomes with constants and simplify.
+
+        This is the reduction step of failure recovery (section 3.3):
+        "the value of the transaction identifier for such a transaction
+        can be replaced by true or false in the predicates".  Literals
+        satisfied by *outcomes* are dropped from their products; products
+        containing a falsified literal are dropped entirely.
+        """
+        new_products = []
+        for product in self._products:
+            kept: list = []
+            dead = False
+            for literal in product:
+                outcome = outcomes.get(literal.txn)
+                if outcome is None:
+                    kept.append(literal)
+                elif outcome != literal.positive:
+                    dead = True
+                    break
+            if not dead:
+                new_products.append(kept)
+        return Condition(new_products)
+
+    def is_satisfiable(self) -> bool:
+        """True iff some outcome assignment makes this condition hold.
+
+        In sum-of-products form with contradictions already removed by
+        the constructor, satisfiability is simply non-emptiness.
+        """
+        return not self.is_false()
+
+    def is_tautology(self) -> bool:
+        """True iff every outcome assignment makes this condition hold.
+
+        Decided by truth-table enumeration over :meth:`variables`.
+        """
+        variables = sorted(self.variables())
+        _check_variable_count(variables)
+        return all(
+            self.evaluate(assignment)
+            for assignment in _assignments(variables)
+        )
+
+    def equivalent(self, other: "Condition") -> bool:
+        """Semantic equivalence (agree on every outcome assignment)."""
+        variables = sorted(self.variables() | other.variables())
+        _check_variable_count(variables)
+        return all(
+            self.evaluate(a) == other.evaluate(a) for a in _assignments(variables)
+        )
+
+    def implies(self, other: "Condition") -> bool:
+        """True iff every assignment satisfying ``self`` satisfies *other*."""
+        variables = sorted(self.variables() | other.variables())
+        _check_variable_count(variables)
+        return all(
+            other.evaluate(a)
+            for a in _assignments(variables)
+            if self.evaluate(a)
+        )
+
+    def disjoint_with(self, other: "Condition") -> bool:
+        """True iff no assignment satisfies both conditions."""
+        return (self & other).is_false()
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_true():
+            return "TRUE"
+        if self.is_false():
+            return "FALSE"
+        rendered_products = []
+        for product in sorted(
+            self._products, key=lambda p: sorted(str(l) for l in p)
+        ):
+            literals = sorted(str(literal) for literal in product)
+            rendered_products.append(" & ".join(literals))
+        return " | ".join(
+            f"({p})" if len(self._products) > 1 and " & " in p else p
+            for p in sorted(rendered_products)
+        )
+
+    def __repr__(self) -> str:
+        return f"Condition({str(self)})"
+
+
+def _check_variable_count(variables: Sequence[TxnId]) -> None:
+    if len(variables) > MAX_TRUTH_TABLE_VARIABLES:
+        raise ConditionError(
+            f"refusing to enumerate a truth table over {len(variables)} "
+            f"transactions (limit {MAX_TRUTH_TABLE_VARIABLES}); this many "
+            "simultaneously in-doubt transactions indicates misuse"
+        )
+
+
+def _assignments(variables: Sequence[TxnId]) -> Iterator[Dict[TxnId, bool]]:
+    """Yield every outcome assignment over *variables*."""
+    for values in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+#: Module-level singletons for the two constant conditions.  Conditions
+#: are immutable, so sharing these is safe and avoids re-simplification.
+TRUE: Condition = Condition.true()
+FALSE: Condition = Condition.false()
+
+
+def conditions_are_complete(conditions: Sequence[Condition]) -> bool:
+    """True iff, under every assignment, at least one condition holds.
+
+    This is half of the paper's well-formedness requirement for the
+    conditions of a polyvalue ("the conditions on the pairs in each
+    polyvalue must be complete and disjoint").
+    """
+    variables = sorted(frozenset().union(*(c.variables() for c in conditions)) if conditions else frozenset())
+    _check_variable_count(variables)
+    return all(
+        any(condition.evaluate(a) for condition in conditions)
+        for a in _assignments(variables)
+    )
+
+
+def conditions_are_disjoint(conditions: Sequence[Condition]) -> bool:
+    """True iff, under every assignment, at most one condition holds."""
+    variables = sorted(frozenset().union(*(c.variables() for c in conditions)) if conditions else frozenset())
+    _check_variable_count(variables)
+    for assignment in _assignments(variables):
+        if sum(1 for c in conditions if c.evaluate(assignment)) > 1:
+            return False
+    return True
+
+
+def conditions_are_complete_and_disjoint(conditions: Sequence[Condition]) -> bool:
+    """The paper's full well-formedness check: exactly one condition holds
+    under any assignment of outcomes to transaction identifiers."""
+    variables = sorted(frozenset().union(*(c.variables() for c in conditions)) if conditions else frozenset())
+    _check_variable_count(variables)
+    return all(
+        sum(1 for c in conditions if c.evaluate(a)) == 1
+        for a in _assignments(variables)
+    )

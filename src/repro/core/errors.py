@@ -1,0 +1,81 @@
+"""Exception hierarchy for the polyvalue reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConditionError(ReproError):
+    """A malformed condition or an illegal condition-algebra operation."""
+
+
+class PolyvalueError(ReproError):
+    """A malformed polyvalue (e.g. conditions not complete/disjoint)."""
+
+
+class IncompleteConditionsError(PolyvalueError):
+    """The conditions of a polyvalue do not cover every outcome assignment."""
+
+
+class OverlappingConditionsError(PolyvalueError):
+    """Two conditions of a polyvalue are simultaneously satisfiable."""
+
+
+class UncertainValueError(PolyvalueError):
+    """An exact value was required but the item still holds a polyvalue.
+
+    Raised when a caller demands a certain (simple) value — e.g. an
+    external output that must be a definite yes/no — and the underlying
+    polyvalue has more than one possible value.  Section 3.4 of the paper
+    describes the two options at that point: wait, or present the
+    uncertain output; this exception is how the library signals that the
+    caller must choose.
+    """
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-processing errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (by the coordinator or by a conflict)."""
+
+
+class TransactionInDoubt(TransactionError):
+    """The transaction outcome is unknown; polyvalues were installed."""
+
+
+class UnknownItemError(TransactionError):
+    """A transaction referenced an item that no site stores."""
+
+
+class LockError(TransactionError):
+    """A lock could not be acquired (conflict or deadlock-avoidance abort)."""
+
+
+class ProtocolError(ReproError):
+    """An impossible message/state combination in the commit protocol.
+
+    These indicate bugs (or deliberately injected byzantine behaviour),
+    never normal operation, so they are kept distinct from
+    :class:`TransactionError`.
+    """
+
+
+class SimulationError(ReproError):
+    """An error in the discrete-event simulation kernel."""
+
+
+class NetworkError(ReproError):
+    """An error in the simulated message-passing network."""
+
+
+class SiteDownError(NetworkError):
+    """An operation was attempted on a crashed site."""

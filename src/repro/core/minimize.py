@@ -1,0 +1,158 @@
+"""Exact two-level minimisation of conditions (Quine–McCluskey).
+
+The constructor of :class:`~repro.core.conditions.Condition` applies
+cheap local rewrites (contradiction removal, absorption, resolution)
+that keep conditions small in the common case.  Long chains of
+polytransaction propagation can still accumulate redundant products;
+:func:`minimize` computes a guaranteed-minimal sum-of-products form:
+
+1. enumerate the condition's minterms over its variables;
+2. Quine–McCluskey prime-implicant generation (iteratively merge
+   implicants differing in one defined bit);
+3. essential-prime selection, then greedy set cover for the rest.
+
+Exactness costs ``O(3^n)`` in the variable count ``n``; like every
+semantic operation in :mod:`repro.core.conditions` it refuses to run
+past :data:`~repro.core.conditions.MAX_TRUTH_TABLE_VARIABLES`
+variables — far beyond any realistic number of simultaneously in-doubt
+transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.conditions import (
+    MAX_TRUTH_TABLE_VARIABLES,
+    Condition,
+    Literal,
+    TxnId,
+)
+from repro.core.errors import ConditionError
+
+#: An implicant: (values, mask).  Bit i of *mask* set means variable i
+#: is defined in the implicant, with polarity given by bit i of
+#: *values*; a clear mask bit is a "don't care" (merged-away) variable.
+_Implicant = Tuple[int, int]
+
+
+def _minterms(condition: Condition, variables: Sequence[TxnId]) -> List[int]:
+    terms = []
+    for index in range(1 << len(variables)):
+        assignment = {
+            variable: bool(index >> position & 1)
+            for position, variable in enumerate(variables)
+        }
+        if condition.evaluate(assignment):
+            terms.append(index)
+    return terms
+
+
+def _prime_implicants(minterms: Sequence[int], width: int) -> Set[_Implicant]:
+    """Iteratively merge implicants differing in exactly one defined bit."""
+    full_mask = (1 << width) - 1
+    current: Set[_Implicant] = {(term, full_mask) for term in minterms}
+    primes: Set[_Implicant] = set()
+    while current:
+        merged_away: Set[_Implicant] = set()
+        produced: Set[_Implicant] = set()
+        ordered = sorted(current)
+        for i, (values_a, mask_a) in enumerate(ordered):
+            for values_b, mask_b in ordered[i + 1 :]:
+                if mask_a != mask_b:
+                    continue
+                difference = values_a ^ values_b
+                # Exactly one defined bit differs -> mergeable.
+                if difference and not difference & (difference - 1):
+                    produced.add((values_a & ~difference, mask_a & ~difference))
+                    merged_away.add((values_a, mask_a))
+                    merged_away.add((values_b, mask_b))
+        primes |= current - merged_away
+        current = produced
+    return primes
+
+
+def _covers(implicant: _Implicant, minterm: int) -> bool:
+    values, mask = implicant
+    return (minterm & mask) == (values & mask)
+
+
+def _select_cover(
+    primes: Set[_Implicant], minterms: Sequence[int]
+) -> List[_Implicant]:
+    """Essential primes first, then greedy cover of the remainder."""
+    uncovered: Set[int] = set(minterms)
+    coverage: Dict[_Implicant, Set[int]] = {
+        prime: {term for term in minterms if _covers(prime, term)}
+        for prime in primes
+    }
+    chosen: List[_Implicant] = []
+    # Essential primes: a minterm covered by exactly one prime.
+    for term in sorted(minterms):
+        covering = [prime for prime in sorted(primes) if term in coverage[prime]]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+            uncovered -= coverage[covering[0]]
+    # Greedy for the rest (deterministic tie-break by sorted order).
+    while uncovered:
+        best = max(
+            sorted(primes),
+            key=lambda prime: (len(coverage[prime] & uncovered), -prime[1]),
+        )
+        gained = coverage[best] & uncovered
+        if not gained:
+            raise ConditionError("internal error: cover cannot progress")
+        chosen.append(best)
+        uncovered -= gained
+    return chosen
+
+
+def _to_condition(
+    implicants: Sequence[_Implicant], variables: Sequence[TxnId]
+) -> Condition:
+    products = []
+    for values, mask in implicants:
+        literals = [
+            Literal(variable, bool(values >> position & 1))
+            for position, variable in enumerate(variables)
+            if mask >> position & 1
+        ]
+        products.append(literals)
+    return Condition(products)
+
+
+def minimize(condition: Condition) -> Condition:
+    """An equivalent condition with a minimal number of products.
+
+    >>> from repro.core.conditions import Condition
+    >>> t1, t2, t3 = (Condition.of(t) for t in ("T1", "T2", "T3"))
+    >>> bloated = (t1 & t2) | (t1 & ~t2 & t3) | (t1 & t3)
+    >>> print(minimize(bloated))
+    (T1 & T2) | (T1 & T3)
+    """
+    variables = sorted(condition.variables())
+    if len(variables) > MAX_TRUTH_TABLE_VARIABLES:
+        raise ConditionError(
+            f"refusing to minimise over {len(variables)} variables "
+            f"(limit {MAX_TRUTH_TABLE_VARIABLES})"
+        )
+    if not variables:
+        return Condition.true() if condition.is_true() else Condition.false()
+    minterms = _minterms(condition, variables)
+    if not minterms:
+        return Condition.false()
+    if len(minterms) == 1 << len(variables):
+        return Condition.true()
+    primes = _prime_implicants(minterms, len(variables))
+    cover = _select_cover(primes, minterms)
+    return _to_condition(cover, variables)
+
+
+def product_count(condition: Condition) -> int:
+    """The number of products in the condition's current form."""
+    return len(condition.products)
+
+
+def literal_count(condition: Condition) -> int:
+    """The total number of literals across all products."""
+    return sum(len(product) for product in condition.products)

@@ -1,0 +1,125 @@
+"""A small parser for condition expressions.
+
+Tests, CLIs and log tooling want to write conditions the way the paper
+does — ``"T1 & (T2 | T3)"`` — rather than building literal sets by
+hand.  The grammar (standard precedence: ``~`` binds tightest, then
+``&``, then ``|``):
+
+    expression := term ('|' term)*
+    term       := factor ('&' factor)*
+    factor     := '~' factor | '(' expression ')' | NAME | 'TRUE' | 'FALSE'
+    NAME       := [A-Za-z_][A-Za-z0-9_@.-]*
+
+``TRUE`` and ``FALSE`` (case-insensitive) are the constants; everything
+else is a transaction identifier.  The result is an ordinary
+:class:`~repro.core.conditions.Condition`, simplified as usual.
+
+>>> parse_condition("T1 & ~T2 | T3").evaluate(
+...     {"T1": True, "T2": False, "T3": False})
+True
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.conditions import Condition
+from repro.core.errors import ConditionError
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<op>[()&|~])|(?P<name>[A-Za-z_][A-Za-z0-9_@.\-]*))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ConditionError(
+                f"cannot tokenize condition at {remainder[:20]!r}"
+            )
+        tokens.append(match.group("op") or match.group("name"))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> str:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return ""
+
+    def _take(self) -> str:
+        token = self._peek()
+        if not token:
+            raise ConditionError(
+                f"unexpected end of condition in {self._source!r}"
+            )
+        self._index += 1
+        return token
+
+    def parse(self) -> Condition:
+        result = self._expression()
+        if self._peek():
+            raise ConditionError(
+                f"trailing input {self._peek()!r} in {self._source!r}"
+            )
+        return result
+
+    def _expression(self) -> Condition:
+        result = self._term()
+        while self._peek() == "|":
+            self._take()
+            result = result | self._term()
+        return result
+
+    def _term(self) -> Condition:
+        result = self._factor()
+        while self._peek() == "&":
+            self._take()
+            result = result & self._factor()
+        return result
+
+    def _factor(self) -> Condition:
+        token = self._take()
+        if token == "~":
+            return ~self._factor()
+        if token == "(":
+            inner = self._expression()
+            closing = self._take()
+            if closing != ")":
+                raise ConditionError(
+                    f"expected ')' but found {closing!r} in {self._source!r}"
+                )
+            return inner
+        if token in ("&", "|", ")"):
+            raise ConditionError(
+                f"unexpected {token!r} in {self._source!r}"
+            )
+        if token.upper() == "TRUE":
+            return Condition.true()
+        if token.upper() == "FALSE":
+            return Condition.false()
+        return Condition.of(token)
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a condition expression like ``"T1 & (T2 | ~T3)"``.
+
+    Round-trips with ``str(condition)`` for any condition.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ConditionError("empty condition expression")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,312 @@
+"""Polytransactions: executing transactions over polyvalued inputs.
+
+Section 3.2: "A transaction that accesses an item with a polyvalue
+becomes a *polytransaction*.  Each polytransaction T consists of a set of
+alternative transactions {T_c}, each of which performs the transaction T
+on a different database state.  Each alternative transaction T_c is
+tagged with a condition c ... When an alternative transaction T_c
+accesses an item with a polyvalue {<v_i, c_i>}, T_c is partitioned into
+a set of alternative transactions {T_(c & c_i)}" — each of which sees
+the simple value ``v_i`` for that item.
+
+This module implements that partitioning by *branch-and-re-execute*:
+the transaction body is a deterministic, side-effect-free function of
+its reads, so an alternative can be replayed from scratch with a set of
+"pinned" item values.  Execution begins with the single alternative
+``T_true``; whenever the body reads a polyvalued item that is not yet
+pinned, the current run is abandoned and one new alternative per
+``<value, condition>`` pair is enqueued (with the product condition),
+pruning alternatives whose condition is logically false — the paper's
+first efficiency improvement.  The paper's second improvement
+(recognising reads whose exact value does not affect the computation)
+is exposed as :meth:`PolyContext.read_raw`, which returns the raw
+possibly-poly value without partitioning so the body can use the lifted
+operations in :mod:`repro.core.polyvalue` instead.
+
+The result of executing all alternatives is a
+:class:`PolyTransactionResult`, which knows how to merge the per-
+alternative writes into one polyvalue per item ("where v_i is the value
+computed by alternative transaction T_ci, or is the previous value of
+the item if transaction T_ci does not compute a new value for the
+item") and how to merge the externally visible outputs (section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.conditions import Condition
+from repro.core.errors import PolyvalueError, TransactionError
+from repro.core.polyvalue import Polyvalue, Value, as_pairs, is_polyvalue
+
+#: Database item identifiers are plain strings.
+ItemId = str
+
+#: A transaction body: a deterministic function of its reads.  It may
+#: return a mapping of writes, call :meth:`PolyContext.write`, or both
+#: (the returned mapping is merged over explicit writes).
+TxnBody = Callable[["PolyContext"], Optional[Mapping[ItemId, Value]]]
+
+#: Default cap on the number of alternatives a single polytransaction may
+#: fan out to.  2**10 alternatives means ten independent in-doubt
+#: transactions feeding one computation — far beyond the operating regime
+#: the paper's analysis targets, so exceeding it is treated as an error.
+DEFAULT_MAX_ALTERNATIVES = 1024
+
+
+class TooManyAlternativesError(TransactionError):
+    """A polytransaction fanned out past its alternatives budget."""
+
+
+class _Fork(Exception):
+    """Internal control flow: the body read an unpinned polyvalued item."""
+
+    def __init__(self, item: ItemId):
+        super().__init__(item)
+        self.item = item
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One alternative transaction ``T_c``: its condition and its effects."""
+
+    condition: Condition
+    writes: Mapping[ItemId, Value]
+    outputs: Mapping[str, Value]
+    reads: Tuple[ItemId, ...]
+
+
+class PolyContext:
+    """The read/write interface a transaction body sees.
+
+    One context is constructed per alternative execution; ``pins`` holds
+    the simple values chosen for polyvalued items along this alternative's
+    branch of the partition tree.
+    """
+
+    def __init__(
+        self,
+        snapshot: Mapping[ItemId, Value],
+        pins: Mapping[ItemId, Value],
+        condition: Condition,
+    ) -> None:
+        self._snapshot = snapshot
+        self._pins = pins
+        self._condition = condition
+        self._writes: Dict[ItemId, Value] = {}
+        self._outputs: Dict[str, Value] = {}
+        self._reads: List[ItemId] = []
+
+    @property
+    def condition(self) -> Condition:
+        """The condition ``c`` tagging this alternative transaction."""
+        return self._condition
+
+    def read(self, item: ItemId) -> Value:
+        """Read *item*, partitioning on it if it holds a polyvalue.
+
+        Always returns a simple value: along this alternative the item's
+        value is pinned to one of its possibilities.
+        """
+        self._reads.append(item)
+        if item in self._pins:
+            return self._pins[item]
+        value = self._lookup(item)
+        if is_polyvalue(value):
+            raise _Fork(item)
+        return value
+
+    def read_raw(self, item: ItemId) -> Value:
+        """Read *item* without partitioning (may return a polyvalue).
+
+        This is the section 3.2 optimisation for reads whose exact value
+        "does not affect the computation performed by the transaction":
+        the body can operate on the polyvalue with the lifted helpers
+        (:func:`repro.core.polyvalue.combine`, ``definitely`` ...)
+        instead of forking alternatives.  If the item was already pinned
+        by an earlier partitioning read, the pinned simple value is
+        returned for consistency.
+        """
+        self._reads.append(item)
+        if item in self._pins:
+            return self._pins[item]
+        return self._lookup(item)
+
+    def write(self, item: ItemId, value: Value) -> None:
+        """Record a write of *value* to *item* for this alternative."""
+        self._writes[item] = value
+
+    def output(self, name: str, value: Value) -> None:
+        """Record an externally visible output (section 3.4)."""
+        self._outputs[name] = value
+
+    def _lookup(self, item: ItemId) -> Value:
+        if item not in self._snapshot:
+            raise TransactionError(
+                f"transaction read unknown item {item!r}; the snapshot "
+                "must contain every item the body may read"
+            )
+        return self._snapshot[item]
+
+
+@dataclass
+class PolyTransactionResult:
+    """The merged effects of every alternative of one polytransaction."""
+
+    alternatives: List[Alternative]
+
+    def is_simple(self) -> bool:
+        """True iff the transaction never partitioned (single ``T_true``)."""
+        return len(self.alternatives) == 1
+
+    def written_items(self) -> List[ItemId]:
+        """Every item written by at least one alternative, in stable order."""
+        seen: Dict[ItemId, None] = {}
+        for alternative in self.alternatives:
+            for item in alternative.writes:
+                seen.setdefault(item, None)
+        return list(seen)
+
+    def read_items(self) -> List[ItemId]:
+        """Every item read by at least one alternative, in stable order."""
+        seen: Dict[ItemId, None] = {}
+        for alternative in self.alternatives:
+            for item in alternative.reads:
+                seen.setdefault(item, None)
+        return list(seen)
+
+    def merged_writes(
+        self, previous: Mapping[ItemId, Value]
+    ) -> Dict[ItemId, Value]:
+        """Combine per-alternative writes into one value per item.
+
+        For each item written by any alternative, builds the polyvalue
+        ``{<v_1, c_1>, ..., <v_n, c_n>}`` where ``v_i`` is the value
+        written by alternative ``T_ci`` — or the item's *previous* value
+        when ``T_ci`` did not write it (section 3.2).  The result
+        collapses to a plain value when all alternatives agree, which is
+        how uncertainty fails to propagate through computations that do
+        not depend on it.
+        """
+        merged: Dict[ItemId, Value] = {}
+        for item in self.written_items():
+            pairs = []
+            for alternative in self.alternatives:
+                if item in alternative.writes:
+                    value = alternative.writes[item]
+                elif item in previous:
+                    value = previous[item]
+                else:
+                    raise PolyvalueError(
+                        f"alternative {alternative.condition} does not write "
+                        f"item {item!r} and no previous value was supplied"
+                    )
+                pairs.append((value, alternative.condition))
+            merged[item] = Polyvalue(pairs).collapse()
+        return merged
+
+    def merged_outputs(self) -> Dict[str, Value]:
+        """Combine per-alternative external outputs into one value per name.
+
+        An output produced by only some alternatives appears as a
+        polyvalue whose other branches carry ``None`` (the output was
+        not produced along those branches).
+        """
+        names: Dict[str, None] = {}
+        for alternative in self.alternatives:
+            for name in alternative.outputs:
+                names.setdefault(name, None)
+        merged: Dict[str, Value] = {}
+        for name in names:
+            pairs = [
+                (alternative.outputs.get(name), alternative.condition)
+                for alternative in self.alternatives
+            ]
+            merged[name] = Polyvalue(pairs).collapse()
+        return merged
+
+
+def execute(
+    body: TxnBody,
+    snapshot: Mapping[ItemId, Value],
+    *,
+    max_alternatives: int = DEFAULT_MAX_ALTERNATIVES,
+) -> PolyTransactionResult:
+    """Run *body* against *snapshot*, partitioning on polyvalued reads.
+
+    Parameters
+    ----------
+    body:
+        A deterministic, side-effect-free function of its reads.  It is
+        re-executed once per alternative, so any side effects would be
+        repeated.
+    snapshot:
+        The values (simple or poly) of every item the body may read.
+    max_alternatives:
+        Fan-out budget; exceeding it raises
+        :class:`TooManyAlternativesError`.
+
+    Returns
+    -------
+    PolyTransactionResult
+        One :class:`Alternative` per satisfiable leaf of the partition
+        tree.  The alternatives' conditions are complete and disjoint by
+        construction.
+    """
+    # Work stack of (condition, pins); each entry is an alternative
+    # transaction T_c with the item values pinned along its branch.
+    pending: List[Tuple[Condition, Dict[ItemId, Value]]] = [
+        (Condition.true(), {})
+    ]
+    finished: List[Alternative] = []
+    spawned = 1
+    while pending:
+        condition, pins = pending.pop()
+        context = PolyContext(snapshot, pins, condition)
+        try:
+            returned = body(context)
+        except _Fork as fork:
+            value = snapshot[fork.item]
+            assert is_polyvalue(value)
+            for branch_value, branch_condition in as_pairs(value):
+                joint = condition & branch_condition
+                if joint.is_false():
+                    # Paper, section 3.2: "Any such alternative
+                    # transaction can be discarded, as its results can
+                    # never contribute."
+                    continue
+                spawned += 1
+                if spawned > max_alternatives:
+                    raise TooManyAlternativesError(
+                        f"polytransaction exceeded {max_alternatives} "
+                        "alternatives; too many in-doubt transactions feed "
+                        "this computation"
+                    )
+                branch_pins = dict(pins)
+                branch_pins[fork.item] = branch_value
+                pending.append((joint, branch_pins))
+            continue
+        writes = dict(context._writes)
+        if returned is not None:
+            if not isinstance(returned, Mapping):
+                raise TransactionError(
+                    f"transaction body returned {type(returned).__name__}; "
+                    "bodies must return a mapping of writes (or None)"
+                )
+            writes.update(returned)
+        finished.append(
+            Alternative(
+                condition=condition,
+                writes=writes,
+                outputs=dict(context._outputs),
+                reads=tuple(context._reads),
+            )
+        )
+    if not finished:
+        raise TransactionError(
+            "polytransaction produced no satisfiable alternative; the "
+            "snapshot contained contradictory polyvalues"
+        )
+    finished.sort(key=lambda alternative: str(alternative.condition))
+    return PolyTransactionResult(alternatives=finished)

@@ -1,0 +1,30 @@
+"""Per-site database substrate: storage, locking and data placement."""
+
+from repro.db.catalog import Catalog
+from repro.db.locks import LockManager, LockMode
+from repro.db.replication import (
+    ReplicationScheme,
+    all_replicas_consistent,
+    read_all_replicas,
+    replica_item,
+    replicas_mutually_consistent,
+    replicated_read,
+    replicated_update,
+    split_replica,
+)
+from repro.db.store import ItemStore
+
+__all__ = [
+    "Catalog",
+    "ItemStore",
+    "LockManager",
+    "LockMode",
+    "ReplicationScheme",
+    "all_replicas_consistent",
+    "read_all_replicas",
+    "replica_item",
+    "replicas_mutually_consistent",
+    "replicated_read",
+    "replicated_update",
+    "split_replica",
+]

@@ -1,0 +1,100 @@
+"""The data-placement catalog: which site stores which item.
+
+The paper's model: "In a distributed database, each item is stored at
+one of the sites."  The catalog is the (replicated, static) directory
+every site consults to route reads and writes.  Replicated items are
+modelled per the paper's remark — "an item that is replicated at several
+sites can be viewed as a set of individual items, one for each site" —
+i.e. by registering one catalog entry per replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence
+
+from repro.core.errors import UnknownItemError
+from repro.net.message import SiteId
+
+ItemId = str
+
+
+class Catalog:
+    """An immutable-after-setup mapping of items to their home sites."""
+
+    def __init__(self) -> None:
+        self._site_of: Dict[ItemId, SiteId] = {}
+        self._items_at: Dict[SiteId, List[ItemId]] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def place(self, item: ItemId, site: SiteId) -> None:
+        """Record that *item* lives at *site*."""
+        if item in self._site_of:
+            raise UnknownItemError(
+                f"item {item!r} is already placed at {self._site_of[item]!r}"
+            )
+        self._site_of[item] = site
+        self._items_at.setdefault(site, []).append(item)
+
+    @staticmethod
+    def round_robin(items: Sequence[ItemId], sites: Sequence[SiteId]) -> "Catalog":
+        """Spread *items* across *sites* in round-robin order."""
+        catalog = Catalog()
+        for index, item in enumerate(items):
+            catalog.place(item, sites[index % len(sites)])
+        return catalog
+
+    @staticmethod
+    def from_mapping(placement: Mapping[ItemId, SiteId]) -> "Catalog":
+        """Build a catalog from an explicit item→site mapping."""
+        catalog = Catalog()
+        for item, site in placement.items():
+            catalog.place(item, site)
+        return catalog
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def site_of(self, item: ItemId) -> SiteId:
+        """The home site of *item*."""
+        try:
+            return self._site_of[item]
+        except KeyError:
+            raise UnknownItemError(f"item {item!r} is not in the catalog") from None
+
+    def items_at(self, site: SiteId) -> List[ItemId]:
+        """Every item placed at *site*, in placement order."""
+        return list(self._items_at.get(site, ()))
+
+    def sites_for(self, items: Iterable[ItemId]) -> FrozenSet[SiteId]:
+        """The set of sites that together hold *items*.
+
+        This is the paper's "each transaction involves directly only
+        those sites that hold the data items accessed by the
+        transaction".
+        """
+        return frozenset(self.site_of(item) for item in items)
+
+    def group_by_site(self, items: Iterable[ItemId]) -> Dict[SiteId, List[ItemId]]:
+        """Partition *items* by home site (stable order within a site)."""
+        grouped: Dict[SiteId, List[ItemId]] = {}
+        for item in items:
+            grouped.setdefault(self.site_of(item), []).append(item)
+        return grouped
+
+    def all_items(self) -> FrozenSet[ItemId]:
+        """Every item in the catalog."""
+        return frozenset(self._site_of)
+
+    def all_sites(self) -> FrozenSet[SiteId]:
+        """Every site with at least one item."""
+        return frozenset(self._items_at)
+
+    def __len__(self) -> int:
+        return len(self._site_of)
+
+    def __contains__(self, item: ItemId) -> bool:
+        return item in self._site_of

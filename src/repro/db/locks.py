@@ -1,0 +1,144 @@
+"""A per-site lock manager (two-phase locking with a no-wait policy).
+
+The paper assumes some concurrency-control mechanism serialises
+transactions ("concurrent execution does not produce results that could
+not be achieved by performing all processing serially") and focuses on
+what happens when a *failure* hits the commit window.  We implement the
+simplest serialisable scheme compatible with the protocol: strict 2PL
+with read/write locks and **no-wait** conflict resolution — a
+transaction that cannot get a lock is aborted and may be retried by the
+client.  No-wait keeps the simulator deadlock-free without a distributed
+deadlock detector, which the paper does not describe.
+
+The essential interaction with polyvalues: when a participant times out
+in its wait phase and installs polyvalues, it *releases the locks* the
+in-doubt transaction held.  Items become available immediately — that is
+precisely the availability the mechanism buys.  The blocking-2PC
+baseline differs only in keeping those locks until the outcome is known.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.errors import LockError
+
+ItemId = str
+TxnId = str
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class _ItemLock:
+    mode: Optional[LockMode] = None
+    holders: Set[TxnId] = field(default_factory=set)
+
+
+class LockManager:
+    """Read/write locks over this site's items, no-wait policy."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[ItemId, _ItemLock] = {}
+        self._held_by_txn: Dict[TxnId, Set[ItemId]] = {}
+        #: Lifetime counter of acquisition attempts refused by conflicts.
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def try_acquire(self, txn: TxnId, item: ItemId, mode: LockMode) -> bool:
+        """Attempt to lock *item* for *txn*; False on conflict (no waiting).
+
+        Re-acquiring a lock already held is a no-op; a sole read holder
+        may upgrade to write.
+        """
+        lock = self._locks.setdefault(item, _ItemLock())
+        if not lock.holders:
+            lock.mode = mode
+            lock.holders.add(txn)
+            self._held_by_txn.setdefault(txn, set()).add(item)
+            return True
+        if txn in lock.holders:
+            if mode == LockMode.READ or lock.mode == LockMode.WRITE:
+                return True
+            if len(lock.holders) == 1:
+                lock.mode = LockMode.WRITE  # upgrade: sole reader
+                return True
+            self.conflicts += 1
+            return False
+        if mode == LockMode.READ and lock.mode == LockMode.READ:
+            lock.holders.add(txn)
+            self._held_by_txn.setdefault(txn, set()).add(item)
+            return True
+        self.conflicts += 1
+        return False
+
+    def acquire(self, txn: TxnId, item: ItemId, mode: LockMode) -> None:
+        """Like :meth:`try_acquire` but raises :class:`LockError` on conflict."""
+        if not self.try_acquire(txn, item, mode):
+            holders = self.holders(item)
+            raise LockError(
+                f"txn {txn!r} cannot {mode.value}-lock item {item!r}; "
+                f"held by {sorted(holders)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release(self, txn: TxnId, item: ItemId) -> None:
+        """Release *txn*'s lock on *item* (no-op if not held)."""
+        lock = self._locks.get(item)
+        if lock is None or txn not in lock.holders:
+            return
+        lock.holders.discard(txn)
+        if not lock.holders:
+            del self._locks[item]
+        held = self._held_by_txn.get(txn)
+        if held is not None:
+            held.discard(item)
+            if not held:
+                del self._held_by_txn[txn]
+
+    def release_all(self, txn: TxnId) -> None:
+        """Release every lock *txn* holds (commit, abort, or polyvalue
+        installation all end with this)."""
+        for item in list(self._held_by_txn.get(txn, ())):
+            self.release(txn, item)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def holders(self, item: ItemId) -> FrozenSet[TxnId]:
+        """The transactions currently holding a lock on *item*."""
+        lock = self._locks.get(item)
+        return frozenset(lock.holders) if lock else frozenset()
+
+    def mode_of(self, item: ItemId) -> Optional[LockMode]:
+        """The current lock mode of *item*, or None if unlocked."""
+        lock = self._locks.get(item)
+        return lock.mode if lock and lock.holders else None
+
+    def held_by(self, txn: TxnId) -> FrozenSet[ItemId]:
+        """The items *txn* currently has locked."""
+        return frozenset(self._held_by_txn.get(txn, ()))
+
+    def locked_items(self) -> FrozenSet[ItemId]:
+        """Every item with at least one holder."""
+        return frozenset(
+            item for item, lock in self._locks.items() if lock.holders
+        )
+
+    def is_locked(self, item: ItemId) -> bool:
+        """True iff *item* has at least one holder."""
+        return bool(self._locks.get(item) and self._locks[item].holders)

@@ -1,0 +1,267 @@
+"""Replication: one logical item stored at several sites.
+
+Section 3 of the paper: "An item that is replicated at several sites
+can be viewed as a set of individual items, one for each site."  This
+module is that view, made concrete:
+
+* a *logical* item ``x`` replicated at sites A and B becomes physical
+  items ``x::A`` and ``x::B``, each placed at its own site;
+* a replicated **update** is an ordinary multi-site atomic transaction
+  that writes every replica (write-all) — which is precisely the kind
+  of update the polyvalue mechanism protects: a failure in its commit
+  window leaves *some replicas polyvalued*, not the system blocked;
+* a replicated **read** goes to one chosen replica (read-any), or to
+  all replicas when the caller wants to cross-check.
+
+The consistency invariant for a correct history is subtler than
+"replicas are equal": while updates are in doubt, replicas of the same
+logical item hold polyvalues rather than values.  What must hold is
+that **under every assignment of outcomes to the in-doubt
+transactions, all replicas resolve to the same value** —
+:func:`replicas_mutually_consistent` checks exactly that, via the
+condition algebra.  (The check is momentarily conservative while an
+outcome notification is in flight between two replica sites: the
+already-reduced replica no longer records that the discarded branch is
+unreachable.  Evaluate it at stable points — during an outage after
+timeouts have settled, or after full recovery — as the tests do.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError, UnknownItemError
+from repro.core.polyvalue import Value, combine
+from repro.db.catalog import Catalog
+from repro.net.message import SiteId
+
+LogicalId = str
+ItemId = str
+
+_SEPARATOR = "::"
+
+
+def replica_item(logical: LogicalId, site: SiteId) -> ItemId:
+    """The physical item id of *logical*'s replica at *site*."""
+    if _SEPARATOR in logical:
+        raise ReproError(
+            f"logical item id {logical!r} may not contain {_SEPARATOR!r}"
+        )
+    return f"{logical}{_SEPARATOR}{site}"
+
+
+def split_replica(item: ItemId) -> Tuple[LogicalId, SiteId]:
+    """Inverse of :func:`replica_item`."""
+    logical, separator, site = item.partition(_SEPARATOR)
+    if not separator or not site:
+        raise ReproError(f"{item!r} is not a replica item id")
+    return logical, site
+
+
+@dataclass(frozen=True)
+class ReplicationScheme:
+    """Which sites replicate which logical items.
+
+    Build one with :meth:`full` (every item everywhere) or
+    :meth:`explicit`, then materialise the physical placement with
+    :meth:`catalog` and :meth:`initial_values`.
+    """
+
+    placement: Mapping[LogicalId, Tuple[SiteId, ...]]
+
+    def __post_init__(self) -> None:
+        for logical, sites in self.placement.items():
+            if not sites:
+                raise ReproError(f"{logical!r} has no replica sites")
+            if len(set(sites)) != len(sites):
+                raise ReproError(f"{logical!r} lists a site twice: {sites}")
+
+    @staticmethod
+    def full(
+        logical_items: Sequence[LogicalId], sites: Sequence[SiteId]
+    ) -> "ReplicationScheme":
+        """Every logical item replicated at every site."""
+        return ReplicationScheme(
+            {logical: tuple(sites) for logical in logical_items}
+        )
+
+    @staticmethod
+    def explicit(
+        placement: Mapping[LogicalId, Sequence[SiteId]]
+    ) -> "ReplicationScheme":
+        """An explicit per-item replica list."""
+        return ReplicationScheme(
+            {logical: tuple(sites) for logical, sites in placement.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def sites_of(self, logical: LogicalId) -> Tuple[SiteId, ...]:
+        """The replica sites of *logical*."""
+        try:
+            return self.placement[logical]
+        except KeyError:
+            raise UnknownItemError(
+                f"{logical!r} is not a replicated item"
+            ) from None
+
+    def replicas_of(self, logical: LogicalId) -> List[ItemId]:
+        """The physical replica items of *logical*."""
+        return [replica_item(logical, site) for site in self.sites_of(logical)]
+
+    def logical_items(self) -> List[LogicalId]:
+        """All logical items, sorted."""
+        return sorted(self.placement)
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def catalog(self) -> Catalog:
+        """A physical catalog placing each replica at its home site."""
+        catalog = Catalog()
+        for logical in self.logical_items():
+            for site in self.sites_of(logical):
+                catalog.place(replica_item(logical, site), site)
+        return catalog
+
+    def initial_values(
+        self, values: Mapping[LogicalId, Value]
+    ) -> Dict[ItemId, Value]:
+        """Replicate a logical initial state into physical items."""
+        physical: Dict[ItemId, Value] = {}
+        for logical, value in values.items():
+            for item in self.replicas_of(logical):
+                physical[item] = value
+        return physical
+
+
+# ----------------------------------------------------------------------
+# Replicated transactions
+# ----------------------------------------------------------------------
+
+
+def replicated_update(
+    scheme: ReplicationScheme,
+    logical: LogicalId,
+    update: Callable[[Value], Value],
+    *,
+    label: str = "",
+):
+    """A write-all update of one replicated item.
+
+    Reads the replica at the first listed site (the primary copy in
+    primary-copy terms) and writes the computed value to every replica
+    atomically.  If a failure interrupts the commit, each surviving
+    replica site independently installs a polyvalue — the replicas stay
+    mutually consistent in the conditional sense checked by
+    :func:`replicas_mutually_consistent`.
+    """
+    from repro.txn.transaction import Transaction
+
+    replicas = scheme.replicas_of(logical)
+
+    def body(ctx):
+        current = ctx.read(replicas[0])
+        new_value = update(current)
+        for replica in replicas:
+            ctx.write(replica, new_value)
+
+    return Transaction(
+        body=body,
+        items=tuple(replicas),
+        label=label or f"replicated-update:{logical}",
+    )
+
+
+def replicated_read(
+    scheme: ReplicationScheme,
+    logical: LogicalId,
+    *,
+    at_site: Optional[SiteId] = None,
+    output: str = "value",
+):
+    """A read-any of one replicated item.
+
+    Reads the replica at *at_site* (default: the first replica site)
+    and reports it — possibly as a polyvalue (section 3.4's choice to
+    present uncertainty).  Only that one site needs to be reachable:
+    replication plus polyvalues keeps reads available through both
+    replica-site failures *and* in-doubt windows.
+    """
+    from repro.txn.transaction import Transaction
+
+    sites = scheme.sites_of(logical)
+    site = at_site if at_site is not None else sites[0]
+    if site not in sites:
+        raise ReproError(f"{logical!r} has no replica at {site!r}")
+    replica = replica_item(logical, site)
+
+    def body(ctx):
+        ctx.output(output, ctx.read_raw(replica))
+
+    return Transaction(
+        body=body, items=(replica,), label=f"replicated-read:{logical}@{site}"
+    )
+
+
+def read_all_replicas(scheme: ReplicationScheme, logical: LogicalId):
+    """Read every replica and report agreement.
+
+    Outputs ``values`` (the per-site raw values) and ``agree`` — True
+    iff all replicas *definitely* resolve to the same value under every
+    outcome (the lifted pairwise-equality check).
+    """
+    from repro.txn.transaction import Transaction
+
+    replicas = scheme.replicas_of(logical)
+
+    def body(ctx):
+        raw = [ctx.read_raw(replica) for replica in replicas]
+        agree = combine(
+            lambda *resolved: all(v == resolved[0] for v in resolved), *raw
+        )
+        ctx.output("values", {r: v for r, v in zip(replicas, raw)})
+        ctx.output("agree", agree)
+
+    return Transaction(
+        body=body, items=tuple(replicas), label=f"read-all:{logical}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+
+def replicas_mutually_consistent(
+    state: Mapping[ItemId, Value], scheme: ReplicationScheme, logical: LogicalId
+) -> bool:
+    """True iff all replicas of *logical* agree under every outcome.
+
+    Replicas holding *different polyvalues* are fine as long as, for
+    every assignment of outcomes to the union of their in-doubt
+    transactions, they resolve to the same value.  The check is the
+    lifted conjunction of pairwise equalities, which must collapse to a
+    certain True.
+    """
+    values = [state[item] for item in scheme.replicas_of(logical)]
+    if len(values) == 1:
+        return True
+    verdict = combine(
+        lambda *resolved: all(v == resolved[0] for v in resolved), *values
+    )
+    return verdict is True
+
+
+def all_replicas_consistent(
+    state: Mapping[ItemId, Value], scheme: ReplicationScheme
+) -> bool:
+    """:func:`replicas_mutually_consistent` over every logical item."""
+    return all(
+        replicas_mutually_consistent(state, scheme, logical)
+        for logical in scheme.logical_items()
+    )

@@ -1,0 +1,6 @@
+"""Metrics: counters, time-series and summary statistics for experiments."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.series import TimeSeries, mean, percentile, stddev
+
+__all__ = ["MetricsCollector", "TimeSeries", "mean", "percentile", "stddev"]

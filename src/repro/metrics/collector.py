@@ -1,0 +1,132 @@
+"""Metrics collection for the full-system simulator.
+
+One :class:`MetricsCollector` is shared by every site of a simulated
+system.  It accumulates the quantities the paper's evaluation (and our
+ablations) report:
+
+* transaction counts by outcome, and commit latencies;
+* polyvalue lifecycle events (installed / propagated / resolved), which
+  give the instantaneous ``P(t)`` the analysis of section 4 predicts;
+* lock conflicts and item-blocked time (the availability cost that the
+  blocking-2PC baseline pays and polyvalues avoid);
+* uncertain-vs-certain external outputs (section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.series import TimeSeries
+
+
+@dataclass
+class MetricsCollector:
+    """Shared counters and time-series for one simulated system."""
+
+    # Transactions
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    polytransactions: int = 0
+    #: One entry per polytransaction: how many alternative transactions
+    #: it fanned out to (the §3.2 processing cost).
+    polytransaction_fanouts: List[int] = field(default_factory=list)
+    commit_latencies: List[float] = field(default_factory=list)
+
+    # Polyvalues
+    polyvalues_installed: int = 0
+    polyvalues_resolved: int = 0
+    current_polyvalues: int = 0
+    #: Wait-timeout (or crash-recovery) polyvalue installations — one
+    #: per (transaction, site) whose in-doubt window actually expired.
+    #: Dividing by submissions gives the *emergent* failure probability
+    #: F of the §4 model, measured rather than assumed.
+    in_doubt_windows: int = 0
+    polyvalue_count: TimeSeries = field(default_factory=TimeSeries)
+
+    # Locking / availability
+    lock_conflict_aborts: int = 0
+    blocked_item_seconds: float = 0.0
+
+    # Outputs (section 3.4)
+    certain_outputs: int = 0
+    uncertain_outputs: int = 0
+
+    # Baseline bookkeeping
+    unilateral_decisions: int = 0
+    inconsistent_decisions: int = 0
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the txn layer)
+    # ------------------------------------------------------------------
+
+    def txn_submitted(self) -> None:
+        self.submitted += 1
+
+    def txn_committed(self, latency: float) -> None:
+        self.committed += 1
+        self.commit_latencies.append(latency)
+
+    def txn_aborted(self) -> None:
+        self.aborted += 1
+
+    def txn_was_poly(self, fanout: int = 0) -> None:
+        self.polytransactions += 1
+        if fanout:
+            self.polytransaction_fanouts.append(fanout)
+
+    def polyvalue_installed(self, time: float) -> None:
+        self.polyvalues_installed += 1
+        self.current_polyvalues += 1
+        self.polyvalue_count.record(time, self.current_polyvalues)
+
+    def polyvalue_resolved(self, time: float) -> None:
+        self.polyvalues_resolved += 1
+        self.current_polyvalues -= 1
+        self.polyvalue_count.record(time, self.current_polyvalues)
+
+    def output_produced(self, certain: bool) -> None:
+        if certain:
+            self.certain_outputs += 1
+        else:
+            self.uncertain_outputs += 1
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def commit_rate(self) -> float:
+        """Fraction of decided transactions that committed."""
+        decided = self.committed + self.aborted
+        return self.committed / decided if decided else 0.0
+
+    @property
+    def mean_commit_latency(self) -> Optional[float]:
+        """Mean submission-to-commit time, or None with no commits."""
+        if not self.commit_latencies:
+            return None
+        return sum(self.commit_latencies) / len(self.commit_latencies)
+
+    @property
+    def certain_output_fraction(self) -> float:
+        """Fraction of external outputs that were simple (certain) values."""
+        total = self.certain_outputs + self.uncertain_outputs
+        return self.certain_outputs / total if total else 1.0
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers (for bench tables)."""
+        return {
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "commit_rate": self.commit_rate,
+            "polytransactions": self.polytransactions,
+            "polyvalues_installed": self.polyvalues_installed,
+            "polyvalues_resolved": self.polyvalues_resolved,
+            "lock_conflict_aborts": self.lock_conflict_aborts,
+            "certain_output_fraction": self.certain_output_fraction,
+            "unilateral_decisions": self.unilateral_decisions,
+            "inconsistent_decisions": self.inconsistent_decisions,
+        }

@@ -1,0 +1,102 @@
+"""Time-series and summary statistics used by the benchmarks.
+
+:class:`TimeSeries` records ``(time, value)`` observations of a
+step-function quantity (e.g. the number of polyvalued items) and can
+compute its time-weighted average over a window — the statistic the
+paper's section 4.2 reports: "taking the average number of polyvalues in
+the database during such a stable period".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """Observations of a right-continuous step function of time."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self.points and time < self.points[-1][0]:
+            raise ValueError(
+                f"observation at t={time} precedes last at t={self.points[-1][0]}"
+            )
+        self.points.append((time, value))
+
+    def last_value(self) -> Optional[float]:
+        """The most recent observed value (None when empty)."""
+        return self.points[-1][1] if self.points else None
+
+    def value_at(self, time: float) -> Optional[float]:
+        """The step-function value at *time* (None before first point)."""
+        value = None
+        for point_time, point_value in self.points:
+            if point_time > time:
+                break
+            value = point_value
+        return value
+
+    def time_weighted_mean(self, start: float, end: float) -> float:
+        """The time-weighted average of the step function over [start, end].
+
+        Requires at least one observation at or before *start* — i.e.
+        the value must be defined throughout the window.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end}]")
+        current = self.value_at(start)
+        if current is None:
+            raise ValueError(f"no observation at or before t={start}")
+        area = 0.0
+        last_time = start
+        for point_time, point_value in self.points:
+            if point_time <= start:
+                continue
+            if point_time >= end:
+                break
+            area += current * (point_time - last_time)
+            current = point_value
+            last_time = point_time
+        area += current * (end - last_time)
+        return area / (end - start)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The *fraction*-th percentile by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight

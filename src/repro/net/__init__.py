@@ -1,0 +1,21 @@
+"""Simulated message-passing network with crash, partition and loss faults."""
+
+from repro.net.failures import (
+    Crashable,
+    CrashPlan,
+    RandomFailures,
+    ScriptedFailures,
+)
+from repro.net.message import Envelope, SiteId
+from repro.net.network import Network, NetworkStats
+
+__all__ = [
+    "CrashPlan",
+    "Crashable",
+    "Envelope",
+    "Network",
+    "NetworkStats",
+    "RandomFailures",
+    "ScriptedFailures",
+    "SiteId",
+]

@@ -1,0 +1,144 @@
+"""Failure injection: crash/recovery schedules for the full-system simulator.
+
+The paper's analysis is parameterised by a per-update failure
+probability ``F`` and a recovery rate ``R`` (mean repair time ``1/R``,
+exponentially distributed in the section 4.2 simulation).  This module
+provides both:
+
+* :class:`ScriptedFailures` — an exact list of (site, crash time,
+  duration) triples, for tests and for driving the protocol through
+  specific Figure-1 transitions; and
+* :class:`RandomFailures` — Poisson crash arrivals per site with
+  exponential repair times, for statistical experiments.
+
+Both drive any object implementing the :class:`Crashable` duck type
+(the :class:`~repro.txn.system.DistributedSystem` facade does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Protocol, Sequence
+
+from repro.core.errors import SimulationError
+from repro.net.message import SiteId
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+
+
+class Crashable(Protocol):
+    """Anything the injectors can crash and recover."""
+
+    def crash_site(self, site: SiteId) -> None:
+        """Take *site* down (it stops processing and its traffic drops)."""
+
+    def recover_site(self, site: SiteId) -> None:
+        """Bring *site* back up (it runs its recovery procedure)."""
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One scheduled outage: *site* goes down at *at* for *duration* seconds."""
+
+    site: SiteId
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise SimulationError(
+                f"invalid crash plan for {self.site}: at={self.at}, "
+                f"duration={self.duration}"
+            )
+
+
+class ScriptedFailures:
+    """Replay an exact outage schedule.
+
+    Deterministic failure injection is what lets the Figure-1 bench and
+    the protocol tests force a failure into precisely the wait phase of
+    a chosen transaction.
+    """
+
+    def __init__(
+        self, sim: Simulator, target: Crashable, plans: Iterable[CrashPlan]
+    ) -> None:
+        self._sim = sim
+        self._target = target
+        self.plans: List[CrashPlan] = sorted(plans, key=lambda p: p.at)
+        for plan in self.plans:
+            sim.schedule_at(
+                plan.at,
+                lambda p=plan: self._crash(p),
+                label=f"crash:{plan.site}",
+            )
+
+    def _crash(self, plan: CrashPlan) -> None:
+        self._target.crash_site(plan.site)
+        self._sim.schedule(
+            plan.duration,
+            lambda: self._target.recover_site(plan.site),
+            label=f"recover:{plan.site}",
+        )
+
+
+class RandomFailures:
+    """Poisson crash arrivals with exponential repair times.
+
+    Parameters
+    ----------
+    crash_rate:
+        Expected crashes per simulated second, per site.
+    mean_repair:
+        Mean outage duration (the paper's ``1/R``).
+    sites:
+        Which sites may crash.  A site that is already down when its
+        next crash fires simply reschedules.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Crashable,
+        rng: Rng,
+        *,
+        crash_rate: float,
+        mean_repair: float,
+        sites: Sequence[SiteId],
+    ) -> None:
+        if crash_rate < 0:
+            raise SimulationError(f"crash_rate must be >= 0, got {crash_rate}")
+        if mean_repair <= 0:
+            raise SimulationError(f"mean_repair must be > 0, got {mean_repair}")
+        if not sites:
+            raise SimulationError("RandomFailures needs at least one site")
+        self._sim = sim
+        self._target = target
+        self._rng = rng
+        self._crash_rate = crash_rate
+        self._mean_repair = mean_repair
+        self._sites = list(sites)
+        self._down: set = set()
+        self.crashes_injected = 0
+        if crash_rate > 0:
+            for site in self._sites:
+                self._schedule_next_crash(site)
+
+    def _schedule_next_crash(self, site: SiteId) -> None:
+        delay = self._rng.exponential(1.0 / self._crash_rate)
+        self._sim.schedule(delay, lambda: self._crash(site), label=f"crash:{site}")
+
+    def _crash(self, site: SiteId) -> None:
+        if site not in self._down:
+            self._down.add(site)
+            self.crashes_injected += 1
+            self._target.crash_site(site)
+            repair = self._rng.exponential(self._mean_repair)
+            self._sim.schedule(
+                repair, lambda: self._recover(site), label=f"recover:{site}"
+            )
+        self._schedule_next_crash(site)
+
+    def _recover(self, site: SiteId) -> None:
+        self._down.discard(site)
+        self._target.recover_site(site)

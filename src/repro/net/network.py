@@ -1,0 +1,235 @@
+"""The simulated point-to-point network.
+
+Sites register a delivery handler; :meth:`Network.send` schedules a
+delivery event after a (seeded) random latency.  The network models the
+failure modes the paper's protocol must survive:
+
+* **site crashes** — messages addressed to (or sent by) a crashed site
+  are silently dropped, the fail-stop model of Gray-style 2PC;
+* **partitions** — a blocked pair of sites drops traffic in both
+  directions ("preventing communication with some other site",
+  section 3.1);
+* **message loss** — independent per-message loss with a configurable
+  probability.
+
+Dropped messages are counted, never raised: the commit protocol's
+timeouts are the recovery mechanism, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Set
+
+from repro.core.errors import NetworkError
+from repro.net.message import Envelope, SiteId
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+
+Handler = Callable[[Envelope], None]
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing everything the network has carried."""
+
+    sent: int = 0
+    delivered: int = 0
+    duplicated: int = 0
+    dropped_site_down: int = 0
+    dropped_partition: int = 0
+    dropped_loss: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total messages that never reached their recipient."""
+        return (
+            self.dropped_site_down
+            + self.dropped_partition
+            + self.dropped_loss
+        )
+
+
+class Network:
+    """A latency-and-failure-modelling message fabric.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine to schedule deliveries on.
+    rng:
+        Random source for latency jitter and message loss.
+    base_latency:
+        Minimum one-way delivery time, in simulated seconds.
+    jitter:
+        Uniform extra latency in ``[0, jitter)``.
+    loss_probability:
+        Independent probability that any message is lost in transit.
+    duplicate_probability:
+        Independent probability that a message is delivered twice (the
+        second copy after an extra latency draw).  Real networks and
+        retry layers duplicate; the protocol must be idempotent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Rng,
+        *,
+        base_latency: float = 0.01,
+        jitter: float = 0.005,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if base_latency < 0 or jitter < 0:
+            raise NetworkError("latency parameters must be non-negative")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise NetworkError("duplicate_probability must be in [0, 1]")
+        self._sim = sim
+        self._rng = rng
+        self._base_latency = base_latency
+        self._jitter = jitter
+        self._loss_probability = loss_probability
+        self._duplicate_probability = duplicate_probability
+        self._handlers: Dict[SiteId, Handler] = {}
+        self._down: Set[SiteId] = set()
+        self._partitions: Set[FrozenSet[SiteId]] = set()
+        self._observers: list = []
+        self.stats = NetworkStats()
+
+    def subscribe(self, observer: Callable[[str, Envelope, float], None]) -> None:
+        """Attach a transport observer (e.g. a protocol tracer).
+
+        The observer is called as ``observer(event, envelope, time)``
+        with events ``"send"``, ``"deliver"``, ``"drop:site-down"``,
+        ``"drop:partition"`` and ``"drop:loss"``.  Observers must not
+        mutate the envelope or send messages re-entrantly.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, event: str, envelope: Envelope) -> None:
+        for observer in self._observers:
+            observer(event, envelope, self._sim.now)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register(self, site: SiteId, handler: Handler) -> None:
+        """Attach *site*'s message handler (replacing any previous one)."""
+        self._handlers[site] = handler
+
+    def sites(self) -> FrozenSet[SiteId]:
+        """All registered sites."""
+        return frozenset(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Failure state
+    # ------------------------------------------------------------------
+
+    def crash_site(self, site: SiteId) -> None:
+        """Mark *site* down; its traffic drops until :meth:`recover_site`."""
+        self._down.add(site)
+
+    def recover_site(self, site: SiteId) -> None:
+        """Mark *site* up again."""
+        self._down.discard(site)
+
+    def is_up(self, site: SiteId) -> bool:
+        """True iff *site* is currently up."""
+        return site not in self._down
+
+    def partition(self, a: SiteId, b: SiteId) -> None:
+        """Block traffic between *a* and *b* in both directions."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: SiteId, b: SiteId) -> None:
+        """Restore traffic between *a* and *b*."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def partition_groups(self, groups) -> None:
+        """Split the cluster: traffic flows within groups, never across.
+
+        *groups* is a sequence of site collections; every pair of sites
+        in different groups is blocked (sites in no group keep full
+        connectivity).  Classic network-split scenarios in one call:
+        ``partition_groups([["site-0"], ["site-1", "site-2"]])``.
+        """
+        group_lists = [list(group) for group in groups]
+        for index, group in enumerate(group_lists):
+            for other in group_lists[index + 1 :]:
+                for a in group:
+                    for b in other:
+                        self.partition(a, b)
+
+    def heal_all(self) -> None:
+        """Remove every partition."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: SiteId, b: SiteId) -> bool:
+        """True iff traffic between *a* and *b* is blocked."""
+        return frozenset((a, b)) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def send(self, sender: SiteId, recipient: SiteId, payload: Any) -> None:
+        """Send *payload* from *sender* to *recipient*.
+
+        The message is dropped (counted, not raised) if the sender is
+        down now, if it is sampled as lost, or — checked at delivery
+        time — if the recipient is down or the pair is partitioned when
+        the message would arrive.
+        """
+        if recipient not in self._handlers:
+            raise NetworkError(f"unknown recipient site {recipient!r}")
+        self.stats.sent += 1
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at=self._sim.now,
+        )
+        self._notify("send", envelope)
+        if sender in self._down:
+            self.stats.dropped_site_down += 1
+            self._notify("drop:site-down", envelope)
+            return
+        if self._loss_probability > 0 and self._rng.bernoulli(self._loss_probability):
+            self.stats.dropped_loss += 1
+            self._notify("drop:loss", envelope)
+            return
+        copies = 1
+        if self._duplicate_probability > 0 and self._rng.bernoulli(
+            self._duplicate_probability
+        ):
+            copies = 2
+            self.stats.duplicated += 1
+        for _ in range(copies):
+            latency = self._base_latency
+            if self._jitter > 0:
+                latency += self._rng.uniform(0.0, self._jitter)
+            self._sim.schedule(
+                latency,
+                lambda: self._deliver(envelope),
+                label=f"deliver:{sender}->{recipient}",
+            )
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.recipient in self._down:
+            self.stats.dropped_site_down += 1
+            self._notify("drop:site-down", envelope)
+            return
+        if self.is_partitioned(envelope.sender, envelope.recipient):
+            self.stats.dropped_partition += 1
+            self._notify("drop:partition", envelope)
+            return
+        self.stats.delivered += 1
+        self._notify("deliver", envelope)
+        self._handlers[envelope.recipient](envelope)
+
+    def broadcast(self, sender: SiteId, recipients, payload: Any) -> None:
+        """Send *payload* to every site in *recipients* (independent sends)."""
+        for recipient in recipients:
+            self.send(sender, recipient, payload)

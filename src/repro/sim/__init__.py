@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel.
+
+The substrate under both simulators in this reproduction: the
+full-system distributed-database simulator (:mod:`repro.net`,
+:mod:`repro.db`, :mod:`repro.txn`) and the abstract Monte-Carlo
+polyvalue-count simulator of the paper's section 4.2
+(:mod:`repro.analysis.montecarlo`).
+"""
+
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.events import Action, Event, SimTime
+from repro.sim.rand import Rng
+
+__all__ = ["Action", "Event", "PeriodicTask", "Rng", "SimTime", "Simulator"]

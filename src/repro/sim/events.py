@@ -1,0 +1,44 @@
+"""Event representation for the discrete-event simulation kernel.
+
+The kernel is a classic event-list simulator: events carry a firing
+time, a tie-breaking sequence number, and a zero-argument action.  The
+paper's own evaluation (section 4.2) is a discrete-event simulation;
+this kernel underlies both our full-system simulator (sites, messages,
+2PC) and nothing else needs to know about heap ordering details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Simulated time is a float number of seconds since simulation start.
+SimTime = float
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled action.
+
+    Ordering is by ``(time, seq)``: events at the same instant fire in
+    scheduling order, which keeps runs deterministic for a fixed seed.
+    ``cancelled`` is checked at dispatch (lazy deletion, the standard
+    heapq idiom) so cancellation is O(1).
+    """
+
+    time: SimTime
+    seq: int
+    action: Action = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (safe if already fired)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " (cancelled)" if self.cancelled else ""
+        label = f" {self.label!r}" if self.label else ""
+        return f"Event(t={self.time:.6g}, seq={self.seq}{label}{state})"

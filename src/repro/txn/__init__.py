@@ -1,0 +1,69 @@
+"""The transaction layer: two-phase commit with polyvalue wait-timeouts."""
+
+from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
+from repro.txn.coordinator import Coordinator
+from repro.txn.participant import Participant
+from repro.txn.preanalysis import (
+    TransactionClass,
+    TransactionProfile,
+    WorkloadMix,
+    classify,
+    conflict_graph,
+    conflicts,
+    parallel_batches,
+    profile,
+    workload_mix,
+)
+from repro.txn.snapshot import export_snapshot, import_snapshot
+from repro.txn.tracing import ProtocolTracer, TraceRecord
+from repro.txn.runtime import (
+    CommitPolicy,
+    ProtocolConfig,
+    SiteRuntime,
+    SiteState,
+    Transition,
+    TransitionLog,
+)
+from repro.txn.site import DatabaseSite
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import (
+    Transaction,
+    TransactionHandle,
+    TxnStatus,
+    coordinator_of,
+    make_txn_id,
+)
+
+__all__ = [
+    "CommitPolicy",
+    "Coordinator",
+    "DatabaseSite",
+    "DistributedSystem",
+    "Participant",
+    "ProtocolConfig",
+    "ProtocolTracer",
+    "SiteRuntime",
+    "SiteState",
+    "TraceRecord",
+    "Transaction",
+    "TransactionClass",
+    "TransactionHandle",
+    "TransactionProfile",
+    "Transition",
+    "TransitionLog",
+    "TxnStatus",
+    "WorkloadMix",
+    "blocking_system",
+    "classify",
+    "conflict_graph",
+    "conflicts",
+    "coordinator_of",
+    "export_snapshot",
+    "import_snapshot",
+    "make_txn_id",
+    "parallel_batches",
+    "polyvalue_system",
+    "profile",
+    "relaxed_system",
+    "workload_mix",
+]

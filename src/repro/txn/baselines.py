@@ -1,0 +1,100 @@
+"""Convenience constructors for the three commit policies.
+
+The paper positions polyvalues against the approaches of section 2; the
+ablation benchmarks compare all three on identical workloads, seeds and
+failure schedules:
+
+* :func:`polyvalue_system` — the paper's mechanism (section 2.4/3);
+* :func:`blocking_system` — window minimisation (section 2.2): a
+  participant caught in the in-doubt window keeps its locks and blocks;
+* :func:`relaxed_system` — relaxed consistency (section 2.3): a
+  participant caught in the window decides unilaterally, risking an
+  incorrectly performed transaction.
+
+All three share every other parameter, so measured differences are
+attributable to the wait-timeout policy alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from repro.core.polyvalue import Value
+from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.system import DistributedSystem
+
+ItemId = str
+
+
+def _build(
+    policy: CommitPolicy,
+    *,
+    sites: int,
+    items: Mapping[ItemId, Value],
+    seed: int,
+    config: Optional[ProtocolConfig],
+    **network_kwargs,
+) -> DistributedSystem:
+    base = config or ProtocolConfig()
+    configured = dataclasses.replace(base, policy=policy)
+    return DistributedSystem.build(
+        sites=sites, items=items, seed=seed, config=configured, **network_kwargs
+    )
+
+
+def polyvalue_system(
+    *,
+    sites: int,
+    items: Mapping[ItemId, Value],
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    **network_kwargs,
+) -> DistributedSystem:
+    """A system using the paper's polyvalue wait-timeout policy."""
+    return _build(
+        CommitPolicy.POLYVALUE,
+        sites=sites,
+        items=items,
+        seed=seed,
+        config=config,
+        **network_kwargs,
+    )
+
+
+def blocking_system(
+    *,
+    sites: int,
+    items: Mapping[ItemId, Value],
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    **network_kwargs,
+) -> DistributedSystem:
+    """The window-minimisation baseline: in-doubt participants block."""
+    return _build(
+        CommitPolicy.BLOCKING,
+        sites=sites,
+        items=items,
+        seed=seed,
+        config=config,
+        **network_kwargs,
+    )
+
+
+def relaxed_system(
+    *,
+    sites: int,
+    items: Mapping[ItemId, Value],
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    **network_kwargs,
+) -> DistributedSystem:
+    """The relaxed-consistency baseline: in-doubt participants guess."""
+    return _build(
+        CommitPolicy.RELAXED,
+        sites=sites,
+        items=items,
+        seed=seed,
+        config=config,
+        **network_kwargs,
+    )

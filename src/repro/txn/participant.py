@@ -1,0 +1,466 @@
+"""The participant role: one site's side of the update protocol.
+
+This class realises the Figure-1 state machine.  For each transaction a
+site is involved in, the site is in one of three states:
+
+* **idle** — no work for that transaction;
+* **compute** — the site has received the coordinator's read request,
+  holds read locks, and (after the stage request arrives) stages the
+  computed updates;
+* **wait** — the site has sent *ready* and awaits *complete* or *abort*.
+
+Every edge of the figure is implemented and logged to the shared
+:class:`~repro.txn.runtime.TransitionLog`:
+
+* idle → compute on the coordinator's read request (``begin``);
+* compute → wait when staging succeeds (``ready``);
+* compute → idle on an abort or a compute-phase timeout (discarding
+  "as if the transaction ... had never occurred", section 3.1);
+* wait → idle on *complete* (install), on *abort* (discard), or on the
+  wait-phase timeout — whose behaviour is the whole point of the paper
+  and is selected by the :class:`~repro.txn.runtime.CommitPolicy`:
+
+  - POLYVALUE installs ``{<new, T>, <old, ~T>}`` for every staged item
+    and **releases the locks**;
+  - BLOCKING keeps the locks and stays in wait until the outcome is
+    learned (the window-minimisation baseline);
+  - RELAXED decides unilaterally (the relaxed-consistency baseline) and
+    the simulator later scores the decision against the coordinator's.
+
+Staged updates become durable when *ready* is sent (the participant
+must survive its own crash while in doubt); all other per-transaction
+state is volatile and lost on a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.polyvalue import Polyvalue, depends_on
+from repro.db.locks import LockMode
+from repro.sim.events import Event
+from repro.txn import protocol
+from repro.txn.runtime import CommitPolicy, SiteRuntime, SiteState
+from repro.txn.transaction import TxnId, coordinator_of
+
+ItemId = str
+
+
+@dataclass
+class _ParticipantTxn:
+    """Volatile per-transaction participant state."""
+
+    txn: TxnId
+    coordinator: str
+    state: SiteState = SiteState.COMPUTE
+    read_items: Tuple[ItemId, ...] = ()
+    staged: Optional[Dict[ItemId, Any]] = None
+    timer: Optional[Event] = None
+    #: BLOCKING policy: when this record started holding its locks past
+    #: the wait-phase timeout (for blocked-item-seconds accounting).
+    blocked_since: Optional[float] = None
+    #: POLYVALUE policy: outcome-query retries already spent in the
+    #: wait phase (§6 combination; see ProtocolConfig.wait_query_retries).
+    wait_retries_used: int = 0
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
+class Participant:
+    """One site's participant role across all transactions."""
+
+    def __init__(self, runtime: SiteRuntime) -> None:
+        self._rt = runtime
+        #: Volatile: live per-transaction records (compute/wait states).
+        self._active: Dict[TxnId, _ParticipantTxn] = {}
+        #: Durable: updates staged at ready time, kept until the
+        #: transaction is decided or its polyvalues are installed.
+        self._durable_staged: Dict[TxnId, Dict[ItemId, Any]] = {}
+        #: Durable (RELAXED policy): unilateral decisions awaiting audit
+        #: against the coordinator's actual outcome.
+        self._unilateral: Dict[TxnId, bool] = {}
+        #: Durable (BLOCKING policy): transactions blocked in wait,
+        #: polled by the outcome-query loop.
+        self._blocked: Set[TxnId] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and benches)
+    # ------------------------------------------------------------------
+
+    def state_of(self, txn: TxnId) -> SiteState:
+        """The Figure-1 state of this site for *txn* (IDLE if unknown)."""
+        record = self._active.get(txn)
+        return record.state if record is not None else SiteState.IDLE
+
+    def blocked_transactions(self) -> Set[TxnId]:
+        """BLOCKING policy: transactions currently holding their locks
+        past a wait-phase timeout."""
+        return set(self._blocked)
+
+    def unaudited_unilateral(self) -> Dict[TxnId, bool]:
+        """RELAXED policy: unilateral decisions not yet audited."""
+        return dict(self._unilateral)
+
+    # ------------------------------------------------------------------
+    # Compute phase
+    # ------------------------------------------------------------------
+
+    def handle_read_request(self, message: protocol.ReadRequest, sender: str) -> None:
+        """Begin the compute phase: lock and return the requested values."""
+        rt = self._rt
+        txn = message.txn
+        if txn in self._active:
+            return  # duplicate delivery
+        record = _ParticipantTxn(
+            txn=txn, coordinator=sender, read_items=tuple(message.items)
+        )
+        self._active[txn] = record
+        self._transition(record, SiteState.IDLE, SiteState.COMPUTE, "begin")
+        for item in message.items:
+            if not rt.locks.try_acquire(txn, item, LockMode.READ):
+                rt.metrics.lock_conflict_aborts += 1
+                self._discard(record, "abort")
+                rt.send(
+                    sender,
+                    protocol.ReadReply(
+                        txn=txn,
+                        site=rt.site_id,
+                        ok=False,
+                        reason=f"read-lock conflict on {item!r}",
+                    ),
+                )
+                return
+        values = rt.store.snapshot(message.items)
+        # Section 3.3: polyvalues are about to leave this site — record
+        # the coordinator as a destination to notify for every in-doubt
+        # transaction they depend on.
+        for value in values.values():
+            for in_doubt in depends_on(value):
+                if sender != rt.site_id:
+                    rt.outcomes.record_forward(in_doubt, sender)
+        rt.send(
+            sender,
+            protocol.ReadReply(txn=txn, site=rt.site_id, ok=True, values=values),
+        )
+        record.timer = rt.schedule(
+            rt.config.compute_timeout,
+            lambda: self._compute_timeout(txn),
+            label=f"compute-timeout:{txn}",
+        )
+
+    def handle_stage_request(self, message: protocol.StageRequest, sender: str) -> None:
+        """Stage the coordinator's computed updates and send *ready*."""
+        rt = self._rt
+        txn = message.txn
+        record = self._active.get(txn)
+        if record is None or record.state is not SiteState.COMPUTE:
+            # Already discarded (timeout) or duplicate; the coordinator's
+            # own timeout will handle it.
+            return
+        record.cancel_timer()
+        for item in message.writes:
+            if not rt.locks.try_acquire(txn, item, LockMode.WRITE):
+                rt.metrics.lock_conflict_aborts += 1
+                self._discard(record, "abort")
+                rt.send(
+                    sender,
+                    protocol.Refuse(
+                        txn=txn,
+                        site=rt.site_id,
+                        reason=f"write-lock conflict on {item!r}",
+                    ),
+                )
+                return
+        staged = dict(message.writes)
+        record.staged = staged
+        self._durable_staged[txn] = staged
+        record.state = SiteState.WAIT
+        self._transition(record, SiteState.COMPUTE, SiteState.WAIT, "ready")
+        rt.send(sender, protocol.Ready(txn=txn, site=rt.site_id))
+        record.timer = rt.schedule(
+            rt.config.wait_timeout,
+            lambda: self._wait_timeout(txn),
+            label=f"wait-timeout:{txn}",
+        )
+
+    # ------------------------------------------------------------------
+    # Decision messages
+    # ------------------------------------------------------------------
+
+    def handle_complete(self, message: protocol.Complete) -> None:
+        """Install the staged updates; the transaction completed."""
+        record = self._active.get(message.txn)
+        if record is None or record.state is not SiteState.WAIT:
+            return  # late/duplicate; outcome handling at the site level applies
+        record.cancel_timer()
+        self._install_staged(message.txn, record.staged or {})
+        self._transition(record, SiteState.WAIT, SiteState.IDLE, "complete")
+        self._forget(message.txn)
+
+    def handle_abort(self, message: protocol.Abort) -> None:
+        """Discard any computation done for the transaction."""
+        record = self._active.get(message.txn)
+        if record is None:
+            return
+        record.cancel_timer()
+        source = record.state
+        self._transition(record, source, SiteState.IDLE, "abort")
+        self._forget(message.txn)
+
+    # ------------------------------------------------------------------
+    # Timeouts (the interesting part)
+    # ------------------------------------------------------------------
+
+    def _compute_timeout(self, txn: TxnId) -> None:
+        record = self._active.get(txn)
+        if record is None or record.state is not SiteState.COMPUTE:
+            return
+        # Section 3.1: "that site simply discards the computation
+        # performed for the transaction and continues processing
+        # transactions as if the transaction interrupted by the failure
+        # had never occurred."
+        self._discard(record, "compute-timeout")
+
+    def _wait_timeout(self, txn: TxnId) -> None:
+        record = self._active.get(txn)
+        if record is None or record.state is not SiteState.WAIT:
+            return
+        policy = self._rt.config.policy
+        if policy is CommitPolicy.POLYVALUE:
+            if record.wait_retries_used < self._rt.config.wait_query_retries:
+                # §6 combination: ask the coordinator once more before
+                # resorting to polyvalues — a lost complete message or a
+                # healed blip resolves here without creating uncertainty.
+                record.wait_retries_used += 1
+                self._rt.send(
+                    record.coordinator,
+                    protocol.OutcomeQuery(txn=txn, requester=self._rt.site_id),
+                )
+                record.timer = self._rt.schedule(
+                    self._rt.config.wait_timeout,
+                    lambda: self._wait_timeout(txn),
+                    label=f"wait-retry:{txn}",
+                )
+                return
+            self._install_polyvalues(txn, record.staged or {})
+            self._transition(record, SiteState.WAIT, SiteState.IDLE, "wait-timeout")
+            self._forget(txn)
+        elif policy is CommitPolicy.BLOCKING:
+            # Keep the locks; the items stay unavailable until the
+            # outcome is learned via the outcome-query loop.  No state
+            # transition: the site remains in wait.
+            self._blocked.add(txn)
+            record.blocked_since = self._rt.now
+        elif policy is CommitPolicy.RELAXED:
+            commit = self._rt.config.relaxed_commit_probability >= 1.0
+            if not commit:
+                commit = self._relaxed_choice()
+            self._rt.metrics.unilateral_decisions += 1
+            self._unilateral[txn] = commit
+            if commit:
+                self._install_staged(txn, record.staged or {})
+            self._transition(record, SiteState.WAIT, SiteState.IDLE, "wait-timeout")
+            self._forget(txn)
+
+    def _relaxed_choice(self) -> bool:
+        # The relaxed baseline's "arbitrary decision": deterministic
+        # per-call alternation would bias experiments, so derive from the
+        # configured probability via the shared metrics counter (cheap,
+        # reproducible, and adequate for a baseline the paper dismisses).
+        probability = self._rt.config.relaxed_commit_probability
+        tick = self._rt.metrics.unilateral_decisions + 1
+        return (tick * 0.6180339887498949) % 1.0 < probability
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Lose all volatile state (timers fire harmlessly via the guard).
+
+        A compute-phase transaction dies with the crash — exactly the
+        Figure-1 "failure discards the computation" edge, logged as
+        such.  A wait-phase transaction survives in the durable staging
+        log; its wait->idle transition is logged when recovery applies
+        the wait-timeout policy.
+        """
+        for record in self._active.values():
+            record.cancel_timer()
+            if record.state is SiteState.COMPUTE:
+                self._transition(
+                    record, SiteState.COMPUTE, SiteState.IDLE, "compute-timeout"
+                )
+        self._active.clear()
+        self._blocked.clear()
+
+    def on_recover(self) -> None:
+        """Re-handle transactions that were staged-and-in-doubt at crash.
+
+        The durable staging log plays the role of Gray's participant
+        log: for each staged transaction whose outcome this site never
+        learned, apply the configured wait-timeout policy now (the
+        outcome was certainly not received — the site was down).
+        """
+        policy = self._rt.config.policy
+        for txn, staged in list(self._durable_staged.items()):
+            if policy is CommitPolicy.POLYVALUE:
+                self._install_polyvalues(txn, staged, live=False)
+                self._log_recovery_timeout(txn)
+                self._forget(txn)
+            elif policy is CommitPolicy.BLOCKING:
+                # Re-acquire the write locks (nothing else can have
+                # locked the items while the site was down) and stay
+                # blocked until the outcome query resolves it.
+                for item in staged:
+                    self._rt.locks.try_acquire(txn, item, LockMode.WRITE)
+                record = _ParticipantTxn(
+                    txn=txn,
+                    coordinator=coordinator_of(txn),
+                    state=SiteState.WAIT,
+                    staged=dict(staged),
+                    blocked_since=self._rt.now,
+                )
+                self._active[txn] = record
+                self._blocked.add(txn)
+            elif policy is CommitPolicy.RELAXED:
+                self._rt.metrics.unilateral_decisions += 1
+                commit = self._relaxed_choice()
+                self._unilateral[txn] = commit
+                if commit:
+                    self._install_staged(txn, staged)
+                else:
+                    self._forget(txn)
+                self._log_recovery_timeout(txn)
+
+    # ------------------------------------------------------------------
+    # Outcome learned later (blocking/relaxed resolution, audits)
+    # ------------------------------------------------------------------
+
+    def handle_outcome_known(self, txn: TxnId, committed: bool) -> None:
+        """React to an outcome learned outside the normal wait phase.
+
+        * BLOCKING: finally install/discard and release the locks.
+        * RELAXED: audit the earlier unilateral decision.
+        * POLYVALUE: nothing to do here — polyvalue reduction happens at
+          the site level through the outcome table.
+        """
+        self._blocked.discard(txn)
+        record = self._active.get(txn)
+        if record is not None and record.state is SiteState.WAIT:
+            # Covers both the BLOCKING policy (locks held across the
+            # window) and a POLYVALUE participant still in its §6
+            # query-retry loop: the outcome arrived, so finish normally.
+            record.cancel_timer()
+            if record.blocked_since is not None:
+                blocked_for = self._rt.now - record.blocked_since
+                item_count = len(record.staged or {})
+                self._rt.metrics.blocked_item_seconds += (
+                    blocked_for * item_count
+                )
+            if committed:
+                self._install_staged(txn, record.staged or {})
+                self._transition(record, SiteState.WAIT, SiteState.IDLE, "complete")
+            else:
+                self._transition(record, SiteState.WAIT, SiteState.IDLE, "abort")
+            self._forget(txn)
+        if txn in self._unilateral:
+            decided = self._unilateral.pop(txn)
+            if decided != committed:
+                self._rt.metrics.inconsistent_decisions += 1
+            self._durable_staged.pop(txn, None)
+
+    def pending_outcome_queries(self) -> Set[TxnId]:
+        """Transactions whose outcome this participant still needs."""
+        return set(self._blocked) | set(self._unilateral)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _install_staged(self, txn: TxnId, staged: Dict[ItemId, Any]) -> None:
+        rt = self._rt
+        for item, value in staged.items():
+            rt.apply_write(item, value)
+        rt.locks.release_all(txn)
+        self._durable_staged.pop(txn, None)
+
+    def _install_polyvalues(
+        self, txn: TxnId, staged: Dict[ItemId, Any], *, live: bool = True
+    ) -> None:
+        """The paper's wait-timeout action: ``{<new, T>, <old, ~T>}``.
+
+        The staged ``new`` value may itself be a polyvalue (the
+        transaction ran as a polytransaction); flattening in the
+        Polyvalue constructor produces the combined conditions.  Locks
+        are released — the items become available immediately.
+
+        *live* distinguishes a wait-timeout on a running site (the §4
+        model's failure event: uncertainty persists until the remote
+        failure recovers) from a crash-recovery replay (where recovery
+        has already happened and the outcome resolves moments later);
+        only live windows feed the measured-F cross-validation.
+        """
+        rt = self._rt
+        if staged and live:
+            # Read-only participants have nothing at stake; only a
+            # participant with staged updates experienced a real
+            # in-doubt window in the §4 model's sense.
+            rt.metrics.in_doubt_windows += 1
+        for item, new_value in staged.items():
+            old_value = rt.store.read(item)
+            in_doubt = Polyvalue.in_doubt(txn, new_value, old_value)
+            rt.apply_write(item, in_doubt)
+        rt.locks.release_all(txn)
+        self._durable_staged.pop(txn, None)
+        # This site was a direct participant of the in-doubt transaction:
+        # it is entitled to query the coordinator for the outcome (and,
+        # unlike sites that merely received forwarded polyvalues, it is
+        # covered by the coordinator's outcome-log retention).
+        rt.direct_doubts.add(txn)
+
+    def _log_recovery_timeout(self, txn: TxnId) -> None:
+        """Log the wait->idle edge for a transaction resolved at recovery.
+
+        The site conceptually stayed in its wait phase across the
+        outage (the staging log is durable); applying the policy at
+        recovery is the Figure-1 wait-timeout transition.
+        """
+        self._rt.transitions.record(
+            time=self._rt.now,
+            site=self._rt.site_id,
+            txn=txn,
+            source=SiteState.WAIT,
+            target=SiteState.IDLE,
+            trigger="wait-timeout",
+        )
+
+    def _discard(self, record: _ParticipantTxn, trigger: str) -> None:
+        record.cancel_timer()
+        self._transition(record, record.state, SiteState.IDLE, trigger)
+        self._forget(record.txn)
+
+    def _forget(self, txn: TxnId) -> None:
+        self._rt.locks.release_all(txn)
+        self._active.pop(txn, None)
+        self._durable_staged.pop(txn, None)
+
+    def _transition(
+        self,
+        record: _ParticipantTxn,
+        source: SiteState,
+        target: SiteState,
+        trigger: str,
+    ) -> None:
+        record.state = target
+        self._rt.transitions.record(
+            time=self._rt.now,
+            site=self._rt.site_id,
+            txn=record.txn,
+            source=source,
+            target=target,
+            trigger=trigger,
+        )

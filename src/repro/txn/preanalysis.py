@@ -1,0 +1,199 @@
+"""Transaction pre-analysis — the lock-avoidance approach of section 2.1.
+
+    "One approach that has been used is to structure the implementation
+    of the transactions such that it avoids the need to make atomic
+    updates wherever possible.  This can be done by pre-analyzing the
+    transactions to be performed to determine whether or not they
+    require an atomic update."  (The paper cites SDD-1.)
+
+Transactions in this library declare their item sets up front, which is
+precisely what makes SDD-1-style pre-analysis possible.  This module
+provides:
+
+* :func:`classify` — does this transaction require a *distributed*
+  atomic update at all?  Single-site transactions can never be caught
+  in a cross-site in-doubt window (their commit is local), and
+  read-only transactions never create polyvalues.
+* :func:`profile` — a trial execution against a sample snapshot that
+  discovers the actually-read and actually-written subsets of the
+  declared items (bodies are pure functions of their reads, so a trial
+  run is an honest profile *for that snapshot*; the declared set
+  remains the sound over-approximation).
+* :func:`conflict_graph` / :func:`parallel_batches` — the classic
+  conflict analysis over declared item sets: two transactions conflict
+  when they share an item at least one of them may write; non-adjacent
+  transactions can run concurrently without lock aborts under the
+  no-wait 2PL used here.
+
+The mix statistics (:func:`workload_mix`) quantify the paper's claim
+that lock avoidance helps "wherever possible" — and, dually, how much
+of a workload still needs the full protocol, which is the population
+polyvalues protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core import polytransaction
+from repro.core.polyvalue import Value
+from repro.db.catalog import Catalog
+from repro.net.message import SiteId
+from repro.txn.transaction import Transaction
+
+ItemId = str
+
+
+@dataclass(frozen=True)
+class TransactionClass:
+    """The static classification of one transaction."""
+
+    sites: FrozenSet[SiteId]
+    declared_items: FrozenSet[ItemId]
+
+    @property
+    def is_single_site(self) -> bool:
+        """True iff every declared item lives at one site."""
+        return len(self.sites) == 1
+
+    @property
+    def requires_distributed_commit(self) -> bool:
+        """True iff the transaction spans sites (the §2.1 question)."""
+        return len(self.sites) > 1
+
+    @property
+    def home_site(self) -> Optional[SiteId]:
+        """The single involved site, when there is exactly one."""
+        if self.is_single_site:
+            return next(iter(self.sites))
+        return None
+
+
+def classify(transaction: Transaction, catalog: Catalog) -> TransactionClass:
+    """Statically classify *transaction* against a data placement."""
+    return TransactionClass(
+        sites=catalog.sites_for(transaction.items),
+        declared_items=frozenset(transaction.items),
+    )
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """What a trial execution of the body actually did.
+
+    Valid for the profiled snapshot; the declared set stays the sound
+    bound (a different database state may exercise different branches).
+    """
+
+    items_read: FrozenSet[ItemId]
+    items_written: FrozenSet[ItemId]
+    outputs: Tuple[str, ...]
+
+    @property
+    def is_read_only(self) -> bool:
+        """No writes on this snapshot — cannot create polyvalues."""
+        return not self.items_written
+
+
+def profile(
+    transaction: Transaction, snapshot: Mapping[ItemId, Value]
+) -> TransactionProfile:
+    """Trial-execute the body against *snapshot* and report its footprint."""
+    result = polytransaction.execute(transaction.body, snapshot)
+    return TransactionProfile(
+        items_read=frozenset(result.read_items()),
+        items_written=frozenset(result.written_items()),
+        outputs=tuple(sorted(result.merged_outputs())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Conflict analysis
+# ----------------------------------------------------------------------
+
+
+def conflicts(first: Transaction, second: Transaction) -> bool:
+    """Declared-set conflict: a shared item that either may write.
+
+    Without per-item read/write declarations, any shared declared item
+    is a potential write-write or read-write conflict; this is the
+    sound test for the no-wait 2PL in :mod:`repro.db.locks` — two
+    conflicting transactions run concurrently risk aborting each other.
+    """
+    return bool(set(first.items) & set(second.items))
+
+
+def conflict_graph(
+    transactions: Sequence[Transaction],
+) -> Dict[int, FrozenSet[int]]:
+    """Adjacency (by index) of the conflict relation."""
+    adjacency: Dict[int, set] = {index: set() for index in range(len(transactions))}
+    for i, first in enumerate(transactions):
+        for j in range(i + 1, len(transactions)):
+            if conflicts(first, transactions[j]):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return {index: frozenset(neighbours) for index, neighbours in adjacency.items()}
+
+
+def parallel_batches(transactions: Sequence[Transaction]) -> List[List[int]]:
+    """Partition transactions into conflict-free batches (greedy colouring).
+
+    Transactions in one batch share no declared items, so submitting a
+    batch concurrently cannot produce lock-conflict aborts.  Greedy
+    colouring in submission order keeps the result deterministic and
+    near-optimal for the sparse conflict graphs real workloads have.
+    """
+    adjacency = conflict_graph(transactions)
+    colour: Dict[int, int] = {}
+    for index in range(len(transactions)):
+        taken = {
+            colour[neighbour]
+            for neighbour in adjacency[index]
+            if neighbour in colour
+        }
+        assigned = 0
+        while assigned in taken:
+            assigned += 1
+        colour[index] = assigned
+    batches: Dict[int, List[int]] = {}
+    for index, assigned in colour.items():
+        batches.setdefault(assigned, []).append(index)
+    return [sorted(batches[key]) for key in sorted(batches)]
+
+
+# ----------------------------------------------------------------------
+# Workload-level statistics
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """How much of a workload needs the full distributed machinery."""
+
+    total: int
+    single_site: int
+    distributed: int
+
+    @property
+    def distributed_fraction(self) -> float:
+        """The share of transactions exposed to cross-site in-doubt
+        windows — the population the polyvalue mechanism protects."""
+        return self.distributed / self.total if self.total else 0.0
+
+
+def workload_mix(
+    transactions: Sequence[Transaction], catalog: Catalog
+) -> WorkloadMix:
+    """Classify a whole workload (the §2.1 pre-analysis, in aggregate)."""
+    single = 0
+    distributed = 0
+    for transaction in transactions:
+        if classify(transaction, catalog).is_single_site:
+            single += 1
+        else:
+            distributed += 1
+    return WorkloadMix(
+        total=len(transactions), single_site=single, distributed=distributed
+    )

@@ -1,0 +1,134 @@
+"""Wire messages of the update protocol (section 3.1) and outcome
+propagation (section 3.3).
+
+The protocol is the two-phase commit of Gray that the paper builds on:
+a *compute* phase in which each involved site computes (here: reads for
+the coordinator, then stages the writes shipped back to it) and reports
+**ready**, and a *wait* phase ended by the coordinator's **complete** or
+**abort** — or by a timeout, which in the polyvalue policy installs
+polyvalues instead of blocking.
+
+Outcome propagation adds three messages: a recovered (or polyvalue-
+holding) site *queries* a transaction's coordinator, the coordinator or
+any site that knows the outcome *notifies* dependents, and recipients
+*acknowledge* so the coordinator's outcome log can be garbage-collected.
+
+All messages are frozen dataclasses; values inside ``StageRequest`` and
+``ReadReply`` may be :class:`~repro.core.polyvalue.Polyvalue` instances
+(that is how uncertainty propagates between sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Tuple
+
+from repro.net.message import SiteId
+
+TxnId = str
+ItemId = str
+
+
+@dataclass(frozen=True)
+class ProtocolMessage:
+    """Base class for every commit-protocol message."""
+
+    txn: TxnId
+
+
+# ----------------------------------------------------------------------
+# Compute phase
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadRequest(ProtocolMessage):
+    """Coordinator asks a site for the current values of local *items*."""
+
+    items: Tuple[ItemId, ...]
+
+
+@dataclass(frozen=True)
+class ReadReply(ProtocolMessage):
+    """A site's response to :class:`ReadRequest`.
+
+    ``ok`` is False when a lock conflict prevented the read (the
+    coordinator will abort).  ``values`` may contain polyvalues; per
+    section 3.3 the sending site records the coordinator as a forwarded
+    destination for every in-doubt transaction those polyvalues depend
+    on.
+    """
+
+    site: SiteId
+    ok: bool
+    values: Mapping[ItemId, Any] = field(default_factory=dict)
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class StageRequest(ProtocolMessage):
+    """Coordinator ships computed updates for a site to stage.
+
+    Read-only participants receive an empty ``writes`` so that they too
+    enter the wait phase and release their read locks on completion.
+    """
+
+    coordinator: SiteId
+    writes: Mapping[ItemId, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Ready(ProtocolMessage):
+    """A site has staged its updates and enters the wait phase."""
+
+    site: SiteId
+
+
+@dataclass(frozen=True)
+class Refuse(ProtocolMessage):
+    """A site could not stage (lock conflict); the coordinator must abort."""
+
+    site: SiteId
+    reason: str = ""
+
+
+# ----------------------------------------------------------------------
+# Decision
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Complete(ProtocolMessage):
+    """The coordinator's decision to complete (commit) the transaction."""
+
+
+@dataclass(frozen=True)
+class Abort(ProtocolMessage):
+    """The coordinator's decision to abort the transaction."""
+
+
+# ----------------------------------------------------------------------
+# Outcome propagation (section 3.3)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutcomeQuery(ProtocolMessage):
+    """Ask the recipient (normally the coordinator) for *txn*'s outcome."""
+
+    requester: SiteId
+
+
+@dataclass(frozen=True)
+class OutcomeNotify(ProtocolMessage):
+    """Inform the recipient that *txn* committed or aborted."""
+
+    committed: bool
+    origin: SiteId
+
+
+@dataclass(frozen=True)
+class OutcomeAck(ProtocolMessage):
+    """Acknowledge an :class:`OutcomeNotify` so the sender can GC."""
+
+    site: SiteId

@@ -1,0 +1,287 @@
+"""Shared runtime plumbing for the transaction layer.
+
+:class:`ProtocolConfig` gathers every tunable of the commit protocol —
+most importantly the *commit policy*, which selects between the paper's
+mechanism and the two baseline behaviours of section 2:
+
+* ``POLYVALUE`` — a participant whose wait phase times out installs
+  polyvalues and releases its locks (section 3.1);
+* ``BLOCKING`` — the classic window-minimisation baseline: the
+  participant keeps its locks and blocks the items until the outcome is
+  learned (section 2.2);
+* ``RELAXED`` — the relaxed-consistency baseline: the participant makes
+  an arbitrary unilateral decision (section 2.3); the simulator records
+  when that decision disagrees with the coordinator's.
+
+:class:`SiteRuntime` bundles the per-site services (clock, network,
+store, locks, outcome table, metrics) that the participant and
+coordinator roles both need, and :class:`TransitionLog` records the
+Figure-1 state transitions that the protocol bench replays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Set, Tuple
+
+from repro.core.outcome import OutcomeLog, OutcomeTable
+from repro.core.polyvalue import Value, depends_on, is_polyvalue, simplify
+from repro.db.catalog import Catalog
+from repro.db.locks import LockManager
+from repro.db.store import ItemStore
+from repro.metrics.collector import MetricsCollector
+from repro.net.message import SiteId
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class CommitPolicy(enum.Enum):
+    """What a participant does when its wait phase times out."""
+
+    POLYVALUE = "polyvalue"
+    BLOCKING = "blocking"
+    RELAXED = "relaxed"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the update protocol.
+
+    All durations are simulated seconds.  The defaults suit a LAN-ish
+    network (10 ms base latency): the protocol normally finishes in a
+    few tens of milliseconds, so "promptly" — the paper's word for both
+    participant and coordinator patience — defaults to half a second.
+    """
+
+    policy: CommitPolicy = CommitPolicy.POLYVALUE
+    #: Participant patience in the compute phase: how long a site that
+    #: acquired read locks waits for the coordinator's stage request (or
+    #: abort) before discarding the transaction (Figure 1, compute→idle).
+    compute_timeout: float = 0.5
+    #: Participant patience in the wait phase: how long after sending
+    #: *ready* a site waits for complete/abort before applying its
+    #: policy (Figure 1, wait→idle with polyvalue installation).
+    wait_timeout: float = 0.5
+    #: Coordinator patience: how long it waits for all read replies, and
+    #: then for all ready messages, before deciding to abort.
+    ready_timeout: float = 0.4
+    #: How often a site holding unresolved polyvalues (or blocked
+    #: transactions) re-queries coordinators for outcomes.
+    outcome_query_interval: float = 1.0
+    #: RELAXED policy only: probability the unilateral decision is
+    #: "complete" (the paper calls the choice arbitrary).
+    relaxed_commit_probability: float = 1.0
+    #: POLYVALUE policy: how many times a wait-phase participant asks
+    #: the coordinator for the outcome (re-arming its timer) before
+    #: giving up and installing polyvalues.  This implements the
+    #: paper's §6 remark that "the polyvalue mechanism can be combined
+    #: with other atomic distributed update protocols to decrease the
+    #: chance that polyvalues will be created": transient hiccups (a
+    #: lost complete message, a short partition) resolve within a retry
+    #: or two, and only genuine outages produce polyvalues.  0 installs
+    #: immediately at the first timeout, as in section 3.1.
+    wait_query_retries: int = 0
+    #: Cap on polytransaction fan-out (section 3.2 alternatives).
+    max_alternatives: int = 1024
+
+
+#: Participant states, exactly the three of Figure 1.
+class SiteState(enum.Enum):
+    IDLE = "idle"
+    COMPUTE = "compute"
+    WAIT = "wait"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One observed Figure-1 state transition at one site."""
+
+    time: float
+    site: SiteId
+    txn: str
+    source: SiteState
+    target: SiteState
+    trigger: str
+
+
+class TransitionLog:
+    """An append-only record of participant state transitions.
+
+    The Figure 1 bench uses this to demonstrate that the implementation
+    realises exactly the paper's state diagram: every observed
+    (source, trigger, target) triple must be one of the six edges.
+    """
+
+    #: The six edges of Figure 1 as (source, trigger, target).
+    FIGURE_1_EDGES = frozenset(
+        [
+            (SiteState.IDLE, "begin", SiteState.COMPUTE),
+            (SiteState.COMPUTE, "ready", SiteState.WAIT),
+            (SiteState.COMPUTE, "abort", SiteState.IDLE),
+            (SiteState.COMPUTE, "compute-timeout", SiteState.IDLE),
+            (SiteState.WAIT, "complete", SiteState.IDLE),
+            (SiteState.WAIT, "abort", SiteState.IDLE),
+            (SiteState.WAIT, "wait-timeout", SiteState.IDLE),
+        ]
+    )
+
+    def __init__(self) -> None:
+        self.records: List[Transition] = []
+
+    def record(
+        self,
+        time: float,
+        site: SiteId,
+        txn: str,
+        source: SiteState,
+        target: SiteState,
+        trigger: str,
+    ) -> None:
+        """Append one transition."""
+        self.records.append(
+            Transition(
+                time=time,
+                site=site,
+                txn=txn,
+                source=source,
+                target=target,
+                trigger=trigger,
+            )
+        )
+
+    def edge_counts(self) -> Dict[Tuple[str, str, str], int]:
+        """How many times each (source, trigger, target) edge fired."""
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for record in self.records:
+            key = (record.source.value, record.trigger, record.target.value)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def observed_edges(self) -> frozenset:
+        """The distinct (source, trigger, target) triples observed."""
+        return frozenset(
+            (record.source, record.trigger, record.target)
+            for record in self.records
+        )
+
+    def all_edges_valid(self) -> bool:
+        """True iff every observed transition is an edge of Figure 1."""
+        return self.observed_edges() <= self.FIGURE_1_EDGES
+
+    def to_dot(self, *, observed_only: bool = True) -> str:
+        """Render the state diagram as Graphviz DOT.
+
+        With *observed_only* (default) edges carry the empirically
+        observed counts and unobserved Figure-1 edges are drawn dashed;
+        otherwise all seven edges are drawn plain.  Paste the output
+        into any DOT renderer to get Figure 1 with live annotations.
+        """
+        counts = self.edge_counts()
+        lines = [
+            "digraph update_protocol {",
+            "  rankdir=LR;",
+            '  node [shape=ellipse, fontname="Helvetica"];',
+            "  idle; compute; wait;",
+        ]
+        for source, trigger, target in sorted(
+            self.FIGURE_1_EDGES, key=lambda e: (e[0].value, e[1])
+        ):
+            key = (source.value, trigger, target.value)
+            count = counts.get(key, 0)
+            if observed_only:
+                style = "solid" if count else "dashed"
+                label = f"{trigger} (x{count})" if count else trigger
+            else:
+                style = "solid"
+                label = trigger
+            lines.append(
+                f'  {source.value} -> {target.value} '
+                f'[label="{label}", style={style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SiteRuntime:
+    """The services one database site's protocol roles share."""
+
+    site_id: SiteId
+    sim: Simulator
+    network: Network
+    catalog: Catalog
+    store: ItemStore
+    locks: LockManager
+    outcomes: OutcomeTable
+    outcome_log: OutcomeLog
+    config: ProtocolConfig
+    metrics: MetricsCollector
+    transitions: TransitionLog
+    #: Durable cache of transaction outcomes this site has learned
+    #: (its own decisions as coordinator plus notifications received).
+    #: Incoming and installed values are eagerly reduced against it,
+    #: which closes the race where an outcome notification arrives
+    #: before a polyvalue that depends on it.  The paper's "quickly
+    #: deleted" bookkeeping is the per-item OutcomeTable; this cache is
+    #: an implementation convenience documented in DESIGN.md.
+    known_outcomes: Dict[str, bool] = field(default_factory=dict)
+    #: Durable set of in-doubt transactions this site was a *direct*
+    #: participant of (it installed wait-timeout polyvalues for them).
+    #: Only these are actively queried at the coordinator; sites holding
+    #: merely-forwarded polyvalues are resolved through the section 3.3
+    #: notification chain instead.
+    direct_doubts: Set[str] = field(default_factory=set)
+    up: bool = True
+
+    def send(self, recipient: SiteId, payload: Any) -> None:
+        """Send a protocol message from this site."""
+        self.network.send(self.site_id, recipient, payload)
+
+    def schedule(self, delay: float, action: Callable[[], None], *, label: str = "") -> Event:
+        """Schedule an action, guarded so it is dropped if the site is down.
+
+        A crashed site's timers must not fire: the site's volatile state
+        is gone and the action would act on stale state.
+        """
+
+        def guarded() -> None:
+            if self.up:
+                action()
+
+        return self.sim.schedule(delay, guarded, label=label)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    def apply_write(self, item: str, value: Value) -> None:
+        """Write *value* to the local store with full polyvalue bookkeeping.
+
+        This is the single funnel through which every installation goes
+        (commit installs, wait-timeout polyvalue installs, and recovery
+        reductions), so the outcome table and the metrics stay exactly
+        in step with the store:
+
+        * installing a polyvalue records a dependency on each in-doubt
+          transaction it mentions (section 3.3's table);
+        * overwriting a polyvalue with a simple value removes the item
+          from every table entry (the uncertainty was overwritten, one
+          of the paper's four polyvalue-removal paths).
+        """
+        value = simplify(value)
+        if is_polyvalue(value) and self.known_outcomes:
+            value = value.reduce(self.known_outcomes)
+        was_poly = is_polyvalue(self.store.read(item))
+        self.store.write(item, value)
+        if is_polyvalue(value):
+            self.outcomes.remove_all_dependencies(item)
+            self.outcomes.record_dependencies(value.depends_on(), item)
+            if not was_poly:
+                self.metrics.polyvalue_installed(self.now)
+        else:
+            if was_poly:
+                self.outcomes.remove_all_dependencies(item)
+                self.metrics.polyvalue_resolved(self.now)

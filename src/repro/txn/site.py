@@ -1,0 +1,240 @@
+"""A database site: storage + participant + coordinator + outcome relay.
+
+:class:`DatabaseSite` is the unit of failure in the simulated system.
+It owns one :class:`~repro.db.store.ItemStore` (stable storage), one
+lock manager (volatile), the section 3.3 outcome table (stable — it
+describes stable polyvalues), and the two protocol roles.
+
+Message dispatch, outcome learning/propagation with reliable retry, and
+crash/recovery behaviour all live here:
+
+* **crash** — volatile state (locks, in-flight coordination, compute/
+  wait records) is lost; stable state (item values, staged-at-ready
+  updates, the outcome table, the outcome log, pending outcome
+  notifications) survives.
+* **recover** — the participant re-applies its wait-timeout policy to
+  staged-in-doubt transactions, undecided locally-coordinated
+  transactions are presumed aborted, and the outcome-maintenance loop
+  resumes querying and re-notifying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import ProtocolError
+from repro.core.polyvalue import is_polyvalue
+from repro.net.message import Envelope, SiteId
+from repro.sim.engine import PeriodicTask
+from repro.txn import protocol
+from repro.txn.coordinator import Coordinator
+from repro.txn.participant import Participant
+from repro.txn.runtime import SiteRuntime
+from repro.txn.transaction import (
+    Transaction,
+    TransactionHandle,
+    TxnId,
+    coordinator_of,
+)
+
+
+class DatabaseSite:
+    """One site of the distributed database."""
+
+    def __init__(self, runtime: SiteRuntime) -> None:
+        self.runtime = runtime
+        self.participant = Participant(runtime)
+        self.coordinator = Coordinator(runtime)
+        #: Durable: outcome notifications owed to other sites, retried
+        #: until acknowledged.  Maps (txn, site) -> committed.
+        self._pending_notifies: Dict[Tuple[TxnId, SiteId], bool] = {}
+        self._maintenance = PeriodicTask(
+            runtime.sim,
+            runtime.config.outcome_query_interval,
+            self._outcome_maintenance,
+            label=f"outcome-maintenance:{runtime.site_id}",
+        )
+        runtime.network.register(runtime.site_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def site_id(self) -> SiteId:
+        return self.runtime.site_id
+
+    @property
+    def store(self):
+        return self.runtime.store
+
+    @property
+    def is_up(self) -> bool:
+        return self.runtime.up
+
+    def polyvalue_count(self) -> int:
+        """How many local items currently hold polyvalues."""
+        return self.runtime.store.polyvalue_count()
+
+    # ------------------------------------------------------------------
+    # Client entry point (the system facade calls this)
+    # ------------------------------------------------------------------
+
+    def submit(self, transaction: Transaction, handle: TransactionHandle) -> TxnId:
+        """Begin coordinating *transaction* at this site."""
+        if not self.runtime.up:
+            raise ProtocolError(
+                f"cannot submit to crashed site {self.site_id!r}"
+            )
+        return self.coordinator.begin(transaction, handle)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        """Handle one delivered protocol message."""
+        if not self.runtime.up:
+            return  # the network normally drops these; belt and braces
+        message = envelope.payload
+        if isinstance(message, protocol.ReadRequest):
+            self.participant.handle_read_request(message, envelope.sender)
+        elif isinstance(message, protocol.ReadReply):
+            self.coordinator.handle_read_reply(message)
+        elif isinstance(message, protocol.StageRequest):
+            self.participant.handle_stage_request(message, envelope.sender)
+        elif isinstance(message, protocol.Ready):
+            self.coordinator.handle_ready(message)
+        elif isinstance(message, protocol.Refuse):
+            self.coordinator.handle_refuse(message)
+        elif isinstance(message, protocol.Complete):
+            self.participant.handle_complete(message)
+            self._learn_outcome(message.txn, committed=True)
+            self.runtime.send(
+                envelope.sender,
+                protocol.OutcomeAck(txn=message.txn, site=self.site_id),
+            )
+        elif isinstance(message, protocol.Abort):
+            self.participant.handle_abort(message)
+            self._learn_outcome(message.txn, committed=False)
+        elif isinstance(message, protocol.OutcomeQuery):
+            self._answer_outcome_query(message)
+        elif isinstance(message, protocol.OutcomeNotify):
+            self._learn_outcome(message.txn, message.committed)
+            self.runtime.send(
+                message.origin,
+                protocol.OutcomeAck(txn=message.txn, site=self.site_id),
+            )
+        elif isinstance(message, protocol.OutcomeAck):
+            self.runtime.outcome_log.acknowledge(message.txn, message.site)
+            self._pending_notifies.pop((message.txn, message.site), None)
+        else:
+            raise ProtocolError(f"unhandled message type: {message!r}")
+
+    # ------------------------------------------------------------------
+    # Outcome learning and propagation (section 3.3)
+    # ------------------------------------------------------------------
+
+    def _learn_outcome(self, txn: TxnId, committed: bool) -> None:
+        """Absorb one transaction outcome: reduce, relay, audit, forget."""
+        rt = self.runtime
+        rt.known_outcomes[txn] = committed
+        rt.direct_doubts.discard(txn)
+        self.participant.handle_outcome_known(txn, committed)
+        resolution = rt.outcomes.resolve(txn, committed)
+        for item in resolution.items_to_reduce:
+            value = rt.store.read(item)
+            if is_polyvalue(value):
+                rt.apply_write(item, value.reduce({txn: committed}))
+        for site in resolution.sites_to_notify:
+            if site == self.site_id:
+                continue
+            self._pending_notifies[(txn, site)] = committed
+            rt.send(
+                site,
+                protocol.OutcomeNotify(
+                    txn=txn, committed=committed, origin=self.site_id
+                ),
+            )
+
+    def _answer_outcome_query(self, message: protocol.OutcomeQuery) -> None:
+        """Answer "what happened to T?" as T's coordinator.
+
+        Known commits come from the durable outcome log (or the local
+        outcome cache); an unknown, non-active transaction is presumed
+        aborted.  A still-undecided transaction gets no answer — the
+        requester retries.
+        """
+        rt = self.runtime
+        txn = message.txn
+        if coordinator_of(txn) != self.site_id:
+            return  # misdirected; only the coordinator answers queries
+        if txn in self.coordinator.active_transactions():
+            return  # undecided: stay silent, the requester will retry
+        if rt.outcome_log.knows(txn):
+            committed = rt.outcome_log.outcome_of(txn)
+        elif txn in rt.known_outcomes:
+            committed = rt.known_outcomes[txn]
+        else:
+            committed = False  # presumed abort
+        rt.send(
+            message.requester,
+            protocol.OutcomeNotify(
+                txn=txn, committed=committed, origin=self.site_id
+            ),
+        )
+
+    def _outcome_maintenance(self) -> None:
+        """Periodic: retry owed notifications, query for needed outcomes."""
+        rt = self.runtime
+        if not rt.up:
+            return
+        for (txn, site), committed in list(self._pending_notifies.items()):
+            rt.send(
+                site,
+                protocol.OutcomeNotify(
+                    txn=txn, committed=committed, origin=self.site_id
+                ),
+            )
+        needed = set(rt.direct_doubts) | self.participant.pending_outcome_queries()
+        for txn in needed:
+            coordinator = coordinator_of(txn)
+            if coordinator == self.site_id:
+                # Local coordinator: resolve directly (presumed abort if
+                # the decision is not in the durable log).
+                if txn in self.coordinator.active_transactions():
+                    continue
+                if rt.outcome_log.knows(txn):
+                    self._learn_outcome(txn, rt.outcome_log.outcome_of(txn))
+                elif txn in rt.known_outcomes:
+                    self._learn_outcome(txn, rt.known_outcomes[txn])
+                else:
+                    self._learn_outcome(txn, committed=False)
+            else:
+                rt.send(
+                    coordinator,
+                    protocol.OutcomeQuery(txn=txn, requester=self.site_id),
+                )
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> List[TransactionHandle]:
+        """Fail-stop: lose volatile state, return undecided local handles."""
+        rt = self.runtime
+        rt.up = False
+        undecided = self.coordinator.on_crash()
+        self.participant.on_crash()
+        # Locks are volatile.
+        rt.locks = type(rt.locks)()
+        return undecided
+
+    def recover(self) -> None:
+        """Restart after a crash: replay durable state, resume maintenance."""
+        rt = self.runtime
+        rt.up = True
+        self.participant.on_recover()
+        # Kick maintenance immediately: recovery is exactly when queued
+        # queries and notifications are most likely to matter.
+        self._outcome_maintenance()

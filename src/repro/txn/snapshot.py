@@ -1,0 +1,122 @@
+"""Whole-system snapshots: persist and restore a database mid-uncertainty.
+
+A database using polyvalues must be able to checkpoint *while failures
+are outstanding* — polyvalues are first-class state, not an in-memory
+anomaly.  This module serialises everything a cold restart needs:
+
+* data placement (item → site);
+* every item's current value, polyvalues included
+  (:mod:`repro.core.serialize`);
+* every site's durable commit log (undelivered outcomes — without
+  these, an unresolved polyvalue whose transaction actually committed
+  would wrongly resolve to presumed-abort after the restore);
+* every site's cache of already-learned outcomes.
+
+What is *not* persisted is exactly what the protocol treats as
+reconstructible: outcome-table dependencies are rebuilt from the
+polyvalues themselves, and every restored in-doubt transaction is
+marked for active coordinator querying, so a restored system converges
+by the ordinary §3.3 machinery.  Restore targets the same site topology
+(transaction identifiers embed coordinator site names).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.errors import ReproError
+from repro.core.polyvalue import depends_on
+from repro.core.serialize import decode_value, encode_value
+from repro.db.catalog import Catalog
+from repro.txn.runtime import ProtocolConfig
+from repro.txn.system import DistributedSystem
+
+SNAPSHOT_VERSION = 1
+
+
+def export_snapshot(system: DistributedSystem) -> Dict[str, Any]:
+    """Capture *system*'s durable state as a JSON-compatible dict."""
+    placement: Dict[str, str] = {}
+    values: Dict[str, Any] = {}
+    for site_id, site in system.sites.items():
+        for item in site.runtime.store.items():
+            placement[item] = site_id
+            values[item] = encode_value(site.runtime.store.read(item))
+    outcome_logs: Dict[str, Dict[str, Any]] = {}
+    known: Dict[str, Dict[str, bool]] = {}
+    for site_id, site in system.sites.items():
+        outcome_logs[site_id] = {
+            txn: {
+                "committed": entry.committed,
+                "unacknowledged": sorted(entry.unacknowledged),
+            }
+            for txn, entry in site.runtime.outcome_log.entries().items()
+        }
+        known[site_id] = dict(site.runtime.known_outcomes)
+    return {
+        "version": SNAPSHOT_VERSION,
+        "placement": placement,
+        "values": values,
+        "outcome_logs": outcome_logs,
+        "known_outcomes": known,
+    }
+
+
+def import_snapshot(
+    snapshot: Mapping[str, Any],
+    *,
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    **network_kwargs,
+) -> DistributedSystem:
+    """Build a fresh system from :func:`export_snapshot` output.
+
+    The restored system resumes outcome resolution on its own: rebuilt
+    polyvalue dependencies are queried at their coordinators, restored
+    commit logs answer those queries, and anything truly unknown
+    resolves by presumed abort — exactly as if the whole cluster had
+    crashed and recovered, which is what a restore is.
+    """
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise ReproError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    try:
+        placement = dict(snapshot["placement"])
+        encoded_values = snapshot["values"]
+        outcome_logs = snapshot["outcome_logs"]
+        known = snapshot["known_outcomes"]
+    except KeyError as error:
+        raise ReproError(f"snapshot missing section {error}") from error
+    values = {
+        item: decode_value(encoded_values[item]) for item in placement
+    }
+    catalog = Catalog.from_mapping(placement)
+    system = DistributedSystem(
+        catalog=catalog,
+        initial_values=values,
+        seed=seed,
+        config=config,
+        **network_kwargs,
+    )
+    for site_id, site in system.sites.items():
+        runtime = site.runtime
+        # Restore the durable outcome knowledge.
+        for txn, outcome in known.get(site_id, {}).items():
+            runtime.known_outcomes[txn] = bool(outcome)
+        for txn, entry in outcome_logs.get(site_id, {}).items():
+            runtime.outcome_log.decide(
+                txn,
+                bool(entry["committed"]),
+                participants=list(entry.get("unacknowledged", ())),
+            )
+        # Rebuild the §3.3 dependency bookkeeping from the polyvalues
+        # themselves, and mark every dependency for active querying:
+        # after a full-cluster restore there is no forwarding chain
+        # left to rely on.
+        for item in runtime.store.polyvalued_items():
+            value = runtime.store.read(item)
+            for txn in depends_on(value):
+                runtime.outcomes.record_dependency(txn, item)
+                runtime.direct_doubts.add(txn)
+    return system

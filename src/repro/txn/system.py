@@ -1,0 +1,248 @@
+"""The top-level facade: a whole simulated distributed database.
+
+:class:`DistributedSystem` assembles the simulation engine, the
+network, and one :class:`~repro.txn.site.DatabaseSite` per site, and
+offers the client-level API the examples and benchmarks use:
+
+>>> system = DistributedSystem.build(
+...     sites=3, items={"a": 10, "b": 20}, seed=42)
+>>> handle = system.submit(Transaction(
+...     body=lambda ctx: ctx.write("a", ctx.read("a") + 1), items=("a",)))
+>>> system.run_for(1.0)
+>>> handle.status
+<TxnStatus.COMMITTED: 'committed'>
+
+The facade also implements the :class:`~repro.net.failures.Crashable`
+interface so the failure injectors can drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.errors import ProtocolError
+from repro.core.outcome import OutcomeLog, OutcomeTable
+from repro.core.polyvalue import Value
+from repro.db.catalog import Catalog
+from repro.db.locks import LockManager
+from repro.db.store import ItemStore
+from repro.metrics.collector import MetricsCollector
+from repro.net.message import SiteId
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+from repro.txn.runtime import (
+    ProtocolConfig,
+    SiteRuntime,
+    TransitionLog,
+)
+from repro.txn.site import DatabaseSite
+from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
+
+ItemId = str
+
+
+class DistributedSystem:
+    """A complete simulated distributed database.
+
+    Use :meth:`build` for the common case (items spread round-robin over
+    ``site-0 .. site-N``); the constructor accepts an explicit
+    :class:`~repro.db.catalog.Catalog` for custom placements.
+    """
+
+    def __init__(
+        self,
+        *,
+        catalog: Catalog,
+        initial_values: Mapping[ItemId, Value],
+        seed: int = 0,
+        config: Optional[ProtocolConfig] = None,
+        base_latency: float = 0.01,
+        jitter: float = 0.005,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        self.config = config or ProtocolConfig()
+        self.sim = Simulator()
+        self.rng = Rng(seed)
+        self.metrics = MetricsCollector()
+        self.transitions = TransitionLog()
+        self.catalog = catalog
+        self.network = Network(
+            self.sim,
+            self.rng.fork("network"),
+            base_latency=base_latency,
+            jitter=jitter,
+            loss_probability=loss_probability,
+            duplicate_probability=duplicate_probability,
+        )
+        self.sites: Dict[SiteId, DatabaseSite] = {}
+        self.handles: List[TransactionHandle] = []
+        for site_id in sorted(catalog.all_sites()):
+            store = ItemStore(
+                {
+                    item: initial_values[item]
+                    for item in catalog.items_at(site_id)
+                }
+            )
+            runtime = SiteRuntime(
+                site_id=site_id,
+                sim=self.sim,
+                network=self.network,
+                catalog=catalog,
+                store=store,
+                locks=LockManager(),
+                outcomes=OutcomeTable(),
+                outcome_log=OutcomeLog(),
+                config=self.config,
+                metrics=self.metrics,
+                transitions=self.transitions,
+            )
+            self.sites[site_id] = DatabaseSite(runtime)
+
+    @staticmethod
+    def build(
+        *,
+        sites: int,
+        items: Mapping[ItemId, Value],
+        seed: int = 0,
+        config: Optional[ProtocolConfig] = None,
+        base_latency: float = 0.01,
+        jitter: float = 0.005,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> "DistributedSystem":
+        """Build a system with *items* spread round-robin over *sites* sites."""
+        if sites <= 0:
+            raise ProtocolError(f"need at least one site, got {sites}")
+        site_ids = [f"site-{index}" for index in range(sites)]
+        catalog = Catalog.round_robin(sorted(items), site_ids)
+        return DistributedSystem(
+            catalog=catalog,
+            initial_values=items,
+            seed=seed,
+            config=config,
+            base_latency=base_latency,
+            jitter=jitter,
+            loss_probability=loss_probability,
+            duplicate_probability=duplicate_probability,
+        )
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, transaction: Transaction, *, at: Optional[SiteId] = None
+    ) -> TransactionHandle:
+        """Submit *transaction*, coordinated at *at* (default: the home
+        site of its first declared item)."""
+        coordinator = at if at is not None else self.catalog.site_of(
+            transaction.items[0]
+        )
+        site = self.sites[coordinator]
+        handle = TransactionHandle(
+            txn="?",
+            transaction=transaction,
+            submitted_at=self.sim.now,
+        )
+        self.handles.append(handle)
+        if not site.is_up:
+            # The client's request never reaches a crashed coordinator;
+            # it fails immediately (the client may retry elsewhere).
+            handle.txn = f"unsent@{coordinator}"
+            handle.was_delayed_by_failure = True
+            handle.mark_aborted(
+                self.sim.now, f"coordinator site {coordinator} is down"
+            )
+            self.metrics.txn_submitted()
+            self.metrics.txn_aborted()
+            return handle
+        site.submit(transaction, handle)
+        return handle
+
+    def read_item(self, item: ItemId) -> Value:
+        """Directly read an item's current value (simple or polyvalue).
+
+        This is an observer's view for tests and metrics, not a
+        transactional read.
+        """
+        return self.sites[self.catalog.site_of(item)].store.read(item)
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+
+    def run_for(self, seconds: float) -> None:
+        """Advance simulated time by *seconds*."""
+        self.sim.run_until(self.sim.now + seconds)
+
+    def run_until(self, time: float) -> None:
+        """Advance simulated time to absolute *time*."""
+        self.sim.run_until(time)
+
+    # ------------------------------------------------------------------
+    # Failure injection (Crashable)
+    # ------------------------------------------------------------------
+
+    def crash_site(self, site: SiteId) -> None:
+        """Fail-stop *site*: it loses volatile state, its traffic drops.
+
+        Transactions it was coordinating and had not decided are
+        presumed aborted — participants converge to the same answer by
+        querying after recovery.
+        """
+        self.network.crash_site(site)
+        undecided = self.sites[site].crash()
+        for handle in undecided:
+            if handle.status is TxnStatus.PENDING:
+                handle.was_delayed_by_failure = True
+                handle.mark_aborted(
+                    self.sim.now, "coordinator crashed; presumed abort"
+                )
+                self.metrics.txn_aborted()
+
+    def recover_site(self, site: SiteId) -> None:
+        """Bring *site* back up; it replays durable state."""
+        self.network.recover_site(site)
+        self.sites[site].recover()
+
+    # ------------------------------------------------------------------
+    # Whole-database observations
+    # ------------------------------------------------------------------
+
+    def total_polyvalues(self) -> int:
+        """The number of items currently holding polyvalues — the
+        paper's ``P(t)`` for this system."""
+        return sum(site.polyvalue_count() for site in self.sites.values())
+
+    def polyvalued_items(self) -> List[ItemId]:
+        """Every item currently holding a polyvalue."""
+        found: List[ItemId] = []
+        for site in self.sites.values():
+            found.extend(site.store.polyvalued_items())
+        return sorted(found)
+
+    def all_certain(self) -> bool:
+        """True iff no item holds a polyvalue (all uncertainty resolved)."""
+        return self.total_polyvalues() == 0
+
+    def database_state(self) -> Dict[ItemId, Value]:
+        """A copy of every item's current value across all sites."""
+        state: Dict[ItemId, Value] = {}
+        for site in self.sites.values():
+            state.update(site.store.all_values())
+        return state
+
+    def pending_handles(self) -> List[TransactionHandle]:
+        """Handles still awaiting a decision."""
+        return [
+            handle
+            for handle in self.handles
+            if handle.status is TxnStatus.PENDING
+        ]
+
+    def outcome_bookkeeping_size(self) -> int:
+        """Total outcome-table entries across sites (should fall back to
+        zero after failures recover — the paper's GC property)."""
+        return sum(len(site.runtime.outcomes) for site in self.sites.values())

@@ -1,0 +1,183 @@
+"""Protocol tracing: capture and render the message flow of the protocol.
+
+Attach a :class:`ProtocolTracer` to a system and every protocol message
+(sent, delivered or dropped) is recorded with its timestamp.  The trace
+can be filtered by transaction and rendered as a text message-sequence
+chart — the shape a distributed-systems reader expects when debugging a
+commit protocol:
+
+    time(ms)  site-0           site-1           site-2
+       10.0   |---ReadRequest--->|               |
+       20.0   |<----ReadReply----|               |
+       ...
+
+This is a developer-facing tool: the tests use it to assert on exact
+message sequences, the ``protocol_trace`` example uses it to *show* the
+in-doubt window, and it costs nothing when not attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.message import Envelope, SiteId
+from repro.txn import protocol
+from repro.txn.system import DistributedSystem
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One transport event: a message sent, delivered or dropped."""
+
+    time: float
+    event: str  # "send", "deliver", "drop:site-down", ...
+    sender: SiteId
+    recipient: SiteId
+    message: object
+
+    @property
+    def message_kind(self) -> str:
+        """The protocol message class name (e.g. ``"Ready"``)."""
+        return type(self.message).__name__
+
+    @property
+    def txn(self) -> Optional[str]:
+        """The transaction the message concerns, if it is protocol traffic."""
+        return getattr(self.message, "txn", None)
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering."""
+        detail = ""
+        if isinstance(self.message, protocol.StageRequest):
+            detail = f" writes={sorted(self.message.writes)}"
+        elif isinstance(self.message, protocol.ReadRequest):
+            detail = f" items={sorted(self.message.items)}"
+        elif isinstance(self.message, protocol.OutcomeNotify):
+            detail = f" committed={self.message.committed}"
+        return (
+            f"{self.time * 1000:9.1f}ms {self.event:<16} "
+            f"{self.sender} -> {self.recipient}: "
+            f"{self.message_kind}({self.txn}){detail}"
+        )
+
+
+class ProtocolTracer:
+    """Records every transport event of a system's network."""
+
+    def __init__(self, system: DistributedSystem) -> None:
+        self.records: List[TraceRecord] = []
+        system.network.subscribe(self._observe)
+
+    def _observe(self, event: str, envelope: Envelope, time: float) -> None:
+        self.records.append(
+            TraceRecord(
+                time=time,
+                event=event,
+                sender=envelope.sender,
+                recipient=envelope.recipient,
+                message=envelope.payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def for_txn(self, txn: str) -> List[TraceRecord]:
+        """All records concerning one transaction, in time order."""
+        return [record for record in self.records if record.txn == txn]
+
+    def deliveries(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Delivered messages, optionally of one protocol message kind."""
+        return [
+            record
+            for record in self.records
+            if record.event == "deliver"
+            and (kind is None or record.message_kind == kind)
+        ]
+
+    def drops(self) -> List[TraceRecord]:
+        """Every message that failed to reach its recipient."""
+        return [
+            record for record in self.records if record.event.startswith("drop")
+        ]
+
+    def message_kinds(self) -> Dict[str, int]:
+        """Delivered-message histogram by protocol kind."""
+        histogram: Dict[str, int] = {}
+        for record in self.deliveries():
+            histogram[record.message_kind] = (
+                histogram.get(record.message_kind, 0) + 1
+            )
+        return histogram
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def sequence_chart(
+        self,
+        txn: Optional[str] = None,
+        *,
+        sites: Optional[Sequence[SiteId]] = None,
+        include_drops: bool = True,
+    ) -> str:
+        """Render a text message-sequence chart.
+
+        Only *delivery* and (optionally) *drop* events are drawn — a
+        send immediately followed by its delivery would double every
+        arrow.  Messages between sites not in *sites* are skipped.
+        """
+        records = self.for_txn(txn) if txn else list(self.records)
+        records = [
+            record
+            for record in records
+            if record.event == "deliver"
+            or (include_drops and record.event.startswith("drop"))
+        ]
+        if sites is None:
+            involved: List[SiteId] = []
+            for record in records:
+                for site in (record.sender, record.recipient):
+                    if site not in involved:
+                        involved.append(site)
+            sites = sorted(involved)
+        if not records or not sites:
+            return "(no traffic)"
+
+        column: Dict[SiteId, int] = {site: index for index, site in enumerate(sites)}
+        lane_width = max(18, max(len(s) for s in sites) + 6)
+        header = f"{'time(ms)':>10}  " + "".join(
+            f"{site:<{lane_width}}" for site in sites
+        )
+        lines = [header]
+        for record in sorted(records, key=lambda r: r.time):
+            if record.sender not in column or record.recipient not in column:
+                continue
+            a = column[record.sender]
+            b = column[record.recipient]
+            left, right = min(a, b), max(a, b)
+            label = record.message_kind
+            if record.event.startswith("drop"):
+                label = f"X {label} ({record.event[5:]})"
+            span = lane_width * (right - left)
+            if span < len(label) + 4:
+                span = len(label) + 4
+            body = label.center(span - 2, "-")
+            arrow = ("<" + body + "|") if b < a else ("|" + body + ">")
+            lines.append(
+                f"{record.time * 1000:>10.1f}  "
+                + " " * (lane_width * left)
+                + arrow
+            )
+        return "\n".join(lines)
+
+    def timeline(self, txn: Optional[str] = None) -> str:
+        """One :meth:`TraceRecord.describe` line per event."""
+        records = self.for_txn(txn) if txn else self.records
+        return "\n".join(record.describe() for record in records)

@@ -1,0 +1,145 @@
+"""Transaction specifications and client-visible handles.
+
+A :class:`Transaction` is "a mapping from one database state to another
+database state" (section 3): here, a deterministic body function over a
+declared set of items, executed through the polytransaction engine so it
+can run against polyvalued inputs.
+
+The declared item set serves the same purpose as the pre-analysis in
+SDD-1-style systems: it tells the coordinator which sites are involved
+*before* execution, so the compute phase can gather reads and ship
+writes.  The body may read any declared item (or skip some) and may
+write any declared item; reading an undeclared item is an error.
+
+A :class:`TransactionHandle` is what a client holds after submitting: it
+resolves to COMMITTED (with the externally visible outputs, which may be
+polyvalues — section 3.4) or ABORTED, and records timing for the
+benchmarks.
+
+Transaction identifiers embed their coordinator site
+(``"T42@site-0"``): any site holding a polyvalue that depends on an
+in-doubt transaction can therefore derive whom to query for the outcome
+without a separate directory — the simplest realisation of the paper's
+requirement that outcomes be discoverable after recovery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import ProtocolError
+from repro.core.polytransaction import TxnBody
+from repro.net.message import SiteId
+
+TxnId = str
+ItemId = str
+
+
+def make_txn_id(sequence: int, coordinator: SiteId) -> TxnId:
+    """Mint the identifier for the *sequence*-th transaction at *coordinator*."""
+    return f"T{sequence}@{coordinator}"
+
+
+def coordinator_of(txn: TxnId) -> SiteId:
+    """Extract the coordinator site embedded in a transaction identifier."""
+    _, separator, site = txn.partition("@")
+    if not separator or not site:
+        raise ProtocolError(f"malformed transaction id {txn!r}")
+    return site
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client-submitted transaction: a body over a declared item set.
+
+    Parameters
+    ----------
+    body:
+        Deterministic function of its reads (see
+        :mod:`repro.core.polytransaction`).  It receives a
+        :class:`~repro.core.polytransaction.PolyContext`.
+    items:
+        Every item the body may read or write.  The involved sites are
+        exactly the home sites of these items.
+    label:
+        Optional human-readable tag used in logs and metrics.
+    """
+
+    body: TxnBody
+    items: Tuple[ItemId, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ProtocolError("a transaction must declare at least one item")
+        if len(set(self.items)) != len(self.items):
+            raise ProtocolError(f"duplicate items in declaration: {self.items}")
+
+
+class TxnStatus(enum.Enum):
+    """Client-visible lifecycle of a submitted transaction."""
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TransactionHandle:
+    """What a client holds after :meth:`DistributedSystem.submit`.
+
+    ``outputs`` (valid only when COMMITTED) are the externally visible
+    outputs of section 3.4 — they may be polyvalues when the transaction
+    ran as a polytransaction and its outputs genuinely depended on
+    in-doubt state.  ``abort_reason`` explains ABORTED outcomes.
+    """
+
+    txn: TxnId
+    transaction: Transaction
+    submitted_at: float
+    status: TxnStatus = TxnStatus.PENDING
+    decided_at: Optional[float] = None
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    abort_reason: str = ""
+    #: True when the transaction read at least one polyvalued item
+    #: (i.e. it executed as a polytransaction).
+    was_polytransaction: bool = False
+    #: True when the decision came only after a failure delayed the
+    #: protocol (some participant installed polyvalues meanwhile).
+    was_delayed_by_failure: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission-to-decision time in simulated seconds (None if pending)."""
+        if self.decided_at is None:
+            return None
+        return self.decided_at - self.submitted_at
+
+    def mark_committed(self, at: float, outputs: Mapping[str, Any]) -> None:
+        """Transition to COMMITTED (idempotent; re-decision is a protocol bug)."""
+        self._mark(TxnStatus.COMMITTED, at)
+        self.outputs = dict(outputs)
+
+    def mark_aborted(self, at: float, reason: str = "") -> None:
+        """Transition to ABORTED."""
+        self._mark(TxnStatus.ABORTED, at)
+        self.abort_reason = reason
+
+    def _mark(self, status: TxnStatus, at: float) -> None:
+        if self.status is not TxnStatus.PENDING:
+            if self.status is status:
+                return
+            raise ProtocolError(
+                f"transaction {self.txn} decided twice: "
+                f"{self.status.value} then {status.value}"
+            )
+        self.status = status
+        self.decided_at = at
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionHandle({self.txn}, {self.status.value}, "
+            f"label={self.transaction.label!r})"
+        )

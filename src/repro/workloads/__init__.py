@@ -1,0 +1,71 @@
+"""Workloads: the §4.2 random-update stream and the §5 applications."""
+
+from repro.workloads.banking import (
+    BankingWorkload,
+    account_items,
+    authorize,
+    balance_inquiry,
+    deposit,
+    funds_conserved,
+    total_funds_possibilities,
+    transfer,
+)
+from repro.workloads.generator import (
+    RandomUpdateWorkload,
+    WorkloadConfig,
+    make_item_ids,
+    make_update_transaction,
+)
+from repro.workloads.inventory import (
+    InventoryWorkload,
+    order,
+    rebalance,
+    reorder_check,
+    restock,
+    stock_item,
+    stock_items,
+    stock_never_negative,
+)
+from repro.workloads.runner import ExperimentRunner, RunReport, serial_replay
+from repro.workloads.reservations import (
+    ReservationsWorkload,
+    cancel,
+    flight_items,
+    might_be_full,
+    never_oversold,
+    reserve,
+    seats_remaining,
+)
+
+__all__ = [
+    "BankingWorkload",
+    "ExperimentRunner",
+    "InventoryWorkload",
+    "RandomUpdateWorkload",
+    "ReservationsWorkload",
+    "RunReport",
+    "WorkloadConfig",
+    "account_items",
+    "authorize",
+    "balance_inquiry",
+    "cancel",
+    "deposit",
+    "flight_items",
+    "funds_conserved",
+    "make_item_ids",
+    "make_update_transaction",
+    "might_be_full",
+    "never_oversold",
+    "order",
+    "rebalance",
+    "reorder_check",
+    "reserve",
+    "restock",
+    "seats_remaining",
+    "serial_replay",
+    "stock_item",
+    "stock_items",
+    "stock_never_negative",
+    "total_funds_possibilities",
+    "transfer",
+]

@@ -1,0 +1,203 @@
+"""Electronic funds transfer — the paper's flagship application (§5).
+
+    "The important transactions in such a system are those that
+    authorize transfers of 'real' money or goods ... Such transactions
+    depend very loosely on the state of the database in that the
+    important effect (distribution of funds or goods) depends only on
+    the fact that the relevant accounts contain enough funds, not on
+    exactly how much."
+
+This module provides the account database and the three transaction
+kinds the quote implies:
+
+* :func:`transfer` — move funds between two accounts (the atomic
+  distributed update that failures can interrupt);
+* :func:`authorize` — the "important transaction": approve a purchase
+  iff the account *definitely* has enough funds, which usually stays a
+  simple yes even when the balance is a polyvalue;
+* :func:`deposit` — a single-item credit.
+
+Plus an invariant helper: total funds are conserved under every
+possible resolution of the outstanding uncertainty — the property the
+integration tests check after failure storms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+from repro.core.polyvalue import (
+    Value,
+    combine,
+    definitely,
+    possible_values,
+)
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction
+
+AccountId = str
+
+
+def account_items(count: int, prefix: str = "acct") -> List[AccountId]:
+    """Account item identifiers ``acct-000`` ..."""
+    width = max(3, len(str(count - 1)))
+    return [f"{prefix}-{index:0{width}d}" for index in range(count)]
+
+
+def transfer(source: AccountId, target: AccountId, amount: int) -> Transaction:
+    """Move *amount* from *source* to *target* if funds suffice.
+
+    Reads partition on uncertainty (the transfer's outcome may honestly
+    depend on which balance is correct); the ``transferred`` output
+    reports what happened and collapses to a simple value whenever the
+    decision is the same under every alternative.
+    """
+    if amount <= 0:
+        raise ValueError(f"transfer amount must be positive, got {amount}")
+
+    def body(ctx):
+        balance = ctx.read(source)
+        if balance >= amount:
+            ctx.write(source, balance - amount)
+            ctx.write(target, ctx.read(target) + amount)
+            ctx.output("transferred", True)
+        else:
+            ctx.output("transferred", False)
+
+    return Transaction(
+        body=body,
+        items=(source, target),
+        label=f"transfer:{source}->{target}:{amount}",
+    )
+
+
+def authorize(account: AccountId, amount: int) -> Transaction:
+    """Authorize a purchase iff the account definitely covers it.
+
+    This is the section 5 pattern: the decision uses
+    :func:`~repro.core.polyvalue.definitely` over the raw (possibly
+    poly) balance, so an uncertain balance of, say, {<100,T>, <150,~T>}
+    still yields a certain "yes" for any amount ≤ 100.  The hold is
+    debited through the lifted :func:`~repro.core.polyvalue.combine`,
+    propagating uncertainty only into the balance, never the answer.
+    """
+    if amount <= 0:
+        raise ValueError(f"authorization amount must be positive, got {amount}")
+
+    def body(ctx):
+        balance = ctx.read_raw(account)
+        approved = definitely(lambda funds: funds >= amount, balance)
+        ctx.output("approved", approved)
+        if approved:
+            ctx.write(account, combine(lambda funds: funds - amount, balance))
+
+    return Transaction(
+        body=body, items=(account,), label=f"authorize:{account}:{amount}"
+    )
+
+
+def deposit(account: AccountId, amount: int) -> Transaction:
+    """Credit *amount* to *account* (value-independent of other items)."""
+    if amount <= 0:
+        raise ValueError(f"deposit amount must be positive, got {amount}")
+
+    def body(ctx):
+        ctx.write(account, ctx.read(account) + amount)
+
+    return Transaction(
+        body=body, items=(account,), label=f"deposit:{account}:{amount}"
+    )
+
+
+def balance_inquiry(account: AccountId) -> Transaction:
+    """Read-only inquiry; the output may honestly be a polyvalue (§3.4)."""
+
+    def body(ctx):
+        ctx.output("balance", ctx.read_raw(account))
+
+    return Transaction(body=body, items=(account,), label=f"inquiry:{account}")
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+
+def total_funds_possibilities(state: Mapping[AccountId, Value]) -> List[int]:
+    """Every possible total over all resolution outcomes — conservatively.
+
+    Computed with the lifted sum, so correlated uncertainty (two
+    accounts depending on the *same* in-doubt transfer) is handled
+    exactly: the impossible cross-combinations are pruned by the
+    condition algebra.
+    """
+    total = combine(lambda *values: sum(values), *state.values())
+    return sorted(possible_values(total))
+
+
+def funds_conserved(
+    state: Mapping[AccountId, Value], expected_total: int
+) -> bool:
+    """True iff every possible resolution preserves *expected_total*.
+
+    After any mix of commits, aborts and in-doubt transfers, a correct
+    system satisfies this: transfers move money, never create it.
+    """
+    return total_funds_possibilities(state) == [expected_total]
+
+
+@dataclass
+class BankingWorkload:
+    """A random mix of transfers, authorizations and deposits.
+
+    A thin, seedable driver used by the examples and the application
+    ablation bench.  Amount ranges are small relative to initial
+    balances so most authorizations succeed (the regime section 5
+    targets).
+    """
+
+    system: DistributedSystem
+    accounts: Sequence[AccountId]
+    seed: int = 0
+    transfer_weight: float = 0.5
+    authorize_weight: float = 0.3
+    max_amount: int = 20
+
+    def __post_init__(self) -> None:
+        from repro.sim.rand import Rng
+
+        self._rng = Rng(self.seed)
+        self.handles = []
+        self._arrivals = None
+
+    def stream(self, rate: float):
+        """Submit operations in a Poisson stream at *rate* per second."""
+        from repro.workloads.generator import ArrivalProcess
+
+        self._arrivals = ArrivalProcess(
+            self.system.sim, rate, self.submit_one, self._rng.fork("arrivals")
+        )
+        return self._arrivals
+
+    def stop_stream(self) -> None:
+        """Stop a stream started with :meth:`stream`."""
+        if self._arrivals is not None:
+            self._arrivals.stop()
+
+    def submit_one(self):
+        """Submit one randomly chosen operation; returns its handle."""
+        roll = self._rng.uniform(0.0, 1.0)
+        amount = self._rng.randint(1, self.max_amount)
+        if roll < self.transfer_weight:
+            source, target = self._rng.sample(list(self.accounts), 2)
+            transaction = transfer(source, target, amount)
+        elif roll < self.transfer_weight + self.authorize_weight:
+            account = self._rng.choice(list(self.accounts))
+            transaction = authorize(account, amount)
+        else:
+            account = self._rng.choice(list(self.accounts))
+            transaction = deposit(account, amount)
+        handle = self.system.submit(transaction)
+        self.handles.append(handle)
+        return handle

@@ -1,0 +1,206 @@
+"""Inventory / process control — the paper's third application family (§5).
+
+    "Such applications as inventory or process control also seem ideal
+    candidates for the polyvalue mechanism.  Again, real time operation
+    is important; however, the exact values of the items in the
+    database are frequently not needed for the important real time
+    effects."
+
+The model: warehouses hold per-product stock levels (one item per
+(warehouse, product) pair).  Orders consume stock at one warehouse;
+restocks replenish; cross-warehouse rebalancing is the multi-site
+atomic update that failures can interrupt.  The "important real time
+effect" is the reorder signal: flag a product when its total stock
+*might* have fallen below the reorder point — a modal decision
+(:func:`~repro.core.polyvalue.possibly`) that works fine on polyvalues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+from repro.core.polyvalue import Value, combine, definitely, possibly
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction
+
+ItemId = str
+
+
+def stock_item(warehouse: str, product: str) -> ItemId:
+    """The database item holding *product*'s stock at *warehouse*."""
+    return f"stock:{warehouse}:{product}"
+
+
+def stock_items(
+    warehouses: Sequence[str], products: Sequence[str]
+) -> List[ItemId]:
+    """All (warehouse, product) stock items."""
+    return [
+        stock_item(warehouse, product)
+        for warehouse in warehouses
+        for product in products
+    ]
+
+
+def order(warehouse: str, product: str, quantity: int) -> Transaction:
+    """Ship *quantity* units from *warehouse* if stock suffices."""
+    if quantity <= 0:
+        raise ValueError(f"quantity must be positive, got {quantity}")
+    item = stock_item(warehouse, product)
+
+    def body(ctx):
+        stock = ctx.read(item)
+        if stock >= quantity:
+            ctx.write(item, stock - quantity)
+            ctx.output("shipped", True)
+        else:
+            ctx.output("shipped", False)
+
+    return Transaction(
+        body=body, items=(item,), label=f"order:{warehouse}:{product}:{quantity}"
+    )
+
+
+def restock(warehouse: str, product: str, quantity: int) -> Transaction:
+    """Add *quantity* units of *product* at *warehouse*."""
+    if quantity <= 0:
+        raise ValueError(f"quantity must be positive, got {quantity}")
+    item = stock_item(warehouse, product)
+
+    def body(ctx):
+        ctx.write(item, ctx.read(item) + quantity)
+
+    return Transaction(
+        body=body,
+        items=(item,),
+        label=f"restock:{warehouse}:{product}:{quantity}",
+    )
+
+
+def rebalance(
+    source_warehouse: str,
+    target_warehouse: str,
+    product: str,
+    quantity: int,
+) -> Transaction:
+    """Move stock between warehouses — the multi-site atomic update."""
+    if quantity <= 0:
+        raise ValueError(f"quantity must be positive, got {quantity}")
+    source = stock_item(source_warehouse, product)
+    target = stock_item(target_warehouse, product)
+
+    def body(ctx):
+        available = ctx.read(source)
+        if available >= quantity:
+            ctx.write(source, available - quantity)
+            ctx.write(target, ctx.read(target) + quantity)
+            ctx.output("moved", True)
+        else:
+            ctx.output("moved", False)
+
+    return Transaction(
+        body=body,
+        items=(source, target),
+        label=f"rebalance:{source_warehouse}->{target_warehouse}:{product}",
+    )
+
+
+def reorder_check(
+    warehouses: Sequence[str], product: str, reorder_point: int
+) -> Transaction:
+    """The real-time control decision: flag if total stock may be low.
+
+    ``reorder`` is True when the total *might* be below the reorder
+    point under some resolution of the uncertainty (a conservative
+    trigger — ordering slightly early is the safe direction), and
+    ``certainly_low`` when every resolution is below it.  Both are modal
+    queries over the lifted sum, so the answer is always a plain bool.
+    """
+    items = tuple(stock_item(warehouse, product) for warehouse in warehouses)
+
+    def body(ctx):
+        total = combine(
+            lambda *stocks: sum(stocks),
+            *(ctx.read_raw(item) for item in items),
+        )
+        ctx.output(
+            "reorder", possibly(lambda level: level < reorder_point, total)
+        )
+        ctx.output(
+            "certainly_low",
+            definitely(lambda level: level < reorder_point, total),
+        )
+
+    return Transaction(
+        body=body, items=items, label=f"reorder-check:{product}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+
+def stock_never_negative(state: Mapping[ItemId, Value]) -> bool:
+    """No possible resolution of any stock item is negative."""
+    return all(
+        definitely(lambda level: level >= 0, value)
+        for item, value in state.items()
+        if item.startswith("stock:")
+    )
+
+
+@dataclass
+class InventoryWorkload:
+    """A seedable stream of orders, restocks and rebalances."""
+
+    system: DistributedSystem
+    warehouses: Sequence[str]
+    products: Sequence[str]
+    seed: int = 0
+    restock_probability: float = 0.2
+    rebalance_probability: float = 0.2
+    max_quantity: int = 5
+
+    def __post_init__(self) -> None:
+        from repro.sim.rand import Rng
+
+        self._rng = Rng(self.seed)
+        self.handles = []
+        self._arrivals = None
+
+    def stream(self, rate: float):
+        """Submit operations in a Poisson stream at *rate* per second."""
+        from repro.workloads.generator import ArrivalProcess
+
+        self._arrivals = ArrivalProcess(
+            self.system.sim, rate, self.submit_one, self._rng.fork("arrivals")
+        )
+        return self._arrivals
+
+    def stop_stream(self) -> None:
+        """Stop a stream started with :meth:`stream`."""
+        if self._arrivals is not None:
+            self._arrivals.stop()
+
+    def submit_one(self):
+        """Submit one random inventory operation; returns its handle."""
+        product = self._rng.choice(list(self.products))
+        quantity = self._rng.randint(1, self.max_quantity)
+        roll = self._rng.uniform(0.0, 1.0)
+        if roll < self.restock_probability:
+            warehouse = self._rng.choice(list(self.warehouses))
+            transaction = restock(warehouse, product, quantity)
+        elif (
+            roll < self.restock_probability + self.rebalance_probability
+            and len(self.warehouses) >= 2
+        ):
+            source, target = self._rng.sample(list(self.warehouses), 2)
+            transaction = rebalance(source, target, product, quantity)
+        else:
+            warehouse = self._rng.choice(list(self.warehouses))
+            transaction = order(warehouse, product, quantity)
+        handle = self.system.submit(transaction)
+        self.handles.append(handle)
+        return handle

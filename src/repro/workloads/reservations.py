@@ -1,0 +1,155 @@
+"""Reservations — the paper's second application (§5).
+
+    "If the number of reservations granted is a polyvalue, then a new
+    reservation can be granted so long as the largest value in that
+    polyvalue is less than the number of available rooms or seats.
+    This will be discovered when the reservation-granting transaction
+    is run as a polytransaction: All alternative transactions of such a
+    polytransaction will decide to grant the reservation."
+
+Each flight is one database item holding its sold-seat count; capacity
+is configuration (immutable, so it needs no distributed coordination).
+:func:`reserve` implements exactly the quoted rule via alternative-
+transaction partitioning: when the sold count is uncertain, every
+alternative makes its own grant decision, and the decisions collapse to
+a certain "granted" whenever even the largest possible count still fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+from repro.core.polyvalue import Value, definitely, possibly
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction
+
+FlightId = str
+
+
+def flight_items(count: int, prefix: str = "flight") -> List[FlightId]:
+    """Flight item identifiers ``flight-00`` ..."""
+    width = max(2, len(str(count - 1)))
+    return [f"{prefix}-{index:0{width}d}" for index in range(count)]
+
+
+def reserve(flight: FlightId, capacity: int, party_size: int = 1) -> Transaction:
+    """Grant a reservation if the flight has room.
+
+    The read partitions on uncertainty; each alternative transaction
+    checks its own sold count.  Under uncertainty, if *every*
+    alternative grants (the paper's "largest value ... less than the
+    number of available seats" condition) the ``granted`` output is a
+    plain True; only near the capacity boundary does the output itself
+    become uncertain.
+    """
+    if capacity <= 0 or party_size <= 0:
+        raise ValueError("capacity and party_size must be positive")
+
+    def body(ctx):
+        sold = ctx.read(flight)
+        if sold + party_size <= capacity:
+            ctx.write(flight, sold + party_size)
+            ctx.output("granted", True)
+        else:
+            ctx.output("granted", False)
+
+    return Transaction(
+        body=body, items=(flight,), label=f"reserve:{flight}:{party_size}"
+    )
+
+
+def cancel(flight: FlightId, party_size: int = 1) -> Transaction:
+    """Release seats (sold count never drops below zero)."""
+    if party_size <= 0:
+        raise ValueError("party_size must be positive")
+
+    def body(ctx):
+        sold = ctx.read(flight)
+        ctx.write(flight, max(0, sold - party_size))
+
+    return Transaction(
+        body=body, items=(flight,), label=f"cancel:{flight}:{party_size}"
+    )
+
+
+def seats_remaining(flight: FlightId, capacity: int) -> Transaction:
+    """The §3.4 "ticket agent" inquiry: an uncertain answer is fine.
+
+    "Most of the time, a ticket agent would not be bothered by an
+    uncertain answer to a request for the number of seats remaining on
+    a flight."  The output is presented raw — possibly a polyvalue.
+    """
+
+    def body(ctx):
+        sold = ctx.read_raw(flight)
+        from repro.core.polyvalue import combine
+
+        ctx.output("remaining", combine(lambda s: capacity - s, sold))
+
+    return Transaction(body=body, items=(flight,), label=f"remaining:{flight}")
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+
+def never_oversold(sold: Value, capacity: int) -> bool:
+    """True iff no possible resolution exceeds *capacity*.
+
+    The safety property a reservations system must keep even while the
+    sold count is uncertain: every value the polyvalue could resolve to
+    must fit.
+    """
+    return definitely(lambda count: 0 <= count <= capacity, sold)
+
+
+def might_be_full(sold: Value, capacity: int, party_size: int = 1) -> bool:
+    """True iff some possible resolution cannot fit *party_size* more."""
+    return possibly(lambda count: count + party_size > capacity, sold)
+
+
+@dataclass
+class ReservationsWorkload:
+    """A seedable stream of reservations and cancellations."""
+
+    system: DistributedSystem
+    capacities: Mapping[FlightId, int]
+    seed: int = 0
+    cancel_probability: float = 0.15
+    max_party: int = 3
+
+    def __post_init__(self) -> None:
+        from repro.sim.rand import Rng
+
+        self._rng = Rng(self.seed)
+        self.handles = []
+        self._flights = sorted(self.capacities)
+        self._arrivals = None
+
+    def stream(self, rate: float):
+        """Submit operations in a Poisson stream at *rate* per second."""
+        from repro.workloads.generator import ArrivalProcess
+
+        self._arrivals = ArrivalProcess(
+            self.system.sim, rate, self.submit_one, self._rng.fork("arrivals")
+        )
+        return self._arrivals
+
+    def stop_stream(self) -> None:
+        """Stop a stream started with :meth:`stream`."""
+        if self._arrivals is not None:
+            self._arrivals.stop()
+
+    def submit_one(self):
+        """Submit one reservation (or cancellation); returns its handle."""
+        flight = self._rng.choice(self._flights)
+        party = self._rng.randint(1, self.max_party)
+        if self._rng.bernoulli(self.cancel_probability):
+            transaction = cancel(flight, party)
+        else:
+            transaction = reserve(flight, self.capacities[flight], party)
+        handle = self.system.submit(transaction)
+        self.handles.append(handle)
+        return handle

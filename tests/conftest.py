@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.txn.runtime import ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction
+
+
+@pytest.fixture
+def three_site_system():
+    """A 3-site system with six integer items, deterministic seed."""
+    items = {f"item-{index}": 100 for index in range(6)}
+    return DistributedSystem.build(sites=3, items=items, seed=1234)
+
+
+def increment(item, amount=1):
+    """A single-item increment transaction."""
+
+    def body(ctx):
+        ctx.write(item, ctx.read(item) + amount)
+
+    return Transaction(body=body, items=(item,), label=f"inc:{item}")
+
+
+def move(source, target, amount):
+    """A two-item transfer transaction (unconditional)."""
+
+    def body(ctx):
+        ctx.write(source, ctx.read(source) - amount)
+        ctx.write(target, ctx.read(target) + amount)
+
+    return Transaction(
+        body=body, items=(source, target), label=f"move:{source}->{target}"
+    )
+
+
+def run_to_decision(system, handle, limit=5.0):
+    """Advance the simulation until *handle* is decided (or limit)."""
+    from repro.txn.transaction import TxnStatus
+
+    deadline = system.sim.now + limit
+    while handle.status is TxnStatus.PENDING and system.sim.now < deadline:
+        system.run_for(0.1)
+    return handle

@@ -1,0 +1,199 @@
+"""Tests for the EFT application (repro.workloads.banking)."""
+
+import pytest
+
+from repro.core.conditions import Condition
+from repro.core.polyvalue import Polyvalue, is_polyvalue
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.banking import (
+    BankingWorkload,
+    account_items,
+    authorize,
+    balance_inquiry,
+    deposit,
+    funds_conserved,
+    total_funds_possibilities,
+    transfer,
+)
+
+from tests.conftest import run_to_decision
+
+
+def bank(accounts=4, balance=100, seed=5):
+    items = {acct: balance for acct in account_items(accounts)}
+    return DistributedSystem.build(sites=3, items=items, seed=seed), items
+
+
+class TestPureHelpers:
+    def test_account_items_naming(self):
+        assert account_items(2) == ["acct-000", "acct-001"]
+
+    def test_total_funds_simple(self):
+        assert total_funds_possibilities({"a": 100, "b": 50}) == [150]
+
+    def test_total_funds_correlated_uncertainty(self):
+        # One in-doubt transfer: totals match under both outcomes.
+        t = Condition.of("T1")
+        state = {
+            "a": Polyvalue([(70, t), (100, ~t)]),
+            "b": Polyvalue([(130, t), (100, ~t)]),
+        }
+        assert total_funds_possibilities(state) == [200]
+        assert funds_conserved(state, 200)
+
+    def test_conservation_violation_detected(self):
+        t = Condition.of("T1")
+        state = {"a": 100, "b": Polyvalue([(130, t), (100, ~t)])}
+        assert not funds_conserved(state, 200)
+
+    def test_amount_validation(self):
+        with pytest.raises(ValueError):
+            transfer("a", "b", 0)
+        with pytest.raises(ValueError):
+            authorize("a", -1)
+        with pytest.raises(ValueError):
+            deposit("a", 0)
+
+
+class TestTransfer:
+    def test_successful_transfer(self):
+        system, _ = bank()
+        handle = system.submit(transfer("acct-000", "acct-001", 30))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs["transferred"] is True
+        assert system.read_item("acct-000") == 70
+        assert system.read_item("acct-001") == 130
+
+    def test_insufficient_funds_declines(self):
+        system, _ = bank(balance=10)
+        handle = system.submit(transfer("acct-000", "acct-001", 30))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs["transferred"] is False
+        assert system.read_item("acct-000") == 10
+
+    def test_funds_conserved_over_many_transfers(self):
+        system, items = bank()
+        workload = BankingWorkload(
+            system,
+            account_items(4),
+            seed=3,
+            transfer_weight=1.0,
+            authorize_weight=0.0,
+        )
+        for _ in range(15):
+            workload.submit_one()
+            system.run_for(0.3)
+        system.run_for(3.0)
+        assert funds_conserved(system.database_state(), 400)
+
+
+class TestAuthorize:
+    def test_authorize_against_certain_balance(self):
+        system, _ = bank()
+        handle = system.submit(authorize("acct-000", 60))
+        run_to_decision(system, handle)
+        assert handle.outputs["approved"] is True
+        assert system.read_item("acct-000") == 40
+
+    def test_authorize_decline_leaves_balance(self):
+        system, _ = bank(balance=10)
+        handle = system.submit(authorize("acct-000", 60))
+        run_to_decision(system, handle)
+        assert handle.outputs["approved"] is False
+        assert system.read_item("acct-000") == 10
+
+    def test_authorize_under_uncertainty_small_amount_approves(self):
+        # Put acct-001 in doubt via a crashed transfer, then authorize
+        # an amount below the SMALLEST possible balance: the answer is
+        # a certain yes even though the balance is a polyvalue (§5).
+        system, _ = bank()
+        system.submit(transfer("acct-000", "acct-001", 30))
+        system.run_for(0.05)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        balance = system.read_item("acct-001")
+        assert is_polyvalue(balance)  # {130 if T, 100 if ~T}
+        handle = system.submit(authorize("acct-001", 50), at="site-1")
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs["approved"] is True  # simple, certain
+        # The debited balance carries the uncertainty instead.
+        assert is_polyvalue(system.read_item("acct-001"))
+
+    def test_authorize_under_uncertainty_resolves_correctly(self):
+        system, _ = bank()
+        system.submit(transfer("acct-000", "acct-001", 30))
+        system.run_for(0.05)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        system.submit(authorize("acct-001", 50), at="site-1")
+        system.run_for(2.0)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        # Presumed abort of the transfer: 100 - 50 = 50.
+        assert system.read_item("acct-001") == 50
+        assert system.total_polyvalues() == 0
+
+    def test_output_certainty_metric(self):
+        system, _ = bank()
+        handle = system.submit(authorize("acct-000", 60))
+        run_to_decision(system, handle)
+        assert system.metrics.certain_outputs >= 1
+
+
+class TestInquiryAndDeposit:
+    def test_deposit(self):
+        system, _ = bank()
+        handle = system.submit(deposit("acct-002", 25))
+        run_to_decision(system, handle)
+        assert system.read_item("acct-002") == 125
+
+    def test_inquiry_returns_balance(self):
+        system, _ = bank()
+        handle = system.submit(balance_inquiry("acct-000"))
+        run_to_decision(system, handle)
+        assert handle.outputs["balance"] == 100
+
+    def test_inquiry_presents_uncertain_output(self):
+        # Section 3.4: presenting the uncertain output is allowed.
+        system, _ = bank()
+        system.submit(transfer("acct-000", "acct-001", 30))
+        system.run_for(0.05)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        handle = system.submit(balance_inquiry("acct-001"), at="site-1")
+        run_to_decision(system, handle)
+        reported = handle.outputs["balance"]
+        assert is_polyvalue(reported)
+        assert set(reported.possible_values()) == {130, 100}
+        assert system.metrics.uncertain_outputs >= 1
+
+
+class TestWorkloadDriver:
+    def test_mixed_workload_runs_clean(self):
+        system, _ = bank()
+        workload = BankingWorkload(system, account_items(4), seed=11)
+        for _ in range(20):
+            workload.submit_one()
+            system.run_for(0.3)
+        system.run_for(3.0)
+        decided = [
+            h for h in workload.handles if h.status is not TxnStatus.PENDING
+        ]
+        assert len(decided) == 20
+        assert system.total_polyvalues() == 0
+
+    def test_workload_deterministic(self):
+        def run(seed):
+            system, _ = bank(seed=seed)
+            workload = BankingWorkload(system, account_items(4), seed=seed)
+            for _ in range(10):
+                workload.submit_one()
+                system.run_for(0.3)
+            system.run_for(2.0)
+            return system.database_state()
+
+        assert run(8) == run(8)

@@ -1,0 +1,154 @@
+"""Integration tests for the two baseline commit policies (section 2).
+
+Each test drives the identical in-doubt scenario as
+tests/test_protocol_failures.py — transfer item-0 -> item-1, crash the
+coordinator at 50 ms — under a different wait-timeout policy, and
+checks the policy-specific consequence.
+"""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+ITEMS = {f"item-{index}": 100 for index in range(6)}
+
+
+def crash_in_window(system):
+    handle = system.submit(move("item-0", "item-1", 30))
+    system.run_for(0.05)
+    system.crash_site("site-0")
+    system.run_for(2.0)
+    return handle
+
+
+class TestBlockingBaseline:
+    def test_no_polyvalues_created(self):
+        system = blocking_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        assert system.total_polyvalues() == 0
+
+    def test_item_stays_locked_while_in_doubt(self):
+        system = blocking_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        site1 = system.sites["site-1"]
+        assert "item-1" in site1.runtime.locks.locked_items()
+        assert site1.participant.blocked_transactions()
+
+    def test_new_transaction_on_blocked_item_aborts(self):
+        system = blocking_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        # The availability cost of blocking: the item is unavailable.
+        assert handle.status is TxnStatus.ABORTED
+
+    def test_outcome_learned_after_recovery_unblocks(self):
+        system = blocking_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        site1 = system.sites["site-1"]
+        assert site1.runtime.locks.locked_items() == frozenset()
+        # Presumed abort -> old value, exact (never a polyvalue).
+        assert system.read_item("item-1") == 100
+
+    def test_blocked_item_seconds_accounted(self):
+        system = blocking_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        assert system.metrics.blocked_item_seconds > 1.0
+
+    def test_transactions_after_unblock_succeed(self):
+        system = blocking_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-1") == 101
+
+
+class TestRelaxedBaseline:
+    def test_unilateral_decision_recorded(self):
+        system = relaxed_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        assert system.metrics.unilateral_decisions >= 1
+        assert system.total_polyvalues() == 0
+
+    def test_unilateral_commit_applies_new_value(self):
+        # Default relaxed_commit_probability=1.0: always commit.
+        system = relaxed_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        assert system.read_item("item-1") == 130
+
+    def test_inconsistency_detected_after_recovery(self):
+        # The coordinator's actual outcome is abort (it crashed before
+        # deciding); the participant guessed commit -> inconsistent.
+        system = relaxed_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        assert system.metrics.inconsistent_decisions >= 1
+
+    def test_database_left_inconsistent(self):
+        # The cost of the relaxed policy (section 2.3: "a transaction
+        # may be performed incorrectly (some but not all of the updates
+        # performed)"): partition the remote participant so its ready
+        # is lost.  The coordinator times out and aborts (rolling back
+        # item-0); the partitioned participant times out in wait and
+        # unilaterally commits item-1.  Money is created.
+        system = relaxed_system(sites=3, items=ITEMS, seed=42)
+        handle = system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.046)  # stage delivered; ready about to fly
+        system.network.partition("site-0", "site-1")
+        system.run_for(3.0)
+        assert handle.status is TxnStatus.ABORTED
+        assert system.read_item("item-0") == 100
+        assert system.read_item("item-1") == 130
+        total = system.read_item("item-0") + system.read_item("item-1")
+        assert total != 200  # atomicity violated
+
+    def test_item_available_immediately(self):
+        system = relaxed_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+
+
+class TestPolyvaluePolicyContrast:
+    def test_polyvalue_gets_both_availability_and_consistency(self):
+        system = polyvalue_system(sites=3, items=ITEMS, seed=42)
+        crash_in_window(system)
+        # Available:
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        # And consistent after recovery:
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        assert system.read_item("item-0") == 100
+        assert system.read_item("item-1") == 101
+        assert system.total_polyvalues() == 0
+
+    def test_three_policies_same_scenario_differ_as_documented(self):
+        outcomes = {}
+        for name, factory in (
+            ("polyvalue", polyvalue_system),
+            ("blocking", blocking_system),
+            ("relaxed", relaxed_system),
+        ):
+            system = factory(sites=3, items=ITEMS, seed=42)
+            crash_in_window(system)
+            probe = system.submit(increment("item-1"), at="site-1")
+            run_to_decision(system, probe)
+            outcomes[name] = probe.status
+        assert outcomes["polyvalue"] is TxnStatus.COMMITTED
+        assert outcomes["blocking"] is TxnStatus.ABORTED
+        assert outcomes["relaxed"] is TxnStatus.COMMITTED

@@ -1,0 +1,71 @@
+"""Unit tests for data placement (repro.db.catalog)."""
+
+import pytest
+
+from repro.core.errors import UnknownItemError
+from repro.db.catalog import Catalog
+
+
+class TestPlacement:
+    def test_place_and_lookup(self):
+        catalog = Catalog()
+        catalog.place("a", "s1")
+        assert catalog.site_of("a") == "s1"
+        assert catalog.items_at("s1") == ["a"]
+
+    def test_duplicate_placement_rejected(self):
+        catalog = Catalog()
+        catalog.place("a", "s1")
+        with pytest.raises(UnknownItemError):
+            catalog.place("a", "s2")
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(UnknownItemError):
+            Catalog().site_of("a")
+
+    def test_items_at_unknown_site_is_empty(self):
+        assert Catalog().items_at("s1") == []
+
+    def test_contains_and_len(self):
+        catalog = Catalog()
+        catalog.place("a", "s1")
+        assert "a" in catalog
+        assert "b" not in catalog
+        assert len(catalog) == 1
+
+
+class TestRoundRobin:
+    def test_even_spread(self):
+        catalog = Catalog.round_robin(["a", "b", "c", "d"], ["s1", "s2"])
+        assert catalog.items_at("s1") == ["a", "c"]
+        assert catalog.items_at("s2") == ["b", "d"]
+
+    def test_more_sites_than_items(self):
+        catalog = Catalog.round_robin(["a"], ["s1", "s2", "s3"])
+        assert catalog.site_of("a") == "s1"
+        assert catalog.all_sites() == frozenset({"s1"})
+
+    def test_from_mapping(self):
+        catalog = Catalog.from_mapping({"a": "s1", "b": "s2"})
+        assert catalog.site_of("b") == "s2"
+
+
+class TestGrouping:
+    def test_sites_for_spans_involved_sites(self):
+        catalog = Catalog.round_robin(["a", "b", "c"], ["s1", "s2"])
+        assert catalog.sites_for(["a", "b"]) == frozenset({"s1", "s2"})
+        assert catalog.sites_for(["a", "c"]) == frozenset({"s1"})
+
+    def test_group_by_site(self):
+        catalog = Catalog.round_robin(["a", "b", "c"], ["s1", "s2"])
+        grouped = catalog.group_by_site(["a", "b", "c"])
+        assert grouped == {"s1": ["a", "c"], "s2": ["b"]}
+
+    def test_group_by_site_preserves_order(self):
+        catalog = Catalog.round_robin(["a", "b", "c"], ["s1"])
+        assert catalog.group_by_site(["c", "a"]) == {"s1": ["c", "a"]}
+
+    def test_all_items_and_sites(self):
+        catalog = Catalog.round_robin(["a", "b"], ["s1", "s2"])
+        assert catalog.all_items() == frozenset({"a", "b"})
+        assert catalog.all_sites() == frozenset({"s1", "s2"})

@@ -1,0 +1,147 @@
+"""Chaos testing: every fault class at once.
+
+Message loss, message duplication, site crashes and recoveries, lock
+contention and polytransactions, all in the same run — the strongest
+convergence and serial-equivalence check in the suite.  hypothesis
+varies the fault intensities and the schedule seed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.failures import CrashPlan, ScriptedFailures
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.generator import (
+    RandomUpdateWorkload,
+    WorkloadConfig,
+    make_item_ids,
+)
+from repro.workloads.runner import ExperimentRunner
+
+ITEMS = 12
+
+
+def run_chaos(seed, loss, duplication, crash_plan):
+    values = {item: 1 for item in make_item_ids(ITEMS)}
+    system = DistributedSystem.build(
+        sites=3,
+        items=values,
+        seed=seed,
+        loss_probability=loss,
+        duplicate_probability=duplication,
+        base_latency=0.03,
+        jitter=0.01,
+    )
+    workload = RandomUpdateWorkload(
+        system,
+        WorkloadConfig(update_rate=8, dependency_mean=1),
+        seed=seed,
+    )
+    if crash_plan:
+        ScriptedFailures(system.sim, system, crash_plan)
+    runner = ExperimentRunner(system, workload=workload, initial_values=values)
+    report = runner.run(8.0, settle=20.0, settle_step=2.0, max_settle=240.0)
+    return system, report
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    loss=st.sampled_from([0.0, 0.02, 0.05]),
+    duplication=st.sampled_from([0.0, 0.2]),
+    crash_offsets=st.lists(
+        st.floats(min_value=0.5, max_value=7.0), min_size=0, max_size=3
+    ),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_chaos_runs_converge_serially_equivalent(
+    seed, loss, duplication, crash_offsets
+):
+    plan = [
+        CrashPlan(f"site-{index % 3}", at=offset, duration=1.0)
+        for index, offset in enumerate(sorted(crash_offsets))
+    ]
+    system, report = run_chaos(seed, loss, duplication, plan)
+    assert report.converged, report.summary_lines()
+    assert report.serially_equivalent is True
+    assert report.pending == 0
+    for site in system.sites.values():
+        assert site.runtime.locks.locked_items() == frozenset()
+
+
+def test_chaos_kitchen_sink_deterministic():
+    plan = [
+        CrashPlan("site-0", at=1.0, duration=1.2),
+        CrashPlan("site-1", at=3.0, duration=0.8),
+        CrashPlan("site-2", at=5.0, duration=1.5),
+    ]
+    first_system, first = run_chaos(424242, 0.05, 0.3, plan)
+    second_system, second = run_chaos(424242, 0.05, 0.3, plan)
+    assert first.final_state == second.final_state
+    assert first.committed == second.committed
+    assert first.polyvalues_installed == second.polyvalues_installed
+    assert first.converged and first.serially_equivalent
+
+
+class TestManySites:
+    @pytest.mark.parametrize("site_count", [5, 8])
+    def test_protocol_scales_to_more_sites(self, site_count):
+        values = {item: 1 for item in make_item_ids(24)}
+        system = DistributedSystem.build(
+            sites=site_count, items=values, seed=99
+        )
+        workload = RandomUpdateWorkload(
+            system,
+            WorkloadConfig(update_rate=10, dependency_mean=2),
+            seed=99,
+        )
+        runner = ExperimentRunner(system, workload=workload, initial_values=values)
+        report = runner.run(5.0, settle=10.0)
+        assert report.converged
+        assert report.serially_equivalent is True
+        assert report.committed > 15
+
+    def test_wide_transaction_across_five_sites(self):
+        values = {item: 10 for item in make_item_ids(5)}
+        system = DistributedSystem.build(sites=5, items=values, seed=5)
+        items = tuple(make_item_ids(5))
+
+        def sum_all(ctx):
+            total = sum(ctx.read(item) for item in items)
+            ctx.write(items[0], total)
+
+        from repro.txn.transaction import Transaction
+
+        handle = system.submit(Transaction(body=sum_all, items=items))
+        system.run_for(3.0)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item(items[0]) == 50
+
+    def test_five_site_in_doubt_window_resolves(self):
+        values = {item: 10 for item in make_item_ids(5)}
+        system = DistributedSystem.build(
+            sites=5, items=values, seed=5, jitter=0.0
+        )
+        items = tuple(make_item_ids(5))
+
+        def spread(ctx):
+            for item in items[1:]:
+                ctx.write(item, ctx.read(item) + ctx.read(items[0]))
+
+        from repro.txn.transaction import Transaction
+
+        system.submit(Transaction(body=spread, items=items))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        # Four remote participants each installed polyvalues.
+        assert system.total_polyvalues() == 4
+        system.recover_site("site-0")
+        system.run_for(8.0)
+        assert system.total_polyvalues() == 0
+        assert all(system.read_item(item) == 10 for item in items)

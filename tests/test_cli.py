@@ -1,0 +1,113 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_prints_all_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "1.01" in out
+        assert "50.51" in out
+        assert out.count("\n") >= 12
+
+
+class TestTable2:
+    def test_runs_quick(self, capsys):
+        assert main(["table2", "--duration", "500", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "paper pred" in out
+
+    def test_deterministic(self, capsys):
+        main(["table2", "--duration", "500", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["table2", "--duration", "500", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestModel:
+    def test_default_is_typical_database(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "1.0101" in out
+        assert "decay rate" in out
+
+    def test_custom_parameters(self, capsys):
+        assert main(["model", "-u", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "11.1111" in out
+
+    def test_unstable_regime_reports_error(self, capsys):
+        code = main(["model", "-u", "1000", "-d", "10", "-i", "1000"])
+        assert code == 1
+        assert "UNSTABLE" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs(self, capsys):
+        code = main([
+            "simulate", "-i", "10000", "-f", "0.01", "-r", "0.01",
+            "--duration", "500", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean polyvalues" in out
+        assert "model prediction" in out
+
+
+class TestSweep:
+    def test_model_only_sweep(self, capsys):
+        code = main([
+            "sweep", "-p", "updates_per_second", "-v", "10,100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1.010" in out
+        assert "11.111" in out
+
+    def test_sweep_with_simulation(self, capsys):
+        code = main([
+            "sweep", "-p", "updates_per_second", "-v", "5",
+            "-i", "10000", "-f", "0.01", "-r", "0.01",
+            "--simulate", "--duration", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Simulation column populated (not "-").
+        data_line = out.strip().splitlines()[-1]
+        assert not data_line.endswith("-")
+
+    def test_bad_values_rejected(self, capsys):
+        code = main(["sweep", "-p", "items", "-v", "10,zebra"])
+        assert code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "-p", "bogus", "-v", "1"])
+
+
+class TestDemo:
+    def test_walkthrough(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "in-doubt window hit" in out
+        assert "after recovery" in out
+        # The polyvalue is visible mid-demo...
+        assert "T1@site-0" in out
+        # ...and resolved at the end (presumed abort restores 100).
+        assert "'bob': 100" in out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entrypoint_exists(self):
+        import repro.__main__  # noqa: F401 - imported for side-effect check

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the condition algebra.
+
+These verify that the simplification done by the Condition constructor
+and operators is *semantics-preserving*: whatever structural rewriting
+happens (contradiction removal, absorption, resolution), the predicate
+must agree with a naive evaluation under every assignment.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import Condition, Literal
+
+TXNS = ["T1", "T2", "T3", "T4"]
+
+literals = st.builds(
+    Literal,
+    txn=st.sampled_from(TXNS),
+    positive=st.booleans(),
+)
+
+products = st.frozensets(literals, min_size=0, max_size=4)
+
+raw_conditions = st.lists(products, min_size=0, max_size=5)
+
+
+def build(products_list):
+    return Condition(products_list)
+
+
+def naive_evaluate(products_list, assignment):
+    """Evaluate the raw sum-of-products without any simplification."""
+    return any(
+        all(assignment[lit.txn] == lit.positive for lit in product)
+        for product in products_list
+    )
+
+
+def all_assignments():
+    for values in itertools.product((False, True), repeat=len(TXNS)):
+        yield dict(zip(TXNS, values))
+
+
+@given(raw_conditions)
+def test_construction_preserves_semantics(products_list):
+    condition = build(products_list)
+    for assignment in all_assignments():
+        assert condition.evaluate(assignment) == naive_evaluate(
+            products_list, assignment
+        )
+
+
+@given(raw_conditions, raw_conditions)
+def test_and_matches_pointwise_conjunction(left, right):
+    combined = build(left) & build(right)
+    for assignment in all_assignments():
+        expected = naive_evaluate(left, assignment) and naive_evaluate(
+            right, assignment
+        )
+        assert combined.evaluate(assignment) == expected
+
+
+@given(raw_conditions, raw_conditions)
+def test_or_matches_pointwise_disjunction(left, right):
+    combined = build(left) | build(right)
+    for assignment in all_assignments():
+        expected = naive_evaluate(left, assignment) or naive_evaluate(
+            right, assignment
+        )
+        assert combined.evaluate(assignment) == expected
+
+
+@given(raw_conditions)
+@settings(max_examples=60)
+def test_negation_matches_pointwise_complement(products_list):
+    negated = ~build(products_list)
+    for assignment in all_assignments():
+        assert negated.evaluate(assignment) != naive_evaluate(
+            products_list, assignment
+        )
+
+
+@given(raw_conditions)
+@settings(max_examples=60)
+def test_excluded_middle_with_self(products_list):
+    condition = build(products_list)
+    union = condition | ~condition
+    assert union.is_tautology()
+    intersection = condition & ~condition
+    assert not intersection.is_satisfiable()
+
+
+@given(raw_conditions, st.sampled_from(TXNS), st.booleans())
+def test_substitution_agrees_with_restricted_evaluation(
+    products_list, txn, outcome
+):
+    condition = build(products_list)
+    reduced = condition.substitute({txn: outcome})
+    for assignment in all_assignments():
+        forced = dict(assignment)
+        forced[txn] = outcome
+        assert reduced.evaluate(assignment) == condition.evaluate(forced)
+
+
+@given(raw_conditions)
+def test_simplified_form_has_no_contradictory_products(products_list):
+    condition = build(products_list)
+    for product in condition.products:
+        txns_seen = {}
+        for literal in product:
+            assert txns_seen.setdefault(literal.txn, literal.positive) == (
+                literal.positive
+            )
+
+
+@given(raw_conditions)
+def test_no_product_subsumes_another(products_list):
+    condition = build(products_list)
+    product_list = list(condition.products)
+    for i, a in enumerate(product_list):
+        for j, b in enumerate(product_list):
+            if i != j:
+                assert not a < b
+
+
+@given(raw_conditions, raw_conditions)
+@settings(max_examples=60)
+def test_equivalent_is_symmetric(left, right):
+    a, b = build(left), build(right)
+    assert a.equivalent(b) == b.equivalent(a)
+
+
+@given(raw_conditions)
+def test_structural_equality_implies_equal_hash(products_list):
+    a = build(products_list)
+    b = build(list(products_list))
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,172 @@
+"""Edge-case unit tests for the coordinator role (repro.txn.coordinator)."""
+
+import pytest
+
+from repro.net.message import Envelope
+from repro.txn import protocol
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+def build(seed=17):
+    return DistributedSystem.build(
+        sites=3,
+        items={"a": 10, "b": 20, "c": 30},
+        seed=seed,
+        jitter=0.0,
+    )
+
+
+def inject(system, sender, recipient, payload):
+    system.sites[recipient].on_message(
+        Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at=system.sim.now,
+        )
+    )
+
+
+class TestReadPhase:
+    def test_duplicate_read_reply_ignored(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.021)  # replies just delivered; staging begun
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.ReadReply(
+                txn=handle.txn, site="site-1", ok=True, values={"b": 999}
+            ),
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("b") == 21  # the late 999 never entered
+
+    def test_read_reply_for_unknown_txn_ignored(self):
+        system = build()
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.ReadReply(txn="T99@site-0", site="site-1", ok=True, values={}),
+        )
+        system.run_for(0.5)
+
+    def test_read_reply_from_uninvolved_site_ignored(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.001)
+        inject(
+            system,
+            "site-2",
+            "site-0",
+            protocol.ReadReply(
+                txn=handle.txn, site="site-2", ok=True, values={"c": 1}
+            ),
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+
+    def test_negative_read_reply_aborts_immediately(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.001)
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.ReadReply(
+                txn=handle.txn,
+                site="site-1",
+                ok=False,
+                reason="synthetic conflict",
+            ),
+        )
+        assert handle.status is TxnStatus.ABORTED
+        assert "synthetic conflict" in handle.abort_reason
+
+
+class TestStagePhase:
+    def test_duplicate_ready_does_not_double_commit(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        run_to_decision(system, handle)
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.Ready(txn=handle.txn, site="site-1"),
+        )
+        system.run_for(0.5)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.metrics.committed == 1
+
+    def test_refuse_after_decision_ignored(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        run_to_decision(system, handle)
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.Refuse(txn=handle.txn, site="site-1", reason="late"),
+        )
+        system.run_for(0.5)
+        assert handle.status is TxnStatus.COMMITTED
+
+    def test_ready_from_unexpected_site_does_not_complete_early(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.031)  # staging just requested
+        inject(
+            system,
+            "site-2",
+            "site-0",
+            protocol.Ready(txn=handle.txn, site="site-2"),
+        )
+        # site-2 is not involved; awaiting must still contain the real
+        # participants, so no premature decision.
+        assert handle.status is TxnStatus.PENDING
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+
+
+class TestDecisionBookkeeping:
+    def test_active_set_empties_after_decision(self):
+        system = build()
+        handle = system.submit(increment("a"))
+        run_to_decision(system, handle)
+        assert system.sites["site-0"].coordinator.active_transactions() == set()
+
+    def test_sequential_txn_ids_are_unique(self):
+        system = build()
+        ids = set()
+        for _ in range(5):
+            handle = system.submit(increment("a"))
+            run_to_decision(system, handle)
+            ids.add(handle.txn)
+        assert len(ids) == 5
+
+    def test_concurrent_coordinators_independent_id_spaces(self):
+        system = build()
+        first = system.submit(increment("a"), at="site-0")
+        second = system.submit(increment("b"), at="site-1")
+        run_to_decision(system, first)
+        run_to_decision(system, second)
+        assert first.txn != second.txn
+        assert first.txn.endswith("@site-0")
+        assert second.txn.endswith("@site-1")
+
+    def test_crash_returns_undecided_handles_only(self):
+        system = build()
+        decided = system.submit(increment("a"))
+        run_to_decision(system, decided)
+        pending = system.submit(move("a", "b", 1))
+        system.run_for(0.005)
+        undecided = system.sites["site-0"].coordinator.on_crash()
+        assert undecided == [pending]

@@ -1,0 +1,121 @@
+"""Tests for cost accounting (repro.analysis.cost)."""
+
+import pytest
+
+from repro.analysis.cost import (
+    measure_processing,
+    measure_storage,
+    predicted_storage_fraction,
+)
+from repro.analysis.model import TYPICAL
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+def system_with_doubt(seed=42):
+    system = DistributedSystem.build(
+        sites=3,
+        items={f"item-{index}": 100 for index in range(6)},
+        seed=seed,
+        jitter=0.0,
+    )
+    system.submit(move("item-0", "item-1", 30))
+    system.run_for(0.035)
+    system.crash_site("site-0")
+    system.run_for(1.5)
+    return system
+
+
+class TestStorage:
+    def test_clean_system_has_no_overhead(self):
+        system = DistributedSystem.build(
+            sites=2, items={"a": 1, "b": 2}, seed=0
+        )
+        report = measure_storage(system)
+        assert report.polyvalued_items == 0
+        assert report.total_items == 2
+        assert report.extra_bytes == 0
+        assert report.mean_pairs is None
+        assert report.polyvalue_fraction == 0.0
+
+    def test_in_doubt_item_measured(self):
+        system = system_with_doubt()
+        report = measure_storage(system)
+        assert report.polyvalued_items == 1
+        size = report.sizes[0]
+        assert size.pairs == 2
+        assert size.depends_on == 1
+        assert size.literals == 2  # T and ~T
+        assert size.encoded_bytes > size.plain_bytes
+        assert report.extra_bytes > 0
+
+    def test_outcome_bookkeeping_counted(self):
+        system = system_with_doubt()
+        report = measure_storage(system)
+        assert report.outcome_table_entries >= 1
+
+    def test_compound_uncertainty_grows_pairs(self):
+        system = system_with_doubt()
+        # A second in-doubt transaction over the same item.
+        system.submit(move("item-2", "item-1", 7), at="site-2")
+        system.run_for(0.035)
+        system.crash_site("site-2")
+        system.run_for(1.5)
+        report = measure_storage(system)
+        assert report.max_pairs == 4  # 2 x 2 combinations
+
+    def test_overhead_vanishes_after_recovery(self):
+        system = system_with_doubt()
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        report = measure_storage(system)
+        assert report.polyvalued_items == 0
+        assert report.outcome_table_entries == 0
+        assert report.extra_bytes == 0
+
+
+class TestProcessing:
+    def test_no_polytransactions_no_fanout(self):
+        system = DistributedSystem.build(
+            sites=2, items={"a": 1, "b": 2}, seed=0
+        )
+        handle = system.submit(increment("a"))
+        run_to_decision(system, handle)
+        report = measure_processing(system)
+        assert report.polytransactions == 0
+        assert report.mean_fanout is None
+        assert report.extra_executions == 0
+
+    def test_polytransaction_fanout_recorded(self):
+        system = system_with_doubt()
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        report = measure_processing(system)
+        assert report.polytransactions == 1
+        assert report.total_fanout == 2
+        assert report.mean_fanout == 2.0
+        assert report.extra_executions == 1
+        assert report.max_fanout == 2
+
+    def test_fraction_over_decided(self):
+        system = system_with_doubt()
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        handle = system.submit(increment("item-4"), at="site-1")
+        run_to_decision(system, handle)
+        report = measure_processing(system)
+        assert 0 < report.polytransaction_fraction < 1
+
+
+class TestPrediction:
+    def test_typical_database_overhead_is_tiny(self):
+        fraction = predicted_storage_fraction(TYPICAL)
+        # ~1 polyvalue per million items, one extra value each.
+        assert fraction == pytest.approx(1.01e-6, rel=0.01)
+
+    def test_scales_with_pairs(self):
+        double = predicted_storage_fraction(TYPICAL, pairs_per_polyvalue=3.0)
+        single = predicted_storage_fraction(TYPICAL, pairs_per_polyvalue=2.0)
+        assert double == pytest.approx(2 * single)

@@ -1,0 +1,71 @@
+"""Keep the documentation honest: run doctests and the example scripts.
+
+Docstring examples are part of the public API contract; the examples
+directory is the first thing a new user runs.  Both rot silently unless
+executed in CI — so this module executes them.
+"""
+
+import doctest
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+import repro.core.conditions
+import repro.core.polyvalue
+import repro.sim.engine
+import repro.txn.system
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+DOCTEST_MODULES = [
+    repro,
+    repro.core.conditions,
+    repro.core.polyvalue,
+    repro.sim.engine,
+    repro.txn.system,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=lambda m: m.__name__
+)
+def test_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    # Modules listed here are expected to actually contain examples.
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+
+
+def test_examples_directory_is_complete():
+    names = {path.name for path in EXAMPLES}
+    for expected in (
+        "quickstart.py",
+        "funds_transfer.py",
+        "reservations.py",
+        "inventory_control.py",
+        "paper_analysis.py",
+        "policy_comparison.py",
+        "protocol_trace.py",
+        "replicated_bank.py",
+    ):
+        assert expected in names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    arguments = [sys.executable, str(script)]
+    if script.name == "paper_analysis.py":
+        arguments.append("--quick")
+    completed = subprocess.run(
+        arguments,
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

@@ -1,0 +1,176 @@
+"""Gap-filling tests for less-travelled code paths."""
+
+import pytest
+
+from repro.core.conditions import Condition, conditions_are_complete
+from repro.core.errors import ConditionError, PolyvalueError
+from repro.core.polyvalue import Polyvalue
+from repro.net.message import Envelope
+from repro.txn import protocol
+from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+class TestRelaxedAbortGuess:
+    def test_zero_probability_always_guesses_abort(self):
+        config = ProtocolConfig(
+            policy=CommitPolicy.RELAXED, relaxed_commit_probability=0.0
+        )
+        system = DistributedSystem.build(
+            sites=3,
+            items={"a": 100, "b": 100, "c": 100},
+            seed=42,
+            jitter=0.0,
+            config=config,
+        )
+        system.submit(move("a", "b", 30))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        # The participant guessed ABORT: old value stands, no polyvalue.
+        assert system.read_item("b") == 100
+        assert system.metrics.unilateral_decisions >= 1
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        # Actual outcome was also abort -> the guess happened to agree.
+        assert system.metrics.inconsistent_decisions == 0
+
+    def test_relaxed_participant_crash_recovery_guesses(self):
+        config = ProtocolConfig(policy=CommitPolicy.RELAXED)
+        system = DistributedSystem.build(
+            sites=3,
+            items={"a": 100, "b": 100, "c": 100},
+            seed=42,
+            jitter=0.0,
+            config=config,
+        )
+        system.submit(move("a", "b", 30))
+        system.run_for(0.035)
+        system.crash_site("site-1")  # the PARTICIPANT holding b
+        system.run_for(1.0)
+        system.recover_site("site-1")
+        system.run_for(0.01)
+        # Recovery applied the unilateral policy to the staged txn.
+        assert system.metrics.unilateral_decisions >= 1
+        system.run_for(6.0)
+        assert system.read_item("b") in (100, 130)
+
+
+class TestBlockingParticipantCrash:
+    def test_blocking_recovery_relocks_and_waits(self):
+        config = ProtocolConfig(policy=CommitPolicy.BLOCKING)
+        system = DistributedSystem.build(
+            sites=3,
+            items={"a": 100, "b": 100, "c": 100},
+            seed=42,
+            jitter=0.0,
+            config=config,
+        )
+        handle = system.submit(move("a", "b", 30))
+        system.run_for(0.035)
+        system.crash_site("site-1")
+        system.run_for(1.0)
+        system.recover_site("site-1")
+        system.run_for(0.01)
+        site1 = system.sites["site-1"]
+        # Re-acquired the write lock and resumed blocking...
+        blocked = site1.participant.blocked_transactions()
+        if blocked:
+            assert "b" in site1.runtime.locks.locked_items()
+        # ...until the outcome-query loop resolves it.
+        system.run_for(6.0)
+        assert not site1.participant.blocked_transactions()
+        assert site1.runtime.locks.locked_items() == frozenset()
+        assert system.read_item("b") in (100, 130)
+        assert handle.status is not TxnStatus.PENDING
+
+
+class TestFanOutAbort:
+    def test_transaction_exceeding_alternatives_budget_aborts(self):
+        # A budget of 1 means ANY partitioning read overflows: the
+        # coordinator catches TooManyAlternativesError and aborts.
+        config = ProtocolConfig(max_alternatives=1)
+        system = DistributedSystem.build(
+            sites=3,
+            items={f"item-{index}": 100 for index in range(3)},
+            seed=42,
+            jitter=0.0,
+            config=config,
+        )
+        system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(1.0)
+        from repro.core.polyvalue import is_polyvalue
+
+        assert is_polyvalue(system.read_item("item-1"))
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.ABORTED
+        assert "body failed" in handle.abort_reason
+
+
+class TestOutcomeCacheAnswers:
+    def test_query_answered_from_cache_after_log_gc(self):
+        system = DistributedSystem.build(
+            sites=3, items={"a": 1, "b": 2, "c": 3}, seed=7, jitter=0.0
+        )
+        handle = system.submit(move("a", "b", 1))
+        run_to_decision(system, handle)
+        system.run_for(1.0)
+        log = system.sites["site-0"].runtime.outcome_log
+        assert not log.knows(handle.txn)  # GC'd after acks
+        # A late query must still get the true COMMITTED answer (from
+        # the known-outcomes cache), not a presumed abort.
+        system.sites["site-0"].on_message(
+            Envelope(
+                sender="site-2",
+                recipient="site-0",
+                payload=protocol.OutcomeQuery(
+                    txn=handle.txn, requester="site-2"
+                ),
+                sent_at=system.sim.now,
+            )
+        )
+        system.run_for(1.0)
+        assert (
+            system.sites["site-2"].runtime.known_outcomes[handle.txn] is True
+        )
+
+
+class TestConditionLimits:
+    def test_completeness_check_variable_cap(self):
+        wide = [Condition.of(f"T{i}") for i in range(25)]
+        with pytest.raises(ConditionError):
+            conditions_are_complete(wide)
+
+    def test_reduce_with_contradictory_outcomes_raises(self):
+        pv = Polyvalue.in_doubt("T1", 1, 2)
+        # Force the impossible: both pairs falsified via a doctored
+        # polyvalue (validation off).
+        broken = Polyvalue(
+            [(1, Condition.of("T1")), (2, Condition.of("T2"))], validate=False
+        )
+        with pytest.raises(PolyvalueError):
+            broken.reduce({"T1": False, "T2": False})
+
+
+class TestCliUnstableSimulate:
+    def test_simulate_reports_unstable_model(self, capsys):
+        from repro.cli import main
+
+        # U*D > I*R: the simulation runs, the model column is flagged.
+        code = main(
+            [
+                "simulate",
+                "-i", "1000", "-u", "20", "-d", "5",
+                "-r", "0.01", "-f", "0.001",
+                "--duration", "500", "--seed", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unstable regime" in out

@@ -1,0 +1,118 @@
+"""Exception hierarchy and public-API export checks.
+
+These tests pin the contract a downstream user relies on: every library
+error is catchable as ``ReproError``; the advertised names exist and
+``__all__`` is honest (no dangling names, nothing private)."""
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.core
+import repro.db
+import repro.metrics
+import repro.net
+import repro.sim
+import repro.txn
+import repro.workloads
+from repro.core import errors
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.UncertainValueError, errors.PolyvalueError)
+        assert issubclass(errors.IncompleteConditionsError, errors.PolyvalueError)
+        assert issubclass(errors.OverlappingConditionsError, errors.PolyvalueError)
+        assert issubclass(errors.TransactionAborted, errors.TransactionError)
+        assert issubclass(errors.LockError, errors.TransactionError)
+        assert issubclass(errors.SiteDownError, errors.NetworkError)
+
+    def test_one_except_clause_catches_all(self):
+        from repro.core.conditions import Condition
+        from repro.core.polyvalue import Polyvalue
+
+        with pytest.raises(errors.ReproError):
+            Polyvalue([])
+        with pytest.raises(errors.ReproError):
+            Condition.of("T1").substitute({})  # fine...
+            raise errors.SimulationError("synthetic")
+
+    def test_serialization_error_is_polyvalue_error(self):
+        from repro.core.serialize import SerializationError
+
+        assert issubclass(SerializationError, errors.PolyvalueError)
+
+
+ALL_PACKAGES = [
+    repro,
+    repro.analysis,
+    repro.core,
+    repro.db,
+    repro.metrics,
+    repro.net,
+    repro.sim,
+    repro.txn,
+    repro.workloads,
+]
+
+
+@pytest.mark.parametrize("package", ALL_PACKAGES, ids=lambda p: p.__name__)
+def test_all_names_resolve(package):
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package.__name__}.{name} missing"
+
+
+@pytest.mark.parametrize("package", ALL_PACKAGES, ids=lambda p: p.__name__)
+def test_all_is_sorted_and_unique(package):
+    names = [n for n in package.__all__ if n != "__version__"]
+    assert names == sorted(names), f"{package.__name__}.__all__ unsorted"
+    assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("package", ALL_PACKAGES, ids=lambda p: p.__name__)
+def test_no_private_names_exported(package):
+    for name in package.__all__:
+        assert not name.startswith("_") or name == "__version__"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_quickstart_names():
+    for name in (
+        "DistributedSystem",
+        "Transaction",
+        "Polyvalue",
+        "Condition",
+        "combine",
+        "definitely",
+        "polyvalue_system",
+    ):
+        assert hasattr(repro, name)
+
+
+class TestTransitionLogDot:
+    def test_dot_renders_all_edges(self):
+        from repro.txn.runtime import SiteState, TransitionLog
+
+        log = TransitionLog()
+        log.record(0.0, "s", "T1", SiteState.IDLE, SiteState.COMPUTE, "begin")
+        dot = log.to_dot()
+        assert dot.startswith("digraph")
+        assert 'begin (x1)' in dot
+        assert "dashed" in dot  # unobserved edges
+        assert dot.count("->") == 7
+
+    def test_dot_full_diagram(self):
+        from repro.txn.runtime import TransitionLog
+
+        dot = TransitionLog().to_dot(observed_only=False)
+        assert "dashed" not in dot

@@ -1,0 +1,156 @@
+"""Unit tests for failure injection (repro.net.failures)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.net.failures import CrashPlan, RandomFailures, ScriptedFailures
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+
+
+class RecordingTarget:
+    """A Crashable that records every crash/recover with its time."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.events = []
+        self.down = set()
+
+    def crash_site(self, site):
+        self.events.append(("crash", site, self.sim.now))
+        self.down.add(site)
+
+    def recover_site(self, site):
+        self.events.append(("recover", site, self.sim.now))
+        self.down.discard(site)
+
+
+class TestScriptedFailures:
+    def test_single_outage_executed_on_schedule(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+        ScriptedFailures(sim, target, [CrashPlan("s1", at=2.0, duration=3.0)])
+        sim.run()
+        assert target.events == [
+            ("crash", "s1", 2.0),
+            ("recover", "s1", 5.0),
+        ]
+
+    def test_multiple_outages_sorted(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+        injector = ScriptedFailures(
+            sim,
+            target,
+            [
+                CrashPlan("s2", at=5.0, duration=1.0),
+                CrashPlan("s1", at=1.0, duration=1.0),
+            ],
+        )
+        assert [plan.site for plan in injector.plans] == ["s1", "s2"]
+        sim.run()
+        assert target.events[0] == ("crash", "s1", 1.0)
+
+    def test_overlapping_outages_different_sites(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+        ScriptedFailures(
+            sim,
+            target,
+            [
+                CrashPlan("s1", at=1.0, duration=10.0),
+                CrashPlan("s2", at=2.0, duration=1.0),
+            ],
+        )
+        sim.run_until(4.0)
+        assert target.down == {"s1"}
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(SimulationError):
+            CrashPlan("s1", at=-1.0, duration=1.0)
+        with pytest.raises(SimulationError):
+            CrashPlan("s1", at=1.0, duration=0.0)
+
+
+class TestRandomFailures:
+    def test_crashes_and_recoveries_occur(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+        injector = RandomFailures(
+            sim,
+            target,
+            Rng(1),
+            crash_rate=0.1,
+            mean_repair=1.0,
+            sites=["s1", "s2"],
+        )
+        sim.run_until(200.0)
+        assert injector.crashes_injected > 5
+        crashes = [e for e in target.events if e[0] == "crash"]
+        recoveries = [e for e in target.events if e[0] == "recover"]
+        assert len(crashes) == injector.crashes_injected
+        # Every crash recovers eventually (run long past mean repair).
+        assert len(recoveries) >= len(crashes) - 2
+
+    def test_no_double_crash_of_same_site(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+
+        class StrictTarget(RecordingTarget):
+            def crash_site(self, site):
+                assert site not in self.down, "crashed a down site"
+                super().crash_site(site)
+
+        strict = StrictTarget(sim)
+        RandomFailures(
+            sim,
+            strict,
+            Rng(3),
+            crash_rate=2.0,  # very frequent vs. repair time
+            mean_repair=5.0,
+            sites=["s1"],
+        )
+        sim.run_until(50.0)
+
+    def test_zero_rate_never_crashes(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+        RandomFailures(
+            sim, target, Rng(0), crash_rate=0.0, mean_repair=1.0, sites=["s1"]
+        )
+        sim.run_until(100.0)
+        assert target.events == []
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        target = RecordingTarget(sim)
+        with pytest.raises(SimulationError):
+            RandomFailures(
+                sim, target, Rng(0), crash_rate=-1, mean_repair=1, sites=["s1"]
+            )
+        with pytest.raises(SimulationError):
+            RandomFailures(
+                sim, target, Rng(0), crash_rate=1, mean_repair=0, sites=["s1"]
+            )
+        with pytest.raises(SimulationError):
+            RandomFailures(
+                sim, target, Rng(0), crash_rate=1, mean_repair=1, sites=[]
+            )
+
+    def test_seeded_reproducibility(self):
+        def run(seed):
+            sim = Simulator()
+            target = RecordingTarget(sim)
+            RandomFailures(
+                sim,
+                target,
+                Rng(seed),
+                crash_rate=0.05,
+                mean_repair=2.0,
+                sites=["s1", "s2"],
+            )
+            sim.run_until(100.0)
+            return target.events
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)

@@ -1,0 +1,152 @@
+"""Tests for the §3.3 outcome-forwarding chain.
+
+"Because of the propagation of polyvalues by polytransactions, the
+sites that may hold polyvalues dependent on the outcome of a
+transaction T, are not limited to the sites involved in T. ...  The
+responsibility for informing the sites with polyvalues dependent on T
+of the outcome of T ... can be distributed among the sites."
+
+Scenario: T's in-doubt polyvalue lives on item ``b`` at site-1.  A
+polytransaction coordinated at site-2 reads ``b`` and writes ``d``
+(site-0's item — but we use a 4-site layout so the chain is visible):
+
+* site-1 forwarded the polyvalue to site-2 → records (T → site-2);
+* site-2 shipped the computed polyvalue to ``d``'s home → records
+  (T → that site);
+* ``d``'s home records the per-item dependency.
+
+When T's outcome becomes known, the notifications must flow down that
+chain — the final site never queries T's coordinator itself (it was
+never a direct participant of T, so it is not covered by the
+coordinator's log retention).
+"""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.db.catalog import Catalog
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import run_to_decision
+
+
+def build(seed=11):
+    catalog = Catalog.from_mapping(
+        {"a": "site-0", "b": "site-1", "c": "site-2", "d": "site-3"}
+    )
+    return DistributedSystem(
+        catalog=catalog,
+        initial_values={"a": 100, "b": 200, "c": 300, "d": 400},
+        seed=seed,
+        jitter=0.0,
+    )
+
+
+def move(source, target, amount):
+    def body(ctx):
+        ctx.write(source, ctx.read(source) - amount)
+        ctx.write(target, ctx.read(target) + amount)
+
+    return Transaction(body=body, items=(source, target))
+
+
+def copy_b_into_d():
+    def body(ctx):
+        ctx.write("d", ctx.read("b"))
+
+    return Transaction(body=body, items=("b", "d"))
+
+
+def make_chain(system):
+    """Create the in-doubt polyvalue on b, then propagate it to d."""
+    in_doubt = system.submit(move("a", "b", 30), at="site-0")
+    system.run_for(0.035)
+    system.crash_site("site-0")
+    system.run_for(1.5)
+    assert is_polyvalue(system.read_item("b"))
+    copier = system.submit(copy_b_into_d(), at="site-2")
+    run_to_decision(system, copier)
+    assert copier.status is TxnStatus.COMMITTED
+    assert is_polyvalue(system.read_item("d"))
+    return in_doubt
+
+
+class TestForwardRecording:
+    def test_reader_records_forward_to_coordinator(self):
+        system = build()
+        in_doubt = make_chain(system)
+        table = system.sites["site-1"].runtime.outcomes
+        assert "site-2" in table.forwarded_sites(in_doubt.txn)
+
+    def test_coordinator_records_forward_to_write_site(self):
+        system = build()
+        in_doubt = make_chain(system)
+        table = system.sites["site-2"].runtime.outcomes
+        assert "site-3" in table.forwarded_sites(in_doubt.txn)
+
+    def test_final_site_records_item_dependency(self):
+        system = build()
+        in_doubt = make_chain(system)
+        table = system.sites["site-3"].runtime.outcomes
+        assert "d" in table.dependent_items(in_doubt.txn)
+
+    def test_final_site_does_not_query_coordinator(self):
+        # d's home was never a direct participant of the in-doubt txn:
+        # it must not be in the active-query set (it relies on the
+        # chain; querying post-GC could return a wrong presumed abort).
+        system = build()
+        in_doubt = make_chain(system)
+        runtime = system.sites["site-3"].runtime
+        assert in_doubt.txn not in runtime.direct_doubts
+
+
+class TestChainResolution:
+    def test_outcome_flows_down_the_chain(self):
+        system = build()
+        make_chain(system)
+        system.recover_site("site-0")
+        system.run_for(8.0)
+        # Presumed abort: b back to 200, and the copy of b in d is 200.
+        assert system.read_item("b") == 200
+        assert system.read_item("d") == 200
+        assert system.total_polyvalues() == 0
+        assert system.outcome_bookkeeping_size() == 0
+
+    def test_chain_survives_forwarder_outage(self):
+        # Crash the middle of the chain (site-2) before recovery of the
+        # coordinator.  Its pending-notification state is durable, so
+        # after site-2 comes back the chain still completes.
+        system = build()
+        make_chain(system)
+        system.crash_site("site-2")
+        system.recover_site("site-0")
+        system.run_for(5.0)
+        # b resolved (site-1 queries the coordinator directly)...
+        assert system.read_item("b") == 200
+        # ...but d cannot have: its notifier is down.
+        assert is_polyvalue(system.read_item("d"))
+        system.recover_site("site-2")
+        system.run_for(8.0)
+        assert system.read_item("d") == 200
+        assert system.total_polyvalues() == 0
+        assert system.outcome_bookkeeping_size() == 0
+
+    def test_chain_delivers_commit_outcomes_too(self):
+        # Same chain, but the in-doubt transaction actually COMMITTED
+        # (partition dropped the complete message instead of a crash).
+        system = build()
+        handle = system.submit(move("a", "b", 30), at="site-0")
+        system.run_for(0.041)  # decision made; completes in flight
+        system.network.partition("site-0", "site-1")
+        system.run_for(1.5)
+        if not is_polyvalue(system.read_item("b")):
+            pytest.skip("complete beat the partition under this seed")
+        copier = system.submit(copy_b_into_d(), at="site-2")
+        run_to_decision(system, copier)
+        system.network.heal_all()
+        system.run_for(8.0)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("b") == 230
+        assert system.read_item("d") == 230
+        assert system.total_polyvalues() == 0

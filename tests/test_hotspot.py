@@ -1,0 +1,78 @@
+"""Tests for hot-spot (non-uniform) item selection in the Monte-Carlo
+simulation — the paper's "effective size of the database" remark."""
+
+import pytest
+
+from repro.analysis.model import ModelParams, is_stable, steady_state_polyvalues
+from repro.analysis.montecarlo import PolyvalueSimulation
+from repro.core.errors import SimulationError
+
+
+def params(u=10, f=0.01, i=10_000, r=0.01, d=1, y=0):
+    return ModelParams(u, f, i, r, d, y)
+
+
+class TestValidation:
+    def test_fields_must_pair(self):
+        with pytest.raises(SimulationError):
+            PolyvalueSimulation(params(), hot_fraction=0.1, hot_weight=0.0)
+
+    def test_bounds(self):
+        with pytest.raises(SimulationError):
+            PolyvalueSimulation(params(), hot_fraction=1.0, hot_weight=0.5)
+
+
+class TestEffectiveSize:
+    def test_uniform_is_identity(self):
+        simulation = PolyvalueSimulation(params())
+        assert simulation.effective_items() == params().items
+
+    def test_skew_shrinks_effective_size(self):
+        skewed = PolyvalueSimulation(
+            params(), hot_fraction=0.05, hot_weight=0.5
+        )
+        assert skewed.effective_items() < params().items / 2
+
+    def test_more_weight_shrinks_more(self):
+        mild = PolyvalueSimulation(params(), hot_fraction=0.05, hot_weight=0.3)
+        harsh = PolyvalueSimulation(params(), hot_fraction=0.05, hot_weight=0.7)
+        assert harsh.effective_items() < mild.effective_items()
+
+    def test_effective_size_formula(self):
+        # Hand-checked: I=100, H=10, w=0.5:
+        # p_hot = 0.5/10 + 0.5/100 = 0.055 ; p_cold = 0.005
+        # sum p^2 = 10*0.055^2 + 90*0.005^2 = 0.03250
+        simulation = PolyvalueSimulation(
+            params(i=100), hot_fraction=0.1, hot_weight=0.5
+        )
+        assert simulation.effective_items() == pytest.approx(1 / 0.03250)
+
+
+class TestSkewedSimulation:
+    def test_skew_increases_polyvalues(self):
+        # The skewed steady state (23.5 at I_eff=1739) is roughly twice
+        # the uniform one (11.1); 4000 s gives the slower skewed system
+        # time to climb there.
+        uniform = PolyvalueSimulation(params(), seed=13).run(4000.0)
+        skewed = PolyvalueSimulation(
+            params(), seed=13, hot_fraction=0.05, hot_weight=0.5
+        ).run(4000.0)
+        assert skewed.mean_polyvalues > 1.4 * uniform.mean_polyvalues
+
+    def test_model_at_effective_size_predicts_skewed_sim(self):
+        simulation = PolyvalueSimulation(
+            params(), seed=13, hot_fraction=0.05, hot_weight=0.5
+        )
+        effective = simulation.effective_items()
+        result = simulation.run(3000.0)
+        predicted = steady_state_polyvalues(params(i=effective))
+        assert result.mean_polyvalues == pytest.approx(predicted, rel=0.4)
+
+    def test_extreme_skew_destabilises(self):
+        # A database comfortably stable under uniform access becomes
+        # unstable once a tiny hot set absorbs most traffic.
+        assert is_stable(params())
+        simulation = PolyvalueSimulation(
+            params(), seed=13, hot_fraction=0.01, hot_weight=0.8
+        )
+        assert not is_stable(params(i=simulation.effective_items()))

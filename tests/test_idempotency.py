@@ -1,0 +1,115 @@
+"""Protocol idempotency under message duplication.
+
+Real networks (and the protocol's own retry layers) deliver messages
+more than once.  Every handler must be idempotent: a duplicated
+complete must not install twice, a duplicated ready must not
+double-commit, a duplicated outcome notification must not re-reduce.
+These tests run the full protocol over a network that duplicates a
+large fraction of messages and assert that nothing changes except the
+traffic counters.
+"""
+
+import pytest
+
+from repro.net.network import Network
+from repro.core.errors import NetworkError
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.generator import (
+    RandomUpdateWorkload,
+    WorkloadConfig,
+    make_item_ids,
+)
+
+from tests.conftest import increment, move, run_to_decision
+
+
+class TestNetworkDuplication:
+    def test_duplicates_delivered_and_counted(self):
+        sim = Simulator()
+        network = Network(sim, Rng(0), duplicate_probability=1.0, jitter=0.0)
+        inbox = []
+        network.register("b", inbox.append)
+        network.register("a", lambda e: None)
+        network.send("a", "b", "x")
+        sim.run()
+        assert len(inbox) == 2
+        assert network.stats.duplicated == 1
+        assert network.stats.delivered == 2
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(Simulator(), Rng(0), duplicate_probability=1.5)
+
+
+class TestProtocolUnderDuplication:
+    def build(self, seed=23):
+        return DistributedSystem.build(
+            sites=3,
+            items={f"item-{index}": 100 for index in range(6)},
+            seed=seed,
+            duplicate_probability=0.5,
+        )
+
+    def test_commit_applies_exactly_once(self):
+        system = self.build()
+        handle = system.submit(move("item-0", "item-1", 10))
+        run_to_decision(system, handle)
+        system.run_for(2.0)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-0") == 90
+        assert system.read_item("item-1") == 110
+        assert system.network.stats.duplicated > 0
+
+    def test_sequential_increments_exact(self):
+        system = self.build()
+        for _ in range(10):
+            handle = system.submit(increment("item-2"))
+            run_to_decision(system, handle)
+            assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-2") == 110
+
+    def test_metrics_not_inflated_by_duplicates(self):
+        system = self.build()
+        handle = system.submit(move("item-0", "item-1", 10))
+        run_to_decision(system, handle)
+        system.run_for(2.0)
+        assert system.metrics.committed == 1
+        assert system.metrics.submitted == 1
+
+    def test_in_doubt_resolution_once_despite_duplicate_notifies(self):
+        system = self.build()
+        system.submit(move("item-0", "item-1", 10))
+        system.run_for(0.05)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        system.recover_site("site-0")
+        system.run_for(8.0)
+        # Duplicated OutcomeNotify/Ack traffic must not corrupt the
+        # final state or the counters' balance.
+        assert system.read_item("item-1") in (100, 110)
+        assert system.total_polyvalues() == 0
+        assert (
+            system.metrics.polyvalues_resolved
+            == system.metrics.polyvalues_installed
+        )
+        assert system.outcome_bookkeeping_size() == 0
+
+    def test_workload_storm_with_duplication_serial_equivalent(self):
+        from repro.workloads.runner import ExperimentRunner
+
+        values = {item: 1 for item in make_item_ids(10)}
+        system = DistributedSystem.build(
+            sites=3, items=values, seed=31, duplicate_probability=0.4
+        )
+        workload = RandomUpdateWorkload(
+            system, WorkloadConfig(update_rate=10), seed=31
+        )
+        runner = ExperimentRunner(
+            system, workload=workload, initial_values=values
+        )
+        report = runner.run(6.0, settle=10.0)
+        assert report.converged
+        assert report.serially_equivalent is True

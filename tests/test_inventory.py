@@ -1,0 +1,149 @@
+"""Tests for the inventory/process-control application (repro.workloads.inventory)."""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.inventory import (
+    InventoryWorkload,
+    order,
+    rebalance,
+    reorder_check,
+    restock,
+    stock_item,
+    stock_items,
+    stock_never_negative,
+)
+
+from tests.conftest import run_to_decision
+
+WAREHOUSES = ["east", "west"]
+PRODUCTS = ["widget", "gear"]
+
+
+def depot(stock=50, seed=5):
+    items = {item: stock for item in stock_items(WAREHOUSES, PRODUCTS)}
+    return DistributedSystem.build(sites=3, items=items, seed=seed)
+
+
+class TestPureHelpers:
+    def test_stock_item_naming(self):
+        assert stock_item("east", "widget") == "stock:east:widget"
+
+    def test_stock_items_cross_product(self):
+        assert len(stock_items(WAREHOUSES, PRODUCTS)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            order("east", "widget", 0)
+        with pytest.raises(ValueError):
+            restock("east", "widget", -1)
+        with pytest.raises(ValueError):
+            rebalance("east", "west", "widget", 0)
+
+
+class TestOperations:
+    def test_order_ships_and_decrements(self):
+        system = depot()
+        handle = system.submit(order("east", "widget", 10))
+        run_to_decision(system, handle)
+        assert handle.outputs["shipped"] is True
+        assert system.read_item(stock_item("east", "widget")) == 40
+
+    def test_order_declines_when_short(self):
+        system = depot(stock=3)
+        handle = system.submit(order("east", "widget", 10))
+        run_to_decision(system, handle)
+        assert handle.outputs["shipped"] is False
+        assert system.read_item(stock_item("east", "widget")) == 3
+
+    def test_restock(self):
+        system = depot()
+        handle = system.submit(restock("west", "gear", 25))
+        run_to_decision(system, handle)
+        assert system.read_item(stock_item("west", "gear")) == 75
+
+    def test_rebalance_moves_stock(self):
+        system = depot()
+        handle = system.submit(rebalance("east", "west", "widget", 20))
+        run_to_decision(system, handle)
+        assert handle.outputs["moved"] is True
+        assert system.read_item(stock_item("east", "widget")) == 30
+        assert system.read_item(stock_item("west", "widget")) == 70
+
+
+NEUTRAL_SITE = "site-2"  # holds only stock:west:gear, no widget items
+
+
+def crash_rebalance_in_window(system, product="widget"):
+    """Interrupt an east->west rebalance at the in-doubt moment.
+
+    The rebalance is coordinated at a *neutral* site that stores none
+    of the widget stock, so crashing it leaves both widget items'
+    home sites up — holding polyvalues, exactly the paper's scenario.
+    """
+    handle = system.submit(
+        rebalance("east", "west", product, 20), at=NEUTRAL_SITE
+    )
+    system.run_for(0.05)
+    system.crash_site(NEUTRAL_SITE)
+    system.run_for(2.0)
+    return NEUTRAL_SITE, handle
+
+
+class TestReorderUnderUncertainty:
+    def test_total_certain_despite_rebalance_uncertainty(self):
+        # A rebalance moves stock *between* warehouses: the TOTAL is the
+        # same under both outcomes, so the reorder check stays exact.
+        system = depot(stock=50)
+        crash_rebalance_in_window(system)
+        assert is_polyvalue(system.read_item(stock_item("east", "widget")))
+        handle = system.submit(
+            reorder_check(WAREHOUSES, "widget", reorder_point=30)
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs["reorder"] is False
+        assert handle.outputs["certainly_low"] is False
+
+    def test_order_uncertainty_triggers_conservative_reorder(self):
+        # An interrupted *order* (stock leaves the system) makes the
+        # total uncertain; near the reorder point the conservative
+        # trigger fires while "certainly_low" stays False.
+        system = depot(stock=16)  # east 16 + west 16 = 32, point 30
+        source = stock_item("east", "widget")
+        system.submit(order("east", "widget", 5), at=NEUTRAL_SITE)
+        system.run_for(0.05)
+        system.crash_site(NEUTRAL_SITE)
+        system.run_for(2.0)
+        assert is_polyvalue(system.read_item(source))  # {11 if T, 16 if ~T}
+        handle = system.submit(
+            reorder_check(WAREHOUSES, "widget", reorder_point=30)
+        )
+        run_to_decision(system, handle)
+        assert handle.outputs["reorder"] is True  # might be 27 < 30
+        assert handle.outputs["certainly_low"] is False  # might be 32
+
+    def test_stock_never_negative_through_failures(self):
+        system = depot(stock=10)
+        crash_rebalance_in_window(system)
+        for _ in range(4):
+            handle = system.submit(order("east", "widget", 4))
+            run_to_decision(system, handle)
+        assert stock_never_negative(system.database_state())
+
+
+class TestWorkloadDriver:
+    def test_stream_keeps_invariant(self):
+        system = depot(stock=30)
+        workload = InventoryWorkload(system, WAREHOUSES, PRODUCTS, seed=17)
+        for _ in range(30):
+            workload.submit_one()
+            system.run_for(0.3)
+        system.run_for(3.0)
+        assert stock_never_negative(system.database_state())
+        decided = [
+            h for h in workload.handles if h.status is not TxnStatus.PENDING
+        ]
+        assert len(decided) == 30

@@ -1,0 +1,143 @@
+"""Unit tests for the lock manager (repro.db.locks)."""
+
+import pytest
+
+from repro.core.errors import LockError
+from repro.db.locks import LockManager, LockMode
+
+
+class TestBasicAcquisition:
+    def test_acquire_read_on_free_item(self):
+        locks = LockManager()
+        assert locks.try_acquire("T1", "a", LockMode.READ)
+        assert locks.mode_of("a") is LockMode.READ
+
+    def test_acquire_write_on_free_item(self):
+        locks = LockManager()
+        assert locks.try_acquire("T1", "a", LockMode.WRITE)
+        assert locks.mode_of("a") is LockMode.WRITE
+
+    def test_shared_reads_allowed(self):
+        locks = LockManager()
+        assert locks.try_acquire("T1", "a", LockMode.READ)
+        assert locks.try_acquire("T2", "a", LockMode.READ)
+        assert locks.holders("a") == frozenset({"T1", "T2"})
+
+    def test_write_conflicts_with_read(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        assert not locks.try_acquire("T2", "a", LockMode.WRITE)
+        assert locks.conflicts == 1
+
+    def test_read_conflicts_with_write(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        assert not locks.try_acquire("T2", "a", LockMode.READ)
+
+    def test_write_conflicts_with_write(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        assert not locks.try_acquire("T2", "a", LockMode.WRITE)
+
+    def test_reacquire_same_mode_is_noop(self):
+        locks = LockManager()
+        assert locks.try_acquire("T1", "a", LockMode.READ)
+        assert locks.try_acquire("T1", "a", LockMode.READ)
+        assert locks.holders("a") == frozenset({"T1"})
+
+    def test_acquire_raises_on_conflict(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        with pytest.raises(LockError):
+            locks.acquire("T2", "a", LockMode.WRITE)
+
+
+class TestUpgrade:
+    def test_sole_reader_upgrades(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        assert locks.try_acquire("T1", "a", LockMode.WRITE)
+        assert locks.mode_of("a") is LockMode.WRITE
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        locks.try_acquire("T2", "a", LockMode.READ)
+        assert not locks.try_acquire("T1", "a", LockMode.WRITE)
+
+    def test_read_request_while_holding_write_is_noop(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        assert locks.try_acquire("T1", "a", LockMode.READ)
+        assert locks.mode_of("a") is LockMode.WRITE
+
+
+class TestRelease:
+    def test_release_frees_item(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        locks.release("T1", "a")
+        assert not locks.is_locked("a")
+        assert locks.try_acquire("T2", "a", LockMode.WRITE)
+
+    def test_release_one_of_shared_readers(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        locks.try_acquire("T2", "a", LockMode.READ)
+        locks.release("T1", "a")
+        assert locks.holders("a") == frozenset({"T2"})
+
+    def test_release_unheld_is_noop(self):
+        locks = LockManager()
+        locks.release("T1", "a")
+        assert not locks.is_locked("a")
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        locks.try_acquire("T1", "b", LockMode.WRITE)
+        locks.try_acquire("T2", "c", LockMode.WRITE)
+        locks.release_all("T1")
+        assert locks.held_by("T1") == frozenset()
+        assert not locks.is_locked("a")
+        assert not locks.is_locked("b")
+        assert locks.is_locked("c")
+
+
+class TestQueries:
+    def test_held_by(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        locks.try_acquire("T1", "b", LockMode.WRITE)
+        assert locks.held_by("T1") == frozenset({"a", "b"})
+
+    def test_locked_items(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.READ)
+        locks.try_acquire("T2", "b", LockMode.WRITE)
+        assert locks.locked_items() == frozenset({"a", "b"})
+
+    def test_mode_of_unlocked_is_none(self):
+        assert LockManager().mode_of("a") is None
+
+    def test_holders_of_unlocked_is_empty(self):
+        assert LockManager().holders("a") == frozenset()
+
+
+class TestTwoPhaseDiscipline:
+    def test_no_wait_policy_never_blocks(self):
+        # try_acquire returns immediately — there is no queueing state to
+        # leak.  After the holder releases, a previously refused
+        # transaction can retry successfully.
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        assert not locks.try_acquire("T2", "a", LockMode.WRITE)
+        locks.release_all("T1")
+        assert locks.try_acquire("T2", "a", LockMode.WRITE)
+
+    def test_conflict_counter_accumulates(self):
+        locks = LockManager()
+        locks.try_acquire("T1", "a", LockMode.WRITE)
+        locks.try_acquire("T2", "a", LockMode.WRITE)
+        locks.try_acquire("T3", "a", LockMode.READ)
+        assert locks.conflicts == 2

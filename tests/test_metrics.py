@@ -1,0 +1,143 @@
+"""Unit tests for metrics (repro.metrics)."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.series import TimeSeries, mean, percentile, stddev
+
+
+class TestTimeSeries:
+    def test_record_and_last_value(self):
+        series = TimeSeries()
+        series.record(0.0, 1)
+        series.record(2.0, 3)
+        assert series.last_value() == 3
+        assert len(series) == 2
+
+    def test_empty_series(self):
+        assert TimeSeries().last_value() is None
+
+    def test_non_monotonic_time_rejected(self):
+        series = TimeSeries()
+        series.record(2.0, 1)
+        with pytest.raises(ValueError):
+            series.record(1.0, 2)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.record(1.0, 1)
+        series.record(1.0, 2)
+        assert series.last_value() == 2
+
+    def test_value_at(self):
+        series = TimeSeries()
+        series.record(1.0, 10)
+        series.record(3.0, 20)
+        assert series.value_at(0.5) is None
+        assert series.value_at(1.0) == 10
+        assert series.value_at(2.9) == 10
+        assert series.value_at(3.0) == 20
+        assert series.value_at(99.0) == 20
+
+    def test_time_weighted_mean_step_function(self):
+        series = TimeSeries()
+        series.record(0.0, 0)
+        series.record(5.0, 10)
+        # [0,5): 0, [5,10): 10 -> mean over [0,10) is 5.
+        assert series.time_weighted_mean(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_time_weighted_mean_window_inside(self):
+        series = TimeSeries()
+        series.record(0.0, 4)
+        assert series.time_weighted_mean(2.0, 8.0) == pytest.approx(4.0)
+
+    def test_time_weighted_mean_requires_coverage(self):
+        series = TimeSeries()
+        series.record(5.0, 1)
+        with pytest.raises(ValueError):
+            series.time_weighted_mean(0.0, 10.0)
+
+    def test_time_weighted_mean_empty_window_rejected(self):
+        series = TimeSeries()
+        series.record(0.0, 1)
+        with pytest.raises(ValueError):
+            series.time_weighted_mean(3.0, 3.0)
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=0.01)
+
+    def test_stddev_singleton_is_zero(self):
+        assert stddev([5]) == 0.0
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self):
+        values = [3, 1, 2]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 3
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestCollector:
+    def test_polyvalue_running_count(self):
+        metrics = MetricsCollector()
+        metrics.polyvalue_installed(1.0)
+        metrics.polyvalue_installed(2.0)
+        metrics.polyvalue_resolved(3.0)
+        assert metrics.current_polyvalues == 1
+        assert metrics.polyvalues_installed == 2
+        assert metrics.polyvalues_resolved == 1
+        assert metrics.polyvalue_count.last_value() == 1
+
+    def test_commit_rate(self):
+        metrics = MetricsCollector()
+        metrics.txn_committed(0.1)
+        metrics.txn_committed(0.2)
+        metrics.txn_aborted()
+        assert metrics.commit_rate == pytest.approx(2 / 3)
+
+    def test_commit_rate_no_decisions(self):
+        assert MetricsCollector().commit_rate == 0.0
+
+    def test_mean_commit_latency(self):
+        metrics = MetricsCollector()
+        assert metrics.mean_commit_latency is None
+        metrics.txn_committed(0.1)
+        metrics.txn_committed(0.3)
+        assert metrics.mean_commit_latency == pytest.approx(0.2)
+
+    def test_output_certainty_fraction(self):
+        metrics = MetricsCollector()
+        assert metrics.certain_output_fraction == 1.0
+        metrics.output_produced(certain=True)
+        metrics.output_produced(certain=True)
+        metrics.output_produced(certain=False)
+        assert metrics.certain_output_fraction == pytest.approx(2 / 3)
+
+    def test_summary_keys(self):
+        summary = MetricsCollector().summary()
+        for key in (
+            "committed",
+            "aborted",
+            "polyvalues_installed",
+            "certain_output_fraction",
+        ):
+            assert key in summary

@@ -1,0 +1,132 @@
+"""Tests for Quine-McCluskey minimisation (repro.core.minimize)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import Condition, Literal
+from repro.core.errors import ConditionError
+from repro.core.minimize import literal_count, minimize, product_count
+
+T1, T2, T3, T4 = (Condition.of(t) for t in ("T1", "T2", "T3", "T4"))
+
+
+class TestBasics:
+    def test_constants(self):
+        assert minimize(Condition.true()).is_true()
+        assert minimize(Condition.false()).is_false()
+
+    def test_single_literal_unchanged(self):
+        assert minimize(T1) == T1
+        assert minimize(~T1) == ~T1
+
+    def test_tautology_over_variables(self):
+        assert minimize(T1 | ~T1).is_true()
+
+    def test_redundant_consensus_term_removed(self):
+        # (T1&T2) | (~T1&T3) | (T2&T3): the consensus term T2&T3 is
+        # redundant — the classic example local rewrites cannot catch.
+        bloated = (T1 & T2) | (~T1 & T3) | (T2 & T3)
+        minimal = minimize(bloated)
+        assert minimal.equivalent(bloated)
+        assert product_count(minimal) == 2
+
+    def test_subsumed_longer_product(self):
+        bloated = (T1 & T2) | (T1 & ~T2 & T3) | (T1 & T3)
+        minimal = minimize(bloated)
+        assert minimal.equivalent(bloated)
+        assert product_count(minimal) == 2
+        assert literal_count(minimal) == 4
+
+    def test_xor_is_already_minimal(self):
+        xor = (T1 & ~T2) | (~T1 & T2)
+        minimal = minimize(xor)
+        assert minimal.equivalent(xor)
+        assert product_count(minimal) == 2
+
+    def test_full_cube_collapse(self):
+        # All four combinations of T1,T2 -> TRUE.
+        everything = (
+            (T1 & T2) | (T1 & ~T2) | (~T1 & T2) | (~T1 & ~T2)
+        )
+        assert minimize(everything).is_true()
+
+    def test_three_variable_reduction(self):
+        # Majority function: minimal form has 3 products of 2 literals.
+        majority = (T1 & T2) | (T1 & T3) | (T2 & T3) | (T1 & T2 & T3)
+        minimal = minimize(majority)
+        assert minimal.equivalent(majority)
+        assert product_count(minimal) == 3
+        assert literal_count(minimal) == 6
+
+    def test_variable_limit_enforced(self):
+        wide = Condition.all_of(*(f"T{i}" for i in range(25)))
+        with pytest.raises(ConditionError):
+            minimize(wide)
+
+
+TXNS = ["T1", "T2", "T3", "T4"]
+literals = st.builds(
+    Literal, txn=st.sampled_from(TXNS), positive=st.booleans()
+)
+conditions = st.lists(
+    st.frozensets(literals, min_size=0, max_size=4), min_size=0, max_size=6
+).map(Condition)
+
+
+def all_assignments():
+    for combo in itertools.product((False, True), repeat=len(TXNS)):
+        yield dict(zip(TXNS, combo))
+
+
+@given(conditions)
+@settings(max_examples=80)
+def test_property_minimize_preserves_semantics(condition):
+    minimal = minimize(condition)
+    for assignment in all_assignments():
+        assert minimal.evaluate(assignment) == condition.evaluate(assignment)
+
+
+@given(conditions)
+@settings(max_examples=80)
+def test_property_minimize_never_grows(condition):
+    minimal = minimize(condition)
+    assert product_count(minimal) <= product_count(condition)
+    assert literal_count(minimal) <= literal_count(condition)
+
+
+@given(conditions)
+@settings(max_examples=40)
+def test_property_minimize_is_idempotent(condition):
+    once = minimize(condition)
+    twice = minimize(once)
+    assert product_count(twice) == product_count(once)
+    assert twice.equivalent(once)
+
+
+class TestPolyvalueMinimized:
+    def test_minimized_preserves_resolution(self):
+        from repro.core.polyvalue import Polyvalue
+
+        inner = Polyvalue.in_doubt("T1", 1, 2)
+        middle = Polyvalue.in_doubt("T2", inner, 3)
+        outer = Polyvalue.in_doubt("T3", middle, inner)
+        squeezed = outer.minimized()
+        import itertools
+
+        for combo in itertools.product((False, True), repeat=3):
+            assignment = dict(zip(("T1", "T2", "T3"), combo))
+            assert squeezed.value_under(assignment) == outer.value_under(
+                assignment
+            )
+
+    def test_minimized_never_larger(self):
+        from repro.core.polyvalue import Polyvalue
+
+        inner = Polyvalue.in_doubt("T1", 1, 2)
+        outer = Polyvalue.in_doubt("T2", inner, 1)
+        squeezed = outer.minimized()
+        for (_, before), (_, after) in zip(outer.pairs, squeezed.pairs):
+            assert literal_count(after) <= literal_count(before)

@@ -1,0 +1,177 @@
+"""Unit tests for the section 4.1 analytic model (repro.analysis.model)."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import (
+    TYPICAL,
+    ModelParams,
+    UnstableRegimeError,
+    decay_rate,
+    is_stable,
+    stability_margin,
+    steady_state_polyvalues,
+    table1_rows,
+    table2_rows,
+    time_to_settle,
+    transient_polyvalues,
+)
+from repro.core.errors import ReproError
+
+
+def params(u=10, f=0.0001, i=1_000_000, r=0.001, d=1, y=0):
+    return ModelParams(
+        updates_per_second=u,
+        failure_probability=f,
+        items=i,
+        recovery_rate=r,
+        dependency_mean=d,
+        update_independence=y,
+    )
+
+
+class TestValidation:
+    def test_typical_is_valid(self):
+        assert TYPICAL.U == 10
+        assert TYPICAL.I == 1_000_000
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ReproError):
+            params(i=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ReproError):
+            params(f=1.5)
+        with pytest.raises(ReproError):
+            params(y=-0.1)
+
+    def test_recovery_rate_positive(self):
+        with pytest.raises(ReproError):
+            params(r=0)
+
+    def test_vary_changes_one_field(self):
+        varied = TYPICAL.vary(updates_per_second=100)
+        assert varied.U == 100
+        assert varied.F == TYPICAL.F
+
+
+class TestSteadyState:
+    def test_typical_database_value(self):
+        # Paper Table 1 row 1: P = 1.01
+        assert steady_state_polyvalues(TYPICAL) == pytest.approx(1.0101, abs=1e-3)
+
+    def test_formula_matches_direct_computation(self):
+        p = params(u=7, f=0.002, i=50_000, r=0.005, d=2, y=0.3)
+        expected = (7 * 0.002 * 50_000) / (50_000 * 0.005 + 7 * 0.3 - 7 * 2)
+        assert steady_state_polyvalues(p) == pytest.approx(expected)
+
+    def test_scales_linearly_with_failure_probability(self):
+        base = steady_state_polyvalues(params(f=0.0001))
+        tenfold = steady_state_polyvalues(params(f=0.001))
+        assert tenfold == pytest.approx(10 * base)
+
+    def test_unstable_regime_raises(self):
+        # U*D > I*R: propagation outpaces recovery.
+        with pytest.raises(UnstableRegimeError):
+            steady_state_polyvalues(params(u=1000, d=10, i=1000, r=0.001))
+
+    def test_stability_margin_sign(self):
+        assert stability_margin(TYPICAL) > 0
+        assert is_stable(TYPICAL)
+        assert not is_stable(params(u=1000, d=10, i=1000, r=0.001))
+
+    def test_higher_y_reduces_polyvalues(self):
+        low_y = steady_state_polyvalues(params(y=0))
+        high_y = steady_state_polyvalues(params(y=1))
+        assert high_y < low_y
+
+    def test_higher_d_increases_polyvalues(self):
+        low_d = steady_state_polyvalues(params(d=1))
+        high_d = steady_state_polyvalues(params(d=50))
+        assert high_d > low_d
+
+
+class TestTransient:
+    def test_starts_at_initial_value(self):
+        assert transient_polyvalues(TYPICAL, 500.0, 0.0) == pytest.approx(500.0)
+
+    def test_converges_to_steady_state(self):
+        steady = steady_state_polyvalues(TYPICAL)
+        late = transient_polyvalues(TYPICAL, 500.0, 1e7)
+        assert late == pytest.approx(steady, rel=1e-6)
+
+    def test_monotone_decay_from_above(self):
+        values = [
+            transient_polyvalues(TYPICAL, 500.0, t) for t in (0, 100, 1000, 10000)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_growth_from_below(self):
+        values = [
+            transient_polyvalues(TYPICAL, 0.0, t) for t in (0, 100, 1000, 10000)
+        ]
+        assert values == sorted(values)
+
+    def test_decay_rate_formula(self):
+        # lambda = (IR + UY - UD) / I
+        p = params()
+        expected = (1_000_000 * 0.001 + 0 - 10 * 1) / 1_000_000
+        assert decay_rate(p) == pytest.approx(expected)
+
+    def test_stability_claim_burst_halves_predictably(self):
+        # "A serious failure ... does not cause the number of
+        # polyvalues to grow without limit."  Half-life = ln2/lambda.
+        p = params()
+        steady = steady_state_polyvalues(p)
+        burst = steady + 1000.0
+        half_life = math.log(2) / decay_rate(p)
+        halfway = transient_polyvalues(p, burst, half_life)
+        assert halfway == pytest.approx(steady + 500.0, rel=1e-9)
+
+    def test_time_to_settle(self):
+        p = params()
+        settle = time_to_settle(p, 1000.0, tolerance=0.01)
+        remaining = transient_polyvalues(p, 1000.0, settle)
+        steady = steady_state_polyvalues(p)
+        assert remaining - steady == pytest.approx(0.01 * (1000.0 - steady), rel=1e-9)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ReproError):
+            transient_polyvalues(TYPICAL, 0.0, -1.0)
+
+
+class TestTable1:
+    def test_eleven_rows(self):
+        assert len(table1_rows()) == 11
+
+    def test_first_row_is_typical(self):
+        assert table1_rows()[0].params == TYPICAL
+
+    def test_legible_rows_match_paper_to_two_decimals(self):
+        for row in table1_rows():
+            if row.paper_value is not None:
+                assert row.model_value == pytest.approx(
+                    row.paper_value, abs=0.0051
+                ), row.note
+
+    def test_all_rows_stable(self):
+        for row in table1_rows():
+            assert is_stable(row.params), row.note
+
+
+class TestTable2:
+    def test_six_rows(self):
+        assert len(table2_rows()) == 6
+
+    def test_model_matches_paper_predictions(self):
+        for row in table2_rows():
+            assert row.model_value == pytest.approx(
+                row.paper_predicted, rel=0.01
+            )
+
+    def test_paper_actuals_below_or_near_predictions(self):
+        # The paper: "The number of polyvalues obtained in the
+        # simulation is in general smaller than predicted."
+        for row in table2_rows():
+            assert row.paper_actual <= row.paper_predicted * 1.02

@@ -1,0 +1,198 @@
+"""Unit tests for the simulated network (repro.net.network)."""
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+
+
+def make_network(**kwargs):
+    sim = Simulator()
+    network = Network(sim, Rng(0), **kwargs)
+    return sim, network
+
+
+def register_collector(network, site):
+    inbox = []
+    network.register(site, inbox.append)
+    return inbox
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        sim, network = make_network(base_latency=0.1, jitter=0.0)
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.send("a", "b", "hello")
+        assert inbox == []
+        sim.run()
+        assert len(inbox) == 1
+        assert inbox[0].payload == "hello"
+        assert sim.now == pytest.approx(0.1)
+
+    def test_jitter_varies_latency(self):
+        sim, network = make_network(base_latency=0.1, jitter=0.05)
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        for _ in range(5):
+            network.send("a", "b", "x")
+        sim.run()
+        assert len(inbox) == 5
+        assert 0.1 <= sim.now <= 0.15
+
+    def test_envelope_carries_metadata(self):
+        sim, network = make_network()
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.send("a", "b", {"k": 1})
+        sim.run()
+        envelope = inbox[0]
+        assert envelope.sender == "a"
+        assert envelope.recipient == "b"
+        assert envelope.sent_at == 0.0
+
+    def test_unknown_recipient_raises(self):
+        sim, network = make_network()
+        network.register("a", lambda e: None)
+        with pytest.raises(NetworkError):
+            network.send("a", "nowhere", "x")
+
+    def test_broadcast_reaches_everyone(self):
+        sim, network = make_network()
+        inboxes = {s: register_collector(network, s) for s in ("a", "b", "c")}
+        network.broadcast("a", ["b", "c"], "ping")
+        sim.run()
+        assert len(inboxes["b"]) == 1
+        assert len(inboxes["c"]) == 1
+        assert len(inboxes["a"]) == 0
+
+    def test_stats_count_sent_and_delivered(self):
+        sim, network = make_network()
+        register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.send("a", "b", "x")
+        sim.run()
+        assert network.stats.sent == 1
+        assert network.stats.delivered == 1
+        assert network.stats.dropped == 0
+
+
+class TestCrashes:
+    def test_message_to_down_site_dropped(self):
+        sim, network = make_network()
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.crash_site("b")
+        network.send("a", "b", "x")
+        sim.run()
+        assert inbox == []
+        assert network.stats.dropped_site_down == 1
+
+    def test_message_from_down_site_dropped(self):
+        sim, network = make_network()
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.crash_site("a")
+        network.send("a", "b", "x")
+        sim.run()
+        assert inbox == []
+
+    def test_crash_during_flight_drops_at_delivery(self):
+        sim, network = make_network(base_latency=1.0, jitter=0.0)
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.send("a", "b", "x")
+        sim.schedule(0.5, lambda: network.crash_site("b"))
+        sim.run()
+        assert inbox == []
+
+    def test_recovery_restores_delivery(self):
+        sim, network = make_network()
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.crash_site("b")
+        network.recover_site("b")
+        network.send("a", "b", "x")
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_is_up_reflects_state(self):
+        sim, network = make_network()
+        network.register("a", lambda e: None)
+        assert network.is_up("a")
+        network.crash_site("a")
+        assert not network.is_up("a")
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self):
+        sim, network = make_network()
+        inbox_a = register_collector(network, "a")
+        inbox_b = register_collector(network, "b")
+        network.partition("a", "b")
+        network.send("a", "b", "x")
+        network.send("b", "a", "y")
+        sim.run()
+        assert inbox_a == [] and inbox_b == []
+        assert network.stats.dropped_partition == 2
+
+    def test_partition_leaves_other_pairs(self):
+        sim, network = make_network()
+        inbox_c = register_collector(network, "c")
+        network.register("a", lambda e: None)
+        network.register("b", lambda e: None)
+        network.partition("a", "b")
+        network.send("a", "c", "x")
+        sim.run()
+        assert len(inbox_c) == 1
+
+    def test_heal_restores_traffic(self):
+        sim, network = make_network()
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        network.partition("a", "b")
+        network.heal("a", "b")
+        network.send("a", "b", "x")
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_heal_all(self):
+        sim, network = make_network()
+        network.register("a", lambda e: None)
+        network.register("b", lambda e: None)
+        network.partition("a", "b")
+        network.heal_all()
+        assert not network.is_partitioned("a", "b")
+
+    def test_is_partitioned_symmetric(self):
+        sim, network = make_network()
+        network.partition("a", "b")
+        assert network.is_partitioned("b", "a")
+
+
+class TestLoss:
+    def test_loss_probability_one_drops_everything(self):
+        sim, network = make_network(loss_probability=1.0)
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        for _ in range(10):
+            network.send("a", "b", "x")
+        sim.run()
+        assert inbox == []
+        assert network.stats.dropped_loss == 10
+
+    def test_loss_probability_partial(self):
+        sim, network = make_network(loss_probability=0.5)
+        inbox = register_collector(network, "b")
+        network.register("a", lambda e: None)
+        for _ in range(400):
+            network.send("a", "b", "x")
+        sim.run()
+        assert 100 < len(inbox) < 300
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            Network(sim, Rng(0), base_latency=-0.1)

@@ -1,0 +1,162 @@
+"""Unit tests for outcome tables and the outcome log (repro.core.outcome)."""
+
+import pytest
+
+from repro.core.outcome import OutcomeLog, OutcomeTable
+
+
+class TestOutcomeTableRecording:
+    def test_record_dependency_tracks_txn(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "item-a")
+        assert table.tracks("T1")
+        assert table.dependent_items("T1") == frozenset({"item-a"})
+
+    def test_record_dependencies_bulk(self):
+        table = OutcomeTable()
+        table.record_dependencies(["T1", "T2"], "item-a")
+        assert table.pending_transactions() == frozenset({"T1", "T2"})
+
+    def test_record_forward(self):
+        table = OutcomeTable()
+        table.record_forward("T1", "site-9")
+        assert table.forwarded_sites("T1") == frozenset({"site-9"})
+
+    def test_unknown_txn_queries_are_empty(self):
+        table = OutcomeTable()
+        assert table.dependent_items("T9") == frozenset()
+        assert table.forwarded_sites("T9") == frozenset()
+        assert not table.tracks("T9")
+
+    def test_len_counts_entries(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.record_dependency("T2", "b")
+        assert len(table) == 2
+
+
+class TestOutcomeTableRemoval:
+    def test_remove_dependency_drops_item(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.record_dependency("T1", "b")
+        table.remove_dependency("T1", "a")
+        assert table.dependent_items("T1") == frozenset({"b"})
+
+    def test_entry_garbage_collected_when_empty(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.remove_dependency("T1", "a")
+        assert not table.tracks("T1")
+        assert len(table) == 0
+
+    def test_entry_kept_while_forwards_remain(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.record_forward("T1", "site-2")
+        table.remove_dependency("T1", "a")
+        assert table.tracks("T1")
+
+    def test_remove_all_dependencies_spans_txns(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.record_dependency("T2", "a")
+        table.record_dependency("T2", "b")
+        table.remove_all_dependencies("a")
+        assert not table.tracks("T1")
+        assert table.dependent_items("T2") == frozenset({"b"})
+
+    def test_remove_unknown_dependency_is_noop(self):
+        table = OutcomeTable()
+        table.remove_dependency("T9", "a")
+        assert len(table) == 0
+
+
+class TestOutcomeTableResolve:
+    def test_resolve_returns_work_and_forgets(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.record_forward("T1", "site-2")
+        resolution = table.resolve("T1", committed=True)
+        assert resolution.committed is True
+        assert resolution.items_to_reduce == frozenset({"a"})
+        assert resolution.sites_to_notify == frozenset({"site-2"})
+        # "that site can forget the outcome of T and the table entry"
+        assert not table.tracks("T1")
+
+    def test_resolve_unknown_txn_is_empty(self):
+        table = OutcomeTable()
+        resolution = table.resolve("T9", committed=False)
+        assert resolution.items_to_reduce == frozenset()
+        assert resolution.sites_to_notify == frozenset()
+
+    def test_resolve_is_idempotent(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.resolve("T1", True)
+        second = table.resolve("T1", True)
+        assert second.items_to_reduce == frozenset()
+
+    def test_resolve_leaves_other_entries(self):
+        table = OutcomeTable()
+        table.record_dependency("T1", "a")
+        table.record_dependency("T2", "a")
+        table.resolve("T1", True)
+        assert table.tracks("T2")
+
+
+class TestOutcomeLog:
+    def test_decide_and_query(self):
+        log = OutcomeLog()
+        log.decide("T1", True, participants=["s1", "s2"])
+        assert log.knows("T1")
+        assert log.outcome_of("T1") is True
+
+    def test_unknown_txn_raises(self):
+        log = OutcomeLog()
+        assert not log.knows("T9")
+        with pytest.raises(KeyError):
+            log.outcome_of("T9")
+
+    def test_gc_after_all_acks(self):
+        log = OutcomeLog()
+        log.decide("T1", True, participants=["s1", "s2"])
+        log.acknowledge("T1", "s1")
+        assert log.knows("T1")
+        log.acknowledge("T1", "s2")
+        assert not log.knows("T1")
+
+    def test_duplicate_acks_harmless(self):
+        log = OutcomeLog()
+        log.decide("T1", True, participants=["s1", "s2"])
+        log.acknowledge("T1", "s1")
+        log.acknowledge("T1", "s1")
+        assert log.knows("T1")
+
+    def test_ack_for_unknown_txn_ignored(self):
+        log = OutcomeLog()
+        log.acknowledge("T9", "s1")
+        assert len(log) == 0
+
+    def test_no_participants_gc_requires_explicit_forget(self):
+        log = OutcomeLog()
+        log.decide("T1", False, participants=[])
+        # decide() with no participants keeps the record until forget().
+        assert log.knows("T1")
+        log.forget("T1")
+        assert not log.knows("T1")
+
+    def test_pending_lists_unacknowledged(self):
+        log = OutcomeLog()
+        log.decide("T1", True, participants=["s1"])
+        log.decide("T2", True, participants=["s2"])
+        assert log.pending() == frozenset({"T1", "T2"})
+        log.acknowledge("T1", "s1")
+        assert log.pending() == frozenset({"T2"})
+
+    def test_forget_removes_everything(self):
+        log = OutcomeLog()
+        log.decide("T1", True, participants=["s1"])
+        log.forget("T1")
+        assert not log.knows("T1")
+        assert log.pending() == frozenset()

@@ -1,0 +1,102 @@
+"""Tests for the condition expression parser (repro.core.parser)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import Condition, Literal
+from repro.core.errors import ConditionError
+from repro.core.parser import parse_condition
+
+T1, T2, T3 = (Condition.of(t) for t in ("T1", "T2", "T3"))
+
+
+class TestBasicParsing:
+    def test_single_identifier(self):
+        assert parse_condition("T1") == T1
+
+    def test_negation(self):
+        assert parse_condition("~T1") == ~T1
+
+    def test_double_negation(self):
+        assert parse_condition("~~T1") == T1
+
+    def test_conjunction(self):
+        assert parse_condition("T1 & T2") == (T1 & T2)
+
+    def test_disjunction(self):
+        assert parse_condition("T1 | T2") == (T1 | T2)
+
+    def test_precedence_and_over_or(self):
+        parsed = parse_condition("T1 | T2 & T3")
+        assert parsed.equivalent(T1 | (T2 & T3))
+        assert not parsed.equivalent((T1 | T2) & T3)
+
+    def test_parentheses_override(self):
+        parsed = parse_condition("(T1 | T2) & T3")
+        assert parsed.equivalent((T1 | T2) & T3)
+
+    def test_negation_binds_tightest(self):
+        parsed = parse_condition("~T1 & T2")
+        assert parsed.equivalent(~T1 & T2)
+
+    def test_negated_group(self):
+        parsed = parse_condition("~(T1 & T2)")
+        assert parsed.equivalent(~(T1 & T2))
+
+    def test_constants(self):
+        assert parse_condition("TRUE").is_true()
+        assert parse_condition("FALSE").is_false()
+        assert parse_condition("true").is_true()
+
+    def test_paper_example(self):
+        # "T1 (T2 T3)" in the paper's notation.
+        parsed = parse_condition("T1 & (T2 | T3)")
+        assert parsed.evaluate({"T1": True, "T2": False, "T3": True})
+        assert not parsed.evaluate({"T1": False, "T2": True, "T3": True})
+
+    def test_realistic_txn_ids(self):
+        parsed = parse_condition("T17@site-0 & ~T3@site-2")
+        assert parsed.variables() == frozenset({"T17@site-0", "T3@site-2"})
+
+    def test_whitespace_flexible(self):
+        assert parse_condition("  T1&~T2  ") == parse_condition("T1 & ~T2")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "&",
+            "T1 &",
+            "T1 T2",
+            "(T1",
+            "T1)",
+            "T1 | | T2",
+            "T1 @ T2",
+            "~",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConditionError):
+            parse_condition(bad)
+
+
+TXNS = ["T1", "T2", "T3"]
+literals = st.builds(Literal, txn=st.sampled_from(TXNS), positive=st.booleans())
+conditions = st.lists(
+    st.frozensets(literals, min_size=0, max_size=3), min_size=0, max_size=4
+).map(Condition)
+
+
+@given(conditions)
+@settings(max_examples=100)
+def test_property_str_roundtrip(condition):
+    # str() renders TRUE/FALSE/products with & and |; the parser must
+    # accept exactly that format and recover an equivalent condition.
+    parsed = parse_condition(str(condition))
+    assert parsed == condition

@@ -1,0 +1,138 @@
+"""Tests for partition groups and app-workload streaming."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.banking import BankingWorkload, account_items
+from repro.workloads.generator import ArrivalProcess
+from repro.workloads.inventory import InventoryWorkload
+from repro.workloads.reservations import ReservationsWorkload, flight_items
+
+from tests.conftest import move, run_to_decision
+
+
+class TestPartitionGroups:
+    def make_network(self):
+        sim = Simulator()
+        network = Network(sim, Rng(0))
+        for site in ("s0", "s1", "s2", "s3"):
+            network.register(site, lambda e: None)
+        return network
+
+    def test_groups_block_cross_traffic(self):
+        network = self.make_network()
+        network.partition_groups([["s0"], ["s1", "s2"]])
+        assert network.is_partitioned("s0", "s1")
+        assert network.is_partitioned("s0", "s2")
+        assert not network.is_partitioned("s1", "s2")
+
+    def test_sites_outside_groups_unaffected(self):
+        network = self.make_network()
+        network.partition_groups([["s0"], ["s1"]])
+        assert not network.is_partitioned("s0", "s3")
+        assert not network.is_partitioned("s1", "s3")
+
+    def test_three_way_split(self):
+        network = self.make_network()
+        network.partition_groups([["s0"], ["s1"], ["s2", "s3"]])
+        assert network.is_partitioned("s0", "s1")
+        assert network.is_partitioned("s1", "s2")
+        assert network.is_partitioned("s0", "s3")
+        assert not network.is_partitioned("s2", "s3")
+
+    def test_minority_partition_cannot_commit_cross_group(self):
+        system = DistributedSystem.build(
+            sites=3, items={"a": 1, "b": 2, "c": 3}, seed=4
+        )
+        system.network.partition_groups([["site-0"], ["site-1", "site-2"]])
+        blocked = system.submit(move("a", "b", 1))  # spans the split
+        inside = system.submit(move("b", "c", 1), at="site-1")
+        run_to_decision(system, blocked)
+        run_to_decision(system, inside)
+        assert blocked.status is TxnStatus.ABORTED
+        assert inside.status is TxnStatus.COMMITTED
+
+
+class TestArrivalProcess:
+    def test_rate_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            ArrivalProcess(sim, 0.0, lambda: None, Rng(0))
+
+    def test_arrivals_fire_at_roughly_the_rate(self):
+        sim = Simulator()
+        fired = []
+        ArrivalProcess(sim, 50.0, lambda: fired.append(sim.now), Rng(1))
+        sim.run_until(10.0)
+        assert len(fired) == pytest.approx(500, rel=0.25)
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        fired = []
+        process = ArrivalProcess(sim, 10.0, lambda: fired.append(1), Rng(1))
+        sim.run_until(2.0)
+        process.stop()
+        count = len(fired)
+        sim.run_until(10.0)
+        assert len(fired) == count
+
+
+class TestWorkloadStreams:
+    def test_banking_stream(self):
+        system = DistributedSystem.build(
+            sites=3,
+            items={acct: 500 for acct in account_items(4)},
+            seed=6,
+        )
+        workload = BankingWorkload(system, account_items(4), seed=6)
+        workload.stream(rate=10.0)
+        system.run_for(3.0)
+        workload.stop_stream()
+        system.run_for(3.0)
+        assert len(workload.handles) > 10
+        decided = [
+            h for h in workload.handles if h.status is not TxnStatus.PENDING
+        ]
+        assert len(decided) == len(workload.handles)
+
+    def test_reservations_stream(self):
+        system = DistributedSystem.build(
+            sites=3,
+            items={flight: 0 for flight in flight_items(3)},
+            seed=7,
+        )
+        workload = ReservationsWorkload(
+            system, {flight: 50 for flight in flight_items(3)}, seed=7
+        )
+        workload.stream(rate=8.0)
+        system.run_for(3.0)
+        workload.stop_stream()
+        system.run_for(3.0)
+        assert len(workload.handles) > 5
+
+    def test_inventory_stream(self):
+        from repro.workloads.inventory import stock_items
+
+        system = DistributedSystem.build(
+            sites=3,
+            items={item: 40 for item in stock_items(["e", "w"], ["p"])},
+            seed=8,
+        )
+        workload = InventoryWorkload(system, ["e", "w"], ["p"], seed=8)
+        workload.stream(rate=8.0)
+        system.run_for(3.0)
+        workload.stop_stream()
+        system.run_for(3.0)
+        assert len(workload.handles) > 5
+
+    def test_stop_stream_without_start_is_noop(self):
+        system = DistributedSystem.build(
+            sites=2, items={acct: 1 for acct in account_items(2)}, seed=1
+        )
+        workload = BankingWorkload(system, account_items(2), seed=1)
+        workload.stop_stream()  # no error

@@ -1,0 +1,274 @@
+"""Unit tests for the polytransaction engine (repro.core.polytransaction)."""
+
+import pytest
+
+from repro.core.conditions import Condition
+from repro.core.errors import TransactionError
+from repro.core.polytransaction import (
+    TooManyAlternativesError,
+    execute,
+)
+from repro.core.polyvalue import Polyvalue, is_polyvalue
+
+
+def in_doubt(txn, new, old):
+    return Polyvalue.in_doubt(txn, new, old)
+
+
+class TestSimpleExecution:
+    def test_single_alternative_for_simple_inputs(self):
+        def body(ctx):
+            ctx.write("out", ctx.read("a") + ctx.read("b"))
+
+        result = execute(body, {"a": 1, "b": 2, "out": 0})
+        assert result.is_simple()
+        assert result.merged_writes({"out": 0}) == {"out": 3}
+
+    def test_returned_mapping_is_merged(self):
+        def body(ctx):
+            return {"out": ctx.read("a") * 10}
+
+        result = execute(body, {"a": 3, "out": 0})
+        assert result.merged_writes({"out": 0}) == {"out": 30}
+
+    def test_explicit_write_and_return_combined(self):
+        def body(ctx):
+            ctx.write("x", 1)
+            return {"y": 2}
+
+        result = execute(body, {"x": 0, "y": 0})
+        assert result.merged_writes({}) == {"x": 1, "y": 2}
+
+    def test_outputs_collected(self):
+        def body(ctx):
+            ctx.output("answer", 42)
+
+        result = execute(body, {})
+        assert result.merged_outputs() == {"answer": 42}
+
+    def test_reads_recorded(self):
+        def body(ctx):
+            ctx.read("a")
+            ctx.read("b")
+
+        result = execute(body, {"a": 1, "b": 2})
+        assert result.read_items() == ["a", "b"]
+
+    def test_unknown_item_read_raises(self):
+        def body(ctx):
+            ctx.read("missing")
+
+        with pytest.raises(TransactionError):
+            execute(body, {})
+
+    def test_condition_of_single_alternative_is_true(self):
+        result = execute(lambda ctx: None, {})
+        assert result.alternatives[0].condition.is_true()
+
+
+class TestPartitioning:
+    def test_read_of_polyvalue_forks(self):
+        snapshot = {"a": in_doubt("T1", 10, 20)}
+
+        def body(ctx):
+            ctx.write("a", ctx.read("a") + 1)
+
+        result = execute(body, snapshot)
+        assert len(result.alternatives) == 2
+        merged = result.merged_writes(snapshot)
+        assert set(merged["a"].possible_values()) == {11, 21}
+
+    def test_alternative_conditions_partition(self):
+        snapshot = {"a": in_doubt("T1", 10, 20)}
+        result = execute(lambda ctx: ctx.output("v", ctx.read("a")), snapshot)
+        conditions = [alt.condition for alt in result.alternatives]
+        assert (conditions[0] | conditions[1]).is_true()
+        assert (conditions[0] & conditions[1]).is_false()
+
+    def test_two_independent_polyvalues_four_alternatives(self):
+        snapshot = {
+            "a": in_doubt("T1", 1, 2),
+            "b": in_doubt("T2", 10, 20),
+        }
+
+        def body(ctx):
+            ctx.write("sum", ctx.read("a") + ctx.read("b"))
+
+        result = execute(body, {**snapshot, "sum": 0})
+        assert len(result.alternatives) == 4
+        merged = result.merged_writes({"sum": 0})
+        assert set(merged["sum"].possible_values()) == {11, 21, 12, 22}
+
+    def test_correlated_polyvalues_prune_false_alternatives(self):
+        # Both items depend on the same transaction: only 2 of the 4
+        # combinations are consistent (§3.2's discard rule).
+        snapshot = {
+            "a": in_doubt("T1", 1, 2),
+            "b": in_doubt("T1", 10, 20),
+        }
+
+        def body(ctx):
+            ctx.write("sum", ctx.read("a") + ctx.read("b"))
+
+        result = execute(body, {**snapshot, "sum": 0})
+        assert len(result.alternatives) == 2
+        merged = result.merged_writes({"sum": 0})
+        assert set(merged["sum"].possible_values()) == {11, 22}
+
+    def test_rereading_same_item_does_not_refork(self):
+        snapshot = {"a": in_doubt("T1", 1, 2)}
+
+        def body(ctx):
+            first = ctx.read("a")
+            second = ctx.read("a")
+            assert first == second
+            ctx.write("a", first + second)
+
+        result = execute(body, snapshot)
+        assert len(result.alternatives) == 2
+
+    def test_branch_dependent_read_sets(self):
+        # One alternative reads item b, the other does not: partitioning
+        # is dynamic, driven by the actual control flow.
+        snapshot = {
+            "a": in_doubt("T1", 1, 0),
+            "b": in_doubt("T2", 100, 200),
+        }
+
+        def body(ctx):
+            if ctx.read("a") == 1:
+                ctx.write("out", ctx.read("b"))
+            else:
+                ctx.write("out", -1)
+
+        result = execute(body, {**snapshot, "out": 0})
+        # a=1 branch forks on b (2 alternatives); a=0 branch doesn't (1).
+        assert len(result.alternatives) == 3
+        merged = result.merged_writes({"out": 0})
+        assert set(merged["out"].possible_values()) == {100, 200, -1}
+
+    def test_value_independent_result_is_simple(self):
+        # "Any transaction whose outputs do not depend on the exact
+        # correct value of a polyvalued input produces simple values."
+        snapshot = {"a": in_doubt("T1", 10, 20)}
+
+        def body(ctx):
+            ctx.write("flag", ctx.read("a") >= 5)
+
+        result = execute(body, {**snapshot, "flag": False})
+        merged = result.merged_writes({"flag": False})
+        assert merged["flag"] is True
+
+    def test_fan_out_limit_enforced(self):
+        snapshot = {
+            f"item{i}": in_doubt(f"T{i}", 0, 1) for i in range(5)
+        }
+
+        def body(ctx):
+            total = 0
+            for i in range(5):
+                total += ctx.read(f"item{i}")
+            ctx.write("total", total)
+
+        with pytest.raises(TooManyAlternativesError):
+            execute(body, {**snapshot, "total": 0}, max_alternatives=8)
+
+
+class TestReadRaw:
+    def test_read_raw_does_not_fork(self):
+        snapshot = {"a": in_doubt("T1", 10, 20)}
+
+        def body(ctx):
+            value = ctx.read_raw("a")
+            assert is_polyvalue(value)
+            ctx.output("seen", sorted(value.possible_values()))
+
+        result = execute(body, snapshot)
+        assert result.is_simple()
+        assert result.merged_outputs()["seen"] == [10, 20]
+
+    def test_read_raw_after_fork_returns_pin(self):
+        snapshot = {"a": in_doubt("T1", 10, 20)}
+
+        def body(ctx):
+            pinned = ctx.read("a")
+            raw = ctx.read_raw("a")
+            assert pinned == raw
+            ctx.write("a", pinned)
+
+        result = execute(body, snapshot)
+        assert len(result.alternatives) == 2
+
+
+class TestMergedWrites:
+    def test_unwritten_alternative_takes_previous_value(self):
+        # "or is the previous value of the item if transaction T_ci does
+        # not compute a new value for the item"
+        snapshot = {"a": in_doubt("T1", 100, 50), "b": 7}
+
+        def body(ctx):
+            if ctx.read("a") >= 100:
+                ctx.write("b", 99)
+
+        result = execute(body, snapshot)
+        merged = result.merged_writes(snapshot)
+        assert set(merged["b"].possible_values()) == {99, 7}
+
+    def test_previous_value_polyvalue_flattens(self):
+        previous_b = in_doubt("T2", 1, 2)
+        snapshot = {"a": in_doubt("T1", 100, 50), "b": previous_b}
+
+        def body(ctx):
+            if ctx.read("a") >= 100:
+                ctx.write("b", 99)
+
+        merged = execute(body, snapshot).merged_writes(snapshot)
+        assert set(merged["b"].possible_values()) == {99, 1, 2}
+
+    def test_missing_previous_value_raises(self):
+        snapshot = {"a": in_doubt("T1", 100, 50)}
+
+        def body(ctx):
+            if ctx.read("a") >= 100:
+                ctx.write("new-item", 1)
+
+        result = execute(body, snapshot)
+        with pytest.raises(Exception):
+            result.merged_writes({})
+
+    def test_written_items_stable_order(self):
+        def body(ctx):
+            ctx.write("z", 1)
+            ctx.write("a", 2)
+
+        result = execute(body, {})
+        assert result.written_items() == ["z", "a"]
+
+
+class TestMergedOutputs:
+    def test_output_produced_by_single_branch(self):
+        snapshot = {"a": in_doubt("T1", 100, 50)}
+
+        def body(ctx):
+            if ctx.read("a") >= 100:
+                ctx.output("alert", "high")
+
+        outputs = execute(body, snapshot).merged_outputs()
+        assert set(outputs["alert"].possible_values()) == {"high", None}
+
+    def test_agreeing_outputs_collapse(self):
+        snapshot = {"a": in_doubt("T1", 100, 150)}
+
+        def body(ctx):
+            ctx.output("ok", ctx.read("a") >= 100)
+
+        assert execute(body, snapshot).merged_outputs()["ok"] is True
+
+    def test_disagreeing_outputs_stay_poly(self):
+        snapshot = {"a": in_doubt("T1", 100, 150)}
+
+        def body(ctx):
+            ctx.output("exact", ctx.read("a"))
+
+        outputs = execute(body, snapshot).merged_outputs()
+        assert set(outputs["exact"].possible_values()) == {100, 150}

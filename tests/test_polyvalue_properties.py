@@ -1,0 +1,161 @@
+"""Property-based tests for polyvalues.
+
+The central invariant: a polyvalue is a *function* from outcome
+assignments to values, and every operation (construction/flattening,
+reduction, map, combine) must commute with resolving the outcomes
+first.  hypothesis builds random nested in-doubt structures and checks
+the commutation on every assignment.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import Condition
+from repro.core.polyvalue import (
+    Polyvalue,
+    combine,
+    definitely,
+    is_polyvalue,
+    possible_values,
+    possibly,
+    reduce_value,
+)
+
+TXNS = ["T1", "T2", "T3"]
+
+
+def nested_values(depth):
+    """Random (possibly nested) in-doubt values over TXNS."""
+    base = st.integers(min_value=-50, max_value=50)
+    if depth == 0:
+        return base
+    sub = nested_values(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            lambda txn, new, old: Polyvalue.in_doubt(txn, new, old),
+            st.sampled_from(TXNS),
+            sub,
+            sub,
+        ),
+    )
+
+
+values = nested_values(3)
+
+
+def all_assignments():
+    for combo in itertools.product((False, True), repeat=len(TXNS)):
+        yield dict(zip(TXNS, combo))
+
+
+def resolve(value, assignment):
+    """Ground truth: fully resolve a (possibly poly) value."""
+    if is_polyvalue(value):
+        return value.value_under(assignment)
+    return value
+
+
+@given(values)
+def test_reduce_commutes_with_resolution(value):
+    for assignment in all_assignments():
+        reduced = reduce_value(value, assignment)
+        assert not is_polyvalue(reduced) or len(reduced) == 1
+        assert resolve(reduced, assignment) == resolve(value, assignment)
+
+
+@given(values, st.sampled_from(TXNS), st.booleans())
+def test_partial_reduce_preserves_semantics(value, txn, outcome):
+    reduced = reduce_value(value, {txn: outcome})
+    for assignment in all_assignments():
+        if assignment[txn] != outcome:
+            continue
+        assert resolve(reduced, assignment) == resolve(value, assignment)
+
+
+@given(values)
+def test_possible_values_covers_every_resolution(value):
+    possibilities = possible_values(value)
+    for assignment in all_assignments():
+        assert resolve(value, assignment) in possibilities
+
+
+@given(values)
+def test_possible_values_are_reachable(value):
+    reachable = {resolve(value, a) for a in all_assignments()}
+    assert set(possible_values(value)) == reachable
+
+
+@given(values)
+def test_conditions_complete_and_disjoint_after_flattening(value):
+    if not is_polyvalue(value):
+        return
+    for assignment in all_assignments():
+        satisfied = [
+            condition
+            for _, condition in value.pairs
+            if condition.evaluate(assignment)
+        ]
+        assert len(satisfied) == 1
+
+
+@given(values)
+def test_no_nested_polyvalues_after_construction(value):
+    if not is_polyvalue(value):
+        return
+    assert not any(is_polyvalue(v) for v in value.possible_values())
+
+
+@given(values)
+def test_no_duplicate_values_after_merging(value):
+    if not is_polyvalue(value):
+        return
+    possibilities = value.possible_values()
+    assert len(possibilities) == len(set(possibilities))
+
+
+@given(values, values)
+@settings(max_examples=60)
+def test_combine_commutes_with_resolution(left, right):
+    combined = combine(lambda a, b: a + 2 * b, left, right)
+    for assignment in all_assignments():
+        expected = resolve(left, assignment) + 2 * resolve(right, assignment)
+        assert resolve(combined, assignment) == expected
+
+
+@given(values)
+def test_map_commutes_with_resolution(value):
+    mapped = combine(lambda v: v * 3 + 1, value)
+    for assignment in all_assignments():
+        assert resolve(mapped, assignment) == resolve(value, assignment) * 3 + 1
+
+
+@given(values)
+def test_definitely_iff_all_possibilities(value):
+    predicate = lambda v: v >= 0
+    expected = all(
+        predicate(resolve(value, a)) for a in all_assignments()
+    )
+    assert definitely(predicate, value) == expected
+
+
+@given(values)
+def test_possibly_iff_some_possibility(value):
+    predicate = lambda v: v >= 0
+    expected = any(
+        predicate(resolve(value, a)) for a in all_assignments()
+    )
+    assert possibly(predicate, value) == expected
+
+
+@given(values, st.sampled_from(TXNS), st.booleans(), st.sampled_from(TXNS), st.booleans())
+@settings(max_examples=60)
+def test_sequential_reduction_order_irrelevant(value, txn_a, out_a, txn_b, out_b):
+    if txn_a == txn_b and out_a != out_b:
+        return
+    one_way = reduce_value(reduce_value(value, {txn_a: out_a}), {txn_b: out_b})
+    other_way = reduce_value(reduce_value(value, {txn_b: out_b}), {txn_a: out_a})
+    both = reduce_value(value, {txn_a: out_a, txn_b: out_b})
+    assert one_way == other_way == both

@@ -1,0 +1,163 @@
+"""Tests for transaction pre-analysis (repro.txn.preanalysis)."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.txn.preanalysis import (
+    classify,
+    conflict_graph,
+    conflicts,
+    parallel_batches,
+    profile,
+    workload_mix,
+)
+from repro.txn.transaction import Transaction
+
+
+def txn(*items, body=None):
+    return Transaction(body=body or (lambda ctx: None), items=items)
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.round_robin(["a", "b", "c", "d"], ["s1", "s2"])
+    # a,c -> s1 ; b,d -> s2
+
+
+class TestClassify:
+    def test_single_site_transaction(self, catalog):
+        klass = classify(txn("a", "c"), catalog)
+        assert klass.is_single_site
+        assert not klass.requires_distributed_commit
+        assert klass.home_site == "s1"
+
+    def test_distributed_transaction(self, catalog):
+        klass = classify(txn("a", "b"), catalog)
+        assert not klass.is_single_site
+        assert klass.requires_distributed_commit
+        assert klass.home_site is None
+        assert klass.sites == frozenset({"s1", "s2"})
+
+    def test_single_item(self, catalog):
+        assert classify(txn("d"), catalog).home_site == "s2"
+
+
+class TestProfile:
+    def test_read_only_detected(self):
+        def body(ctx):
+            ctx.output("value", ctx.read("a"))
+
+        result = profile(txn("a", body=body), {"a": 1})
+        assert result.is_read_only
+        assert result.items_read == frozenset({"a"})
+        assert result.outputs == ("value",)
+
+    def test_writes_detected(self):
+        def body(ctx):
+            ctx.write("b", ctx.read("a") + 1)
+
+        result = profile(txn("a", "b", body=body), {"a": 1, "b": 0})
+        assert not result.is_read_only
+        assert result.items_written == frozenset({"b"})
+
+    def test_profile_is_snapshot_specific(self):
+        def body(ctx):
+            if ctx.read("a") > 0:
+                ctx.write("b", 1)
+
+        writing = profile(txn("a", "b", body=body), {"a": 1, "b": 0})
+        idle = profile(txn("a", "b", body=body), {"a": 0, "b": 0})
+        assert writing.items_written == frozenset({"b"})
+        assert idle.is_read_only
+
+
+class TestConflicts:
+    def test_shared_item_conflicts(self):
+        assert conflicts(txn("a", "b"), txn("b", "c"))
+
+    def test_disjoint_items_do_not(self):
+        assert not conflicts(txn("a"), txn("b"))
+
+    def test_conflict_graph_symmetric(self):
+        graph = conflict_graph([txn("a", "b"), txn("b"), txn("c")])
+        assert graph[0] == frozenset({1})
+        assert graph[1] == frozenset({0})
+        assert graph[2] == frozenset()
+
+    def test_parallel_batches_are_conflict_free(self):
+        transactions = [
+            txn("a", "b"),
+            txn("b", "c"),
+            txn("c", "d"),
+            txn("d", "a"),
+            txn("e"),
+        ]
+        batches = parallel_batches(transactions)
+        for batch in batches:
+            for i in batch:
+                for j in batch:
+                    if i != j:
+                        assert not conflicts(transactions[i], transactions[j])
+
+    def test_parallel_batches_cover_everything_once(self):
+        transactions = [txn("a"), txn("a"), txn("a")]
+        batches = parallel_batches(transactions)
+        flattened = sorted(index for batch in batches for index in batch)
+        assert flattened == [0, 1, 2]
+        assert len(batches) == 3  # all conflict: one per batch
+
+    def test_independent_transactions_single_batch(self):
+        transactions = [txn("a"), txn("b"), txn("c")]
+        assert parallel_batches(transactions) == [[0, 1, 2]]
+
+    def test_batches_deterministic(self):
+        transactions = [txn("a", "b"), txn("b"), txn("a"), txn("c")]
+        assert parallel_batches(transactions) == parallel_batches(transactions)
+
+
+class TestWorkloadMix:
+    def test_mix_counts(self, catalog):
+        mix = workload_mix(
+            [txn("a"), txn("a", "c"), txn("a", "b"), txn("b", "c")], catalog
+        )
+        assert mix.total == 4
+        assert mix.single_site == 2
+        assert mix.distributed == 2
+        assert mix.distributed_fraction == 0.5
+
+    def test_empty_workload(self, catalog):
+        mix = workload_mix([], catalog)
+        assert mix.distributed_fraction == 0.0
+
+    def test_batched_submission_avoids_lock_aborts(self):
+        # End-to-end: submitting a conflicting workload batch-by-batch
+        # produces zero lock-conflict aborts, versus some when submitted
+        # all at once.
+        from repro.txn.system import DistributedSystem
+
+        def increment(item):
+            def body(ctx):
+                ctx.write(item, ctx.read(item) + 1)
+
+            return Transaction(body=body, items=(item,))
+
+        workload = [increment("x"), increment("x"), increment("y")]
+
+        all_at_once = DistributedSystem.build(
+            sites=2, items={"x": 0, "y": 0}, seed=1
+        )
+        for transaction in workload:
+            all_at_once.submit(transaction)
+        all_at_once.run_for(3.0)
+        assert all_at_once.metrics.aborted >= 1
+
+        batched = DistributedSystem.build(
+            sites=2, items={"x": 0, "y": 0}, seed=1
+        )
+        for batch in parallel_batches(workload):
+            for index in batch:
+                batched.submit(workload[index])
+            batched.run_for(2.0)
+        assert batched.metrics.aborted == 0
+        assert batched.read_item("x") == 2
+        assert batched.read_item("y") == 1

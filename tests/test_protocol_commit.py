@@ -1,0 +1,177 @@
+"""Integration tests: the failure-free commit and abort paths of the
+update protocol (section 3.1, Figure 1)."""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.runtime import SiteState
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+class TestCommitPath:
+    def test_single_site_transaction_commits(self, three_site_system):
+        system = three_site_system
+        handle = system.submit(increment("item-0"))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-0") == 101
+
+    def test_cross_site_transaction_commits(self, three_site_system):
+        system = three_site_system
+        # item-0 is at site-0, item-1 at site-1 (round robin).
+        handle = system.submit(move("item-0", "item-1", 25))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-0") == 75
+        assert system.read_item("item-1") == 125
+
+    def test_all_updates_atomic_across_sites(self, three_site_system):
+        system = three_site_system
+        handle = system.submit(move("item-0", "item-1", 10))
+        run_to_decision(system, handle)
+        total = system.read_item("item-0") + system.read_item("item-1")
+        assert total == 200
+
+    def test_outputs_delivered_on_commit(self, three_site_system):
+        system = three_site_system
+
+        def body(ctx):
+            ctx.output("doubled", ctx.read("item-2") * 2)
+
+        handle = system.submit(Transaction(body=body, items=("item-2",)))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs == {"doubled": 200}
+
+    def test_sequential_transactions_serialize(self, three_site_system):
+        system = three_site_system
+        for _ in range(5):
+            handle = system.submit(increment("item-3"))
+            run_to_decision(system, handle)
+            assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-3") == 105
+
+    def test_read_only_transaction_commits(self, three_site_system):
+        system = three_site_system
+
+        def body(ctx):
+            ctx.output("value", ctx.read("item-4"))
+
+        handle = system.submit(Transaction(body=body, items=("item-4",)))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs["value"] == 100
+
+    def test_no_polyvalues_without_failures(self, three_site_system):
+        system = three_site_system
+        for index in range(6):
+            system.submit(increment(f"item-{index}"))
+        system.run_for(3.0)
+        assert system.total_polyvalues() == 0
+        assert system.metrics.committed == 6
+
+    def test_latency_spans_protocol_rounds(self, three_site_system):
+        system = three_site_system
+        handle = system.submit(move("item-0", "item-1", 1))
+        run_to_decision(system, handle)
+        # read round-trip + stage round-trip over >= 10ms links.
+        assert handle.latency >= 0.04
+
+    def test_figure1_transitions_on_commit(self, three_site_system):
+        system = three_site_system
+        handle = system.submit(move("item-0", "item-1", 1))
+        run_to_decision(system, handle)
+        edges = system.transitions.edge_counts()
+        assert edges[("idle", "begin", "compute")] == 2
+        assert edges[("compute", "ready", "wait")] == 2
+        assert edges[("wait", "complete", "idle")] == 2
+        assert system.transitions.all_edges_valid()
+
+
+class TestAbortPath:
+    def test_lock_conflict_aborts_one_transaction(self, three_site_system):
+        system = three_site_system
+        first = system.submit(increment("item-0"))
+        second = system.submit(increment("item-0"))
+        system.run_for(3.0)
+        statuses = sorted([first.status.value, second.status.value])
+        assert statuses == ["aborted", "committed"]
+        # Exactly one increment applied.
+        assert system.read_item("item-0") == 101
+
+    def test_abort_reason_mentions_conflict(self, three_site_system):
+        system = three_site_system
+        system.submit(increment("item-0"))
+        second = system.submit(increment("item-0"))
+        system.run_for(3.0)
+        if second.status is TxnStatus.ABORTED:
+            assert "conflict" in second.abort_reason or "refused" in second.abort_reason
+
+    def test_failing_body_aborts(self, three_site_system):
+        system = three_site_system
+
+        def body(ctx):
+            ctx.read("item-not-declared")
+
+        handle = system.submit(Transaction(body=body, items=("item-0",)))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.ABORTED
+        assert "body failed" in handle.abort_reason
+
+    def test_aborted_transaction_leaves_no_trace(self, three_site_system):
+        system = three_site_system
+        system.submit(increment("item-0"))
+        system.submit(increment("item-0"))
+        system.run_for(3.0)
+        assert system.total_polyvalues() == 0
+        assert system.outcome_bookkeeping_size() == 0
+        # No locks leaked.
+        for site in system.sites.values():
+            assert site.runtime.locks.locked_items() == frozenset()
+
+    def test_figure1_abort_edge_recorded(self, three_site_system):
+        system = three_site_system
+        system.submit(increment("item-0"))
+        system.submit(increment("item-0"))
+        system.run_for(3.0)
+        edges = system.transitions.edge_counts()
+        assert edges.get(("compute", "abort", "idle"), 0) >= 1
+        assert system.transitions.all_edges_valid()
+
+    def test_retry_after_abort_succeeds(self, three_site_system):
+        system = three_site_system
+        first = system.submit(increment("item-0"))
+        second = system.submit(increment("item-0"))
+        system.run_for(3.0)
+        loser = first if first.status is TxnStatus.ABORTED else second
+        retry = system.submit(loser.transaction)
+        run_to_decision(system, retry)
+        assert retry.status is TxnStatus.COMMITTED
+        assert system.read_item("item-0") == 102
+
+
+class TestConcurrency:
+    def test_disjoint_transactions_run_concurrently(self, three_site_system):
+        system = three_site_system
+        handles = [
+            system.submit(increment(f"item-{index}")) for index in range(6)
+        ]
+        system.run_for(3.0)
+        assert all(h.status is TxnStatus.COMMITTED for h in handles)
+
+    def test_many_rounds_consistent_totals(self, three_site_system):
+        system = three_site_system
+        committed_moves = 0
+        for round_index in range(10):
+            handle = system.submit(
+                move(f"item-{round_index % 3}", f"item-{(round_index + 1) % 3}", 5)
+            )
+            run_to_decision(system, handle)
+            if handle.status is TxnStatus.COMMITTED:
+                committed_moves += 1
+        total = sum(system.read_item(f"item-{index}") for index in range(3))
+        assert total == 300
+        assert committed_moves == 10

@@ -1,0 +1,108 @@
+"""Unit tests for the seeded random source (repro.sim.rand)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.rand import Rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = Rng(42)
+        b = Rng(42)
+        assert [a.uniform(0, 1) for _ in range(10)] == [
+            b.uniform(0, 1) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert Rng(1).uniform(0, 1) != Rng(2).uniform(0, 1)
+
+    def test_fork_is_deterministic(self):
+        a = Rng(42).fork("network")
+        b = Rng(42).fork("network")
+        assert a.uniform(0, 1) == b.uniform(0, 1)
+
+    def test_fork_streams_are_independent(self):
+        root = Rng(42)
+        network = root.fork("network")
+        failures = root.fork("failures")
+        assert network.uniform(0, 1) != failures.uniform(0, 1)
+
+    def test_seed_property(self):
+        assert Rng(7).seed == 7
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = Rng(0)
+        draws = [rng.exponential(10.0) for _ in range(20000)]
+        mean = sum(draws) / len(draws)
+        assert 9.0 < mean < 11.0
+
+    def test_exponential_positive(self):
+        rng = Rng(0)
+        assert all(rng.exponential(1.0) > 0 for _ in range(100))
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(SimulationError):
+            Rng(0).exponential(0.0)
+
+    def test_bernoulli_probability(self):
+        rng = Rng(0)
+        hits = sum(rng.bernoulli(0.3) for _ in range(20000))
+        assert 0.27 < hits / 20000 < 0.33
+
+    def test_bernoulli_extremes(self):
+        rng = Rng(0)
+        assert not any(rng.bernoulli(0.0) for _ in range(100))
+        assert all(rng.bernoulli(1.0) for _ in range(100))
+
+    def test_bernoulli_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Rng(0).bernoulli(1.5)
+
+    def test_randint_bounds_inclusive(self):
+        rng = Rng(0)
+        draws = {rng.randint(0, 3) for _ in range(200)}
+        assert draws == {0, 1, 2, 3}
+
+    def test_choice_from_options(self):
+        rng = Rng(0)
+        assert rng.choice(["x"]) == "x"
+        assert rng.choice(["a", "b"]) in ("a", "b")
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Rng(0).choice([])
+
+    def test_sample_distinct(self):
+        rng = Rng(0)
+        picked = rng.sample(list(range(10)), 5)
+        assert len(picked) == len(set(picked)) == 5
+
+    def test_sample_count_capped_at_population(self):
+        rng = Rng(0)
+        picked = rng.sample([1, 2, 3], 10)
+        assert sorted(picked) == [1, 2, 3]
+
+    def test_shuffled_preserves_elements(self):
+        rng = Rng(0)
+        original = list(range(20))
+        shuffled = rng.shuffled(original)
+        assert sorted(shuffled) == original
+        assert original == list(range(20))  # input untouched
+
+    def test_zipf_like_uniform_when_no_skew(self):
+        rng = Rng(0)
+        draws = {rng.zipf_like(5, 0.0) for _ in range(500)}
+        assert draws == {0, 1, 2, 3, 4}
+
+    def test_zipf_like_skews_low_indices(self):
+        rng = Rng(0)
+        draws = [rng.zipf_like(100, 1.0) for _ in range(5000)]
+        low = sum(1 for d in draws if d < 10)
+        assert low > 1000  # far above the uniform expectation of 500
+
+    def test_zipf_like_requires_positive_size(self):
+        with pytest.raises(SimulationError):
+            Rng(0).zipf_like(0, 1.0)

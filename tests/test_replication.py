@@ -1,0 +1,223 @@
+"""Tests for replication support (repro.db.replication)."""
+
+import pytest
+
+from repro.core.errors import ReproError, UnknownItemError
+from repro.core.polyvalue import is_polyvalue
+from repro.db.replication import (
+    ReplicationScheme,
+    all_replicas_consistent,
+    read_all_replicas,
+    replica_item,
+    replicas_mutually_consistent,
+    replicated_read,
+    replicated_update,
+    split_replica,
+)
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import run_to_decision
+
+SITES = ("site-0", "site-1", "site-2")
+
+
+def replicated_system(values=None, seed=5):
+    scheme = ReplicationScheme.full(["x", "y"], SITES)
+    initial = scheme.initial_values(values or {"x": 10, "y": 20})
+    system = DistributedSystem(
+        catalog=scheme.catalog(),
+        initial_values=initial,
+        seed=seed,
+        jitter=0.0,
+    )
+    return system, scheme
+
+
+class TestNaming:
+    def test_replica_item_roundtrip(self):
+        item = replica_item("x", "site-1")
+        assert item == "x::site-1"
+        assert split_replica(item) == ("x", "site-1")
+
+    def test_separator_in_logical_id_rejected(self):
+        with pytest.raises(ReproError):
+            replica_item("a::b", "site-1")
+
+    def test_split_rejects_plain_item(self):
+        with pytest.raises(ReproError):
+            split_replica("plain")
+
+
+class TestScheme:
+    def test_full_replication(self):
+        scheme = ReplicationScheme.full(["x"], SITES)
+        assert scheme.sites_of("x") == SITES
+        assert scheme.replicas_of("x") == [
+            "x::site-0",
+            "x::site-1",
+            "x::site-2",
+        ]
+
+    def test_explicit_placement(self):
+        scheme = ReplicationScheme.explicit({"x": ["site-0", "site-2"]})
+        assert scheme.sites_of("x") == ("site-0", "site-2")
+
+    def test_unknown_logical_item(self):
+        scheme = ReplicationScheme.full(["x"], SITES)
+        with pytest.raises(UnknownItemError):
+            scheme.sites_of("zzz")
+
+    def test_empty_replica_list_rejected(self):
+        with pytest.raises(ReproError):
+            ReplicationScheme.explicit({"x": []})
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ReproError):
+            ReplicationScheme.explicit({"x": ["site-0", "site-0"]})
+
+    def test_catalog_places_each_replica_at_home(self):
+        scheme = ReplicationScheme.full(["x"], SITES)
+        catalog = scheme.catalog()
+        assert catalog.site_of("x::site-1") == "site-1"
+        assert len(catalog) == 3
+
+    def test_initial_values_replicated(self):
+        scheme = ReplicationScheme.full(["x"], SITES)
+        physical = scheme.initial_values({"x": 7})
+        assert set(physical.values()) == {7}
+        assert len(physical) == 3
+
+
+class TestWriteAll:
+    def test_update_reaches_every_replica(self):
+        system, scheme = replicated_system()
+        handle = system.submit(
+            replicated_update(scheme, "x", lambda v: v + 5)
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        for item in scheme.replicas_of("x"):
+            assert system.read_item(item) == 15
+
+    def test_read_any_from_each_site(self):
+        system, scheme = replicated_system()
+        for site in SITES:
+            handle = system.submit(
+                replicated_read(scheme, "x", at_site=site), at=site
+            )
+            run_to_decision(system, handle)
+            assert handle.outputs["value"] == 10
+
+    def test_read_at_non_replica_site_rejected(self):
+        scheme = ReplicationScheme.explicit({"x": ["site-0"]})
+        with pytest.raises(ReproError):
+            replicated_read(scheme, "x", at_site="site-1")
+
+    def test_read_survives_other_replica_failure(self):
+        system, scheme = replicated_system()
+        system.crash_site("site-0")
+        handle = system.submit(
+            replicated_read(scheme, "x", at_site="site-1"), at="site-1"
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs["value"] == 10
+
+    def test_read_all_agreement(self):
+        system, scheme = replicated_system()
+        handle = system.submit(read_all_replicas(scheme, "y"))
+        run_to_decision(system, handle)
+        assert handle.outputs["agree"] is True
+        assert set(handle.outputs["values"].values()) == {20}
+
+
+class TestInterruptedReplicatedUpdate:
+    def interrupt_update(self, system, scheme):
+        """Write-all update whose coordinator (site-0) crashes in the window."""
+        system.submit(replicated_update(scheme, "x", lambda v: v + 5))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(1.5)
+
+    def test_surviving_replicas_hold_polyvalues(self):
+        system, scheme = replicated_system()
+        self.interrupt_update(system, scheme)
+        for site in ("site-1", "site-2"):
+            value = system.read_item(replica_item("x", site))
+            assert is_polyvalue(value)
+            assert set(value.possible_values()) == {15, 10}
+
+    def test_replicas_conditionally_consistent_during_doubt(self):
+        system, scheme = replicated_system()
+        self.interrupt_update(system, scheme)
+        # Exclude the crashed site's replica (unreadable in reality; its
+        # store still shows the stale 10 to the observer).
+        sub_scheme = ReplicationScheme.explicit({"x": ["site-1", "site-2"]})
+        assert replicas_mutually_consistent(
+            system.database_state(), sub_scheme, "x"
+        )
+
+    def test_read_any_still_available_during_doubt(self):
+        system, scheme = replicated_system()
+        self.interrupt_update(system, scheme)
+        handle = system.submit(
+            replicated_read(scheme, "x", at_site="site-1"), at="site-1"
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert is_polyvalue(handle.outputs["value"])
+
+    def test_recovery_restores_exact_agreement(self):
+        system, scheme = replicated_system()
+        self.interrupt_update(system, scheme)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        state = system.database_state()
+        # Presumed abort: every replica back to 10, exactly.
+        for item in scheme.replicas_of("x"):
+            assert state[item] == 10
+        assert all_replicas_consistent(state, scheme)
+        assert system.total_polyvalues() == 0
+
+    def test_committed_update_consistent_after_partition_heal(self):
+        system, scheme = replicated_system()
+        system.submit(replicated_update(scheme, "x", lambda v: v + 5))
+        system.run_for(0.046)  # readies in flight
+        system.network.partition("site-0", "site-1")
+        system.run_for(2.0)
+        system.network.heal_all()
+        system.run_for(6.0)
+        state = system.database_state()
+        values = {state[item] for item in scheme.replicas_of("x")}
+        assert len(values) == 1  # all replicas converged to one value
+        assert all_replicas_consistent(state, scheme)
+
+
+class TestConsistencyChecker:
+    def test_detects_divergent_replicas(self):
+        scheme = ReplicationScheme.full(["x"], ("site-0", "site-1"))
+        state = {"x::site-0": 1, "x::site-1": 2}
+        assert not replicas_mutually_consistent(state, scheme, "x")
+
+    def test_accepts_identical_polyvalues(self):
+        from repro.core.polyvalue import Polyvalue
+
+        scheme = ReplicationScheme.full(["x"], ("site-0", "site-1"))
+        pv = Polyvalue.in_doubt("T1@s", 15, 10)
+        state = {"x::site-0": pv, "x::site-1": pv}
+        assert replicas_mutually_consistent(state, scheme, "x")
+
+    def test_rejects_conditionally_divergent_polyvalues(self):
+        from repro.core.polyvalue import Polyvalue
+
+        scheme = ReplicationScheme.full(["x"], ("site-0", "site-1"))
+        state = {
+            "x::site-0": Polyvalue.in_doubt("T1@s", 15, 10),
+            "x::site-1": Polyvalue.in_doubt("T1@s", 16, 10),
+        }
+        assert not replicas_mutually_consistent(state, scheme, "x")
+
+    def test_single_replica_trivially_consistent(self):
+        scheme = ReplicationScheme.explicit({"x": ["site-0"]})
+        assert replicas_mutually_consistent({"x::site-0": 5}, scheme, "x")

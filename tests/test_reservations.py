@@ -1,0 +1,169 @@
+"""Tests for the reservations application (repro.workloads.reservations)."""
+
+import pytest
+
+from repro.core.polyvalue import Polyvalue, is_polyvalue
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.reservations import (
+    ReservationsWorkload,
+    cancel,
+    flight_items,
+    might_be_full,
+    never_oversold,
+    reserve,
+    seats_remaining,
+)
+
+from tests.conftest import run_to_decision
+
+
+def airline(flights=3, sold=0, seed=5):
+    items = {flight: sold for flight in flight_items(flights)}
+    return DistributedSystem.build(sites=3, items=items, seed=seed)
+
+
+class TestPureHelpers:
+    def test_flight_items_naming(self):
+        assert flight_items(2) == ["flight-00", "flight-01"]
+
+    def test_never_oversold_simple(self):
+        assert never_oversold(99, 100)
+        assert not never_oversold(101, 100)
+
+    def test_never_oversold_polyvalue(self):
+        sold = Polyvalue.in_doubt("T1", 96, 95)
+        assert never_oversold(sold, 100)
+        assert not never_oversold(Polyvalue.in_doubt("T1", 101, 95), 100)
+
+    def test_might_be_full(self):
+        sold = Polyvalue.in_doubt("T1", 100, 95)
+        assert might_be_full(sold, 100)
+        assert not might_be_full(95, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reserve("flight-00", 0)
+        with pytest.raises(ValueError):
+            cancel("flight-00", 0)
+
+
+class TestReserve:
+    def test_grant_when_room(self):
+        system = airline()
+        handle = system.submit(reserve("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        assert handle.outputs["granted"] is True
+        assert system.read_item("flight-00") == 1
+
+    def test_deny_when_full(self):
+        system = airline(sold=100)
+        handle = system.submit(reserve("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        assert handle.outputs["granted"] is False
+        assert system.read_item("flight-00") == 100
+
+    def test_party_size_boundary(self):
+        system = airline(sold=98)
+        handle = system.submit(reserve("flight-00", capacity=100, party_size=2))
+        run_to_decision(system, handle)
+        assert handle.outputs["granted"] is True
+        assert system.read_item("flight-00") == 100
+
+    def test_cancel_floors_at_zero(self):
+        system = airline(sold=1)
+        handle = system.submit(cancel("flight-00", party_size=5))
+        run_to_decision(system, handle)
+        assert system.read_item("flight-00") == 0
+
+
+def make_uncertain_sold(system, flight="flight-00", capacity=100):
+    """Put the flight's sold count in doubt: a reservation whose
+    coordinator crashes inside the commit window.
+
+    Single-item transactions coordinate at the item's home site, so we
+    coordinate this one at a *different* site and crash that site.
+    """
+    home = system.catalog.site_of(flight)
+    other = next(s for s in sorted(system.sites) if s != home)
+    system.submit(reserve(flight, capacity), at=other)
+    system.run_for(0.05)
+    system.crash_site(other)
+    system.run_for(2.0)
+    sold = system.read_item(flight)
+    assert is_polyvalue(sold)
+    return other
+
+
+class TestReserveUnderUncertainty:
+    def test_paper_rule_all_alternatives_grant(self):
+        # "All alternative transactions of such a polytransaction will
+        # decide to grant the reservation."
+        system = airline(sold=10)
+        make_uncertain_sold(system)  # sold = {11 if T, 10 if ~T}
+        handle = system.submit(reserve("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.was_polytransaction
+        assert handle.outputs["granted"] is True  # certain grant
+        assert is_polyvalue(system.read_item("flight-00"))
+
+    def test_boundary_grant_becomes_uncertain(self):
+        # Near capacity the decision honestly depends on the outcome.
+        system = airline(sold=99)
+        make_uncertain_sold(system)  # sold = {100 if T, 99 if ~T}
+        handle = system.submit(reserve("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        granted = handle.outputs["granted"]
+        assert is_polyvalue(granted)
+        assert set(granted.possible_values()) == {True, False}
+
+    def test_never_oversold_invariant_through_failure(self):
+        system = airline(sold=99)
+        make_uncertain_sold(system)
+        for _ in range(3):
+            handle = system.submit(reserve("flight-00", capacity=100))
+            run_to_decision(system, handle)
+        assert never_oversold(system.read_item("flight-00"), 100)
+
+    def test_uncertainty_resolves_to_exact_count(self):
+        system = airline(sold=10)
+        crashed = make_uncertain_sold(system)
+        handle = system.submit(reserve("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        system.recover_site(crashed)
+        system.run_for(6.0)
+        # First reservation presumed aborted; second committed: 11.
+        assert system.read_item("flight-00") == 11
+        assert system.total_polyvalues() == 0
+
+
+class TestSeatsRemaining:
+    def test_certain_remaining(self):
+        system = airline(sold=40)
+        handle = system.submit(seats_remaining("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        assert handle.outputs["remaining"] == 60
+
+    def test_uncertain_remaining_presented(self):
+        # The §3.4 ticket-agent example: an uncertain answer is useful.
+        system = airline(sold=40)
+        make_uncertain_sold(system)
+        handle = system.submit(seats_remaining("flight-00", capacity=100))
+        run_to_decision(system, handle)
+        remaining = handle.outputs["remaining"]
+        assert is_polyvalue(remaining)
+        assert set(remaining.possible_values()) == {59, 60}
+
+
+class TestWorkloadDriver:
+    def test_stream_respects_capacity(self):
+        system = airline(sold=0)
+        capacities = {flight: 10 for flight in flight_items(3)}
+        workload = ReservationsWorkload(system, capacities, seed=13)
+        for _ in range(40):
+            workload.submit_one()
+            system.run_for(0.3)
+        system.run_for(3.0)
+        for flight in flight_items(3):
+            assert never_oversold(system.read_item(flight), 10)

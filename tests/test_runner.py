@@ -1,0 +1,120 @@
+"""Tests for the experiment runner (repro.workloads.runner)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.net.failures import CrashPlan, ScriptedFailures
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.generator import (
+    RandomUpdateWorkload,
+    WorkloadConfig,
+    make_item_ids,
+)
+from repro.workloads.runner import ExperimentRunner, RunReport, serial_replay
+
+from tests.conftest import increment, move, run_to_decision
+
+
+def build(items=10, seed=3, **kwargs):
+    values = {item: 1 for item in make_item_ids(items)}
+    system = DistributedSystem.build(sites=3, items=values, seed=seed, **kwargs)
+    return system, values
+
+
+class TestSerialReplay:
+    def test_empty_history_is_initial_state(self):
+        assert serial_replay([], {"a": 1}) == {"a": 1}
+
+    def test_committed_only_are_replayed(self):
+        system, values = build(items=4)
+        good = system.submit(increment("item-0000"))
+        run_to_decision(system, good)
+        conflicted_a = system.submit(increment("item-0001"))
+        conflicted_b = system.submit(increment("item-0001"))
+        system.run_for(3.0)
+        replayed = serial_replay(system.handles, values)
+        assert replayed == system.database_state()
+
+    def test_replay_order_is_commit_order(self):
+        system, values = build(items=4)
+        first = system.submit(move("item-0000", "item-0001", 1))
+        run_to_decision(system, first)
+        second = system.submit(move("item-0001", "item-0002", 2))
+        run_to_decision(system, second)
+        replayed = serial_replay(system.handles, values)
+        assert replayed == system.database_state()
+
+
+class TestRunner:
+    def test_clean_run_report(self):
+        system, values = build()
+        workload = RandomUpdateWorkload(
+            system, WorkloadConfig(update_rate=10), seed=3
+        )
+        runner = ExperimentRunner(
+            system, workload=workload, initial_values=values
+        )
+        report = runner.run(5.0, settle=5.0)
+        assert report.converged
+        assert report.serially_equivalent is True
+        assert report.committed > 10
+        assert report.pending == 0
+        assert report.commit_rate > 0.5
+        assert report.final_state == system.database_state()
+
+    def test_run_with_failures_converges(self):
+        system, values = build(seed=9, base_latency=0.05, jitter=0.02)
+        workload = RandomUpdateWorkload(
+            system, WorkloadConfig(update_rate=12), seed=9
+        )
+        ScriptedFailures(
+            system.sim,
+            system,
+            [
+                CrashPlan("site-0", at=1.0, duration=1.5),
+                CrashPlan("site-1", at=3.0, duration=1.0),
+            ],
+        )
+        runner = ExperimentRunner(
+            system, workload=workload, initial_values=values
+        )
+        report = runner.run(6.0, settle=10.0)
+        assert report.converged
+        assert report.serially_equivalent is True
+        assert report.polyvalues_resolved == report.polyvalues_installed
+
+    def test_report_without_initial_values_skips_replay(self):
+        system, _ = build()
+        runner = ExperimentRunner(system)
+        handle = system.submit(increment("item-0000"))
+        report = runner.run(2.0, settle=1.0)
+        assert report.serially_equivalent is None
+        assert report.committed == 1
+
+    def test_summary_lines_render(self):
+        system, values = build()
+        runner = ExperimentRunner(system, initial_values=values)
+        system.submit(increment("item-0000"))
+        report = runner.run(2.0, settle=1.0)
+        text = "\n".join(report.summary_lines())
+        assert "committed" in text
+        assert "serially equivalent" in text
+
+    def test_non_convergence_reported_not_raised(self):
+        # A permanently crashed site strands its items' handles? No —
+        # handles decide; but a polyvalue on an up site whose
+        # coordinator never recovers cannot resolve.
+        system, values = build(seed=9)
+        system.submit(move("item-0000", "item-0001", 1))  # 0 at site-0
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        runner = ExperimentRunner(system, initial_values=values)
+        report = runner.run(1.0, settle=3.0, settle_step=1.0, max_settle=6.0)
+        assert not report.converged
+        assert report.residual_polyvalues >= 1
+
+    def test_invalid_duration(self):
+        system, _ = build()
+        with pytest.raises(SimulationError):
+            ExperimentRunner(system).run(0.0)

@@ -1,0 +1,179 @@
+"""Tests for condition/polyvalue serialization (repro.core.serialize)."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.conditions import Condition
+from repro.core.polyvalue import Polyvalue, is_polyvalue
+from repro.core.serialize import (
+    SerializationError,
+    decode_condition,
+    decode_state,
+    decode_value,
+    encode_condition,
+    encode_state,
+    encode_value,
+)
+
+T1 = Condition.of("T1")
+T2 = Condition.of("T2")
+
+
+def roundtrip_value(value):
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+class TestConditionRoundtrip:
+    def test_simple_literal(self):
+        assert decode_condition(encode_condition(T1)) == T1
+
+    def test_negative_literal(self):
+        assert decode_condition(encode_condition(~T1)) == ~T1
+
+    def test_true_and_false(self):
+        assert decode_condition(encode_condition(Condition.true())).is_true()
+        assert decode_condition(encode_condition(Condition.false())).is_false()
+
+    def test_sum_of_products(self):
+        condition = (T1 & ~T2) | (~T1 & T2)
+        assert decode_condition(encode_condition(condition)) == condition
+
+    def test_json_compatible(self):
+        blob = encode_condition((T1 & T2) | ~T1)
+        rehydrated = decode_condition(json.loads(json.dumps(blob)))
+        assert rehydrated == (T1 & T2) | ~T1
+
+    def test_encoding_is_deterministic(self):
+        a = encode_condition((T1 & ~T2) | T2)
+        b = encode_condition(T2 | (~T2 & T1))
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            decode_condition({"products": []})
+        with pytest.raises(SerializationError):
+            decode_condition({"__condition__": 1, "products": "nope"})
+        with pytest.raises(SerializationError):
+            decode_condition(
+                {"__condition__": 1, "products": [[{"txn": 3, "positive": True}]]}
+            )
+
+    def test_decode_rejects_future_version(self):
+        blob = encode_condition(T1)
+        blob["__condition__"] = 99
+        with pytest.raises(SerializationError):
+            decode_condition(blob)
+
+
+class TestValueRoundtrip:
+    def test_simple_values_pass_through(self):
+        for value in (None, True, 0, 1.5, "x", [1, 2], {"k": "v"}):
+            assert roundtrip_value(value) == value
+
+    def test_polyvalue_roundtrip(self):
+        pv = Polyvalue.in_doubt("T1", 130, 100)
+        assert roundtrip_value(pv) == pv
+
+    def test_nested_condition_polyvalue_roundtrip(self):
+        inner = Polyvalue.in_doubt("T1", 1, 2)
+        outer = Polyvalue([(inner, T2), ("other", ~T2)])
+        assert roundtrip_value(outer) == outer
+
+    def test_certain_polyvalue_decodes_collapsed(self):
+        blob = encode_value(Polyvalue.in_doubt("T1", 130, 100))
+        # Simulate outcome resolution happening structurally: both pairs
+        # carry the same value.
+        for pair in blob["pairs"]:
+            pair["value"] = 7
+        assert decode_value(blob) == 7
+
+    def test_structured_simple_values_in_pairs(self):
+        pv = Polyvalue([([1, {"a": 2}], T1), ("fallback", ~T1)])
+        assert roundtrip_value(pv) == pv
+
+    def test_unserializable_value_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value(object())
+        with pytest.raises(SerializationError):
+            encode_value(Polyvalue([(object(), T1), (1, ~T1)]))
+
+    def test_reserved_keys_rejected_in_app_data(self):
+        with pytest.raises(SerializationError):
+            encode_value({"__polyvalue__": 1})
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value({1: "x"})
+
+    def test_decode_validates_polyvalue_wellformedness(self):
+        blob = {
+            "__polyvalue__": 1,
+            "pairs": [
+                {"value": 1, "condition": encode_condition(T1)},
+                {"value": 2, "condition": encode_condition(Condition.true())},
+            ],
+        }
+        with pytest.raises(Exception):  # OverlappingConditionsError
+            decode_value(blob)
+
+    def test_decode_rejects_bare_condition(self):
+        with pytest.raises(SerializationError):
+            decode_value(encode_condition(T1))
+
+    def test_decode_rejects_empty_pairs(self):
+        with pytest.raises(SerializationError):
+            decode_value({"__polyvalue__": 1, "pairs": []})
+
+
+class TestStateRoundtrip:
+    def test_mixed_state(self):
+        state = {
+            "a": 100,
+            "b": Polyvalue.in_doubt("T1", 130, 100),
+            "c": "hello",
+        }
+        rehydrated = decode_state(json.loads(json.dumps(encode_state(state))))
+        assert rehydrated == state
+
+    def test_live_system_state_roundtrips(self):
+        from repro.txn.system import DistributedSystem
+        from repro.txn.transaction import Transaction
+
+        system = DistributedSystem.build(
+            sites=3, items={"x": 1, "y": 2, "z": 3}, seed=3, jitter=0.0
+        )
+
+        def move(ctx):
+            ctx.write("x", ctx.read("x") - 1)
+            ctx.write("y", ctx.read("y") + 1)
+
+        system.submit(Transaction(body=move, items=("x", "y")))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(1.0)
+        state = system.database_state()
+        assert any(is_polyvalue(v) for v in state.values())
+        assert decode_state(json.loads(json.dumps(encode_state(state)))) == state
+
+    def test_decode_state_rejects_non_mapping(self):
+        with pytest.raises(SerializationError):
+            decode_state([1, 2, 3])
+
+
+@given(
+    st.recursive(
+        st.integers(-10, 10),
+        lambda sub: st.builds(
+            lambda txn, new, old: Polyvalue.in_doubt(txn, new, old),
+            st.sampled_from(["T1", "T2", "T3"]),
+            sub,
+            sub,
+        ),
+        max_leaves=6,
+    )
+)
+def test_property_roundtrip_arbitrary_nested(value):
+    assert roundtrip_value(value) == value

@@ -1,0 +1,199 @@
+"""Unit tests for the discrete-event kernel (repro.sim)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.events import Event
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.events_pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_run_until_inclusive_of_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(3.0)
+        assert fired == [3]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(2.0)
+
+    def test_repeated_run_until_resumes(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run_until(1.5)
+        sim.run_until(2.5)
+        sim.run_until(3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule(float(t + 1), lambda t=t: fired.append(t))
+        sim.run(max_events=2)
+        assert len(fired) == 2
+
+    def test_run_while_predicate(self):
+        sim = Simulator()
+        fired = []
+        for t in range(10):
+            sim.schedule(float(t + 1), lambda t=t: fired.append(t))
+        sim.run_while(lambda: len(fired) < 4)
+        assert len(fired) == 4
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(3):
+            sim.schedule(float(t + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 2.0, lambda: ticks.append(sim.now))
+        sim.run_until(7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_stop_halts_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run_until(2.5)
+        task.stop()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_during_callback(self):
+        sim = Simulator()
+        ticks = []
+        task = None
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 1.0, tick)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_non_positive_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+
+class TestEventRepr:
+    def test_repr_shows_time_and_label(self):
+        event = Event(time=1.5, seq=3, action=lambda: None, label="tick")
+        assert "tick" in repr(event)
+        assert "1.5" in repr(event)
+
+    def test_repr_marks_cancelled(self):
+        event = Event(time=1.5, seq=3, action=lambda: None)
+        event.cancel()
+        assert "cancelled" in repr(event)

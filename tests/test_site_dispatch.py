@@ -1,0 +1,175 @@
+"""Unit tests for DatabaseSite message dispatch and edge cases
+(repro.txn.site)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.net.message import Envelope
+from repro.txn import protocol
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+def build(seed=7):
+    return DistributedSystem.build(
+        sites=3,
+        items={"a": 10, "b": 20, "c": 30},
+        seed=seed,
+        jitter=0.0,
+    )
+
+
+def inject(system, sender, recipient, payload):
+    """Deliver a raw protocol message directly to a site."""
+    site = system.sites[recipient]
+    site.on_message(
+        Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at=system.sim.now,
+        )
+    )
+
+
+class TestDuplicateAndStray:
+    def test_duplicate_read_request_ignored(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.012)  # ReadRequests delivered
+        inject(
+            system,
+            "site-0",
+            "site-1",
+            protocol.ReadRequest(txn=handle.txn, items=("b",)),
+        )
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("b") == 21
+
+    def test_stray_complete_is_harmless(self):
+        system = build()
+        inject(system, "site-0", "site-1", protocol.Complete(txn="T99@site-0"))
+        system.run_for(1.0)
+        assert system.read_item("b") == 20
+        # The stray outcome is cached but has no dependents to reduce.
+        assert system.sites["site-1"].runtime.known_outcomes["T99@site-0"] is True
+
+    def test_stray_abort_is_harmless(self):
+        system = build()
+        inject(system, "site-0", "site-1", protocol.Abort(txn="T99@site-0"))
+        system.run_for(1.0)
+        assert system.read_item("b") == 20
+
+    def test_stray_ready_ignored_by_coordinator(self):
+        system = build()
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.Ready(txn="T99@site-0", site="site-1"),
+        )
+        system.run_for(1.0)  # no crash, no effect
+
+    def test_stray_outcome_ack_ignored(self):
+        system = build()
+        inject(
+            system,
+            "site-1",
+            "site-0",
+            protocol.OutcomeAck(txn="T99@site-0", site="site-1"),
+        )
+        system.run_for(1.0)
+
+    def test_unknown_payload_raises(self):
+        system = build()
+        with pytest.raises(ProtocolError):
+            inject(system, "site-0", "site-1", "not a protocol message")
+
+
+class TestOutcomeQueries:
+    def test_query_for_committed_txn_answered_true(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        run_to_decision(system, handle)
+        inject(
+            system,
+            "site-2",
+            "site-0",
+            protocol.OutcomeQuery(txn=handle.txn, requester="site-2"),
+        )
+        system.run_for(0.5)
+        assert system.sites["site-2"].runtime.known_outcomes[handle.txn] is True
+
+    def test_query_for_unknown_txn_presumed_abort(self):
+        system = build()
+        inject(
+            system,
+            "site-2",
+            "site-0",
+            protocol.OutcomeQuery(txn="T424242@site-0", requester="site-2"),
+        )
+        system.run_for(0.5)
+        assert (
+            system.sites["site-2"].runtime.known_outcomes["T424242@site-0"]
+            is False
+        )
+
+    def test_misdirected_query_unanswered(self):
+        system = build()
+        inject(
+            system,
+            "site-2",
+            "site-1",  # not the coordinator embedded in the txn id
+            protocol.OutcomeQuery(txn="T1@site-0", requester="site-2"),
+        )
+        system.run_for(0.5)
+        assert "T1@site-0" not in system.sites["site-2"].runtime.known_outcomes
+
+    def test_query_for_undecided_txn_gets_no_answer_yet(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.005)  # still undecided
+        inject(
+            system,
+            "site-2",
+            "site-0",
+            protocol.OutcomeQuery(txn=handle.txn, requester="site-2"),
+        )
+        system.run_for(0.004)
+        assert handle.txn not in system.sites["site-2"].runtime.known_outcomes
+
+
+class TestOutcomeLogGc:
+    def test_commit_record_collected_after_all_acks(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        run_to_decision(system, handle)
+        system.run_for(1.0)
+        # Both participants acked the complete; the durable record is gone.
+        assert not system.sites["site-0"].runtime.outcome_log.knows(handle.txn)
+
+    def test_commit_record_retained_until_lost_participant_acks(self):
+        system = build()
+        handle = system.submit(move("a", "b", 1))
+        system.run_for(0.041)  # decision imminent/made; completes in flight
+        system.network.partition("site-0", "site-1")
+        system.run_for(1.0)
+        if handle.status is TxnStatus.COMMITTED:
+            log = system.sites["site-0"].runtime.outcome_log
+            assert log.knows(handle.txn)  # site-1 never acked
+            system.network.heal_all()
+            system.run_for(5.0)
+            assert not log.knows(handle.txn)
+
+
+class TestCrashedSiteIgnoresTraffic:
+    def test_messages_to_down_site_have_no_effect(self):
+        system = build()
+        system.crash_site("site-1")
+        # Bypass the network (which would drop it) and call the handler
+        # directly: the belt-and-braces guard must still ignore it.
+        inject(system, "site-0", "site-1", protocol.Complete(txn="T9@site-0"))
+        assert "T9@site-0" not in system.sites["site-1"].runtime.known_outcomes

@@ -1,0 +1,125 @@
+"""Tests for whole-system snapshots (repro.txn.snapshot)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.snapshot import export_snapshot, import_snapshot
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+def build(seed=13):
+    return DistributedSystem.build(
+        sites=3,
+        items={f"item-{index}": 100 for index in range(6)},
+        seed=seed,
+        jitter=0.0,
+    )
+
+
+def snapshot_roundtrip(system):
+    blob = json.loads(json.dumps(export_snapshot(system)))
+    return import_snapshot(blob, seed=99)
+
+
+class TestCleanSnapshot:
+    def test_roundtrip_preserves_values_and_placement(self):
+        system = build()
+        handle = system.submit(move("item-0", "item-1", 25))
+        run_to_decision(system, handle)
+        restored = snapshot_roundtrip(system)
+        assert restored.database_state() == system.database_state()
+        for item in system.catalog.all_items():
+            assert restored.catalog.site_of(item) == system.catalog.site_of(item)
+
+    def test_restored_system_processes_transactions(self):
+        system = build()
+        restored = snapshot_roundtrip(system)
+        handle = restored.submit(increment("item-2"))
+        run_to_decision(restored, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert restored.read_item("item-2") == 101
+
+    def test_version_check(self):
+        with pytest.raises(ReproError):
+            import_snapshot({"version": 99})
+
+    def test_missing_section_rejected(self):
+        with pytest.raises(ReproError):
+            import_snapshot({"version": 1, "placement": {}})
+
+
+class TestMidUncertaintySnapshot:
+    def make_uncertain(self, committed):
+        """A system with item-1 polyvalued; the in-doubt transaction's
+        real outcome is *committed* (durable log) or aborted (no log)."""
+        system = build()
+        handle = system.submit(move("item-0", "item-1", 30))
+        if committed:
+            # Let the coordinator decide COMMIT but partition the
+            # participant so the complete is lost.
+            system.run_for(0.041)
+            system.network.partition("site-0", "site-1")
+            system.run_for(1.0)
+            assert handle.status is TxnStatus.COMMITTED
+        else:
+            system.run_for(0.035)
+            system.crash_site("site-0")
+            system.run_for(1.0)
+        assert is_polyvalue(system.read_item("item-1"))
+        return system, handle
+
+    def test_polyvalues_survive_the_roundtrip(self):
+        system, _ = self.make_uncertain(committed=False)
+        restored = snapshot_roundtrip(system)
+        value = restored.read_item("item-1")
+        assert is_polyvalue(value)
+        assert set(value.possible_values()) == {130, 100}
+
+    def test_restored_aborted_doubt_resolves_to_old_value(self):
+        system, _ = self.make_uncertain(committed=False)
+        restored = snapshot_roundtrip(system)
+        restored.run_for(10.0)
+        assert restored.read_item("item-1") == 100
+        assert restored.total_polyvalues() == 0
+        assert restored.outcome_bookkeeping_size() == 0
+
+    def test_restored_committed_doubt_resolves_to_new_value(self):
+        # The durable commit log travels with the snapshot; without it
+        # this would wrongly presume abort.
+        system, _ = self.make_uncertain(committed=True)
+        restored = snapshot_roundtrip(system)
+        restored.run_for(10.0)
+        assert restored.read_item("item-1") == 130
+        assert restored.read_item("item-0") == 70
+        assert restored.total_polyvalues() == 0
+
+    def test_restored_system_can_work_before_resolution(self):
+        system, _ = self.make_uncertain(committed=False)
+        blob = export_snapshot(system)
+        restored = import_snapshot(
+            blob,
+            seed=5,
+            config=None,
+        )
+        # Crash the coordinator in the restored world too, so the doubt
+        # persists while we work against it.
+        restored.crash_site("site-0")
+        handle = restored.submit(increment("item-1"), at="site-1")
+        run_to_decision(restored, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.was_polytransaction
+        restored.recover_site("site-0")
+        restored.run_for(10.0)
+        assert restored.read_item("item-1") == 101
+
+    def test_snapshot_is_json_serialisable(self):
+        system, _ = self.make_uncertain(committed=False)
+        text = json.dumps(export_snapshot(system))
+        assert "item-1" in text
+        assert "__polyvalue__" in text

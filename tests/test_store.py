@@ -1,0 +1,87 @@
+"""Unit tests for per-site storage (repro.db.store)."""
+
+import pytest
+
+from repro.core.errors import UnknownItemError
+from repro.core.polyvalue import Polyvalue
+from repro.db.store import ItemStore
+
+
+def pv(new=1, old=2, txn="T1"):
+    return Polyvalue.in_doubt(txn, new, old)
+
+
+class TestReads:
+    def test_read_initial_value(self):
+        store = ItemStore({"a": 10})
+        assert store.read("a") == 10
+
+    def test_read_unknown_item_raises(self):
+        with pytest.raises(UnknownItemError):
+            ItemStore().read("missing")
+
+    def test_contains(self):
+        store = ItemStore({"a": 1})
+        assert store.contains("a")
+        assert not store.contains("b")
+
+    def test_snapshot_multiple(self):
+        store = ItemStore({"a": 1, "b": 2})
+        assert store.snapshot(["a", "b"]) == {"a": 1, "b": 2}
+
+    def test_items_and_len(self):
+        store = ItemStore({"a": 1, "b": 2})
+        assert store.items() == frozenset({"a", "b"})
+        assert len(store) == 2
+        assert set(iter(store)) == {"a", "b"}
+
+
+class TestWrites:
+    def test_write_overwrites(self):
+        store = ItemStore({"a": 1})
+        store.write("a", 5)
+        assert store.read("a") == 5
+
+    def test_write_unknown_item_raises(self):
+        with pytest.raises(UnknownItemError):
+            ItemStore().write("missing", 1)
+
+    def test_create_new_item(self):
+        store = ItemStore()
+        store.create("a", 1)
+        assert store.read("a") == 1
+
+    def test_create_duplicate_raises(self):
+        store = ItemStore({"a": 1})
+        with pytest.raises(UnknownItemError):
+            store.create("a", 2)
+
+
+class TestPolyvalueAccounting:
+    def test_installing_polyvalue_counts(self):
+        store = ItemStore({"a": 1})
+        store.write("a", pv())
+        assert store.polyvalue_count() == 1
+        assert store.polyvalues_installed == 1
+        assert store.polyvalued_items() == ["a"]
+
+    def test_resolving_polyvalue_counts(self):
+        store = ItemStore({"a": 1})
+        store.write("a", pv())
+        store.write("a", 7)
+        assert store.polyvalue_count() == 0
+        assert store.polyvalues_resolved == 1
+
+    def test_poly_to_poly_rewrite_counts_once(self):
+        store = ItemStore({"a": 1})
+        store.write("a", pv(txn="T1"))
+        store.write("a", pv(txn="T2"))
+        assert store.polyvalues_installed == 1
+        assert store.polyvalues_resolved == 0
+        assert store.polyvalue_count() == 1
+
+    def test_all_values_is_a_copy(self):
+        store = ItemStore({"a": 1})
+        copy = store.all_values()
+        copy["a"] = 99
+        assert store.read("a") == 1

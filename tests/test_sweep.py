@@ -1,0 +1,77 @@
+"""Tests for parameter sweeps (repro.analysis.sweep)."""
+
+import pytest
+
+from repro.analysis.model import TYPICAL, steady_state_polyvalues
+from repro.analysis.sweep import SWEEPABLE, SweepPoint, format_sweep_table, sweep
+from repro.core.errors import ReproError
+
+
+class TestSweep:
+    def test_sweep_varies_requested_parameter(self):
+        points = sweep(TYPICAL, "updates_per_second", [10, 100])
+        assert [p.value for p in points] == [10, 100]
+        assert points[0].params.U == 10
+        assert points[1].params.U == 100
+
+    def test_model_values_match_direct_computation(self):
+        points = sweep(TYPICAL, "failure_probability", [0.0001, 0.001])
+        for point in points:
+            assert point.model == pytest.approx(
+                steady_state_polyvalues(point.params)
+            )
+
+    def test_unstable_points_marked_not_raised(self):
+        # Sweeping D across the stability boundary (I*R = 1000 = U*D at
+        # D=100 for the typical parameters).
+        points = sweep(TYPICAL, "dependency_mean", [1, 50, 200])
+        assert points[0].stable
+        assert points[1].stable
+        assert not points[2].stable
+        assert points[2].model is None
+
+    def test_simulation_skipped_unless_requested(self):
+        points = sweep(TYPICAL, "updates_per_second", [10])
+        assert points[0].simulated is None
+
+    def test_simulation_runs_when_requested(self):
+        base = TYPICAL.vary(
+            items=10_000, failure_probability=0.01, recovery_rate=0.01
+        )
+        points = sweep(
+            base,
+            "updates_per_second",
+            [5],
+            run_simulation=True,
+            duration=1000.0,
+            seed=7,
+        )
+        assert points[0].simulated is not None
+        assert points[0].simulated > 0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ReproError):
+            sweep(TYPICAL, "nonsense", [1])
+
+    def test_sweepable_covers_all_model_fields(self):
+        from dataclasses import fields
+
+        from repro.analysis.model import ModelParams
+
+        assert set(SWEEPABLE) == {f.name for f in fields(ModelParams)}
+
+
+class TestFormatting:
+    def test_table_contains_values(self):
+        points = sweep(TYPICAL, "updates_per_second", [10, 100])
+        table = format_sweep_table(points)
+        assert "updates_per_second" in table
+        assert "1.010" in table
+        assert "11.111" in table
+
+    def test_unstable_rendered(self):
+        points = sweep(TYPICAL, "dependency_mean", [200])
+        assert "unstable" in format_sweep_table(points)
+
+    def test_empty_sweep(self):
+        assert "empty" in format_sweep_table([])

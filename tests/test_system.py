@@ -1,0 +1,130 @@
+"""Unit/integration tests for the DistributedSystem facade (repro.txn.system)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError, UnknownItemError
+from repro.db.catalog import Catalog
+from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import increment, run_to_decision
+
+
+class TestBuild:
+    def test_round_robin_placement(self):
+        system = DistributedSystem.build(
+            sites=2, items={"a": 1, "b": 2, "c": 3}, seed=0
+        )
+        assert system.catalog.site_of("a") == "site-0"
+        assert system.catalog.site_of("b") == "site-1"
+        assert system.catalog.site_of("c") == "site-0"
+
+    def test_initial_values_loaded(self):
+        system = DistributedSystem.build(sites=2, items={"a": 7}, seed=0)
+        assert system.read_item("a") == 7
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ProtocolError):
+            DistributedSystem.build(sites=0, items={"a": 1})
+
+    def test_custom_catalog_placement(self):
+        catalog = Catalog.from_mapping({"x": "alpha", "y": "beta"})
+        system = DistributedSystem(
+            catalog=catalog, initial_values={"x": 1, "y": 2}, seed=0
+        )
+        assert set(system.sites) == {"alpha", "beta"}
+        assert system.read_item("y") == 2
+
+    def test_config_propagates_to_sites(self):
+        config = ProtocolConfig(policy=CommitPolicy.BLOCKING)
+        system = DistributedSystem.build(
+            sites=2, items={"a": 1}, seed=0, config=config
+        )
+        assert system.sites["site-0"].runtime.config.policy is CommitPolicy.BLOCKING
+
+
+class TestSubmission:
+    def test_default_coordinator_is_first_item_home(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1, "b": 2}, seed=0)
+        handle = system.submit(increment("b"))
+        assert handle.txn.endswith("@site-1")
+
+    def test_explicit_coordinator(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1, "b": 2}, seed=0)
+        handle = system.submit(increment("b"), at="site-0")
+        assert handle.txn.endswith("@site-0")
+
+    def test_submit_to_crashed_site_fails_fast(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1}, seed=0)
+        system.crash_site("site-0")
+        handle = system.submit(increment("a"), at="site-0")
+        assert handle.status is TxnStatus.ABORTED
+        assert "down" in handle.abort_reason
+        assert handle.was_delayed_by_failure
+
+    def test_handles_accumulate(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1, "b": 2}, seed=0)
+        system.submit(increment("a"))
+        system.submit(increment("b"))
+        assert len(system.handles) == 2
+
+    def test_unknown_item_raises(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1}, seed=0)
+        with pytest.raises(UnknownItemError):
+            system.submit(increment("zzz"))
+
+
+class TestObservations:
+    def test_database_state_spans_sites(self):
+        system = DistributedSystem.build(
+            sites=3, items={"a": 1, "b": 2, "c": 3}, seed=0
+        )
+        assert system.database_state() == {"a": 1, "b": 2, "c": 3}
+
+    def test_all_certain_initially(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1}, seed=0)
+        assert system.all_certain()
+        assert system.polyvalued_items() == []
+
+    def test_pending_handles_tracks_decisions(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1}, seed=0)
+        handle = system.submit(increment("a"))
+        assert system.pending_handles() == [handle]
+        run_to_decision(system, handle)
+        assert system.pending_handles() == []
+
+    def test_run_until_absolute(self):
+        system = DistributedSystem.build(sites=2, items={"a": 1}, seed=0)
+        system.run_until(5.0)
+        assert system.sim.now == 5.0
+
+    def test_determinism_same_seed_same_history(self):
+        def run(seed):
+            system = DistributedSystem.build(
+                sites=3, items={f"i{k}": 0 for k in range(5)}, seed=seed
+            )
+            for k in range(5):
+                system.submit(increment(f"i{k}"))
+            system.run_for(0.04)
+            system.crash_site("site-0")
+            system.run_for(3.0)
+            system.recover_site("site-0")
+            system.run_for(5.0)
+            return (
+                system.database_state(),
+                system.metrics.committed,
+                system.metrics.aborted,
+                [h.status for h in system.handles],
+            )
+
+        assert run(77) == run(77)
+
+    def test_different_seeds_change_timings(self):
+        def latency(seed):
+            system = DistributedSystem.build(sites=2, items={"a": 1, "b": 1}, seed=seed)
+            handle = system.submit(increment("a"))
+            run_to_decision(system, handle)
+            return handle.latency
+
+        assert latency(1) != latency(2)

@@ -1,0 +1,133 @@
+"""Property-based system tests: random schedules of work and failures.
+
+hypothesis generates arbitrary interleavings of transaction submissions,
+site crashes, recoveries and time advances; after every schedule the
+system must satisfy the global guarantees the design promises:
+
+1. every submitted transaction is decided;
+2. all uncertainty resolves (no polyvalues, no bookkeeping, no locks);
+3. the final database equals a serial replay of exactly the committed
+   transactions in commit order (atomicity + serialisability);
+4. cross-item invariants (transfer totals) hold.
+
+These are the same invariants the scripted integration tests check, but
+over schedules nobody thought to write down.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.polytransaction import execute
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction, TxnStatus
+
+ITEMS = [f"item-{index}" for index in range(6)]
+SITES = ["site-0", "site-1", "site-2"]
+INITIAL = 100
+
+
+def increment(item):
+    def body(ctx):
+        ctx.write(item, ctx.read(item) + 1)
+
+    return Transaction(body=body, items=(item,), label=f"inc:{item}")
+
+
+def transfer(source, target, amount):
+    def body(ctx):
+        value = ctx.read(source)
+        if value >= amount:
+            ctx.write(source, value - amount)
+            ctx.write(target, ctx.read(target) + amount)
+
+    return Transaction(
+        body=body, items=(source, target), label=f"mv:{source}->{target}"
+    )
+
+
+# One schedule step.
+steps = st.one_of(
+    st.tuples(st.just("inc"), st.sampled_from(ITEMS)),
+    st.tuples(
+        st.just("transfer"),
+        st.sampled_from(ITEMS),
+        st.sampled_from(ITEMS),
+        st.integers(min_value=1, max_value=10),
+    ),
+    st.tuples(st.just("crash"), st.sampled_from(SITES)),
+    st.tuples(st.just("recover"), st.sampled_from(SITES)),
+    st.tuples(
+        st.just("advance"), st.floats(min_value=0.01, max_value=1.0)
+    ),
+)
+
+schedules = st.lists(steps, min_size=1, max_size=14)
+
+
+def run_schedule(schedule, seed):
+    system = DistributedSystem.build(
+        sites=3,
+        items={item: INITIAL for item in ITEMS},
+        seed=seed,
+    )
+    down = set()
+    for step in schedule:
+        kind = step[0]
+        if kind == "inc":
+            system.submit(increment(step[1]))
+        elif kind == "transfer":
+            source, target, amount = step[1], step[2], step[3]
+            if source != target:
+                system.submit(transfer(source, target, amount))
+        elif kind == "crash":
+            if step[1] not in down:
+                down.add(step[1])
+                system.crash_site(step[1])
+        elif kind == "recover":
+            if step[1] in down:
+                down.discard(step[1])
+                system.recover_site(step[1])
+        elif kind == "advance":
+            system.run_for(step[1])
+    for site in sorted(down):
+        system.recover_site(site)
+    system.run_for(60.0)
+    return system
+
+
+@given(schedules, st.integers(min_value=0, max_value=2**16))
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_schedules_converge_to_serial_equivalence(schedule, seed):
+    system = run_schedule(schedule, seed)
+
+    # 1. Everything decided.
+    assert not system.pending_handles()
+
+    # 2. All uncertainty resolved, all bookkeeping collected.
+    assert system.total_polyvalues() == 0
+    assert system.outcome_bookkeeping_size() == 0
+    for site in system.sites.values():
+        assert site.runtime.locks.locked_items() == frozenset()
+        assert not site.participant.blocked_transactions()
+
+    # 3. Serial-replay equivalence.
+    committed = sorted(
+        (h for h in system.handles if h.status is TxnStatus.COMMITTED),
+        key=lambda h: h.decided_at,
+    )
+    state = {item: INITIAL for item in ITEMS}
+    for handle in committed:
+        result = execute(handle.transaction.body, state)
+        state.update(result.merged_writes(state))
+    assert system.database_state() == state
+
+    # 4. Transfers conserve; increments add exactly one each.
+    total = sum(system.database_state().values())
+    committed_incs = sum(
+        1 for h in committed if h.transaction.label.startswith("inc")
+    )
+    assert total == len(ITEMS) * INITIAL + committed_incs

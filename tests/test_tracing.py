@@ -1,0 +1,164 @@
+"""Tests for protocol tracing (repro.txn.tracing)."""
+
+import pytest
+
+from repro.txn.system import DistributedSystem
+from repro.txn.tracing import ProtocolTracer
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import move, run_to_decision
+
+
+def traced_system(seed=9):
+    system = DistributedSystem.build(
+        sites=3,
+        items={"a": 10, "b": 20, "c": 30},
+        seed=seed,
+        jitter=0.0,
+    )
+    return system, ProtocolTracer(system)
+
+
+class TestRecording:
+    def test_commit_produces_expected_message_kinds(self):
+        system, tracer = traced_system()
+        handle = system.submit(move("a", "b", 3))
+        run_to_decision(system, handle)
+        kinds = tracer.message_kinds()
+        # Two participants: reads, replies, stages, readies, completes,
+        # and the outcome acks that garbage-collect the commit record.
+        assert kinds["ReadRequest"] == 2
+        assert kinds["ReadReply"] == 2
+        assert kinds["StageRequest"] == 2
+        assert kinds["Ready"] == 2
+        assert kinds["Complete"] == 2
+        assert kinds["OutcomeAck"] == 2
+
+    def test_message_order_for_one_transaction(self):
+        system, tracer = traced_system()
+        handle = system.submit(move("a", "b", 3))
+        run_to_decision(system, handle)
+        delivered = [
+            record.message_kind
+            for record in tracer.for_txn(handle.txn)
+            if record.event == "deliver"
+        ]
+        # Per recipient interleaving varies, but the phase order is
+        # strict: all reads before all stages before all completes.
+        assert delivered.index("StageRequest") > delivered.index("ReadReply")
+        assert delivered.index("Complete") > delivered.index("Ready")
+
+    def test_drops_recorded_during_crash(self):
+        system, tracer = traced_system()
+        system.submit(move("a", "b", 3))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        dropped = tracer.drops()
+        assert dropped
+        assert all(record.event == "drop:site-down" for record in dropped)
+
+    def test_partition_drops_labelled(self):
+        system, tracer = traced_system()
+        system.network.partition("site-0", "site-1")
+        system.submit(move("a", "b", 3))
+        system.run_for(1.0)
+        assert any(
+            record.event == "drop:partition" for record in tracer.drops()
+        )
+
+    def test_for_txn_filters(self):
+        system, tracer = traced_system()
+        first = system.submit(move("a", "b", 1))
+        run_to_decision(system, first)
+        second = system.submit(move("b", "c", 1))
+        run_to_decision(system, second)
+        assert all(r.txn == first.txn for r in tracer.for_txn(first.txn))
+        assert tracer.for_txn(first.txn)
+        assert tracer.for_txn(second.txn)
+
+    def test_clear(self):
+        system, tracer = traced_system()
+        handle = system.submit(move("a", "b", 1))
+        run_to_decision(system, handle)
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_message_complexity_formula(self):
+        # A committed transaction with p participants costs exactly 6p
+        # protocol messages: p each of ReadRequest, ReadReply,
+        # StageRequest, Ready, Complete, OutcomeAck.
+        system, tracer = traced_system()
+        two_party = system.submit(move("a", "b", 1))
+        run_to_decision(system, two_party)
+        system.run_for(1.0)
+        protocol_messages = [
+            record
+            for record in tracer.records
+            if record.event == "send" and record.txn == two_party.txn
+        ]
+        assert len(protocol_messages) == 6 * 2
+
+        tracer.clear()
+
+        def touch_all(ctx):
+            for item in ("a", "b", "c"):
+                ctx.write(item, ctx.read(item) + 1)
+
+        three_party = system.submit(
+            Transaction(body=touch_all, items=("a", "b", "c"))
+        )
+        run_to_decision(system, three_party)
+        system.run_for(1.0)
+        protocol_messages = [
+            record
+            for record in tracer.records
+            if record.event == "send" and record.txn == three_party.txn
+        ]
+        assert len(protocol_messages) == 6 * 3
+
+
+class TestRendering:
+    def test_sequence_chart_contains_arrows_and_kinds(self):
+        system, tracer = traced_system()
+        handle = system.submit(move("a", "b", 3))
+        run_to_decision(system, handle)
+        chart = tracer.sequence_chart(handle.txn)
+        assert "ReadRequest" in chart
+        assert "Complete" in chart
+        assert ">" in chart and "<" in chart
+        assert "site-0" in chart and "site-1" in chart
+
+    def test_sequence_chart_marks_drops(self):
+        system, tracer = traced_system()
+        system.submit(move("a", "b", 3))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        chart = tracer.sequence_chart()
+        assert "X " in chart
+        assert "site-down" in chart
+
+    def test_empty_chart(self):
+        system, tracer = traced_system()
+        assert tracer.sequence_chart() == "(no traffic)"
+
+    def test_timeline_lines(self):
+        system, tracer = traced_system()
+        handle = system.submit(move("a", "b", 3))
+        run_to_decision(system, handle)
+        timeline = tracer.timeline(handle.txn)
+        assert "ReadRequest" in timeline
+        assert handle.txn in timeline
+        assert "ms" in timeline
+
+    def test_describe_includes_stage_writes(self):
+        system, tracer = traced_system()
+        handle = system.submit(move("a", "b", 3))
+        run_to_decision(system, handle)
+        stage_lines = [
+            record.describe()
+            for record in tracer.records
+            if record.message_kind == "StageRequest"
+        ]
+        assert any("writes=" in line for line in stage_lines)

@@ -1,0 +1,85 @@
+"""Unit tests for transaction specs and handles (repro.txn.transaction)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.txn.transaction import (
+    Transaction,
+    TransactionHandle,
+    TxnStatus,
+    coordinator_of,
+    make_txn_id,
+)
+
+
+def noop(ctx):
+    return None
+
+
+class TestTransactionSpec:
+    def test_declared_items_required(self):
+        with pytest.raises(ProtocolError):
+            Transaction(body=noop, items=())
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ProtocolError):
+            Transaction(body=noop, items=("a", "a"))
+
+    def test_label_defaults_empty(self):
+        assert Transaction(body=noop, items=("a",)).label == ""
+
+
+class TestTxnIds:
+    def test_make_and_parse_roundtrip(self):
+        txn = make_txn_id(17, "site-3")
+        assert txn == "T17@site-3"
+        assert coordinator_of(txn) == "site-3"
+
+    def test_malformed_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            coordinator_of("T17")
+        with pytest.raises(ProtocolError):
+            coordinator_of("T17@")
+
+
+class TestHandleLifecycle:
+    def make_handle(self):
+        return TransactionHandle(
+            txn="T1@s",
+            transaction=Transaction(body=noop, items=("a",)),
+            submitted_at=1.0,
+        )
+
+    def test_initial_state_pending(self):
+        handle = self.make_handle()
+        assert handle.status is TxnStatus.PENDING
+        assert handle.latency is None
+
+    def test_commit_records_outputs_and_latency(self):
+        handle = self.make_handle()
+        handle.mark_committed(1.5, {"ok": True})
+        assert handle.status is TxnStatus.COMMITTED
+        assert handle.outputs == {"ok": True}
+        assert handle.latency == pytest.approx(0.5)
+
+    def test_abort_records_reason(self):
+        handle = self.make_handle()
+        handle.mark_aborted(2.0, "lock conflict")
+        assert handle.status is TxnStatus.ABORTED
+        assert handle.abort_reason == "lock conflict"
+
+    def test_redeciding_same_way_is_idempotent(self):
+        handle = self.make_handle()
+        handle.mark_committed(1.5, {})
+        handle.mark_committed(1.6, {})  # no error
+        assert handle.decided_at == 1.5
+
+    def test_conflicting_decision_raises(self):
+        handle = self.make_handle()
+        handle.mark_committed(1.5, {})
+        with pytest.raises(ProtocolError):
+            handle.mark_aborted(1.6)
+
+    def test_repr_mentions_status(self):
+        handle = self.make_handle()
+        assert "pending" in repr(handle)

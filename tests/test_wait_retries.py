@@ -1,0 +1,109 @@
+"""Tests for the §6 combination feature: outcome-query retries before
+installing polyvalues (ProtocolConfig.wait_query_retries)."""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.runtime import ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import move, run_to_decision
+
+
+def build(retries, seed=42, wait_timeout=0.3):
+    return DistributedSystem.build(
+        sites=3,
+        items={f"item-{index}": 100 for index in range(4)},
+        seed=seed,
+        jitter=0.0,
+        config=ProtocolConfig(
+            wait_query_retries=retries, wait_timeout=wait_timeout
+        ),
+    )
+
+
+def lose_complete_via_partition(system):
+    """Commit succeeds at the coordinator but the complete message to the
+    remote participant is lost to a brief partition."""
+    handle = system.submit(move("item-0", "item-1", 30))
+    system.run_for(0.041)  # both readies delivered at 40ms; decision made
+    system.network.partition("site-0", "site-1")
+    system.run_for(0.2)  # the complete to site-1 is dropped
+    system.network.heal_all()
+    return handle
+
+
+class TestRetriesAvoidPolyvalues:
+    def test_without_retries_blip_creates_polyvalue(self):
+        system = build(retries=0)
+        handle = lose_complete_via_partition(system)
+        system.run_for(0.3)
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.metrics.polyvalues_installed >= 1
+
+    def test_with_retries_blip_resolves_cleanly(self):
+        system = build(retries=3)
+        handle = lose_complete_via_partition(system)
+        system.run_for(2.0)
+        assert handle.status is TxnStatus.COMMITTED
+        # The retry query reached the recovered coordinator and the
+        # staged update installed normally: no polyvalue ever existed.
+        assert system.metrics.polyvalues_installed == 0
+        assert system.read_item("item-1") == 130
+        assert system.read_item("item-0") == 70
+
+    def test_retry_resolution_uses_real_outcome(self):
+        # Same blip, but the coordinator decided ABORT (partition cut
+        # the ready instead): retries must discard, not install.
+        system = build(retries=3)
+        handle = system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.035)  # staged; ready about to fly
+        system.network.partition("site-0", "site-1")
+        system.run_for(0.5)  # coordinator times out -> abort (lost);
+        # the participant's first retry (at ~0.33) is also lost
+        system.network.heal_all()
+        system.run_for(2.0)  # second retry gets through: "aborted"
+        assert handle.status is TxnStatus.ABORTED
+        assert system.metrics.polyvalues_installed == 0
+        assert system.read_item("item-1") == 100
+
+    def test_genuine_outage_still_installs_polyvalues(self):
+        # Retries only help when the coordinator is reachable; a real
+        # crash exhausts them and polyvalues appear (availability is
+        # delayed by retries x wait_timeout but never lost).
+        system = build(retries=2, wait_timeout=0.2)
+        system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(0.3)
+        # Still retrying: no polyvalue yet, item still locked.
+        assert system.metrics.polyvalues_installed == 0
+        system.run_for(1.0)
+        # Retries exhausted: polyvalue installed, item available.
+        value = system.read_item("item-1")
+        assert is_polyvalue(value)
+        assert not system.sites["site-1"].runtime.locks.is_locked("item-1")
+
+    def test_retry_count_bounds_delay(self):
+        # With R retries and timeout W, installation happens at about
+        # (R+1) * W after ready.
+        system = build(retries=4, wait_timeout=0.2)
+        system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(0.85)  # 4 retries still in flight (first at 0.23)
+        assert system.metrics.polyvalues_installed == 0
+        system.run_for(0.5)
+        assert system.metrics.polyvalues_installed >= 1
+
+    def test_figure1_edges_still_valid_with_retries(self):
+        system = build(retries=2, wait_timeout=0.2)
+        system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(3.0)
+        system.recover_site("site-0")
+        system.run_for(5.0)
+        assert system.transitions.all_edges_valid()
+        assert system.total_polyvalues() == 0

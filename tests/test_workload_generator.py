@@ -1,0 +1,146 @@
+"""Tests for the random-update workload generator (repro.workloads.generator)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.generator import (
+    RandomUpdateWorkload,
+    WorkloadConfig,
+    make_item_ids,
+    make_update_transaction,
+)
+
+from tests.conftest import run_to_decision
+
+
+def small_system(items=12, seed=3):
+    values = {item: 1 for item in make_item_ids(items)}
+    return DistributedSystem.build(sites=3, items=values, seed=seed)
+
+
+class TestHelpers:
+    def test_make_item_ids_padded_and_sorted(self):
+        ids = make_item_ids(11)
+        assert ids[0] == "item-0000"
+        assert ids == sorted(ids)
+
+    def test_update_transaction_declares_all_items(self):
+        txn = make_update_transaction(
+            "a", ["b", "c"], include_previous=True, salt=1
+        )
+        assert set(txn.items) == {"a", "b", "c"}
+
+    def test_update_transaction_dedupes_target_in_deps(self):
+        txn = make_update_transaction(
+            "a", ["a", "b"], include_previous=False, salt=1
+        )
+        assert list(txn.items).count("a") == 1
+
+    def test_update_is_deterministic_function_of_reads(self):
+        txn = make_update_transaction("a", ["b"], include_previous=True, salt=9)
+        from repro.core.polytransaction import execute
+
+        first = execute(txn.body, {"a": 5, "b": 7}).merged_writes({})
+        second = execute(txn.body, {"a": 5, "b": 7}).merged_writes({})
+        assert first == second
+
+    def test_previous_value_inclusion_changes_result(self):
+        with_previous = make_update_transaction(
+            "a", ["b"], include_previous=True, salt=9
+        )
+        without = make_update_transaction(
+            "a", ["b"], include_previous=False, salt=9
+        )
+        from repro.core.polytransaction import execute
+
+        first = execute(with_previous.body, {"a": 5, "b": 7}).merged_writes({})
+        second = execute(without.body, {"a": 5, "b": 7}).merged_writes({})
+        assert first != second
+
+
+class TestConfigValidation:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(update_rate=0)
+
+    def test_independence_bounds(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(update_rate=1, update_independence=1.5)
+
+    def test_hot_spot_fields_must_pair(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(update_rate=1, hot_fraction=0.1, hot_weight=0.0)
+
+
+class TestDriver:
+    def test_arrivals_submit_transactions(self):
+        system = small_system()
+        workload = RandomUpdateWorkload(
+            system, WorkloadConfig(update_rate=20), seed=1
+        )
+        workload.start()
+        system.run_for(2.0)
+        workload.stop()
+        assert len(workload.handles) == pytest.approx(40, abs=25)
+        system.run_for(3.0)
+        decided = [
+            h for h in workload.handles if h.status is not TxnStatus.PENDING
+        ]
+        assert len(decided) == len(workload.handles)
+
+    def test_stop_halts_arrivals(self):
+        system = small_system()
+        workload = RandomUpdateWorkload(
+            system, WorkloadConfig(update_rate=20), seed=1
+        )
+        workload.start()
+        system.run_for(1.0)
+        workload.stop()
+        count = len(workload.handles)
+        system.run_for(2.0)
+        assert len(workload.handles) == count
+
+    def test_no_failures_leaves_database_certain(self):
+        system = small_system()
+        workload = RandomUpdateWorkload(
+            system, WorkloadConfig(update_rate=10, dependency_mean=2), seed=2
+        )
+        workload.start()
+        system.run_for(3.0)
+        workload.stop()
+        system.run_for(3.0)
+        assert system.total_polyvalues() == 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            system = small_system(seed=seed)
+            workload = RandomUpdateWorkload(
+                system, WorkloadConfig(update_rate=10), seed=seed
+            )
+            workload.start()
+            system.run_for(3.0)
+            workload.stop()
+            system.run_for(2.0)
+            return system.database_state()
+
+        assert run(5) == run(5)
+
+    def test_hot_spot_concentrates_traffic(self):
+        system = small_system(items=20)
+        config = WorkloadConfig(
+            update_rate=50, hot_fraction=0.1, hot_weight=0.8
+        )
+        workload = RandomUpdateWorkload(system, config, seed=4)
+        targets = [workload._pick_item() for _ in range(500)]
+        hot_items = set(make_item_ids(20)[:2])
+        hot_hits = sum(1 for t in targets if t in hot_items)
+        assert hot_hits > 250  # ~80% expected vs 10% uniform
+
+    def test_empty_item_list_rejected(self):
+        system = small_system()
+        with pytest.raises(SimulationError):
+            RandomUpdateWorkload(
+                system, WorkloadConfig(update_rate=1), items=[]
+            )
