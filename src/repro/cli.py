@@ -9,7 +9,12 @@ code:
   parameters;
 * ``simulate`` — one Monte-Carlo run with arbitrary parameters;
 * ``sweep`` — vary one parameter, model vs. (optional) simulation;
-* ``demo`` — the quickstart failure/polyvalue/recovery walkthrough.
+* ``demo`` — the quickstart failure/polyvalue/recovery walkthrough;
+* ``report`` — run the instrumented failure scenario and print its
+  metrics (``--format table|prometheus|json``);
+* ``trace`` — the same scenario as per-transaction span trees (the
+  in-doubt window measured end to end);
+* ``events`` — the same scenario's raw event stream as JSON lines.
 
 All randomness is seeded (``--seed``), so every invocation is
 reproducible.
@@ -145,6 +150,92 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_scenario(
+    seed: int,
+    settle: float = 5.0,
+    *,
+    spans: bool = False,
+    events: bool = False,
+):
+    """The demo's failure scenario with observability attached.
+
+    A little healthy traffic, then a transfer whose coordinator crashes
+    mid-protocol: the participant's wait phase times out, it installs
+    polyvalues (the in-doubt window opens), the coordinator recovers,
+    and the §3.3 outcome machinery closes the window.  Returns
+    ``(system, span_tracer_or_None, event_log_or_None)``.
+    """
+    from repro.obs.events import EventLog
+    from repro.obs.spans import SpanTracer
+    from repro.txn.system import DistributedSystem
+    from repro.txn.transaction import Transaction
+
+    system = DistributedSystem.build(
+        sites=3,
+        items={"alice": 100, "bob": 100, "carol": 100},
+        seed=seed,
+        jitter=0.0,
+    )
+    span_tracer = SpanTracer(system.bus) if spans else None
+    event_log = EventLog(system.bus) if events else None
+
+    def bump(ctx):
+        ctx.write("carol", ctx.read("carol") + 1)
+
+    def transfer(ctx):
+        a = ctx.read("alice")
+        ctx.write("alice", a - 25)
+        ctx.write("bob", ctx.read("bob") + 25)
+
+    for _ in range(3):
+        system.submit(Transaction(body=bump, items=("carol",)))
+        system.run_for(0.2)
+    system.submit(Transaction(body=transfer, items=("alice", "bob")))
+    system.run_for(0.035)
+    system.crash_site("site-0")
+    system.run_for(1.0)
+    system.recover_site("site-0")
+    system.run_for(settle)
+    return system, span_tracer, event_log
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.export import prometheus_text, render_report
+
+    system, _, _ = _observed_scenario(args.seed, args.duration)
+    metrics = system.metrics
+    if args.format == "prometheus":
+        sys.stdout.write(prometheus_text(metrics.registry))
+    elif args.format == "json":
+        print(_json.dumps(metrics.summary(), sort_keys=True))
+    else:
+        print(render_report(metrics))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    _, tracer, _ = _observed_scenario(args.seed, spans=True)
+    print(tracer.render(args.txn))
+    windows = tracer.in_doubt_windows()
+    if windows and args.txn is None:
+        print()
+        print(f"{len(windows)} in-doubt window(s):")
+        for span in windows:
+            print("  " + span.describe())
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from repro.obs.export import events_to_jsonl
+
+    _, _, log = _observed_scenario(args.seed, args.duration, events=True)
+    events = log.for_txn(args.txn) if args.txn else log.events
+    print(events_to_jsonl(events))
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.txn.system import DistributedSystem
     from repro.txn.transaction import Transaction
@@ -174,9 +265,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Montgomery's Polyvalues (SOSP 1979)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -213,6 +309,33 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="failure/polyvalue walkthrough")
     demo.add_argument("--seed", type=int, default=7)
     demo.set_defaults(handler=_cmd_demo)
+
+    report = commands.add_parser(
+        "report", help="metrics of the instrumented failure scenario"
+    )
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--duration", type=float, default=5.0,
+                        help="settle time after recovery (default 5)")
+    report.add_argument("--format", choices=("table", "prometheus", "json"),
+                        default="table")
+    report.set_defaults(handler=_cmd_report)
+
+    trace = commands.add_parser(
+        "trace", help="per-transaction span trees of the scenario"
+    )
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--txn", default=None,
+                       help="only this transaction's tree")
+    trace.set_defaults(handler=_cmd_trace)
+
+    events = commands.add_parser(
+        "events", help="the scenario's event stream as JSON lines"
+    )
+    events.add_argument("--seed", type=int, default=7)
+    events.add_argument("--duration", type=float, default=5.0)
+    events.add_argument("--txn", default=None,
+                        help="only this transaction's events")
+    events.set_defaults(handler=_cmd_events)
 
     return parser
 

@@ -10,87 +10,275 @@ ablations) report:
 * lock conflicts and item-blocked time (the availability cost that the
   blocking-2PC baseline pays and polyvalues avoid);
 * uncertain-vs-certain external outputs (section 3.4).
+
+The collector is implemented on the labeled
+:class:`~repro.obs.registry.MetricsRegistry`: every headline counter is
+backed by a registry instrument (with ``site``/``outcome``/… labels
+where the caller provides them), and three fixed-bucket histograms —
+commit latency, in-doubt window duration, and polyvalue lifetime — are
+populated by the same hooks.  The long-standing attribute API
+(``metrics.committed``, ``metrics.lock_conflict_aborts += 1``, …) is
+preserved as properties over the registry, so the benchmarks, tests
+and examples that predate the registry keep working unchanged while
+``python -m repro report --format prometheus`` exports the full
+labeled picture.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.series import TimeSeries
+from repro.obs.registry import MetricsRegistry
+
+#: Commit latencies: a LAN-ish protocol decides in tens of ms; the tail
+#: extends through retry/timeout territory.
+LATENCY_BUCKETS = (
+    0.005, 0.01, 0.02, 0.035, 0.05, 0.075, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+#: Failure windows: in-doubt durations and polyvalue lifetimes are set
+#: by timeouts and repair times — sub-second through minutes.
+WINDOW_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0)
 
 
-@dataclass
 class MetricsCollector:
-    """Shared counters and time-series for one simulated system."""
+    """Shared counters, histograms and time-series for one system.
 
-    # Transactions
-    submitted: int = 0
-    committed: int = 0
-    aborted: int = 0
-    polytransactions: int = 0
-    #: One entry per polytransaction: how many alternative transactions
-    #: it fanned out to (the §3.2 processing cost).
-    polytransaction_fanouts: List[int] = field(default_factory=list)
-    commit_latencies: List[float] = field(default_factory=list)
+    All event hooks accept an optional ``site`` label (the instrumented
+    transaction layer passes it; standalone use may omit it, which
+    files the sample under the empty-string site).
+    """
 
-    # Polyvalues
-    polyvalues_installed: int = 0
-    polyvalues_resolved: int = 0
-    current_polyvalues: int = 0
-    #: Wait-timeout (or crash-recovery) polyvalue installations — one
-    #: per (transaction, site) whose in-doubt window actually expired.
-    #: Dividing by submissions gives the *emergent* failure probability
-    #: F of the §4 model, measured rather than assumed.
-    in_doubt_windows: int = 0
-    polyvalue_count: TimeSeries = field(default_factory=TimeSeries)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._submitted = r.counter(
+            "repro_transactions_submitted_total",
+            "Transactions submitted, by coordinator site",
+            ("site",),
+        )
+        self._decided = r.counter(
+            "repro_transactions_total",
+            "Decided transactions, by coordinator site and outcome",
+            ("site", "outcome"),
+        )
+        self._polytxns = r.counter(
+            "repro_polytransactions_total",
+            "Transactions that executed as polytransactions",
+            ("site",),
+        )
+        self._poly_events = r.counter(
+            "repro_polyvalues_total",
+            "Polyvalue lifecycle events, by site",
+            ("site", "event"),
+        )
+        self._poly_current = r.gauge(
+            "repro_polyvalues_current",
+            "Items currently holding polyvalues (the paper's P(t))",
+        )
+        self._in_doubt = r.counter(
+            "repro_in_doubt_windows_total",
+            "Wait-phase timeouts that installed polyvalues (measured F)",
+            ("site",),
+        )
+        self._lock_conflicts = r.counter(
+            "repro_lock_conflict_aborts_total",
+            "Transactions aborted by a lock conflict",
+            ("site",),
+        )
+        self._outputs = r.counter(
+            "repro_outputs_total",
+            "External outputs, by certainty (section 3.4)",
+            ("certainty",),
+        )
+        self._unilateral = r.counter(
+            "repro_unilateral_decisions_total",
+            "RELAXED-policy unilateral decisions",
+        )
+        self._inconsistent = r.counter(
+            "repro_inconsistent_decisions_total",
+            "Unilateral decisions that disagreed with the coordinator",
+        )
+        self._blocked_seconds = r.gauge(
+            "repro_blocked_item_seconds",
+            "Item-seconds spent lock-blocked (BLOCKING baseline cost)",
+        )
+        self._commit_latency = r.histogram(
+            "repro_commit_latency_seconds",
+            "Submission-to-commit latency",
+            ("site",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self._in_doubt_duration = r.histogram(
+            "repro_in_doubt_window_seconds",
+            "Polyvalue install to outcome learned, per direct participant",
+            ("site",),
+            buckets=WINDOW_BUCKETS,
+        )
+        self._poly_lifetime = r.histogram(
+            "repro_polyvalue_lifetime_seconds",
+            "Item polyvalued until resolved back to a simple value",
+            ("site",),
+            buckets=WINDOW_BUCKETS,
+        )
 
-    # Locking / availability
-    lock_conflict_aborts: int = 0
-    blocked_item_seconds: float = 0.0
-
-    # Outputs (section 3.4)
-    certain_outputs: int = 0
-    uncertain_outputs: int = 0
-
-    # Baseline bookkeeping
-    unilateral_decisions: int = 0
-    inconsistent_decisions: int = 0
+        #: Raw commit latencies (seconds), for exact percentiles.
+        self.commit_latencies: List[float] = []
+        #: One entry per polytransaction: how many alternative
+        #: transactions it fanned out to (the §3.2 processing cost).
+        self.polytransaction_fanouts: List[int] = []
+        #: Sampled trajectory of the polyvalue count.
+        self.polyvalue_count: TimeSeries = TimeSeries()
+        #: (site, item) -> install time, for lifetime histograms.
+        self._poly_installed_at: Dict[Tuple[str, str], float] = {}
+        #: (site, txn) -> open time, for in-doubt window histograms.
+        self._in_doubt_open: Dict[Tuple[str, str], float] = {}
 
     # ------------------------------------------------------------------
     # Event hooks (called by the txn layer)
     # ------------------------------------------------------------------
 
-    def txn_submitted(self) -> None:
-        self.submitted += 1
+    def txn_submitted(self, site: str = "") -> None:
+        self._submitted.inc(site=site)
 
-    def txn_committed(self, latency: float) -> None:
-        self.committed += 1
+    def txn_committed(self, latency: float, site: str = "") -> None:
+        self._decided.inc(site=site, outcome="committed")
         self.commit_latencies.append(latency)
+        self._commit_latency.observe(latency, site=site)
 
-    def txn_aborted(self) -> None:
-        self.aborted += 1
+    def txn_aborted(self, site: str = "") -> None:
+        self._decided.inc(site=site, outcome="aborted")
 
-    def txn_was_poly(self, fanout: int = 0) -> None:
-        self.polytransactions += 1
+    def txn_was_poly(self, fanout: int = 0, site: str = "") -> None:
+        self._polytxns.inc(site=site)
         if fanout:
             self.polytransaction_fanouts.append(fanout)
 
-    def polyvalue_installed(self, time: float) -> None:
-        self.polyvalues_installed += 1
-        self.current_polyvalues += 1
+    def polyvalue_installed(
+        self, time: float, site: str = "", item: Optional[str] = None
+    ) -> None:
+        self._poly_events.inc(site=site, event="installed")
+        self._poly_current.inc()
+        if item is not None:
+            self._poly_installed_at.setdefault((site, item), time)
         self.polyvalue_count.record(time, self.current_polyvalues)
 
-    def polyvalue_resolved(self, time: float) -> None:
-        self.polyvalues_resolved += 1
-        self.current_polyvalues -= 1
+    def polyvalue_resolved(
+        self, time: float, site: str = "", item: Optional[str] = None
+    ) -> None:
+        self._poly_events.inc(site=site, event="resolved")
+        self._poly_current.dec()
+        if item is not None:
+            installed_at = self._poly_installed_at.pop((site, item), None)
+            if installed_at is not None:
+                self._poly_lifetime.observe(time - installed_at, site=site)
         self.polyvalue_count.record(time, self.current_polyvalues)
+
+    def in_doubt_opened(self, time: float, site: str = "", txn: str = "") -> None:
+        """A wait-phase timeout installed polyvalues at *site*."""
+        self._in_doubt.inc(site=site)
+        self._in_doubt_open.setdefault((site, txn), time)
+
+    def in_doubt_closed(self, time: float, site: str = "", txn: str = "") -> None:
+        """A direct participant finally learned *txn*'s outcome."""
+        opened_at = self._in_doubt_open.pop((site, txn), None)
+        if opened_at is not None:
+            self._in_doubt_duration.observe(time - opened_at, site=site)
+
+    def lock_conflict(self, site: str = "") -> None:
+        self._lock_conflicts.inc(site=site)
+
+    def unilateral_decision(self) -> None:
+        self._unilateral.inc()
+
+    def inconsistent_decision(self) -> None:
+        self._inconsistent.inc()
+
+    def add_blocked_item_seconds(self, seconds: float) -> None:
+        self._blocked_seconds.inc(seconds)
 
     def output_produced(self, certain: bool) -> None:
-        if certain:
-            self.certain_outputs += 1
-        else:
-            self.uncertain_outputs += 1
+        self._outputs.inc(certainty="certain" if certain else "uncertain")
+
+    # ------------------------------------------------------------------
+    # Attribute API (properties over the registry)
+    # ------------------------------------------------------------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def committed(self) -> int:
+        return int(self._decided.total(outcome="committed"))
+
+    @property
+    def aborted(self) -> int:
+        return int(self._decided.total(outcome="aborted"))
+
+    @property
+    def polytransactions(self) -> int:
+        return int(self._polytxns.value)
+
+    @property
+    def polyvalues_installed(self) -> int:
+        return int(self._poly_events.total(event="installed"))
+
+    @property
+    def polyvalues_resolved(self) -> int:
+        return int(self._poly_events.total(event="resolved"))
+
+    @property
+    def current_polyvalues(self) -> int:
+        return int(self._poly_current.value)
+
+    @property
+    def in_doubt_windows(self) -> int:
+        return int(self._in_doubt.value)
+
+    @in_doubt_windows.setter
+    def in_doubt_windows(self, value: int) -> None:
+        self._in_doubt.inc(value - self.in_doubt_windows, site="")
+
+    @property
+    def lock_conflict_aborts(self) -> int:
+        return int(self._lock_conflicts.value)
+
+    @lock_conflict_aborts.setter
+    def lock_conflict_aborts(self, value: int) -> None:
+        self._lock_conflicts.inc(value - self.lock_conflict_aborts, site="")
+
+    @property
+    def blocked_item_seconds(self) -> float:
+        return self._blocked_seconds.value
+
+    @blocked_item_seconds.setter
+    def blocked_item_seconds(self, value: float) -> None:
+        self._blocked_seconds.set(value)
+
+    @property
+    def certain_outputs(self) -> int:
+        return int(self._outputs.total(certainty="certain"))
+
+    @property
+    def uncertain_outputs(self) -> int:
+        return int(self._outputs.total(certainty="uncertain"))
+
+    @property
+    def unilateral_decisions(self) -> int:
+        return int(self._unilateral.value)
+
+    @unilateral_decisions.setter
+    def unilateral_decisions(self, value: int) -> None:
+        self._unilateral.inc(value - self.unilateral_decisions)
+
+    @property
+    def inconsistent_decisions(self) -> int:
+        return int(self._inconsistent.value)
+
+    @inconsistent_decisions.setter
+    def inconsistent_decisions(self, value: int) -> None:
+        self._inconsistent.inc(value - self.inconsistent_decisions)
 
     # ------------------------------------------------------------------
     # Summaries

@@ -10,6 +10,7 @@ the database during such a stable period".
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -33,13 +34,19 @@ class TimeSeries:
         return self.points[-1][1] if self.points else None
 
     def value_at(self, time: float) -> Optional[float]:
-        """The step-function value at *time* (None before first point)."""
-        value = None
-        for point_time, point_value in self.points:
-            if point_time > time:
-                break
-            value = point_value
-        return value
+        """The step-function value at *time* (None before first point).
+
+        The value *at* a recorded time is the newly recorded one (the
+        function is right-continuous); with several observations at the
+        same instant the last recorded wins.  Points are kept in
+        non-decreasing time order, so this is a binary search, not a
+        scan — ``value_at`` sits on the sampling path of long
+        Monte-Carlo runs.
+        """
+        index = bisect_right(self.points, (time, math.inf))
+        if index == 0:
+            return None
+        return self.points[index - 1][1]
 
     def time_weighted_mean(self, start: float, end: float) -> float:
         """The time-weighted average of the step function over [start, end].
@@ -49,14 +56,14 @@ class TimeSeries:
         """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end}]")
-        current = self.value_at(start)
-        if current is None:
+        first_inside = bisect_right(self.points, (start, math.inf))
+        if first_inside == 0:
             raise ValueError(f"no observation at or before t={start}")
+        current = self.points[first_inside - 1][1]
         area = 0.0
         last_time = start
-        for point_time, point_value in self.points:
-            if point_time <= start:
-                continue
+        for index in range(first_inside, len(self.points)):
+            point_time, point_value = self.points[index]
             if point_time >= end:
                 break
             area += current * (point_time - last_time)

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, FrozenSet, Set
 
 from repro.core.errors import NetworkError
 from repro.net.message import Envelope, SiteId
+from repro.obs.events import EventBus
 from repro.sim.engine import Simulator
 from repro.sim.rand import Rng
 
@@ -80,6 +81,7 @@ class Network:
         jitter: float = 0.005,
         loss_probability: float = 0.0,
         duplicate_probability: float = 0.0,
+        bus: "EventBus | None" = None,
     ) -> None:
         if base_latency < 0 or jitter < 0:
             raise NetworkError("latency parameters must be non-negative")
@@ -87,6 +89,7 @@ class Network:
             raise NetworkError("duplicate_probability must be in [0, 1]")
         self._sim = sim
         self._rng = rng
+        self._bus = bus
         self._base_latency = base_latency
         self._jitter = jitter
         self._loss_probability = loss_probability
@@ -110,6 +113,22 @@ class Network:
     def _notify(self, event: str, envelope: Envelope) -> None:
         for observer in self._observers:
             observer(event, envelope, self._sim.now)
+        bus = self._bus
+        if bus:
+            dropped = event.startswith("drop")
+            payload = envelope.payload
+            bus.emit(
+                "msg.drop" if dropped else f"msg.{event}",
+                time=self._sim.now,
+                txn=getattr(payload, "txn", None),
+                site=envelope.sender,
+                transport=event,
+                kind=type(payload).__name__,
+                sender=envelope.sender,
+                recipient=envelope.recipient,
+                reason=event[5:] if dropped else "",
+                message=payload,
+            )
 
     # ------------------------------------------------------------------
     # Membership

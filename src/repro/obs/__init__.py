@@ -1,0 +1,57 @@
+"""Observability: structured events, spans, labeled metrics, exporters.
+
+The unified observability layer of the reproduction, threaded through
+every component of the full-system simulator (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.events` — the structured :class:`EventBus` every
+  layer emits typed, timestamped lifecycle events onto;
+* :mod:`repro.obs.spans` — :class:`SpanTracer`, which stitches those
+  events into per-transaction span trees (phases per site, in-doubt
+  windows);
+* :mod:`repro.obs.registry` — the labeled :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms) that
+  :class:`~repro.metrics.collector.MetricsCollector` is built on;
+* :mod:`repro.obs.export` — JSON-lines, Prometheus text exposition and
+  human report renderings.
+
+With no subscribers attached the bus is falsy and instrumented call
+sites skip event construction entirely, so unobserved simulations pay
+only a truthiness check.
+"""
+
+from repro.obs.events import TAXONOMY, EventBus, EventLog, ObsEvent
+from repro.obs.export import (
+    event_to_dict,
+    events_to_jsonl,
+    prometheus_text,
+    render_report,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "TAXONOMY",
+    "EventBus",
+    "EventLog",
+    "ObsEvent",
+    "event_to_dict",
+    "events_to_jsonl",
+    "prometheus_text",
+    "render_report",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,218 @@
+"""The structured event bus: typed, timestamped observability events.
+
+Every layer of the simulated system reports what it is doing by
+emitting :class:`ObsEvent` records onto one shared :class:`EventBus`:
+the commit protocol emits transaction and phase events, the participant
+state machine emits Figure-1 transitions, the store emits polyvalue
+installs/resolves, and the network emits one event per message carried
+(or dropped).  Consumers — the span tracer, the protocol tracer, the
+JSON-lines exporter, ad-hoc test probes — subscribe, optionally by name
+prefix, and see every matching event in simulation order.
+
+The bus is **pay-for-what-you-use**: with no subscribers attached,
+``emit`` is never reached — instrumented call sites guard with a plain
+truthiness check (``if bus:``), so an unobserved simulation does no
+event construction at all.
+
+Event taxonomy
+--------------
+Names are dotted, most-significant first, so prefix subscriptions
+select whole families:
+
+===================  ====================================================
+name                 emitted when
+===================  ====================================================
+``txn.submitted``    a coordinator starts driving a transaction
+``txn.committed``    the coordinator decides complete (attr ``latency``)
+``txn.aborted``      the coordinator decides abort (attr ``reason``)
+``phase.read.start``   the coordinator fans out read requests
+``phase.stage.start``  the coordinator ships staged writes
+``site.state``       a participant takes a Figure-1 transition
+                     (attrs ``source``/``target``/``trigger``)
+``indoubt.open``     a wait-phase timeout installs polyvalues
+                     (attrs ``items``, ``live``)
+``indoubt.close``    a direct participant learns the outcome
+                     (attr ``committed``)
+``polyvalue.install``  an item starts holding a polyvalue (attr ``item``)
+``polyvalue.resolve``  an item returns to a simple value (attr ``item``)
+``lock.conflict``    a lock acquisition aborts a transaction
+                     (attrs ``item``, ``mode``)
+``msg.send``         the network accepts a message
+``msg.deliver``      a message reaches its recipient
+``msg.drop``         a message is lost (attr ``reason``:
+                     ``site-down``/``partition``/``loss``)
+``site.crash``       a site fail-stops
+``site.recover``     a crashed site comes back up
+``sim.window``       one ``run_until`` window of the simulator finished
+                     (attrs ``events``, ``since``)
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Every event name the instrumented layers emit (documentation and
+#: test-coverage aid; the bus itself accepts any dotted name).
+TAXONOMY = (
+    "txn.submitted",
+    "txn.committed",
+    "txn.aborted",
+    "phase.read.start",
+    "phase.stage.start",
+    "site.state",
+    "indoubt.open",
+    "indoubt.close",
+    "polyvalue.install",
+    "polyvalue.resolve",
+    "lock.conflict",
+    "msg.send",
+    "msg.deliver",
+    "msg.drop",
+    "site.crash",
+    "site.recover",
+    "sim.window",
+)
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured observability event.
+
+    ``txn`` and ``site`` are first-class because nearly every consumer
+    filters or groups by them; everything else rides in ``attrs``.
+    """
+
+    time: float
+    name: str
+    txn: Optional[str] = None
+    site: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering."""
+        parts = [f"{self.time * 1000:9.1f}ms {self.name:<18}"]
+        if self.txn is not None:
+            parts.append(f"txn={self.txn}")
+        if self.site is not None:
+            parts.append(f"site={self.site}")
+        for key, value in self.attrs.items():
+            if key == "message":
+                continue  # live object; the kind attr already names it
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+
+Subscriber = Callable[[ObsEvent], None]
+#: A subscription filter: a dotted-name prefix, or a tuple of them.
+Prefix = Union[str, Tuple[str, ...]]
+
+
+class EventBus:
+    """A synchronous fan-out of :class:`ObsEvent` records.
+
+    Subscribers are called in subscription order, during ``emit``, on
+    the simulation's thread; they must not re-enter the system under
+    observation.  ``bool(bus)`` is False with no subscribers — the
+    guard instrumented call sites use to skip event construction.
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Tuple[Optional[Prefix], Subscriber]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._subscribers)
+
+    @property
+    def active(self) -> bool:
+        """True iff at least one subscriber is attached."""
+        return bool(self._subscribers)
+
+    def subscribe(
+        self, subscriber: Subscriber, *, prefix: Optional[Prefix] = None
+    ) -> Subscriber:
+        """Attach *subscriber*; with *prefix*, only matching names are
+        delivered (a tuple of prefixes matches any of them)."""
+        self._subscribers.append((prefix, subscriber))
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach every subscription of *subscriber* (no-op if absent).
+
+        Compared by equality, not identity: bound methods are re-created
+        on each attribute access, so ``bus.unsubscribe(self._record)``
+        must match the equal-but-distinct object passed to subscribe.
+        """
+        self._subscribers = [
+            entry for entry in self._subscribers if entry[1] != subscriber
+        ]
+
+    def emit(
+        self,
+        name: str,
+        *,
+        time: float,
+        txn: Optional[str] = None,
+        site: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[ObsEvent]:
+        """Build and deliver one event (None when nobody is listening).
+
+        Callers on hot paths should guard with ``if bus:`` so even the
+        keyword-argument packing is skipped when unobserved.
+        """
+        if not self._subscribers:
+            return None
+        event = ObsEvent(time=time, name=name, txn=txn, site=site, attrs=attrs)
+        for prefix, subscriber in self._subscribers:
+            if prefix is None or name.startswith(prefix):
+                subscriber(event)
+        return event
+
+
+class EventLog:
+    """A subscriber that simply records every event it sees.
+
+    The JSON-lines exporter and the tests use this as their capture
+    buffer; attach with ``EventLog(bus)`` (optionally prefix-filtered).
+    """
+
+    def __init__(
+        self, bus: Optional[EventBus] = None, *, prefix: Optional[Prefix] = None
+    ) -> None:
+        self.events: List[ObsEvent] = []
+        self._bus = bus
+        if bus is not None:
+            bus.subscribe(self._record, prefix=prefix)
+
+    def _record(self, event: ObsEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_txn(self, txn: str) -> List[ObsEvent]:
+        """All recorded events concerning one transaction."""
+        return [event for event in self.events if event.txn == txn]
+
+    def named(self, prefix: Prefix) -> List[ObsEvent]:
+        """All recorded events whose name matches *prefix*."""
+        return [
+            event for event in self.events if event.name.startswith(prefix)
+        ]
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self.events.clear()
+
+    def detach(self) -> None:
+        """Stop recording (the captured events stay available)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._record)
+            self._bus = None

@@ -1,0 +1,179 @@
+"""Exporters: JSON-lines events, Prometheus text exposition, report table.
+
+Three views over the observability layer, each aimed at a different
+consumer:
+
+* :func:`events_to_jsonl` — the raw event stream, one JSON object per
+  line, for offline analysis (``python -m repro events``);
+* :func:`prometheus_text` — a :class:`~repro.obs.registry.MetricsRegistry`
+  in the Prometheus text exposition format (version 0.0.4), so the
+  simulated system's metrics can flow into real dashboards
+  (``python -m repro report --format prometheus``);
+* :func:`render_report` — a human-readable summary table of a
+  :class:`~repro.metrics.collector.MetricsCollector`, headline counters
+  plus latency-histogram percentiles (``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.events import ObsEvent
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+
+
+def event_to_dict(event: ObsEvent) -> Dict[str, Any]:
+    """A JSON-safe dict for one event.
+
+    Live protocol objects riding in attrs (e.g. the ``message`` of a
+    transport event) are rendered through ``repr``.
+    """
+    record: Dict[str, Any] = {"time": event.time, "name": event.name}
+    if event.txn is not None:
+        record["txn"] = event.txn
+    if event.site is not None:
+        record["site"] = event.site
+    for key, value in event.attrs.items():
+        record[key] = value
+    return record
+
+
+def events_to_jsonl(events: Iterable[ObsEvent]) -> str:
+    """One compact JSON object per line, in event order."""
+    return "\n".join(
+        json.dumps(event_to_dict(event), default=repr, sort_keys=True)
+        for event in events
+    )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, Histogram):
+            for labels, child in family.children():
+                for bound, cumulative in child.cumulative():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(labels)} "
+                    f"{child.count}"
+                )
+        elif isinstance(family, (Counter, Gauge)):
+            children = family.children()
+            if not children and not family.labelnames:
+                # An unlabeled family that was never touched still
+                # exposes its zero — dashboards prefer 0 over absence.
+                lines.append(f"{family.name} 0")
+            for labels, child in children:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Human report
+# ----------------------------------------------------------------------
+
+
+def render_report(metrics) -> str:
+    """A human summary of a :class:`MetricsCollector`.
+
+    Headline counters first (the :meth:`summary` dict), then one line
+    per registered histogram with count/mean/p50/p95/p99 derived from
+    its buckets.
+    """
+    lines: List[str] = ["metric                              value",
+                        "-" * 48]
+    for key, value in metrics.summary().items():
+        if isinstance(value, float) and not float(value).is_integer():
+            rendered = f"{value:.4f}"
+        else:
+            rendered = f"{int(value)}"
+        lines.append(f"{key:<34} {rendered:>12}")
+    histograms = [
+        family
+        for family in metrics.registry.families()
+        if isinstance(family, Histogram)
+    ]
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<34} {'count':>6} {'mean':>9} "
+            f"{'p50':>9} {'p95':>9} {'p99':>9}"
+        )
+        lines.append("-" * 80)
+        for family in histograms:
+            merged = family.merged()
+            if not merged.count:
+                lines.append(f"{family.name:<34} {0:>6}")
+                continue
+
+            def fmt(seconds):
+                return "-" if seconds is None else f"{seconds * 1000:.1f}ms"
+
+            lines.append(
+                f"{family.name:<34} {merged.count:>6} "
+                f"{fmt(merged.mean):>9} {fmt(merged.quantile(0.5)):>9} "
+                f"{fmt(merged.quantile(0.95)):>9} "
+                f"{fmt(merged.quantile(0.99)):>9}"
+            )
+    return "\n".join(lines)

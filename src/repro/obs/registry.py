@@ -1,0 +1,313 @@
+"""The labeled metrics registry: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns a set of named metric *families*; each
+family carries a fixed tuple of label names and fans out to one child
+series per distinct label-value combination (the Prometheus data model,
+scaled down to what the simulator needs: no timestamps, no exemplars).
+
+The conventions used throughout the package:
+
+* family names are ``repro_``-prefixed snake_case with a unit suffix
+  (``_total`` for counters, ``_seconds`` for durations);
+* label names are drawn from ``site`` (which simulated site), ``outcome``
+  (``committed``/``aborted``), ``workload`` (which generator produced
+  the traffic), plus metric-specific ones (``event``, ``certainty``);
+* histograms use fixed buckets chosen per metric at registration.
+
+:func:`repro.obs.export.prometheus_text` renders a registry in the
+Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+LabelValues = Tuple[str, ...]
+
+#: Default duration buckets (seconds) — a LAN-ish commit protocol:
+#: sub-10ms fast paths up through multi-second failure windows.
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricError(ValueError):
+    """Raised on inconsistent metric registration or labeling."""
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labelvalues: Mapping[str, object]
+) -> LabelValues:
+    if set(labelvalues) != set(labelnames):
+        raise MetricError(
+            f"expected labels {labelnames}, got {tuple(sorted(labelvalues))}"
+        )
+    return tuple(str(labelvalues[name]) for name in labelnames)
+
+
+class _Family:
+    """Shared machinery: child management keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._children: Dict[LabelValues, object] = {}
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labelvalues):
+        """The child series for one label-value combination (created on
+        first use).  With no label names, ``labels()`` is the single
+        unlabeled series."""
+        key = _label_key(self.labelnames, labelvalues)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def children(self) -> List[Tuple[Dict[str, str], object]]:
+        """Every child with its labels dict, in creation order."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in self._children.items()
+        ]
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class Counter(_Family):
+    """A monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0, **labelvalues) -> None:
+        """Increment one series (the unlabeled one by default)."""
+        self.labels(**labelvalues).inc(amount)
+
+    def total(self, **match: str) -> float:
+        """The sum over children whose labels include *match*."""
+        total = 0.0
+        for labels, child in self.children():
+            if all(labels.get(k) == v for k, v in match.items()):
+                total += child.value
+        return total
+
+    @property
+    def value(self) -> float:
+        """Sum over all series (== the single series when unlabeled)."""
+        return self.total()
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Family):
+    """A value that can go up and down, optionally labeled."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labelvalues) -> None:
+        self.labels(**labelvalues).set(value)
+
+    def inc(self, amount: float = 1.0, **labelvalues) -> None:
+        self.labels(**labelvalues).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labelvalues) -> None:
+        self.labels(**labelvalues).dec(amount)
+
+    def total(self, **match: str) -> float:
+        total = 0.0
+        for labels, child in self.children():
+            if all(labels.get(k) == v for k, v in match.items()):
+                total += child.value
+        return total
+
+    @property
+    def value(self) -> float:
+        return self.total()
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        #: Per-bucket (non-cumulative) counts; one extra slot for +Inf.
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending at +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, fraction: float) -> Optional[float]:
+        """Estimate the *fraction*-quantile by linear interpolation
+        within the containing bucket (the Prometheus estimator)."""
+        if not self.count:
+            return None
+        if not 0.0 <= fraction <= 1.0:
+            raise MetricError(f"fraction must be in [0, 1], got {fraction}")
+        rank = fraction * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            if running + count >= rank and count:
+                within = (rank - running) / count
+                return lower + (bound - lower) * within
+            running += count
+            lower = bound
+        return self.buckets[-1] if self.buckets else None
+
+
+class Histogram(_Family):
+    """A fixed-bucket distribution, optionally labeled.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value (the implicit +Inf bucket catches the
+    rest).  Bounds are fixed at registration so merged views and the
+    Prometheus exposition stay consistent across label series.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        cleaned = tuple(sorted(float(b) for b in buckets))
+        if not cleaned:
+            raise MetricError("histogram needs at least one bucket")
+        if len(set(cleaned)) != len(cleaned):
+            raise MetricError(f"duplicate histogram buckets: {buckets}")
+        self.buckets = cleaned
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float, **labelvalues) -> None:
+        self.labels(**labelvalues).observe(value)
+
+    def merged(self) -> _HistogramChild:
+        """All label series folded into one distribution."""
+        merged = _HistogramChild(self.buckets)
+        for _, child in self.children():
+            for index, count in enumerate(child.counts):
+                merged.counts[index] += count
+            merged.sum += child.sum
+            merged.count += child.count
+        return merged
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    Registration is idempotent: asking for an already-registered name
+    with the same kind and label names returns the existing family, so
+    independent components can share instruments; a mismatch raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, cls, name, help, labelnames, **kwargs) -> _Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}"
+                )
+            return existing
+        family = cls(name, help, labelnames, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help, tuple(labelnames), buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Family]:
+        """The family registered under *name*, or None."""
+        return self._families.get(name)
+
+    def families(self) -> List[_Family]:
+        """Every registered family, in registration order."""
+        return list(self._families.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)

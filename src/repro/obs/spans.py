@@ -1,0 +1,248 @@
+"""The span tracer: per-transaction timelines stitched from bus events.
+
+A :class:`SpanTracer` subscribes to an :class:`~repro.obs.events.EventBus`
+and folds the protocol's structured events into a tree of
+:class:`Span` records per transaction:
+
+* one **root span** per transaction, from ``txn.submitted`` to the
+  coordinator's decision (attrs record the outcome and, on abort, the
+  reason);
+* **coordinator phase** children ``phase:read`` and ``phase:stage``
+  (the two sub-steps of the paper's compute phase, as the coordinator
+  sees them);
+* **per-site phase** children ``compute@<site>`` and ``wait@<site>``
+  derived from the Figure-1 ``site.state`` transitions, closed with the
+  trigger that ended them (``ready``, ``complete``, ``abort``,
+  ``compute-timeout``, ``wait-timeout``);
+* **in-doubt window** children ``in-doubt@<site>``, opened when a
+  wait-phase timeout installs polyvalues and closed when that site
+  learns the transaction's outcome — the §3.1 window the whole paper is
+  about, now directly measurable per transaction and site.
+
+An in-doubt window routinely outlives its root span (the coordinator's
+decision — often a presumed abort after a crash — happens long before
+the participant learns it), so child spans are *not* clipped to their
+parent: a span tree is a set of intervals sharing a transaction, not a
+strict containment hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.events import EventBus, ObsEvent
+
+
+@dataclass
+class Span:
+    """One named interval of a transaction's life, possibly still open."""
+
+    name: str
+    txn: Optional[str]
+    site: Optional[str]
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from start to end (None while the span is open)."""
+        return None if self.end is None else self.end - self.start
+
+    def close(self, time: float, **attrs: Any) -> None:
+        """End the span at *time* (idempotent; first close wins)."""
+        if self.end is None:
+            self.end = time
+            self.attrs.update(attrs)
+
+    def walk(self) -> List["Span"]:
+        """This span and every descendant, depth-first."""
+        found = [self]
+        for child in self.children:
+            found.extend(child.walk())
+        return found
+
+    def find(self, name_prefix: str) -> List["Span"]:
+        """Descendant spans (including self) whose name starts so."""
+        return [s for s in self.walk() if s.name.startswith(name_prefix)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly rendering of the subtree."""
+        return {
+            "name": self.name,
+            "txn": self.txn,
+            "site": self.site,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def describe(self) -> str:
+        """One line: name, interval, duration, attributes."""
+        if self.end is None:
+            interval = f"{self.start * 1000:9.1f}ms → (open)"
+        else:
+            interval = (
+                f"{self.start * 1000:9.1f}ms → {self.end * 1000:9.1f}ms "
+                f"({self.duration * 1000:8.1f}ms)"
+            )
+        attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        return f"{self.name:<22} {interval}" + (f"  {attrs}" if attrs else "")
+
+
+class SpanTracer:
+    """Builds span trees, live, from a bus subscription.
+
+    Attach before submitting the transactions of interest; events for a
+    transaction whose submission was not observed still get a root span
+    (synthesised at the first event seen), so late attachment degrades
+    gracefully rather than dropping data.
+    """
+
+    #: The event families the tracer consumes.
+    PREFIXES = ("txn.", "phase.", "site.state", "indoubt.")
+
+    def __init__(self, bus: EventBus) -> None:
+        self._bus = bus
+        #: txn -> root span, in first-seen order.
+        self.roots: Dict[str, Span] = {}
+        self._open_phase: Dict[str, Span] = {}
+        self._open_site: Dict[Tuple[str, str], Span] = {}
+        self._open_indoubt: Dict[Tuple[str, str], Span] = {}
+        bus.subscribe(self._on_event, prefix=self.PREFIXES)
+
+    def detach(self) -> None:
+        """Stop consuming events (built spans stay available)."""
+        self._bus.unsubscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Event folding
+    # ------------------------------------------------------------------
+
+    def _root(self, txn: str, time: float, site: Optional[str] = None) -> Span:
+        root = self.roots.get(txn)
+        if root is None:
+            root = Span(name=f"txn:{txn}", txn=txn, site=site, start=time)
+            self.roots[txn] = root
+        return root
+
+    def _on_event(self, event: ObsEvent) -> None:
+        name, txn = event.name, event.txn
+        if txn is None:
+            return
+        if name == "txn.submitted":
+            root = self._root(txn, event.time, event.site)
+            root.attrs.setdefault("items", event.attrs.get("items"))
+        elif name in ("txn.committed", "txn.aborted"):
+            root = self._root(txn, event.time, event.site)
+            outcome = "committed" if name == "txn.committed" else "aborted"
+            attrs = {"outcome": outcome}
+            if "latency" in event.attrs:
+                attrs["latency"] = event.attrs["latency"]
+            if event.attrs.get("reason"):
+                attrs["reason"] = event.attrs["reason"]
+            phase = self._open_phase.pop(txn, None)
+            if phase is not None:
+                phase.close(event.time)
+            root.close(event.time, **attrs)
+        elif name in ("phase.read.start", "phase.stage.start"):
+            root = self._root(txn, event.time, event.site)
+            previous = self._open_phase.pop(txn, None)
+            if previous is not None:
+                previous.close(event.time)
+            label = "phase:read" if name == "phase.read.start" else "phase:stage"
+            span = Span(name=label, txn=txn, site=event.site, start=event.time)
+            root.children.append(span)
+            self._open_phase[txn] = span
+        elif name == "site.state":
+            self._on_site_state(event)
+        elif name == "indoubt.open":
+            root = self._root(txn, event.time)
+            span = Span(
+                name=f"in-doubt@{event.site}",
+                txn=txn,
+                site=event.site,
+                start=event.time,
+                attrs={
+                    "items": event.attrs.get("items"),
+                    "live": event.attrs.get("live", True),
+                },
+            )
+            root.children.append(span)
+            self._open_indoubt[(txn, event.site or "")] = span
+        elif name == "indoubt.close":
+            span = self._open_indoubt.pop((txn, event.site or ""), None)
+            if span is not None:
+                span.close(event.time, committed=event.attrs.get("committed"))
+
+    def _on_site_state(self, event: ObsEvent) -> None:
+        txn, site = event.txn, event.site or ""
+        trigger = event.attrs.get("trigger")
+        key = (txn, site)
+        if trigger == "begin":
+            root = self._root(txn, event.time)
+            span = Span(
+                name=f"compute@{site}", txn=txn, site=site, start=event.time
+            )
+            root.children.append(span)
+            self._open_site[key] = span
+        elif trigger == "ready":
+            previous = self._open_site.pop(key, None)
+            if previous is not None:
+                previous.close(event.time, ended_by="ready")
+            root = self._root(txn, event.time)
+            span = Span(
+                name=f"wait@{site}", txn=txn, site=site, start=event.time
+            )
+            root.children.append(span)
+            self._open_site[key] = span
+        else:  # complete / abort / compute-timeout / wait-timeout
+            span = self._open_site.pop(key, None)
+            if span is not None:
+                span.close(event.time, ended_by=trigger)
+
+    # ------------------------------------------------------------------
+    # Queries and rendering
+    # ------------------------------------------------------------------
+
+    def transactions(self) -> List[str]:
+        """Every transaction with at least one span, in first-seen order."""
+        return list(self.roots)
+
+    def spans_for(self, txn: str) -> List[Span]:
+        """All spans of one transaction, depth-first (empty if unknown)."""
+        root = self.roots.get(txn)
+        return root.walk() if root is not None else []
+
+    def in_doubt_windows(self) -> List[Span]:
+        """Every in-doubt window span observed, across transactions."""
+        found: List[Span] = []
+        for root in self.roots.values():
+            found.extend(root.find("in-doubt@"))
+        return found
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-friendly dump of every span tree."""
+        return [root.to_dict() for root in self.roots.values()]
+
+    def render(self, txn: Optional[str] = None) -> str:
+        """An indented text tree (one transaction, or all of them)."""
+        if txn is not None:
+            if txn not in self.roots:
+                return f"(no spans recorded for txn {txn!r})"
+            roots = [self.roots[txn]]
+        else:
+            roots = list(self.roots.values())
+        if not roots:
+            return "(no spans)"
+        lines: List[str] = []
+        for root in roots:
+            lines.append(root.describe())
+            for child in sorted(root.children, key=lambda s: s.start):
+                lines.append("  " + child.describe())
+            lines.append("")
+        return "\n".join(lines).rstrip("\n")

@@ -40,6 +40,10 @@ class Simulator:
         self._sequence = 0
         self._processed = 0
         self._running = False
+        #: Optional observability bus (attached by the system facade).
+        #: Checked once per ``run_until`` window, never per event, so an
+        #: unobserved simulation pays nothing on the hot loop.
+        self.bus = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -117,6 +121,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot run backwards to t={time} from t={self._now}"
             )
+        window_start = self._now
         fired = 0
         while self._queue:
             head = self._queue[0]
@@ -130,6 +135,14 @@ class Simulator:
             if max_events is not None and fired >= max_events:
                 break
         self._now = max(self._now, time)
+        bus = self.bus
+        if bus:
+            bus.emit(
+                "sim.window",
+                time=self._now,
+                since=window_start,
+                events=fired,
+            )
 
     def run_while(
         self, predicate: Callable[[], bool], *, max_events: int = 10_000_000

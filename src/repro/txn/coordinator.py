@@ -107,7 +107,17 @@ class Coordinator:
             awaiting=set(involved),
         )
         self._active[txn] = record
-        rt.metrics.txn_submitted()
+        rt.metrics.txn_submitted(site=rt.site_id)
+        if rt.bus:
+            rt.bus.emit(
+                "txn.submitted",
+                time=rt.now,
+                txn=txn,
+                site=rt.site_id,
+                items=tuple(transaction.items),
+                sites=tuple(sorted(involved)),
+            )
+            rt.bus.emit("phase.read.start", time=rt.now, txn=txn, site=rt.site_id)
         for site, items in involved.items():
             rt.send(site, protocol.ReadRequest(txn=txn, items=tuple(items)))
         record.timer = rt.schedule(
@@ -153,11 +163,21 @@ class Coordinator:
             return
         if not result.is_simple():
             record.handle.was_polytransaction = True
-            rt.metrics.txn_was_poly(fanout=len(result.alternatives))
+            rt.metrics.txn_was_poly(
+                fanout=len(result.alternatives), site=rt.site_id
+            )
         writes = result.merged_writes(record.values)
         record.outputs = result.merged_outputs()
         by_site = rt.catalog.group_by_site(writes)
         record.phase = _Phase.STAGING
+        if rt.bus:
+            rt.bus.emit(
+                "phase.stage.start",
+                time=rt.now,
+                txn=record.txn,
+                site=rt.site_id,
+                writes=tuple(sorted(writes)),
+            )
         record.awaiting = set(record.involved)
         for site in record.involved:
             site_writes = {
@@ -229,9 +249,17 @@ class Coordinator:
         for site in record.involved:
             rt.send(site, protocol.Complete(txn=record.txn))
         record.handle.mark_committed(rt.now, record.outputs)
-        rt.metrics.txn_committed(record.handle.latency or 0.0)
+        rt.metrics.txn_committed(record.handle.latency or 0.0, site=rt.site_id)
         for value in record.outputs.values():
             rt.metrics.output_produced(certain=not is_polyvalue(value))
+        if rt.bus:
+            rt.bus.emit(
+                "txn.committed",
+                time=rt.now,
+                txn=record.txn,
+                site=rt.site_id,
+                latency=record.handle.latency or 0.0,
+            )
         del self._active[record.txn]
 
     def _decide_abort(self, record: _CoordTxn, reason: str) -> None:
@@ -244,7 +272,15 @@ class Coordinator:
         for site in record.involved:
             rt.send(site, protocol.Abort(txn=record.txn))
         record.handle.mark_aborted(rt.now, reason)
-        rt.metrics.txn_aborted()
+        rt.metrics.txn_aborted(site=rt.site_id)
+        if rt.bus:
+            rt.bus.emit(
+                "txn.aborted",
+                time=rt.now,
+                txn=record.txn,
+                site=rt.site_id,
+                reason=reason,
+            )
         del self._active[record.txn]
 
     # ------------------------------------------------------------------

@@ -122,7 +122,16 @@ class Participant:
         self._transition(record, SiteState.IDLE, SiteState.COMPUTE, "begin")
         for item in message.items:
             if not rt.locks.try_acquire(txn, item, LockMode.READ):
-                rt.metrics.lock_conflict_aborts += 1
+                rt.metrics.lock_conflict(site=rt.site_id)
+                if rt.bus:
+                    rt.bus.emit(
+                        "lock.conflict",
+                        time=rt.now,
+                        txn=txn,
+                        site=rt.site_id,
+                        item=item,
+                        mode="read",
+                    )
                 self._discard(record, "abort")
                 rt.send(
                     sender,
@@ -164,7 +173,16 @@ class Participant:
         record.cancel_timer()
         for item in message.writes:
             if not rt.locks.try_acquire(txn, item, LockMode.WRITE):
-                rt.metrics.lock_conflict_aborts += 1
+                rt.metrics.lock_conflict(site=rt.site_id)
+                if rt.bus:
+                    rt.bus.emit(
+                        "lock.conflict",
+                        time=rt.now,
+                        txn=txn,
+                        site=rt.site_id,
+                        item=item,
+                        mode="write",
+                    )
                 self._discard(record, "abort")
                 rt.send(
                     sender,
@@ -259,7 +277,7 @@ class Participant:
             commit = self._rt.config.relaxed_commit_probability >= 1.0
             if not commit:
                 commit = self._relaxed_choice()
-            self._rt.metrics.unilateral_decisions += 1
+            self._rt.metrics.unilateral_decision()
             self._unilateral[txn] = commit
             if commit:
                 self._install_staged(txn, record.staged or {})
@@ -327,7 +345,7 @@ class Participant:
                 self._active[txn] = record
                 self._blocked.add(txn)
             elif policy is CommitPolicy.RELAXED:
-                self._rt.metrics.unilateral_decisions += 1
+                self._rt.metrics.unilateral_decision()
                 commit = self._relaxed_choice()
                 self._unilateral[txn] = commit
                 if commit:
@@ -358,7 +376,7 @@ class Participant:
             if record.blocked_since is not None:
                 blocked_for = self._rt.now - record.blocked_since
                 item_count = len(record.staged or {})
-                self._rt.metrics.blocked_item_seconds += (
+                self._rt.metrics.add_blocked_item_seconds(
                     blocked_for * item_count
                 )
             if committed:
@@ -370,7 +388,7 @@ class Participant:
         if txn in self._unilateral:
             decided = self._unilateral.pop(txn)
             if decided != committed:
-                self._rt.metrics.inconsistent_decisions += 1
+                self._rt.metrics.inconsistent_decision()
             self._durable_staged.pop(txn, None)
 
     def pending_outcome_queries(self) -> Set[TxnId]:
@@ -409,7 +427,16 @@ class Participant:
             # Read-only participants have nothing at stake; only a
             # participant with staged updates experienced a real
             # in-doubt window in the §4 model's sense.
-            rt.metrics.in_doubt_windows += 1
+            rt.metrics.in_doubt_opened(rt.now, site=rt.site_id, txn=txn)
+        if staged and rt.bus:
+            rt.bus.emit(
+                "indoubt.open",
+                time=rt.now,
+                txn=txn,
+                site=rt.site_id,
+                items=tuple(sorted(staged)),
+                live=live,
+            )
         for item, new_value in staged.items():
             old_value = rt.store.read(item)
             in_doubt = Polyvalue.in_doubt(txn, new_value, old_value)

@@ -25,6 +25,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Set, Tuple
 
+from typing import Optional
+
 from repro.core.outcome import OutcomeLog, OutcomeTable
 from repro.core.polyvalue import Value, depends_on, is_polyvalue, simplify
 from repro.db.catalog import Catalog
@@ -33,6 +35,7 @@ from repro.db.store import ItemStore
 from repro.metrics.collector import MetricsCollector
 from repro.net.message import SiteId
 from repro.net.network import Network
+from repro.obs.events import EventBus
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 
@@ -127,8 +130,9 @@ class TransitionLog:
         ]
     )
 
-    def __init__(self) -> None:
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.records: List[Transition] = []
+        self._bus = bus
 
     def record(
         self,
@@ -139,7 +143,7 @@ class TransitionLog:
         target: SiteState,
         trigger: str,
     ) -> None:
-        """Append one transition."""
+        """Append one transition (and mirror it onto the event bus)."""
         self.records.append(
             Transition(
                 time=time,
@@ -150,6 +154,17 @@ class TransitionLog:
                 trigger=trigger,
             )
         )
+        bus = self._bus
+        if bus:
+            bus.emit(
+                "site.state",
+                time=time,
+                txn=txn,
+                site=site,
+                source=source.value,
+                target=target.value,
+                trigger=trigger,
+            )
 
     def edge_counts(self) -> Dict[Tuple[str, str, str], int]:
         """How many times each (source, trigger, target) edge fired."""
@@ -234,6 +249,9 @@ class SiteRuntime:
     #: notification chain instead.
     direct_doubts: Set[str] = field(default_factory=set)
     up: bool = True
+    #: The system-wide observability bus (None in standalone use; every
+    #: emission is guarded so the unobserved cost is a truthiness check).
+    bus: Optional[EventBus] = None
 
     def send(self, recipient: SiteId, payload: Any) -> None:
         """Send a protocol message from this site."""
@@ -280,8 +298,27 @@ class SiteRuntime:
             self.outcomes.remove_all_dependencies(item)
             self.outcomes.record_dependencies(value.depends_on(), item)
             if not was_poly:
-                self.metrics.polyvalue_installed(self.now)
+                self.metrics.polyvalue_installed(
+                    self.now, site=self.site_id, item=item
+                )
+                if self.bus:
+                    self.bus.emit(
+                        "polyvalue.install",
+                        time=self.now,
+                        site=self.site_id,
+                        item=item,
+                        depends_on=sorted(value.depends_on()),
+                    )
         else:
             if was_poly:
                 self.outcomes.remove_all_dependencies(item)
-                self.metrics.polyvalue_resolved(self.now)
+                self.metrics.polyvalue_resolved(
+                    self.now, site=self.site_id, item=item
+                )
+                if self.bus:
+                    self.bus.emit(
+                        "polyvalue.resolve",
+                        time=self.now,
+                        site=self.site_id,
+                        item=item,
+                    )

@@ -139,6 +139,18 @@ class DatabaseSite:
         """Absorb one transaction outcome: reduce, relay, audit, forget."""
         rt = self.runtime
         rt.known_outcomes[txn] = committed
+        if txn in rt.direct_doubts:
+            # This site installed wait-timeout polyvalues for txn and has
+            # only now learned its fate: the in-doubt window closes here.
+            rt.metrics.in_doubt_closed(rt.now, site=self.site_id, txn=txn)
+            if rt.bus:
+                rt.bus.emit(
+                    "indoubt.close",
+                    time=rt.now,
+                    txn=txn,
+                    site=self.site_id,
+                    committed=committed,
+                )
         rt.direct_doubts.discard(txn)
         self.participant.handle_outcome_known(txn, committed)
         resolution = rt.outcomes.resolve(txn, committed)

@@ -29,6 +29,7 @@ from repro.db.store import ItemStore
 from repro.metrics.collector import MetricsCollector
 from repro.net.message import SiteId
 from repro.net.network import Network
+from repro.obs.events import EventBus
 from repro.sim.engine import Simulator
 from repro.sim.rand import Rng
 from repro.txn.runtime import (
@@ -65,8 +66,13 @@ class DistributedSystem:
         self.config = config or ProtocolConfig()
         self.sim = Simulator()
         self.rng = Rng(seed)
+        #: The system-wide observability bus.  With no subscribers every
+        #: instrumentation point short-circuits on a truthiness check,
+        #: so an unobserved system pays (almost) nothing.
+        self.bus = EventBus()
+        self.sim.bus = self.bus
         self.metrics = MetricsCollector()
-        self.transitions = TransitionLog()
+        self.transitions = TransitionLog(bus=self.bus)
         self.catalog = catalog
         self.network = Network(
             self.sim,
@@ -75,6 +81,7 @@ class DistributedSystem:
             jitter=jitter,
             loss_probability=loss_probability,
             duplicate_probability=duplicate_probability,
+            bus=self.bus,
         )
         self.sites: Dict[SiteId, DatabaseSite] = {}
         self.handles: List[TransactionHandle] = []
@@ -97,6 +104,7 @@ class DistributedSystem:
                 config=self.config,
                 metrics=self.metrics,
                 transitions=self.transitions,
+                bus=self.bus,
             )
             self.sites[site_id] = DatabaseSite(runtime)
 
@@ -155,8 +163,24 @@ class DistributedSystem:
             handle.mark_aborted(
                 self.sim.now, f"coordinator site {coordinator} is down"
             )
-            self.metrics.txn_submitted()
-            self.metrics.txn_aborted()
+            self.metrics.txn_submitted(site=coordinator)
+            self.metrics.txn_aborted(site=coordinator)
+            if self.bus:
+                self.bus.emit(
+                    "txn.submitted",
+                    time=self.sim.now,
+                    txn=handle.txn,
+                    site=coordinator,
+                    items=tuple(transaction.items),
+                    sites=(),
+                )
+                self.bus.emit(
+                    "txn.aborted",
+                    time=self.sim.now,
+                    txn=handle.txn,
+                    site=coordinator,
+                    reason=f"coordinator site {coordinator} is down",
+                )
             return handle
         site.submit(transaction, handle)
         return handle
@@ -193,6 +217,8 @@ class DistributedSystem:
         querying after recovery.
         """
         self.network.crash_site(site)
+        if self.bus:
+            self.bus.emit("site.crash", time=self.sim.now, site=site)
         undecided = self.sites[site].crash()
         for handle in undecided:
             if handle.status is TxnStatus.PENDING:
@@ -200,11 +226,21 @@ class DistributedSystem:
                 handle.mark_aborted(
                     self.sim.now, "coordinator crashed; presumed abort"
                 )
-                self.metrics.txn_aborted()
+                self.metrics.txn_aborted(site=site)
+                if self.bus:
+                    self.bus.emit(
+                        "txn.aborted",
+                        time=self.sim.now,
+                        txn=handle.txn,
+                        site=site,
+                        reason="coordinator crashed; presumed abort",
+                    )
 
     def recover_site(self, site: SiteId) -> None:
         """Bring *site* back up; it replays durable state."""
         self.network.recover_site(site)
+        if self.bus:
+            self.bus.emit("site.recover", time=self.sim.now, site=site)
         self.sites[site].recover()
 
     # ------------------------------------------------------------------

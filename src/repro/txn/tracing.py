@@ -14,6 +14,12 @@ commit protocol:
 This is a developer-facing tool: the tests use it to assert on exact
 message sequences, the ``protocol_trace`` example uses it to *show* the
 in-doubt window, and it costs nothing when not attached.
+
+The tracer is one *view* over the system's structured event bus
+(:mod:`repro.obs.events`): it subscribes to the ``msg.*`` family and
+folds each event back into the flat :class:`TraceRecord` shape the
+rendering and the tests consume.  Other consumers (the span tracer, the
+JSON-lines exporter) see exactly the same events.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.net.message import Envelope, SiteId
+from repro.net.message import SiteId
+from repro.obs.events import ObsEvent
 from repro.txn import protocol
 from repro.txn.system import DistributedSystem
 
@@ -63,22 +70,34 @@ class TraceRecord:
 
 
 class ProtocolTracer:
-    """Records every transport event of a system's network."""
+    """Records every transport event of a system's network.
+
+    Implemented as a prefix subscription on the system's event bus: the
+    network emits one ``msg.send``/``msg.deliver``/``msg.drop`` event
+    per transport action, carrying the exact legacy event string in the
+    ``transport`` attr and the live payload in ``message``.
+    """
 
     def __init__(self, system: DistributedSystem) -> None:
         self.records: List[TraceRecord] = []
-        system.network.subscribe(self._observe)
+        self._bus = system.bus
+        self._bus.subscribe(self._observe, prefix="msg.")
 
-    def _observe(self, event: str, envelope: Envelope, time: float) -> None:
+    def _observe(self, event: ObsEvent) -> None:
+        attrs = event.attrs
         self.records.append(
             TraceRecord(
-                time=time,
-                event=event,
-                sender=envelope.sender,
-                recipient=envelope.recipient,
-                message=envelope.payload,
+                time=event.time,
+                event=attrs["transport"],
+                sender=attrs["sender"],
+                recipient=attrs["recipient"],
+                message=attrs["message"],
             )
         )
+
+    def detach(self) -> None:
+        """Stop tracing (the captured records stay available)."""
+        self._bus.unsubscribe(self._observe)
 
     # ------------------------------------------------------------------
     # Queries

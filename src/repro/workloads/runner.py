@@ -18,6 +18,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional
 from repro.core.errors import SimulationError
 from repro.core.polytransaction import execute
 from repro.core.polyvalue import Value
+from repro.obs.export import prometheus_text
+from repro.obs.registry import MetricsRegistry
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import TransactionHandle, TxnStatus
 
@@ -63,6 +65,15 @@ class RunReport:
     mean_polyvalues: Optional[float]
     serially_equivalent: Optional[bool]
     final_state: Dict[ItemId, Value] = field(default_factory=dict)
+    #: The system's labeled metrics registry at report time (None when
+    #: the system predates the registry — e.g. hand-built doubles).
+    registry: Optional[MetricsRegistry] = None
+
+    def to_prometheus(self) -> str:
+        """The run's metrics in the Prometheus text exposition format."""
+        if self.registry is None:
+            raise ValueError("this report carries no metrics registry")
+        return prometheus_text(self.registry)
 
     @property
     def converged(self) -> bool:
@@ -114,6 +125,10 @@ class ExperimentRunner:
         or None to run only whatever was submitted by hand.
     initial_values:
         Required for the serial-equivalence check; omit to skip it.
+    workload_name:
+        Label value under which this run's transaction deltas are
+        recorded in the ``repro_workload_transactions_total`` counter
+        (default: the workload object's class name, or ``"adhoc"``).
     """
 
     def __init__(
@@ -122,12 +137,18 @@ class ExperimentRunner:
         *,
         workload=None,
         initial_values: Optional[Mapping[ItemId, Value]] = None,
+        workload_name: str = "",
     ) -> None:
         self._system = system
         self._workload = workload
         self._initial_values = (
             dict(initial_values) if initial_values is not None else None
         )
+        if not workload_name:
+            workload_name = (
+                type(workload).__name__ if workload is not None else "adhoc"
+            )
+        self._workload_name = workload_name
 
     def run(
         self,
@@ -148,6 +169,8 @@ class ExperimentRunner:
         if duration <= 0:
             raise SimulationError(f"duration must be positive, got {duration}")
         system = self._system
+        metrics = system.metrics
+        before = (metrics.submitted, metrics.committed, metrics.aborted)
         if self._workload is not None:
             self._workload.start()
         system.run_for(duration)
@@ -158,7 +181,31 @@ class ExperimentRunner:
         while settled < max_settle and not self._quiet():
             system.run_for(settle_step)
             settled += settle_step
+        self._record_workload_deltas(before)
         return self._report(duration)
+
+    def _record_workload_deltas(self, before) -> None:
+        """File this run's transaction deltas under its workload label.
+
+        The per-site counters accumulate across runs sharing a system;
+        the workload-labeled counter attributes each run's share to the
+        generator that produced the traffic.
+        """
+        metrics = self._system.metrics
+        counter = metrics.registry.counter(
+            "repro_workload_transactions_total",
+            "Transactions per workload generator and outcome",
+            ("workload", "outcome"),
+        )
+        for outcome, now, then in (
+            ("submitted", metrics.submitted, before[0]),
+            ("committed", metrics.committed, before[1]),
+            ("aborted", metrics.aborted, before[2]),
+        ):
+            if now > then:
+                counter.inc(
+                    now - then, workload=self._workload_name, outcome=outcome
+                )
 
     def _quiet(self) -> bool:
         system = self._system
@@ -201,4 +248,5 @@ class ExperimentRunner:
             mean_polyvalues=mean_polyvalues,
             serially_equivalent=serially_equivalent,
             final_state=final_state,
+            registry=getattr(metrics, "registry", None),
         )

@@ -104,6 +104,93 @@ class TestDemo:
         assert "'bob': 100" in out
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+class TestReport:
+    def test_table_format(self, capsys):
+        assert main(["report", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out
+        assert "repro_commit_latency_seconds" in out
+        assert "p95" in out
+
+    def test_prometheus_format(self, capsys):
+        assert main(["report", "--seed", "7", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_commit_latency_seconds histogram" in out
+        assert "repro_commit_latency_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["report", "--seed", "7", "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["submitted"] == 4
+        assert summary["committed"] == 3
+
+    def test_deterministic(self, capsys):
+        main(["report", "--seed", "7", "--format", "prometheus"])
+        first = capsys.readouterr().out
+        main(["report", "--seed", "7", "--format", "prometheus"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestTrace:
+    def test_span_tree_covers_in_doubt_window(self, capsys):
+        assert main(["trace", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "txn:T1@site-0" in out
+        assert "phase:read" in out
+        assert "wait@site-1" in out
+        # The induced in-doubt window is present, closed (a duration is
+        # printed, not "(open)"), and resolved to the presumed abort.
+        window_lines = [
+            line for line in out.splitlines() if "in-doubt@site-1" in line
+        ]
+        assert window_lines
+        assert "(open)" not in window_lines[0]
+        assert "committed=False" in window_lines[0]
+
+    def test_txn_filter(self, capsys):
+        assert main(["trace", "--seed", "7", "--txn", "T1@site-2"]) == 0
+        out = capsys.readouterr().out
+        assert "txn:T1@site-2" in out
+        assert "txn:T1@site-0" not in out
+
+
+class TestEvents:
+    def test_jsonl_output(self, capsys):
+        import json
+
+        assert main(["events", "--seed", "7"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        names = {record["name"] for record in records}
+        assert "txn.submitted" in names
+        assert "indoubt.open" in names
+        assert "msg.drop" in names
+
+    def test_txn_filter(self, capsys):
+        import json
+
+        assert main(["events", "--seed", "7", "--txn", "T1@site-0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(
+            json.loads(line)["txn"] == "T1@site-0" for line in lines
+        )
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):

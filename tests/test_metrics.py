@@ -39,6 +39,48 @@ class TestTimeSeries:
         assert series.value_at(3.0) == 20
         assert series.value_at(99.0) == 20
 
+    def test_value_at_step_boundaries(self):
+        # Right-continuity at every recorded instant: the value AT a
+        # step is the new one, and just before it is still the old one.
+        series = TimeSeries()
+        series.record(0.0, 1)
+        series.record(2.0, 2)
+        series.record(4.0, 3)
+        assert series.value_at(0.0) == 1
+        assert series.value_at(2.0 - 1e-12) == 1
+        assert series.value_at(2.0) == 2
+        assert series.value_at(4.0 - 1e-12) == 2
+        assert series.value_at(4.0) == 3
+
+    def test_value_at_duplicate_timestamps_last_wins(self):
+        # Several observations at one instant collapse to the last one,
+        # matching last_value() and the step-function reading.
+        series = TimeSeries()
+        series.record(1.0, 10)
+        series.record(1.0, 11)
+        series.record(1.0, 12)
+        series.record(2.0, 20)
+        assert series.value_at(1.0) == 12
+        assert series.value_at(1.5) == 12
+        assert series.value_at(2.0) == 20
+
+    def test_value_at_matches_linear_scan(self):
+        # The bisect implementation must agree with the obvious scan.
+        series = TimeSeries()
+        times = [0.0, 0.5, 0.5, 1.25, 3.0, 3.0, 7.5]
+        for index, time in enumerate(times):
+            series.record(time, index)
+
+        def scan(query):
+            found = None
+            for time, value in series.points:
+                if time <= query:
+                    found = value
+            return found
+
+        for query in (-1.0, 0.0, 0.25, 0.5, 1.0, 1.25, 2.99, 3.0, 7.5, 100.0):
+            assert series.value_at(query) == scan(query), query
+
     def test_time_weighted_mean_step_function(self):
         series = TimeSeries()
         series.record(0.0, 0)
