@@ -1,0 +1,186 @@
+"""Mutation smoke test: prove the oracles catch real protocol bugs.
+
+An oracle library that has never failed proves nothing — it might be
+vacuously green.  This module arms one of three deliberately-wrong
+branches in the participant wait phase (guarded behind
+``ProtocolConfig.wait_phase_fault``, never enabled in any real
+configuration) and runs the schedule explorer over schedules that force
+polyvalue installation.  The harness passes only if **every** fault is
+caught by at least one oracle **and** the unmutated protocol passes the
+same schedules clean.
+
+The three faults each break a different paper claim, so together they
+exercise most of the oracle catalogue:
+
+* ``unilateral-commit`` — the participant commits its staged writes at
+  wait timeout instead of installing polyvalues (the classic unsafe
+  resolution of the in-doubt window; section 2).  Caught by
+  serial-equivalence (a possibly-aborted transaction's effects
+  survive) and decision bookkeeping oracles.
+* ``overlapping-conditions`` — the installed polyvalue pairs
+  ``<new, T>`` with ``<old, TRUE>`` instead of ``<old, ~T>``, so two
+  conditions are simultaneously true (violates section 3's
+  "one and only one").  Caught by condition-sets / single-outcome.
+* ``keep-locks`` — polyvalues are installed correctly but the item
+  locks are never released, defeating the availability claim the
+  polyvalue mechanism exists to provide.  Caught by no-blocking and
+  convergence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.check.explorer import (
+    Schedule,
+    Violation,
+    enumerate_small_scope,
+    run_schedule,
+)
+
+#: fault name -> what the armed branch does wrong.
+FAULTS: Dict[str, str] = {
+    "unilateral-commit": (
+        "wait timeout commits staged writes outright instead of "
+        "installing polyvalues"
+    ),
+    "overlapping-conditions": (
+        "installed polyvalues pair <new, T> with <old, TRUE>, so the "
+        "condition set is not disjoint"
+    ),
+    "keep-locks": (
+        "polyvalues are installed but the write locks are never "
+        "released (availability lost)"
+    ),
+}
+
+
+@dataclass
+class FaultOutcome:
+    """What the explorer saw with one fault armed."""
+
+    fault: str
+    schedules_run: int
+    violations: List[Violation]
+    oracles_triggered: List[str] = field(default_factory=list)
+
+    @property
+    def caught(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class MutationReport:
+    """Result of the full smoke test: clean baseline + every fault caught."""
+
+    baseline_violations: List[Violation]
+    outcomes: List[FaultOutcome]
+    schedules_per_fault: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def baseline_ok(self) -> bool:
+        return not self.baseline_violations
+
+    @property
+    def ok(self) -> bool:
+        return self.baseline_ok and all(o.caught for o in self.outcomes)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"mutation smoke: {len(self.outcomes)} fault(s) x "
+            f"{self.schedules_per_fault} schedule(s) in "
+            f"{self.wall_seconds:.2f}s wall",
+        ]
+        if self.baseline_ok:
+            lines.append("  baseline (no fault): all oracles passed")
+        else:
+            lines.append(
+                f"  baseline (no fault): {len(self.baseline_violations)} "
+                f"UNEXPECTED violation(s):"
+            )
+            for violation in self.baseline_violations:
+                lines.append(f"    {violation}")
+        for outcome in self.outcomes:
+            if outcome.caught:
+                lines.append(
+                    f"  {outcome.fault}: CAUGHT by "
+                    f"{', '.join(outcome.oracles_triggered)} "
+                    f"({len(outcome.violations)} violation(s))"
+                )
+            else:
+                lines.append(
+                    f"  {outcome.fault}: NOT CAUGHT — oracle gap!"
+                )
+        return lines
+
+
+def _armed(schedule: Schedule, fault: Optional[str]) -> Schedule:
+    return Schedule(
+        scenario=schedule.scenario,
+        seed=schedule.seed,
+        actions=schedule.actions,
+        horizon=schedule.horizon,
+        fault=fault,
+        label=f"{schedule.label}|fault={fault}" if fault else schedule.label,
+    )
+
+
+def smoke_schedules(seed: int = 0) -> List[Schedule]:
+    """Schedules that force polyvalue installation (long coordinator
+    outages straddling the wait phase), where the faulty branch runs."""
+    return enumerate_small_scope(
+        ("pair", "transfers"),
+        seed=seed,
+        crash_instants=(0.03, 0.045),
+        durations=(2.5,),
+    )
+
+
+def run_mutation_smoke(
+    *,
+    faults: Sequence[str] = tuple(FAULTS),
+    seed: int = 0,
+    artifact_dir: Optional[str] = None,
+) -> MutationReport:
+    """Run the smoke test: baseline must be clean, every fault caught.
+
+    Artifacts (when *artifact_dir* is given) are written only for
+    baseline violations — a violation under an armed fault is the
+    expected outcome, not a finding.
+    """
+    for fault in faults:
+        if fault not in FAULTS:
+            raise ValueError(
+                f"unknown fault {fault!r}; choose from {sorted(FAULTS)}"
+            )
+    schedules = smoke_schedules(seed)
+    started = time.perf_counter()
+    baseline_violations: List[Violation] = []
+    for schedule in schedules:
+        result = run_schedule(schedule, artifact_dir=artifact_dir)
+        baseline_violations.extend(result.violations)
+    outcomes: List[FaultOutcome] = []
+    for fault in faults:
+        violations: List[Violation] = []
+        for schedule in schedules:
+            result = run_schedule(_armed(schedule, fault))
+            violations.extend(result.violations)
+        outcomes.append(
+            FaultOutcome(
+                fault=fault,
+                schedules_run=len(schedules),
+                violations=violations,
+                oracles_triggered=sorted(
+                    {violation.oracle for violation in violations}
+                ),
+            )
+        )
+    return MutationReport(
+        baseline_violations=baseline_violations,
+        outcomes=outcomes,
+        schedules_per_fault=len(schedules),
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,327 @@
+"""Global invariant oracles for the polyvalue protocol.
+
+Each oracle inspects a whole :class:`~repro.txn.system.DistributedSystem`
+and renders a :class:`Verdict`.  Two evaluation points exist:
+
+* **quiescent** — no protocol work in flight (messages, protocol
+  timers); failures may still be outstanding.  The section 3
+  *structural* invariants must hold here: well-formed condition sets,
+  single-outcome resolution, outcome-table coverage of every polyvalue,
+  no locks on polyvalued items, only Figure-1 state transitions.
+* **converged** — additionally, every failure has recovered and the
+  maintenance loops have run to completion.  The *end-state* guarantees
+  apply: zero polyvalues, empty bookkeeping, every transaction decided,
+  and a final state equal to some serial execution of the committed
+  transactions (conflict-serializability / no lost update, via
+  :func:`repro.workloads.runner.serial_replay`).
+
+Oracles never mutate the system.  They are deliberately exhaustive and
+slow-ish (truth-table enumeration per polyvalue) — they run in tests and
+in the schedule explorer, not on any hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.conditions import all_assignments
+from repro.core.errors import ConditionError, PolyvalueError
+from repro.core.polyvalue import Value, is_polyvalue
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+from repro.workloads.runner import serial_replay
+
+ItemId = str
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One oracle's judgement of one system state."""
+
+    oracle: str
+    ok: bool
+    details: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.ok else "VIOLATION"
+        suffix = f": {self.details}" if self.details else ""
+        return f"[{mark}] {self.oracle}{suffix}"
+
+
+@dataclass
+class CheckContext:
+    """Everything the oracles need to judge a system.
+
+    ``initial_values`` defaults to the system's own retained copy; pass
+    it explicitly only for hand-built systems that predate the field.
+    """
+
+    system: DistributedSystem
+    initial_values: Optional[Mapping[ItemId, Value]] = None
+
+    def initial(self) -> Dict[ItemId, Value]:
+        if self.initial_values is not None:
+            return dict(self.initial_values)
+        return dict(self.system.initial_values)
+
+
+Oracle = Callable[[CheckContext], Verdict]
+
+
+def _verdict(name: str, problems: List[str]) -> Verdict:
+    if problems:
+        return Verdict(oracle=name, ok=False, details="; ".join(problems))
+    return Verdict(oracle=name, ok=True)
+
+
+# ----------------------------------------------------------------------
+# Quiescent-point oracles (structural invariants, section 3)
+# ----------------------------------------------------------------------
+
+
+def condition_sets_oracle(ctx: CheckContext) -> Verdict:
+    """Every polyvalue's condition set is complete and disjoint.
+
+    Section 3: "one and only one of the conditions must be true under
+    any assignment of outcomes to the transactions".  Also flags nested
+    polyvalues, unmerged equal values and unsatisfiable conditions —
+    the three simplification rules of section 3.1.
+    """
+    problems: List[str] = []
+    for site_id, site in ctx.system.sites.items():
+        for item in site.store.polyvalued_items():
+            value = site.store.read(item)
+            for problem in value.well_formedness_problems():
+                problems.append(f"{site_id}/{item}: {problem}")
+    return _verdict("condition-sets", problems)
+
+
+def single_outcome_oracle(ctx: CheckContext) -> Verdict:
+    """Every polyvalue resolves to exactly one simple value per outcome.
+
+    For each polyvalued item, enumerate every assignment of outcomes to
+    the transactions it depends on: substitution must produce a plain
+    (non-poly) value — "when the outcome of every transaction is known,
+    a single value pair will be left in each polyvalue" (section 3.3).
+    """
+    problems: List[str] = []
+    for site_id, site in ctx.system.sites.items():
+        for item in site.store.polyvalued_items():
+            value = site.store.read(item)
+            doubts = sorted(value.depends_on())
+            if not doubts:
+                problems.append(
+                    f"{site_id}/{item}: polyvalue depends on no "
+                    f"transaction (should have collapsed)"
+                )
+                continue
+            try:
+                for assignment in all_assignments(doubts):
+                    reduced = value.reduce(assignment)
+                    if is_polyvalue(reduced):
+                        problems.append(
+                            f"{site_id}/{item}: still uncertain under "
+                            f"full assignment {assignment}"
+                        )
+                        break
+            except (PolyvalueError, ConditionError) as error:
+                problems.append(f"{site_id}/{item}: {error}")
+    return _verdict("single-outcome", problems)
+
+
+def outcome_tracking_oracle(ctx: CheckContext) -> Verdict:
+    """The section 3.3 tables cover every polyvalue dependency.
+
+    A site holding a polyvalue that depends on transaction T must have
+    a table entry mapping T to that item — otherwise learning T's
+    outcome would never reduce the polyvalue and the forwarding chain
+    silently loses the update.  The reverse direction (an entry lists
+    an item that is not actually a dependent polyvalue) is bookkeeping
+    leakage and flagged too.
+    """
+    problems: List[str] = []
+    for site_id, site in ctx.system.sites.items():
+        table = site.runtime.outcomes
+        dependent: Dict[str, set] = {}
+        for item in site.store.polyvalued_items():
+            for txn in site.store.read(item).depends_on():
+                dependent.setdefault(txn, set()).add(item)
+        for txn, items in dependent.items():
+            missing = items - set(table.dependent_items(txn))
+            for item in sorted(missing):
+                problems.append(
+                    f"{site_id}/{item}: depends on {txn} but the outcome "
+                    f"table does not track it (unresolvable polyvalue)"
+                )
+        for txn in table.pending_transactions():
+            stale = set(table.dependent_items(txn)) - dependent.get(txn, set())
+            for item in sorted(stale):
+                problems.append(
+                    f"{site_id}/{item}: outcome table tracks a dependency "
+                    f"on {txn} but the item holds no such polyvalue "
+                    f"(bookkeeping leak)"
+                )
+    return _verdict("outcome-tracking", problems)
+
+
+def no_blocking_oracle(ctx: CheckContext) -> Verdict:
+    """Polyvalue installation released the locks (the availability claim).
+
+    The whole point of the paper: at a quiescent point no polyvalued
+    item may still be locked.  Under the POLYVALUE policy quiescence
+    implies no locks at all on polyvalued items; the BLOCKING baseline
+    legitimately violates this, which is exactly the contrast the
+    paper draws — so this oracle only applies to the polyvalue policy.
+    """
+    from repro.txn.runtime import CommitPolicy
+
+    if ctx.system.config.policy is not CommitPolicy.POLYVALUE:
+        return Verdict(
+            oracle="no-blocking", ok=True, details="skipped: non-polyvalue policy"
+        )
+    problems: List[str] = []
+    for site_id, site in ctx.system.sites.items():
+        locked = site.runtime.locks.locked_items()
+        for item in site.store.polyvalued_items():
+            if item in locked:
+                problems.append(
+                    f"{site_id}/{item}: holds a polyvalue but is locked "
+                    f"(availability violated)"
+                )
+    return _verdict("no-blocking", problems)
+
+
+def figure1_oracle(ctx: CheckContext) -> Verdict:
+    """Every observed participant transition is an edge of Figure 1."""
+    transitions = ctx.system.transitions
+    invalid = transitions.observed_edges() - transitions.FIGURE_1_EDGES
+    problems = [
+        f"illegal transition {source.value} --{trigger}--> {target.value}"
+        for source, trigger, target in sorted(
+            invalid, key=lambda e: (e[0].value, e[1])
+        )
+    ]
+    return _verdict("figure1-edges", problems)
+
+
+def decision_consistency_oracle(ctx: CheckContext) -> Verdict:
+    """No transaction was both committed and aborted anywhere.
+
+    Every handle reaches at most one decided status (the handle raises
+    on re-decision), and no two handles share a transaction id.
+    """
+    problems: List[str] = []
+    seen: Dict[str, TxnStatus] = {}
+    for handle in ctx.system.handles:
+        if handle.txn.startswith(("?", "unsent@")):
+            continue  # never entered the protocol
+        previous = seen.get(handle.txn)
+        if previous is not None and previous is not handle.status:
+            problems.append(
+                f"{handle.txn}: decided both {previous.value} and "
+                f"{handle.status.value}"
+            )
+        seen[handle.txn] = handle.status
+    return _verdict("decision-consistency", problems)
+
+
+# ----------------------------------------------------------------------
+# Convergence oracles (end-state guarantees, sections 3.3-3.4)
+# ----------------------------------------------------------------------
+
+
+def convergence_oracle(ctx: CheckContext) -> Verdict:
+    """All uncertainty resolved and all bookkeeping garbage-collected.
+
+    After every failure recovers: zero polyvalues at every site, empty
+    outcome tables ("the table entry for T [is forgotten]"), empty
+    coordinator outcome logs (all acknowledged), no pending handles,
+    and no locks held anywhere.
+    """
+    system = ctx.system
+    problems: List[str] = []
+    down = system.down_sites()
+    if down:
+        problems.append(f"sites still down: {', '.join(down)}")
+    leftover = system.polyvalued_items()
+    if leftover:
+        problems.append(f"polyvalues remain on: {', '.join(leftover)}")
+    bookkeeping = system.outcome_bookkeeping_size()
+    if bookkeeping:
+        problems.append(f"{bookkeeping} outcome-table entries not collected")
+    for site_id, site in system.sites.items():
+        pending_log = site.runtime.outcome_log.pending()
+        if pending_log:
+            problems.append(
+                f"{site_id}: outcome log retains {sorted(pending_log)}"
+            )
+        locked = site.runtime.locks.locked_items()
+        if locked:
+            problems.append(f"{site_id}: locks held on {sorted(locked)}")
+    pending = [handle.txn for handle in system.pending_handles()]
+    if pending:
+        problems.append(f"undecided transactions: {', '.join(pending)}")
+    return _verdict("convergence", problems)
+
+
+def serial_equivalence_oracle(ctx: CheckContext) -> Verdict:
+    """The final state equals a serial execution of the committed set.
+
+    The classic atomicity criterion, applied once converged: replaying
+    exactly the committed transactions, serially, in decision order,
+    against the initial state must reproduce the database byte for
+    byte.  Catches lost updates (an effect vanished), phantom updates
+    (an aborted transaction's effect survived — e.g. a unilateral
+    commit), and non-serializable interleavings.
+    """
+    system = ctx.system
+    expected = serial_replay(system.handles, ctx.initial())
+    actual = system.database_state()
+    problems: List[str] = []
+    for item in sorted(expected):
+        if item not in actual:
+            problems.append(f"{item}: missing from the final state")
+        elif actual[item] != expected[item]:
+            problems.append(
+                f"{item}: final value {actual[item]!r} != serial "
+                f"replay {expected[item]!r}"
+            )
+    for item in sorted(set(actual) - set(expected)):
+        problems.append(f"{item}: not present in the serial replay")
+    return _verdict("serial-equivalence", problems)
+
+
+#: Oracles valid at any quiescent point (failures may be outstanding).
+QUIESCENT_ORACLES: Tuple[Oracle, ...] = (
+    condition_sets_oracle,
+    single_outcome_oracle,
+    outcome_tracking_oracle,
+    no_blocking_oracle,
+    figure1_oracle,
+    decision_consistency_oracle,
+)
+
+#: Additional oracles valid only once every failure has recovered and
+#: the system has settled.
+CONVERGENCE_ORACLES: Tuple[Oracle, ...] = (
+    convergence_oracle,
+    serial_equivalence_oracle,
+)
+
+ALL_ORACLES: Tuple[Oracle, ...] = QUIESCENT_ORACLES + CONVERGENCE_ORACLES
+
+
+def check_quiescent(ctx: CheckContext) -> List[Verdict]:
+    """Evaluate every quiescent-point oracle."""
+    return [oracle(ctx) for oracle in QUIESCENT_ORACLES]
+
+
+def check_converged(ctx: CheckContext) -> List[Verdict]:
+    """Evaluate the full oracle catalogue (quiescent + convergence)."""
+    return [oracle(ctx) for oracle in ALL_ORACLES]
+
+
+def failed(verdicts: Sequence[Verdict]) -> List[Verdict]:
+    """The violations among *verdicts*."""
+    return [verdict for verdict in verdicts if not verdict.ok]

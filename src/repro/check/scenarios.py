@@ -1,0 +1,195 @@
+"""Seeded workload scenarios for the schedule explorer.
+
+A scenario builds a small :class:`~repro.txn.system.DistributedSystem`
+(2-3 sites — the small-scope hypothesis: protocol bugs show up in tiny
+configurations) and pre-schedules a deterministic stream of transaction
+submissions.  Submissions are simulation events, so they interleave
+with whatever failure schedule the explorer applies; given the same
+scenario name and seed, the traffic is identical on every run — the
+failure schedule is the only degree of freedom, which is what makes
+``(seed, schedule)`` artifacts replay exactly.
+
+Scenario bodies exercise the interesting datapaths: multi-site
+transfers (staging across sites), dependent copies (polyvalue
+forwarding), value-independent predicates (section 3.2 collapse), and
+plain increments (single-site fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.txn.runtime import ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction
+
+ItemId = str
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded system-plus-traffic builder."""
+
+    name: str
+    sites: int
+    description: str
+    build: Callable[[int, Optional[ProtocolConfig]], DistributedSystem]
+
+
+def _items(count: int) -> Dict[ItemId, int]:
+    return {f"item-{index}": 100 for index in range(count)}
+
+
+def _transfer(source: ItemId, target: ItemId, amount: int) -> Transaction:
+    def body(ctx):
+        ctx.write(source, ctx.read(source) - amount)
+        ctx.write(target, ctx.read(target) + amount)
+
+    return Transaction(
+        body=body, items=(source, target), label=f"move:{source}->{target}"
+    )
+
+
+def _increment(item: ItemId, amount: int = 1) -> Transaction:
+    def body(ctx):
+        ctx.write(item, ctx.read(item) + amount)
+
+    return Transaction(body=body, items=(item,), label=f"inc:{item}")
+
+
+def _copy(source: ItemId, target: ItemId) -> Transaction:
+    def body(ctx):
+        ctx.write(target, ctx.read(source))
+
+    return Transaction(
+        body=body, items=(source, target), label=f"copy:{source}->{target}"
+    )
+
+
+def _threshold(source: ItemId, target: ItemId, floor: int) -> Transaction:
+    def body(ctx):
+        ctx.write(target, ctx.read(source) >= floor)
+
+    return Transaction(
+        body=body, items=(source, target), label=f"ge{floor}:{source}"
+    )
+
+
+def _schedule_submissions(
+    system: DistributedSystem,
+    submissions: List[Tuple[float, Transaction]],
+) -> None:
+    for at, transaction in submissions:
+        system.sim.schedule_at(
+            at,
+            lambda t=transaction: system.submit(t),
+            label=f"submit:{transaction.label}",
+        )
+
+
+def _build_pair(seed: int, config: Optional[ProtocolConfig]) -> DistributedSystem:
+    """Two sites, one cross-site transfer then a dependent increment.
+
+    The minimal configuration in which the in-doubt window exists at
+    all: crash the coordinator mid-protocol and the remote participant
+    must install polyvalues.
+    """
+    system = DistributedSystem.build(
+        sites=2, items=_items(4), seed=seed, config=config
+    )
+    _schedule_submissions(
+        system,
+        [
+            (0.001, _transfer("item-0", "item-1", 30)),
+            (0.9, _increment("item-1", 1)),
+            (1.8, _transfer("item-1", "item-0", 5)),
+        ],
+    )
+    return system
+
+
+def _build_transfers(
+    seed: int, config: Optional[ProtocolConfig]
+) -> DistributedSystem:
+    """Three sites, a braid of transfers touching every site pair."""
+    system = DistributedSystem.build(
+        sites=3, items=_items(6), seed=seed, config=config
+    )
+    _schedule_submissions(
+        system,
+        [
+            (0.001, _transfer("item-0", "item-1", 30)),
+            (0.7, _transfer("item-1", "item-2", 10)),
+            (1.4, _transfer("item-2", "item-0", 5)),
+            (2.1, _increment("item-3", 7)),
+            (2.8, _transfer("item-4", "item-5", 20)),
+            (3.5, _increment("item-1", 2)),
+        ],
+    )
+    return system
+
+
+def _build_mixed(
+    seed: int, config: Optional[ProtocolConfig]
+) -> DistributedSystem:
+    """Three sites; transfers plus forwarding and modal-collapse traffic.
+
+    The copies propagate any uncertainty to a third site (section 3.3
+    forwarding chains); the threshold write is value-independent, so it
+    must stay simple even over polyvalued inputs (section 3.2).
+    """
+    system = DistributedSystem.build(
+        sites=3, items=_items(6), seed=seed, config=config
+    )
+    _schedule_submissions(
+        system,
+        [
+            (0.001, _transfer("item-0", "item-1", 30)),
+            (0.6, _copy("item-1", "item-4")),
+            (1.2, _threshold("item-1", "item-5", 50)),
+            (1.8, _transfer("item-1", "item-2", 10)),
+            (2.4, _copy("item-2", "item-3")),
+            (3.0, _increment("item-0", 3)),
+        ],
+    )
+    return system
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="pair",
+            sites=2,
+            description="2 sites, one cross-site transfer + follow-ups",
+            build=_build_pair,
+        ),
+        Scenario(
+            name="transfers",
+            sites=3,
+            description="3 sites, transfer braid over every site pair",
+            build=_build_transfers,
+        ),
+        Scenario(
+            name="mixed",
+            sites=3,
+            description="3 sites, transfers + forwarding copies + modal reads",
+            build=_build_mixed,
+        ),
+    )
+}
+
+
+def build_scenario(
+    name: str, seed: int, *, config: Optional[ProtocolConfig] = None
+) -> DistributedSystem:
+    """Instantiate scenario *name* with *seed* (and an optional config)."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return scenario.build(seed, config)

@@ -14,7 +14,10 @@ code:
   metrics (``--format table|prometheus|json``);
 * ``trace`` — the same scenario as per-transaction span trees (the
   in-doubt window measured end to end);
-* ``events`` — the same scenario's raw event stream as JSON lines.
+* ``events`` — the same scenario's raw event stream as JSON lines;
+* ``check`` — the correctness harness: invariant oracles over
+  seed-enumerated failure schedules, optional mutation smoke test,
+  deterministic replay of violation artifacts.
 
 All randomness is seeded (``--seed``), so every invocation is
 reproducible.
@@ -264,6 +267,49 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import explore, replay, run_mutation_smoke
+    from repro.check.scenarios import SCENARIOS
+
+    if args.replay:
+        result = replay(args.replay, artifact_dir=args.artifact_dir)
+        print(f"replayed {args.replay}:")
+        print(f"  {result.events_processed} events, "
+              f"{result.quiescent_checkpoints} quiescent checkpoints")
+        if result.ok:
+            print("  all oracles passed (the recorded violation is fixed)")
+            return 0
+        for violation in result.violations:
+            print(f"  {violation}")
+        return 1
+
+    exit_code = 0
+    scenarios = (
+        tuple(args.scenario) if args.scenario else tuple(SCENARIOS)
+    )
+    if not args.mutation_only:
+        report = explore(
+            scenarios=scenarios,
+            seeds=range(args.seed, args.seed + args.seeds),
+            steps=args.steps,
+            include_enumeration=not args.no_enumeration,
+            artifact_dir=args.artifact_dir,
+        )
+        for line in report.summary_lines():
+            print(line)
+        if not report.ok:
+            exit_code = 1
+    if args.mutation or args.mutation_only:
+        smoke = run_mutation_smoke(
+            seed=args.seed, artifact_dir=args.artifact_dir
+        )
+        for line in smoke.summary_lines():
+            print(line)
+        if not smoke.ok:
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -336,6 +382,32 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--txn", default=None,
                         help="only this transaction's events")
     events.set_defaults(handler=_cmd_events)
+
+    check = commands.add_parser(
+        "check",
+        help="run the correctness harness (oracles + schedule explorer)",
+    )
+    check.add_argument("--seed", type=int, default=0,
+                       help="first random-walk seed (default 0)")
+    check.add_argument("--seeds", type=int, default=10,
+                       help="number of random-walk seeds (default 10)")
+    check.add_argument("--steps", type=int, default=12,
+                       help="failure actions per random walk (default 12)")
+    check.add_argument("--scenario", action="append",
+                       help="restrict to this scenario (repeatable)")
+    check.add_argument("--no-enumeration", action="store_true",
+                       help="skip the systematic small-scope schedules")
+    check.add_argument("--mutation", action="store_true",
+                       help="also run the mutation smoke test")
+    check.add_argument("--mutation-only", action="store_true",
+                       help="run only the mutation smoke test")
+    check.add_argument("--artifact-dir", default=None,
+                       help="write replayable (seed, schedule) artifacts "
+                       "for violations here")
+    check.add_argument("--replay", default=None, metavar="ARTIFACT",
+                       help="re-execute a violation artifact instead of "
+                       "exploring")
+    check.set_defaults(handler=_cmd_check)
 
     return parser
 

@@ -405,8 +405,20 @@ def _check_variable_count(variables: Sequence[TxnId]) -> None:
         )
 
 
+def all_assignments(variables: Sequence[TxnId]) -> Iterator[Dict[TxnId, bool]]:
+    """Yield every outcome assignment over *variables*.
+
+    The invariant oracles (:mod:`repro.check.oracles`) enumerate these
+    to check that a polyvalue resolves to exactly one simple value under
+    any combination of in-doubt outcomes; the size guard applies.
+    """
+    _check_variable_count(list(variables))
+    for values in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
 def _assignments(variables: Sequence[TxnId]) -> Iterator[Dict[TxnId, bool]]:
-    """Yield every outcome assignment over *variables*."""
+    """Yield every outcome assignment over *variables* (no size guard)."""
     for values in itertools.product((False, True), repeat=len(variables)):
         yield dict(zip(variables, values))
 

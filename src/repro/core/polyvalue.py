@@ -181,6 +181,47 @@ class Polyvalue:
             return self._pairs[0][0]
         return self
 
+    def well_formedness_problems(self) -> List[str]:
+        """Every way this polyvalue violates the section 3 requirements.
+
+        An empty list means the polyvalue is well formed.  This is the
+        oracle-facing view used by :mod:`repro.check.oracles`: unlike
+        the constructor (which raises on the first problem and can be
+        bypassed with ``validate=False``), this method reports *all*
+        problems, so a protocol bug that installs a malformed polyvalue
+        is described rather than masked:
+
+        * a pair's value is itself a polyvalue (rule 1 not applied);
+        * two pairs hold equal values (rule 2 not applied);
+        * a pair's condition is unsatisfiable (rule 3 not applied);
+        * the condition set is not complete, or not disjoint.
+        """
+        problems: List[str] = []
+        for index, (value, condition) in enumerate(self._pairs):
+            if isinstance(value, Polyvalue):
+                problems.append(f"pair {index} holds a nested polyvalue")
+            if condition.is_false():
+                problems.append(f"pair {index} has an unsatisfiable condition")
+        for index, (value, _) in enumerate(self._pairs):
+            for other_index in range(index + 1, len(self._pairs)):
+                if _values_equal(value, self._pairs[other_index][0]):
+                    problems.append(
+                        f"pairs {index} and {other_index} hold equal "
+                        f"values ({value!r}) and should be merged"
+                    )
+        conditions = [condition for _, condition in self._pairs]
+        if not conditions_are_disjoint(conditions):
+            problems.append(
+                f"conditions overlap (two alternatives can hold at once): "
+                f"{[str(c) for c in conditions]}"
+            )
+        if not conditions_are_complete(conditions):
+            problems.append(
+                f"conditions are incomplete (some outcome selects no "
+                f"value): {[str(c) for c in conditions]}"
+            )
+        return problems
+
     def value_under(self, assignment: Mapping[TxnId, bool]) -> Value:
         """The value this polyvalue takes under a complete outcome assignment."""
         for value, condition in self._pairs:

@@ -18,7 +18,7 @@ Both drive any object implementing the :class:`Crashable` duck type
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Protocol, Sequence
+from typing import Iterable, List, Protocol, Sequence, Tuple
 
 from repro.core.errors import SimulationError
 from repro.net.message import SiteId
@@ -80,6 +80,92 @@ class ScriptedFailures:
             lambda: self._target.recover_site(plan.site),
             label=f"recover:{plan.site}",
         )
+
+
+@dataclass(frozen=True)
+class FailureAction:
+    """One scheduled failure-injection action, at absolute time *at*.
+
+    ``kind`` is one of ``"crash"``, ``"recover"``, ``"partition"``,
+    ``"heal"``, ``"heal-all"``; ``targets`` names the affected site(s)
+    (two sites for partition/heal, none for heal-all).  This is the
+    on-disk vocabulary of the schedule explorer's ``(seed, schedule)``
+    artifacts (:mod:`repro.check.explorer`), so a violating interleaving
+    replays exactly.
+    """
+
+    at: float
+    kind: str
+    targets: Tuple[SiteId, ...] = ()
+
+    KINDS = ("crash", "recover", "partition", "heal", "heal-all")
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(f"action time must be >= 0, got {self.at}")
+        if self.kind not in self.KINDS:
+            raise SimulationError(f"unknown failure action kind {self.kind!r}")
+        expected = {"crash": 1, "recover": 1, "partition": 2, "heal": 2,
+                    "heal-all": 0}[self.kind]
+        if len(self.targets) != expected:
+            raise SimulationError(
+                f"{self.kind} takes {expected} target(s), got {self.targets}"
+            )
+
+
+class PartitionableNetwork(Protocol):
+    """The network surface :class:`ScheduleScript` drives."""
+
+    def partition(self, a: SiteId, b: SiteId) -> None: ...
+
+    def heal(self, a: SiteId, b: SiteId) -> None: ...
+
+    def heal_all(self) -> None: ...
+
+
+class ScheduleScript:
+    """Replay an exact failure schedule of mixed action kinds.
+
+    Where :class:`ScriptedFailures` expresses self-contained outages
+    (crash + automatic recovery), a schedule script is the fully
+    general form the schedule explorer emits: an ordered list of
+    crash / recover / partition / heal actions at absolute times.
+    Applying the same actions to the same seeded system reproduces the
+    same interleaving, which is what makes explorer violation
+    artifacts deterministic repro cases.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Crashable,
+        network: PartitionableNetwork,
+        actions: Iterable[FailureAction],
+    ) -> None:
+        self._target = target
+        self._network = network
+        self.actions: List[FailureAction] = sorted(
+            actions, key=lambda action: action.at
+        )
+        for action in self.actions:
+            sim.schedule_at(
+                action.at,
+                lambda a=action: self.apply(a),
+                label=f"schedule:{action.kind}",
+            )
+
+    def apply(self, action: FailureAction) -> None:
+        """Apply one action now (also usable without scheduling)."""
+        if action.kind == "crash":
+            self._target.crash_site(action.targets[0])
+        elif action.kind == "recover":
+            self._target.recover_site(action.targets[0])
+        elif action.kind == "partition":
+            self._network.partition(*action.targets)
+        elif action.kind == "heal":
+            self._network.heal(*action.targets)
+        elif action.kind == "heal-all":
+            self._network.heal_all()
 
 
 class RandomFailures:

@@ -14,7 +14,7 @@ scheduling order.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
 from repro.sim.events import Action, Event, SimTime
@@ -63,6 +63,61 @@ class Simulator:
     def events_pending(self) -> int:
         """How many events are scheduled and not cancelled."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+    def pending_labels(self) -> List[str]:
+        """The labels of every pending (non-cancelled) event.
+
+        The correctness harness uses this to decide quiescence: a
+        system is quiescent when everything still scheduled belongs to
+        background maintenance, not to in-flight protocol work.
+        """
+        return [event.label for event in self._queue if not event.cancelled]
+
+    def next_time_except(self, ignore_prefixes: Tuple[str, ...]) -> Optional[SimTime]:
+        """The firing time of the earliest pending event whose label does
+        not start with any of *ignore_prefixes* (None if no such event)."""
+        best: Optional[SimTime] = None
+        for event in self._queue:
+            if event.cancelled:
+                continue
+            if event.label.startswith(ignore_prefixes):
+                continue
+            if best is None or event.time < best:
+                best = event.time
+        return best
+
+    def run_until_quiescent(
+        self,
+        *,
+        ignore_prefixes: Tuple[str, ...] = (),
+        max_time: Optional[SimTime] = None,
+        max_events: int = 1_000_000,
+    ) -> bool:
+        """Run until only ignored (maintenance) events remain pending.
+
+        Returns True when quiescence was reached; False when *max_time*
+        arrived first (the clock is then left at *max_time*).  Ignored
+        events that come due along the way still fire — they are real
+        behaviour (and may themselves schedule new non-ignored work,
+        which extends the run); they just do not count against
+        quiescence.
+        """
+        fired = 0
+        while True:
+            pending = self.next_time_except(ignore_prefixes)
+            if pending is None:
+                return True
+            if max_time is not None and pending > max_time:
+                self.run_until(max_time)
+                return False
+            if not self.step():
+                return True
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"run_until_quiescent exceeded {max_events} events; "
+                    "likely livelock"
+                )
 
     # ------------------------------------------------------------------
     # Scheduling

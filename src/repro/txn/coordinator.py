@@ -88,6 +88,16 @@ class Coordinator:
         """Transactions this coordinator is currently driving."""
         return set(self._active)
 
+    def phase_of(self, txn: TxnId) -> Optional[str]:
+        """The protocol phase *txn* is in at this coordinator.
+
+        ``"reading"`` / ``"staging"`` while active, None once decided
+        (or never known here).  The schedule explorer's small-scope
+        enumeration uses this to label which phase a crash landed in.
+        """
+        record = self._active.get(txn)
+        return record.phase.value if record is not None else None
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------

@@ -88,6 +88,12 @@ class ProtocolConfig:
     wait_query_retries: int = 0
     #: Cap on polytransaction fan-out (section 3.2 alternatives).
     max_alternatives: int = 1024
+    #: Fault injection for the correctness harness (repro.check) ONLY.
+    #: None in any real configuration.  When set to a fault name (see
+    #: :data:`repro.check.mutation.FAULTS`), the participant's
+    #: wait-phase branch deliberately misbehaves so the mutation smoke
+    #: test can prove the invariant oracles detect protocol bugs.
+    wait_phase_fault: Optional[str] = None
 
 
 #: Participant states, exactly the three of Figure 1.

@@ -208,6 +208,24 @@ class DatabaseSite:
                     txn=txn, committed=committed, origin=self.site_id
                 ),
             )
+        # Re-notify participants the durable outcome log is still waiting
+        # on.  The first Complete can be delivered while this coordinator
+        # is down for the returning OutcomeAck; without a retry here that
+        # log entry would be retained forever (the repro.check convergence
+        # oracle caught exactly this leak).
+        for txn, entry in rt.outcome_log.entries().items():
+            for site in entry.unacknowledged:
+                if site == self.site_id:
+                    rt.outcome_log.acknowledge(txn, site)
+                    continue
+                rt.send(
+                    site,
+                    protocol.OutcomeNotify(
+                        txn=txn,
+                        committed=entry.committed,
+                        origin=self.site_id,
+                    ),
+                )
         needed = set(rt.direct_doubts) | self.participant.pending_outcome_queries()
         for txn in needed:
             coordinator = coordinator_of(txn)

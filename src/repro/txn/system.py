@@ -64,6 +64,9 @@ class DistributedSystem:
         duplicate_probability: float = 0.0,
     ) -> None:
         self.config = config or ProtocolConfig()
+        #: The database's initial contents, retained for ground-truth
+        #: checks (serial replay needs the state before any commit).
+        self.initial_values: Dict[ItemId, Value] = dict(initial_values)
         self.sim = Simulator()
         self.rng = Rng(seed)
         #: The system-wide observability bus.  With no subscribers every
@@ -205,6 +208,63 @@ class DistributedSystem:
         """Advance simulated time to absolute *time*."""
         self.sim.run_until(time)
 
+    #: Event-label prefixes that do not count against quiescence: the
+    #: per-site outcome-maintenance loops and workload arrival streams
+    #: reschedule themselves forever, so "no events pending" never
+    #: happens; "nothing pending but background periodics" is the
+    #: meaningful notion of an idle system.
+    BACKGROUND_LABELS = ("outcome-maintenance", "workload-arrival", "arrival")
+
+    def quiescent(self) -> bool:
+        """True iff no protocol work is in flight.
+
+        Quiescent means every pending simulation event is background
+        maintenance: no protocol message is travelling, no protocol
+        timer is armed.  The invariant oracles are evaluated at
+        quiescent points, where the global state is well defined.
+        """
+        return (
+            self.sim.next_time_except(self.BACKGROUND_LABELS) is None
+        )
+
+    def run_to_quiescence(self, *, max_time: Optional[float] = None) -> bool:
+        """Advance until :meth:`quiescent` (or absolute *max_time*).
+
+        Returns True when quiescence was reached.  Maintenance events
+        that come due still fire (they are part of normal behaviour).
+        """
+        return self.sim.run_until_quiescent(
+            ignore_prefixes=self.BACKGROUND_LABELS, max_time=max_time
+        )
+
+    def settle(self, *, max_time: float, step: float = 1.0) -> bool:
+        """Run maintenance rounds until the database converges.
+
+        Convergence is the paper's end state after all failures
+        recover: zero polyvalues, zero outcome bookkeeping (both the
+        participants' outcome tables and the coordinators' outcome
+        logs), no pending transactions.  Returns True when reached
+        before absolute *max_time*; the caller is responsible for
+        having recovered all sites and healed all partitions first.
+        """
+
+        def _converged() -> bool:
+            return (
+                self.total_polyvalues() == 0
+                and self.outcome_bookkeeping_size() == 0
+                and not any(
+                    site.runtime.outcome_log.pending()
+                    for site in self.sites.values()
+                )
+                and not self.pending_handles()
+            )
+
+        while self.sim.now < max_time:
+            if _converged():
+                return True
+            self.run_for(min(step, max_time - self.sim.now))
+        return _converged()
+
     # ------------------------------------------------------------------
     # Failure injection (Crashable)
     # ------------------------------------------------------------------
@@ -235,6 +295,14 @@ class DistributedSystem:
                         site=site,
                         reason="coordinator crashed; presumed abort",
                     )
+
+    def down_sites(self) -> List[SiteId]:
+        """The sites currently crashed, in stable order."""
+        return sorted(
+            site_id
+            for site_id, site in self.sites.items()
+            if not site.is_up
+        )
 
     def recover_site(self, site: SiteId) -> None:
         """Bring *site* back up; it replays durable state."""

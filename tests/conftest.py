@@ -1,10 +1,63 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Seed workflow: randomized tests take the session-scoped ``repro_seed``
+fixture (default 0, so the default run is fully deterministic).  A
+failing run prints the active seed in its header; re-run the exact
+randomness with ``pytest --repro-seed=<N>``.
+
+Speed: the handful of slowest tests are marked ``@pytest.mark.slow``
+and skipped by default so ``pytest -x -q`` stays fast; CI passes
+``--runslow`` to execute the full set.
+"""
 
 import pytest
 
 from repro.txn.runtime import ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import Transaction
+
+DEFAULT_REPRO_SEED = 0
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        type=int,
+        default=DEFAULT_REPRO_SEED,
+        help="seed for randomized tests (repro_seed fixture); a failing "
+        "run prints the seed it used — pass it back to replay exactly",
+    )
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test, skipped unless --runslow"
+    )
+
+
+def pytest_report_header(config):
+    return f"repro-seed: {config.getoption('--repro-seed')}"
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow; use --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture(scope="session")
+def repro_seed(request):
+    """The session's seed for randomized tests (``--repro-seed``)."""
+    return request.config.getoption("--repro-seed")
 
 
 @pytest.fixture

@@ -1,0 +1,61 @@
+"""Tests for the mutation smoke test (repro.check.mutation).
+
+The meta-test of the harness: each deliberately-wrong wait-phase
+branch must be caught by at least one oracle, the *expected* oracle
+must be among the catchers, and the unmutated protocol must pass the
+identical schedules.
+"""
+
+import pytest
+
+from repro.check import FAULTS, run_mutation_smoke
+from repro.check.mutation import _armed, smoke_schedules
+from repro.check.explorer import run_schedule
+from repro.txn.runtime import ProtocolConfig
+
+
+class TestFaultInjection:
+    def test_fault_catalogue(self):
+        assert set(FAULTS) == {
+            "unilateral-commit", "overlapping-conditions", "keep-locks"
+        }
+
+    def test_config_rejects_nothing_but_run_does(self):
+        with pytest.raises(ValueError):
+            run_mutation_smoke(faults=("no-such-fault",))
+
+    def test_fault_off_by_default(self):
+        assert ProtocolConfig().wait_phase_fault is None
+
+
+@pytest.mark.parametrize(
+    "fault,expected_oracle",
+    [
+        ("unilateral-commit", "serial-equivalence"),
+        ("overlapping-conditions", "condition-sets"),
+        ("keep-locks", "no-blocking"),
+    ],
+)
+def test_each_fault_caught_by_its_oracle(fault, expected_oracle):
+    caught_by = set()
+    for schedule in smoke_schedules():
+        result = run_schedule(_armed(schedule, fault))
+        caught_by.update(v.oracle for v in result.violations)
+    assert caught_by, f"{fault} produced no violation at all"
+    assert expected_oracle in caught_by, (
+        f"{fault} caught by {sorted(caught_by)} but not by the "
+        f"expected {expected_oracle}"
+    )
+
+
+def test_full_smoke_report():
+    report = run_mutation_smoke()
+    assert report.baseline_ok, [str(v) for v in report.baseline_violations]
+    assert report.ok
+    assert {o.fault for o in report.outcomes} == set(FAULTS)
+    for outcome in report.outcomes:
+        assert outcome.caught
+        assert outcome.oracles_triggered
+    lines = report.summary_lines()
+    assert any("CAUGHT" in line for line in lines)
+    assert not any("NOT CAUGHT" in line for line in lines)

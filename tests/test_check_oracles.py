@@ -1,0 +1,203 @@
+"""Unit tests for the invariant oracle library (repro.check.oracles)."""
+
+import pytest
+
+from repro.check import (
+    ALL_ORACLES,
+    CONVERGENCE_ORACLES,
+    QUIESCENT_ORACLES,
+    CheckContext,
+    check_converged,
+    check_quiescent,
+    failed,
+)
+from repro.check.oracles import (
+    condition_sets_oracle,
+    convergence_oracle,
+    decision_consistency_oracle,
+    figure1_oracle,
+    no_blocking_oracle,
+    outcome_tracking_oracle,
+    serial_equivalence_oracle,
+    single_outcome_oracle,
+)
+from repro.core.conditions import Condition
+from repro.core.polyvalue import Polyvalue
+from repro.db.locks import LockMode
+from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+
+def fresh_system(seed=42, **kwargs):
+    items = {f"item-{index}": 100 for index in range(6)}
+    return DistributedSystem.build(sites=3, items=items, seed=seed, **kwargs)
+
+
+def in_doubt_system(seed=42):
+    """A system holding genuine polyvalues: coordinator crashed mid-wait."""
+    system = fresh_system(seed)
+    handle = system.submit(move("item-0", "item-1", 30))
+    system.run_for(0.05)
+    system.crash_site("site-0")
+    system.run_for(2.0)
+    return system, handle
+
+
+class TestCatalogue:
+    def test_catalogue_composition(self):
+        assert len(QUIESCENT_ORACLES) == 6
+        assert len(CONVERGENCE_ORACLES) == 2
+        assert set(ALL_ORACLES) == set(QUIESCENT_ORACLES) | set(
+            CONVERGENCE_ORACLES
+        )
+
+    def test_every_oracle_named_uniquely(self):
+        ctx = CheckContext(system=fresh_system())
+        names = [oracle(ctx).oracle for oracle in ALL_ORACLES]
+        assert len(names) == len(set(names))
+
+
+class TestHealthySystems:
+    def test_fresh_system_passes_everything(self):
+        ctx = CheckContext(system=fresh_system())
+        assert failed(check_converged(ctx)) == []
+
+    def test_committed_traffic_passes_everything(self):
+        system = fresh_system()
+        for index in range(4):
+            handle = system.submit(increment(f"item-{index}"))
+            run_to_decision(system, handle)
+        system.run_for(3.0)
+        ctx = CheckContext(system=system)
+        assert failed(check_converged(ctx)) == []
+
+    def test_in_doubt_system_passes_quiescent_oracles(self):
+        # Polyvalues present, a site down: the structural invariants
+        # hold even though convergence has not happened yet.
+        system, _ = in_doubt_system()
+        assert system.total_polyvalues() > 0
+        assert system.run_to_quiescence(max_time=5.0)
+        ctx = CheckContext(system=system)
+        assert failed(check_quiescent(ctx)) == []
+
+    def test_in_doubt_system_fails_convergence(self):
+        system, _ = in_doubt_system()
+        ctx = CheckContext(system=system)
+        verdict = convergence_oracle(ctx)
+        assert not verdict.ok
+        assert "down" in verdict.details
+
+    def test_recovery_restores_convergence(self):
+        system, handle = in_doubt_system()
+        system.recover_site("site-0")
+        assert system.settle(max_time=system.sim.now + 60.0, step=0.5)
+        ctx = CheckContext(system=system)
+        assert failed(check_converged(ctx)) == []
+        assert handle.status is not TxnStatus.PENDING
+
+
+class TestStructuralViolations:
+    """Corrupt a live system by hand; the matching oracle must notice."""
+
+    def test_overlapping_conditions_detected(self):
+        system, handle = in_doubt_system()
+        site = system.sites["site-1"]
+        item = site.store.polyvalued_items()[0]
+        bad = Polyvalue(
+            [(130, Condition.of(handle.txn)), (100, Condition.true())],
+            validate=False,
+        )
+        site.store.write(item, bad)
+        ctx = CheckContext(system=system)
+        assert not condition_sets_oracle(ctx).ok
+        assert not single_outcome_oracle(ctx).ok
+
+    def test_incomplete_conditions_detected(self):
+        system, handle = in_doubt_system()
+        site = system.sites["site-1"]
+        item = site.store.polyvalued_items()[0]
+        bad = Polyvalue(
+            [(130, Condition.of(handle.txn))], validate=False
+        )
+        site.store.write(item, bad)
+        ctx = CheckContext(system=system)
+        verdict = condition_sets_oracle(ctx)
+        assert not verdict.ok
+        assert item in verdict.details
+
+    def test_untracked_polyvalue_detected(self):
+        # A polyvalue whose dependency the outcome table never heard
+        # of: the forwarding chain would lose the update.
+        system, _ = in_doubt_system()
+        site = system.sites["site-1"]
+        item = site.store.polyvalued_items()[0]
+        site.store.write(item, Polyvalue.in_doubt("T999@site-2", 7, 100))
+        ctx = CheckContext(system=system)
+        verdict = outcome_tracking_oracle(ctx)
+        assert not verdict.ok
+        assert "T999@site-2" in verdict.details
+
+    def test_lock_on_polyvalued_item_detected(self):
+        system, _ = in_doubt_system()
+        site = system.sites["site-1"]
+        item = site.store.polyvalued_items()[0]
+        site.runtime.locks.acquire("T999@site-1", item, LockMode.WRITE)
+        ctx = CheckContext(system=system)
+        verdict = no_blocking_oracle(ctx)
+        assert not verdict.ok
+        assert item in verdict.details
+
+    def test_no_blocking_skips_blocking_policy(self):
+        # The BLOCKING baseline legitimately holds locks across the
+        # window — the oracle must not flag the contrast the paper
+        # itself draws.
+        system = fresh_system(
+            config=ProtocolConfig(policy=CommitPolicy.BLOCKING)
+        )
+        ctx = CheckContext(system=system)
+        verdict = no_blocking_oracle(ctx)
+        assert verdict.ok
+        assert "skipped" in verdict.details
+
+    def test_figure1_oracle_accepts_real_history(self):
+        system, _ = in_doubt_system()
+        assert figure1_oracle(CheckContext(system=system)).ok
+
+    def test_decision_consistency_on_real_history(self):
+        system, handle = in_doubt_system()
+        system.recover_site("site-0")
+        system.settle(max_time=system.sim.now + 60.0, step=0.5)
+        assert decision_consistency_oracle(CheckContext(system=system)).ok
+
+
+class TestSerialEquivalence:
+    def test_passes_on_committed_transfers(self):
+        system = fresh_system()
+        for source, target in (("item-0", "item-1"), ("item-2", "item-3")):
+            run_to_decision(system, system.submit(move(source, target, 10)))
+        system.run_for(2.0)
+        assert serial_equivalence_oracle(CheckContext(system=system)).ok
+
+    def test_detects_phantom_effect(self):
+        # Simulate a lost update by corrupting the final state.
+        system = fresh_system()
+        handle = system.submit(move("item-0", "item-1", 10))
+        run_to_decision(system, handle)
+        system.run_for(2.0)
+        system.sites["site-0"].store.write("item-0", 55555)
+        verdict = serial_equivalence_oracle(CheckContext(system=system))
+        assert not verdict.ok
+        assert "item-0" in verdict.details
+
+    def test_initial_values_override(self):
+        system = fresh_system()
+        ctx = CheckContext(
+            system=system,
+            initial_values={item: 0 for item in system.initial_values},
+        )
+        # Replaying nothing against all-zero initials cannot match the
+        # all-100 database.
+        assert not serial_equivalence_oracle(ctx).ok

@@ -23,6 +23,7 @@ def build_chain(length=CHAIN_LENGTH):
     return value
 
 
+@pytest.mark.slow
 class TestChainGrowth:
     def test_pairs_grow_linearly_not_exponentially(self):
         # Each layer adds one new possibility; flattening + merging

@@ -105,6 +105,7 @@ class TestAgreementWithModel:
         predicted = steady_state_polyvalues(p)
         assert 0.5 * predicted < mean < 1.25 * predicted
 
+    @pytest.mark.slow
     def test_sim_close_to_prediction_across_rates(self):
         # Averaged over several runs the simulation tracks the model
         # closely at every update rate (the paper's own sim sat a bit
@@ -135,6 +136,7 @@ class TestAgreementWithModel:
         wide = simulate(params(d=5), duration=2000.0, seed=51)
         assert wide.mean_polyvalues > narrow.mean_polyvalues
 
+    @pytest.mark.slow
     def test_paper_scale_typical_database(self):
         # The paper's "typical database" (Table 1 row 1): a MILLION
         # items, U=10, F=1e-4, R=1e-3.  The tag-set simulation handles

@@ -301,3 +301,81 @@ class TestMessageLoss:
         # resolve through the outcome-query loop.
         system.run_for(20.0)
         assert system.total_polyvalues() == 0
+
+
+class TestCrashInEveryFigure1State:
+    """Crash a participant in each Figure-1 state; the oracles must hold.
+
+    Timing (10-15 ms links, seed 42): the remote participant of a
+    two-site transfer is IDLE until the read request lands (~12 ms),
+    COMPUTEs until it stages and votes ready (~45 ms), then WAITs for
+    the outcome (~60 ms) and returns to IDLE.  Each case pins the crash
+    instant inside one state, and after recovery and settling the full
+    oracle catalogue must pass — whatever state the failure interrupted,
+    the protocol must restore every global invariant.
+    """
+
+    CASES = [
+        ("idle", 0.002, SiteState.IDLE),
+        ("compute", 0.030, SiteState.COMPUTE),
+        ("wait", 0.050, SiteState.WAIT),
+        ("decided", 0.500, SiteState.IDLE),
+    ]
+
+    @pytest.mark.parametrize(
+        "label,crash_at,expected_state",
+        CASES,
+        ids=[case[0] for case in CASES],
+    )
+    def test_participant_crash_preserves_invariants(
+        self, label, crash_at, expected_state
+    ):
+        from repro.check import CheckContext, check_converged, check_quiescent, failed
+
+        system = fresh_system()
+        handle = system.submit(move("item-0", "item-1", 30))
+        system.run_until(crash_at)
+        participant = system.sites["site-1"].participant
+        assert participant.state_of(handle.txn) is expected_state, (
+            f"timing drifted: expected the participant in "
+            f"{expected_state.value} at t={crash_at}"
+        )
+        system.crash_site("site-1")
+        # While the site is down, every quiescent-point invariant must
+        # already hold for the survivors.
+        assert system.run_to_quiescence(max_time=5.0)
+        ctx = CheckContext(system=system)
+        assert failed(check_quiescent(ctx)) == []
+        system.recover_site("site-1")
+        assert system.settle(max_time=system.sim.now + 60.0, step=0.5)
+        system.run_to_quiescence(max_time=system.sim.now + 5.0)
+        assert failed(check_converged(ctx)) == []
+        assert handle.status is not TxnStatus.PENDING
+
+    @pytest.mark.parametrize(
+        "label,crash_at,expected_state",
+        CASES,
+        ids=[case[0] for case in CASES],
+    )
+    def test_coordinator_crash_preserves_invariants(
+        self, label, crash_at, expected_state
+    ):
+        # The dual: crash the *coordinator* at the same instants (the
+        # participant's state still identifies the protocol phase).
+        from repro.check import CheckContext, check_converged, check_quiescent, failed
+
+        system = fresh_system()
+        handle = system.submit(move("item-0", "item-1", 30))
+        system.run_until(crash_at)
+        assert (
+            system.sites["site-1"].participant.state_of(handle.txn)
+            is expected_state
+        )
+        system.crash_site("site-0")
+        assert system.run_to_quiescence(max_time=5.0)
+        ctx = CheckContext(system=system)
+        assert failed(check_quiescent(ctx)) == []
+        system.recover_site("site-0")
+        assert system.settle(max_time=system.sim.now + 60.0, step=0.5)
+        system.run_to_quiescence(max_time=system.sim.now + 5.0)
+        assert failed(check_converged(ctx)) == []
