@@ -10,9 +10,45 @@ dependent numbers.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+This conftest also registers the same ``--runslow`` split the tier-1
+suite uses (``benchmarks/`` sits outside ``testpaths``, so it cannot
+see ``tests/conftest.py``): heavyweight perf benchmarks are marked
+``@pytest.mark.slow`` and skipped unless ``--runslow`` is given.  The
+registration is guarded so running ``pytest tests benchmarks`` — where
+both conftests are "initial" — does not double-define the option.
 """
 
 from typing import List, Sequence
+
+import pytest
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--runslow",
+            action="store_true",
+            default=False,
+            help="also run benchmarks marked @pytest.mark.slow",
+        )
+    except ValueError:
+        pass  # already registered by tests/conftest.py
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark, skipped unless --runslow"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow; use --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 def print_exhibit(title: str, lines: Sequence[str]) -> None:

@@ -18,8 +18,13 @@ while the balances they consult are polyvalues.
 Run:  python examples/funds_transfer.py
 """
 
-from repro import DistributedSystem, TxnStatus, is_polyvalue
-from repro.net.failures import CrashPlan, ScriptedFailures
+from repro.api import (
+    CrashPlan,
+    DistributedSystem,
+    ScriptedFailures,
+    TxnStatus,
+    is_polyvalue,
+)
 from repro.workloads.banking import (
     BankingWorkload,
     account_items,

@@ -15,7 +15,7 @@ fires conservatively.
 Run:  python examples/inventory_control.py
 """
 
-from repro import DistributedSystem, TxnStatus, is_polyvalue
+from repro.api import DistributedSystem, TxnStatus, is_polyvalue
 from repro.workloads.inventory import (
     order,
     rebalance,

@@ -17,7 +17,7 @@ from repro.analysis.model import (
     table2_rows,
     transient_polyvalues,
 )
-from repro.analysis.montecarlo import simulate
+from repro.api import simulate
 
 
 def print_table1():

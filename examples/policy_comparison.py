@@ -15,9 +15,13 @@ partition.  One screen, the whole argument of the paper:
 Run:  python examples/policy_comparison.py
 """
 
-from repro import TxnStatus
-from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
-from repro.txn.transaction import Transaction
+from repro.api import (
+    Transaction,
+    TxnStatus,
+    blocking_system,
+    polyvalue_system,
+    relaxed_system,
+)
 
 ITEMS = {"alice": 1000, "bob": 1000, "carol": 1000}
 

@@ -10,8 +10,7 @@ the polyvalue after recovery.
 Run:  python examples/protocol_trace.py
 """
 
-from repro import DistributedSystem, Transaction
-from repro.txn.tracing import ProtocolTracer
+from repro.api import DistributedSystem, ProtocolTracer, Transaction
 
 
 def transfer(ctx):

@@ -13,7 +13,7 @@ Walks the core loop of the paper on a three-site simulated database:
 Run:  python examples/quickstart.py
 """
 
-from repro import DistributedSystem, Transaction, is_polyvalue
+from repro.api import DistributedSystem, Transaction, is_polyvalue
 
 
 def transfer(source, target, amount):

@@ -15,7 +15,7 @@ two mechanisms composing:
 Run:  python examples/replicated_bank.py
 """
 
-from repro import DistributedSystem, TxnStatus, is_polyvalue
+from repro.api import DistributedSystem, TxnStatus, is_polyvalue
 from repro.db.replication import (
     ReplicationScheme,
     all_replicas_consistent,

@@ -20,7 +20,7 @@ failure (leaving the sold count uncertain), and shows that:
 Run:  python examples/reservations.py
 """
 
-from repro import DistributedSystem, TxnStatus, is_polyvalue
+from repro.api import DistributedSystem, TxnStatus, is_polyvalue
 from repro.workloads.reservations import (
     never_oversold,
     reserve,

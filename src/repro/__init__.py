@@ -25,6 +25,12 @@ Package map
 * :mod:`repro.workloads` — random-update streams and the section 5
   applications (funds transfer, reservations, inventory).
 * :mod:`repro.metrics` — counters and time-series used by experiments.
+* :mod:`repro.api` — **the stable public facade**: one flat module
+  re-exporting the entire supported surface.  Prefer it (or this top
+  level) over deep imports; deep-importing names the facade covers from
+  ``repro.core``/``repro.txn`` emits :class:`DeprecationWarning`.
+* :mod:`repro.bench` — the hot-path performance suite behind
+  ``python -m repro bench`` and ``BENCH_perf.json``.
 
 Quick start
 -----------
@@ -40,8 +46,8 @@ Quick start
 'committed'
 """
 
-from repro.core import (
-    Condition,
+from repro.core.conditions import Condition
+from repro.core.polyvalue import (
     Polyvalue,
     certain,
     combine,
@@ -50,17 +56,10 @@ from repro.core import (
     possible_values,
     possibly,
 )
-from repro.txn import (
-    CommitPolicy,
-    DistributedSystem,
-    ProtocolConfig,
-    Transaction,
-    TransactionHandle,
-    TxnStatus,
-    blocking_system,
-    polyvalue_system,
-    relaxed_system,
-)
+from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
+from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
 
 __version__ = "1.0.0"
 

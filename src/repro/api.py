@@ -1,0 +1,211 @@
+"""repro.api — the stable, supported public surface of the library.
+
+Import from here (or from the :mod:`repro` top level, which re-exports
+the most common names).  Everything below is covered by the test suite
+and kept backwards compatible; anything you reach by deep-importing
+``repro.core.*`` / ``repro.txn.*`` internals is not, and the package
+``__init__`` modules emit :class:`DeprecationWarning` for names this
+facade replaces.
+
+The surface, by layer:
+
+* **Mechanism** (paper section 3) — :class:`Condition`,
+  :class:`Literal`, :class:`Polyvalue`, the lifted helpers
+  (:func:`combine`, :func:`definitely`, :func:`possibly`,
+  :func:`certain`), polytransaction execution
+  (:func:`execute_polytransaction`), and :func:`parse_condition`.
+* **Performance knobs** — :func:`configure_caches`,
+  :func:`clear_caches`, :func:`cache_info` over the condition-algebra
+  memoization described in ``docs/performance.md``.
+* **Simulation** (section 4) — :class:`Simulator`, :class:`Network`,
+  :class:`DistributedSystem` and the policy constructors
+  (:func:`polyvalue_system`, :func:`blocking_system`,
+  :func:`relaxed_system`), :class:`Transaction`,
+  :class:`ProtocolConfig`.
+* **Observability** — :class:`EventBus`, :class:`SpanTracer`,
+  :class:`MetricsRegistry`, :class:`ProtocolTracer`
+  (``docs/observability.md``).
+* **Correctness harness** — :func:`explore`, :func:`run_mutation_smoke`
+  and the oracle entry points (``docs/testing.md``).
+* **Measurement** — :func:`run_benchmarks`, backing
+  ``python -m repro bench`` (``docs/performance.md``).
+
+Example
+-------
+>>> from repro.api import DistributedSystem, Transaction
+>>> system = DistributedSystem.build(sites=3, items={"a": 10, "b": 0}, seed=1)
+>>> def move(ctx):
+...     ctx.write("a", ctx.read("a") - 4)
+...     ctx.write("b", ctx.read("b") + 4)
+>>> handle = system.submit(Transaction(body=move, items=("a", "b")))
+>>> system.run_for(1.0)
+>>> handle.status.value
+'committed'
+"""
+
+from __future__ import annotations
+
+# Mechanism: conditions and polyvalues (paper section 3).
+from repro.core.conditions import (
+    FALSE,
+    TRUE,
+    Condition,
+    Literal,
+    TxnId,
+    cache_info,
+    clear_caches,
+    conditions_are_complete,
+    conditions_are_complete_and_disjoint,
+    conditions_are_disjoint,
+    configure_caches,
+    intern_literal,
+)
+from repro.core.errors import (
+    ConditionError,
+    PolyvalueError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    TransactionError,
+    TransactionInDoubt,
+    UncertainValueError,
+)
+from repro.core.minimize import minimize
+from repro.core.outcome import OutcomeLog, OutcomeTable, Resolution
+from repro.core.parser import parse_condition
+from repro.core.polytransaction import (
+    PolyContext,
+    PolyTransactionResult,
+    execute as execute_polytransaction,
+)
+from repro.core.polyvalue import (
+    Polyvalue,
+    as_pairs,
+    certain,
+    combine,
+    definitely,
+    depends_on,
+    is_polyvalue,
+    possible_values,
+    possibly,
+    reduce_value,
+    simplify,
+)
+from repro.core.serialize import (
+    decode_state,
+    decode_value,
+    encode_state,
+    encode_value,
+)
+
+# Simulation substrate and the full-system simulator (section 4).
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.events import Event, SimTime
+from repro.sim.rand import Rng
+from repro.net.network import Network, NetworkStats
+from repro.net.failures import CrashPlan, RandomFailures, ScriptedFailures
+from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
+from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.tracing import ProtocolTracer
+from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
+
+# Observability (PR 1, docs/observability.md).
+from repro.obs.events import EventBus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+# Correctness harness (PR 2, docs/testing.md).
+from repro.check.explorer import explore, replay, run_schedule
+from repro.check.mutation import run_mutation_smoke
+from repro.check.oracles import CheckContext, check_converged, check_quiescent, failed
+
+# Analysis: the section 4 analytic model and Monte-Carlo simulation.
+from repro.analysis.model import table1_rows, table2_rows
+from repro.analysis.montecarlo import simulate
+
+# Measurement (this PR, docs/performance.md).
+from repro.bench import run_benchmarks
+
+__all__ = [
+    "CheckContext",
+    "CommitPolicy",
+    "Condition",
+    "ConditionError",
+    "CrashPlan",
+    "DistributedSystem",
+    "Event",
+    "EventBus",
+    "FALSE",
+    "Literal",
+    "MetricsRegistry",
+    "Network",
+    "NetworkStats",
+    "OutcomeLog",
+    "OutcomeTable",
+    "PeriodicTask",
+    "PolyContext",
+    "PolyTransactionResult",
+    "Polyvalue",
+    "PolyvalueError",
+    "ProtocolConfig",
+    "ProtocolError",
+    "ProtocolTracer",
+    "RandomFailures",
+    "ReproError",
+    "Resolution",
+    "Rng",
+    "ScriptedFailures",
+    "SimTime",
+    "SimulationError",
+    "Simulator",
+    "SpanTracer",
+    "TRUE",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionError",
+    "TransactionHandle",
+    "TransactionInDoubt",
+    "TxnId",
+    "TxnStatus",
+    "UncertainValueError",
+    "as_pairs",
+    "blocking_system",
+    "cache_info",
+    "certain",
+    "check_converged",
+    "check_quiescent",
+    "clear_caches",
+    "combine",
+    "conditions_are_complete",
+    "conditions_are_complete_and_disjoint",
+    "conditions_are_disjoint",
+    "configure_caches",
+    "decode_state",
+    "decode_value",
+    "definitely",
+    "depends_on",
+    "encode_state",
+    "encode_value",
+    "execute_polytransaction",
+    "explore",
+    "failed",
+    "intern_literal",
+    "is_polyvalue",
+    "minimize",
+    "parse_condition",
+    "polyvalue_system",
+    "possible_values",
+    "possibly",
+    "reduce_value",
+    "relaxed_system",
+    "replay",
+    "run_benchmarks",
+    "run_mutation_smoke",
+    "run_schedule",
+    "simplify",
+    "simulate",
+    "table1_rows",
+    "table2_rows",
+]

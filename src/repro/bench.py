@@ -1,0 +1,293 @@
+"""Performance benchmarks for the hot paths (``python -m repro bench``).
+
+The ROADMAP's north star is a system that runs "as fast as the hardware
+allows"; this module gives every PR a measured trajectory to move.  It
+times the four hot paths the performance layer optimises:
+
+* **condition ops** — the ``&``/``|``/``~``/``substitute`` algebra of
+  :mod:`repro.core.conditions` (interned + memoized);
+* **polyvalue reads** — :func:`~repro.core.polyvalue.combine`,
+  :meth:`~repro.core.polyvalue.Polyvalue.reduce` and
+  :meth:`~repro.core.polyvalue.Polyvalue.in_doubt` (single-pair fast
+  paths);
+* **explorer throughput** — schedules/second of the correctness
+  harness's deterministic explorer (indexed event heap);
+* **Table-2 wall time** — the end-to-end Monte-Carlo simulation of the
+  paper's section 4.2.
+
+Besides raw ops/s — which vary with the machine — the report includes
+two *machine-relative guards*, each the ratio of the optimised path to
+the same workload with the optimisation disabled in-process:
+
+* ``condition_cache_speedup`` — condition ops with the memoization
+  caches configured normally vs :func:`configure_caches(0) <repro.core.\
+conditions.configure_caches>`;
+* ``polyvalue_fastpath_speedup`` — ``Polyvalue.in_doubt`` (which skips
+  truth-table validation for two simple values) vs the full validating
+  constructor on the same inputs.
+
+CI compares the guards against the committed ``BENCH_perf.json`` and
+fails on a >25% relative regression; ratios transfer across runner
+speeds where absolute ops/s do not.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.core import conditions
+from repro.core.conditions import Condition
+from repro.core.polyvalue import Polyvalue, combine
+
+#: Seconds each microbenchmark loop runs for (after one warmup call).
+FULL_MIN_TIME = 0.4
+SMOKE_MIN_TIME = 0.05
+
+#: Explorer seed budget in full mode — matches ``BENCH_check.json`` so
+#: the schedules/s figures are directly comparable.
+FULL_EXPLORER_SEEDS = 25
+SMOKE_EXPLORER_SEEDS = 5
+
+#: Simulated seconds per Table-2 row (full mode mirrors the pre-PR
+#: baseline measurement recorded in ``BENCH_perf.json``).
+FULL_TABLE2_DURATION = 2000.0
+#: Shortest duration every Table-2 row accepts (4/R with R = 0.01).
+SMOKE_TABLE2_DURATION = 400.0
+
+
+def _ops_per_second(fn: Callable[[], None], min_time: float) -> float:
+    """Iterations/second of *fn*: one warmup call, then a timed loop."""
+    fn()
+    count = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < min_time:
+        fn()
+        count += 1
+    return count / (time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+_TXNS = tuple(f"T{i}" for i in range(6))
+
+
+def _condition_ops() -> None:
+    """Repeated ``&``, ``|``, ``~`` and substitution over a small space.
+
+    This workload (including its exact fold order) is frozen: the
+    ``pre_pr_baseline`` numbers in ``BENCH_perf.json`` were measured
+    with it, so changing it would invalidate the trajectory.
+    """
+    conds = [Condition.of(t) for t in _TXNS]
+    c = Condition.true()
+    for i, _ in enumerate(_TXNS):
+        c = (c & conds[i]) | ~conds[(i + 1) % len(_TXNS)]
+    c.substitute({"T0": True, "T1": False})
+    c.variables()
+    c.is_satisfiable()
+    (conds[0] & ~conds[1]) | (conds[2] & conds[3])
+
+
+def _polyvalue_reads() -> None:
+    """Lifted reads against a two-alternative polyvalue (also frozen)."""
+    pv = Polyvalue([(100, Condition.of("T1")), (150, Condition.not_of("T1"))])
+    for _ in range(10):
+        combine(lambda a, b: a + b, pv, 5)
+        pv.reduce({"T1": True})
+        Polyvalue.in_doubt("T2", 7, 7)
+        Polyvalue.in_doubt("T3", 7, 9)
+
+
+def _in_doubt_fast() -> None:
+    for _ in range(10):
+        Polyvalue.in_doubt("T2", 7, 9)
+
+
+def _in_doubt_validating() -> None:
+    # What ``in_doubt`` computes without its fast path: the validating
+    # constructor (truth-table completeness/disjointness) plus collapse.
+    for _ in range(10):
+        Polyvalue(
+            [(7, Condition.of("T2")), (9, Condition.not_of("T2"))]
+        ).collapse()
+
+
+# ----------------------------------------------------------------------
+# Benchmark suite
+# ----------------------------------------------------------------------
+
+
+def bench_condition_ops(min_time: float = FULL_MIN_TIME) -> float:
+    """Condition-algebra ops/s with the caches as currently configured."""
+    return _ops_per_second(_condition_ops, min_time)
+
+
+def bench_polyvalue_reads(min_time: float = FULL_MIN_TIME) -> float:
+    """Polyvalue read-path ops/s."""
+    return _ops_per_second(_polyvalue_reads, min_time)
+
+
+def bench_condition_cache_speedup(min_time: float = FULL_MIN_TIME) -> float:
+    """Cached vs uncached condition ops on this machine (ratio > 1)."""
+    cached = _ops_per_second(_condition_ops, min_time)
+    conditions.configure_caches(0)
+    try:
+        uncached = _ops_per_second(_condition_ops, min_time)
+    finally:
+        conditions.configure_caches()
+    return cached / uncached
+
+
+def bench_polyvalue_fastpath_speedup(min_time: float = FULL_MIN_TIME) -> float:
+    """``in_doubt`` fast path vs the full validating constructor."""
+    fast = _ops_per_second(_in_doubt_fast, min_time)
+    slow = _ops_per_second(_in_doubt_validating, min_time)
+    return fast / slow
+
+
+def bench_explorer(
+    seeds: int = FULL_EXPLORER_SEEDS, first: int = 0
+) -> Dict[str, Any]:
+    """Schedules/second of the deterministic explorer (oracles on)."""
+    from repro.check.explorer import explore
+
+    report = explore(seeds=range(first, first + seeds), include_enumeration=True)
+    return {
+        "schedules": report.schedules_run,
+        "schedules_per_s": report.schedules_per_second,
+        "ok": report.ok,
+    }
+
+
+def bench_table2(duration: float = FULL_TABLE2_DURATION) -> float:
+    """Wall seconds to run every Table-2 row for *duration* sim-seconds."""
+    from repro.analysis.model import table2_rows
+    from repro.analysis.montecarlo import simulate
+
+    start = time.perf_counter()
+    for index, row in enumerate(table2_rows()):
+        simulate(row.params, duration=duration, seed=index)
+    return time.perf_counter() - start
+
+
+#: The pre-PR measurements this performance layer is judged against,
+#: taken on the development machine immediately before the layer was
+#: introduced, with the exact workloads above.
+PRE_PR_BASELINE: Dict[str, float] = {
+    "condition_ops_per_s": 2627.1,
+    "polyvalue_ops_per_s": 381.0,
+    "explorer_schedules_per_s": 723.4,
+    "table2_wall_s": 0.81,
+}
+
+
+def run_benchmarks(
+    *,
+    smoke: bool = False,
+    explorer_seeds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Run the full perf suite and return the ``BENCH_perf.json`` payload.
+
+    ``smoke=True`` shrinks every budget (CI-friendly: a few seconds
+    total); absolute numbers then undershoot full mode, but the guard
+    ratios remain meaningful.  *seed* is the first explorer seed
+    (mirroring ``repro check --seed``); the microbenchmarks are
+    deterministic modulo timing.
+    """
+    min_time = SMOKE_MIN_TIME if smoke else FULL_MIN_TIME
+    if explorer_seeds is None:
+        explorer_seeds = SMOKE_EXPLORER_SEEDS if smoke else FULL_EXPLORER_SEEDS
+    duration = SMOKE_TABLE2_DURATION if smoke else FULL_TABLE2_DURATION
+
+    explorer = bench_explorer(seeds=explorer_seeds, first=seed)
+    results: Dict[str, Any] = {
+        "condition_ops_per_s": round(bench_condition_ops(min_time), 1),
+        "polyvalue_ops_per_s": round(bench_polyvalue_reads(min_time), 1),
+        "explorer_schedules": explorer["schedules"],
+        "explorer_schedules_per_s": round(explorer["schedules_per_s"], 1),
+        "explorer_ok": explorer["ok"],
+        "table2_wall_s": round(bench_table2(duration), 3),
+    }
+    guards = {
+        "condition_cache_speedup": round(
+            bench_condition_cache_speedup(min_time), 2
+        ),
+        "polyvalue_fastpath_speedup": round(
+            bench_polyvalue_fastpath_speedup(min_time), 2
+        ),
+    }
+    return {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "seed": seed,
+        "budgets": {
+            "microbench_min_time_s": min_time,
+            "explorer_seeds": explorer_seeds,
+            "table2_duration_s": duration,
+        },
+        "pre_pr_baseline": dict(PRE_PR_BASELINE),
+        "results": results,
+        "guards": guards,
+    }
+
+
+def check_regression(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    max_regression: float = 0.25,
+) -> list:
+    """Compare *report* guards against a committed *baseline* payload.
+
+    Returns a list of human-readable failures (empty = pass).  Only the
+    machine-relative guard ratios are gated — absolute ops/s depend on
+    the runner and would flake.
+    """
+    failures = []
+    for name, recorded in baseline.get("guards", {}).items():
+        measured = report["guards"].get(name)
+        if measured is None:
+            failures.append(f"guard {name!r} missing from this run")
+            continue
+        floor = recorded * (1.0 - max_regression)
+        if measured < floor:
+            failures.append(
+                f"guard {name!r} regressed: measured {measured:.2f} < "
+                f"{floor:.2f} (committed {recorded:.2f} - {max_regression:.0%})"
+            )
+    if not report["results"].get("explorer_ok", True):
+        failures.append("explorer reported oracle violations during bench")
+    return failures
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """A short human-readable summary of a benchmark payload."""
+    results = report["results"]
+    guards = report["guards"]
+    baseline = report.get("pre_pr_baseline", {})
+    lines = [
+        f"perf benchmarks ({report['mode']} mode)",
+        f"  condition ops/s:    {results['condition_ops_per_s']:>12,.1f}"
+        f"  (pre-PR {baseline.get('condition_ops_per_s', 0):,.1f})",
+        f"  polyvalue ops/s:    {results['polyvalue_ops_per_s']:>12,.1f}"
+        f"  (pre-PR {baseline.get('polyvalue_ops_per_s', 0):,.1f})",
+        f"  explorer sched/s:   {results['explorer_schedules_per_s']:>12,.1f}"
+        f"  ({results['explorer_schedules']} schedules, "
+        f"ok={results['explorer_ok']})",
+        f"  table2 wall:        {results['table2_wall_s']:>12.3f}s",
+        f"  cache speedup:      {guards['condition_cache_speedup']:>12.2f}x",
+        f"  fast-path speedup:  {guards['polyvalue_fastpath_speedup']:>12.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write *report* as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -17,10 +17,13 @@ code:
 * ``events`` — the same scenario's raw event stream as JSON lines;
 * ``check`` — the correctness harness: invariant oracles over
   seed-enumerated failure schedules, optional mutation smoke test,
-  deterministic replay of violation artifacts.
+  deterministic replay of violation artifacts;
+* ``bench`` — the hot-path performance suite behind ``BENCH_perf.json``
+  (``docs/performance.md``).
 
-All randomness is seeded (``--seed``), so every invocation is
-reproducible.
+All randomness is seeded: ``--seed`` is always the first seed and, for
+the multi-seed commands (``check``, ``bench``), ``--seeds`` is how many
+consecutive seeds to run, so every invocation is reproducible.
 """
 
 from __future__ import annotations
@@ -310,6 +313,40 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.bench import (
+        check_regression,
+        render_report as render_bench_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    report = run_benchmarks(
+        smoke=args.smoke, explorer_seeds=args.seeds, seed=args.seed
+    )
+    print(render_bench_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        failures = check_regression(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.check_against} "
+            f"(tolerance {args.max_regression:.0%})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -408,6 +445,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-execute a violation artifact instead of "
                        "exploring")
     check.set_defaults(handler=_cmd_check)
+
+    bench = commands.add_parser(
+        "bench",
+        help="hot-path performance benchmarks (writes BENCH_perf.json)",
+    )
+    bench.add_argument("--seed", type=int, default=0,
+                       help="first explorer seed (default 0)")
+    bench.add_argument("--seeds", type=int, default=None,
+                       help="explorer seed count (default: 25 full, 5 smoke)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="shrunken budgets for CI")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="write the JSON payload here")
+    bench.add_argument("--check-against", default=None, metavar="BASELINE",
+                       help="fail if a machine-relative guard regressed "
+                       "vs this committed BENCH_perf.json")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="allowed relative guard regression (default 0.25)")
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 

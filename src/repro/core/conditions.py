@@ -25,6 +25,20 @@ equivalence, completeness and disjointness are decided by truth-table
 enumeration over the (always small in practice) set of mentioned
 transactions.
 
+Performance
+-----------
+Conditions are *hash-consed*: the constructor interns every simplified
+product set, so two structurally equal conditions are the same object,
+hashes are precomputed, and ``variables()``/``is_true()``/``is_false()``
+are O(1) field reads.  The algebra operators (``&``, ``|``, ``~``),
+:meth:`Condition.substitute` and the simplifier itself are memoized in
+bounded LRU caches keyed on interned identities — the protocol re-derives
+the same handful of conditions constantly, so the hit rate in practice is
+very high.  The caches are observationally transparent (property-tested
+in ``tests/test_conditions_properties.py``); size them with
+:func:`configure_caches`, inspect them with :func:`cache_info`, and drop
+them with :func:`clear_caches`.  See ``docs/performance.md``.
+
 Example
 -------
 >>> t1, t2 = Condition.of("T1"), Condition.of("T2")
@@ -40,8 +54,21 @@ True
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set
+from functools import lru_cache
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.errors import ConditionError
 
@@ -54,6 +81,12 @@ TxnId = str
 #: mechanism (the paper's whole point is that very few transactions are
 #: in doubt at once).
 MAX_TRUTH_TABLE_VARIABLES = 20
+
+#: Default bound for each memoized-operation LRU cache (simplify, the
+#: binary operators, negation, substitution, literal/product interning).
+#: Interned :class:`Condition` objects themselves live in a weak-value
+#: table, so the strong LRU entries are what actually pins memory.
+DEFAULT_CACHE_SIZE = 16384
 
 
 @dataclass(frozen=True, order=True)
@@ -91,6 +124,17 @@ class Literal:
 
 
 Product = FrozenSet[Literal]
+
+
+def intern_literal(txn: TxnId, positive: bool = True) -> Literal:
+    """A shared :class:`Literal` instance for ``(txn, positive)``.
+
+    Plain ``Literal(...)`` construction remains valid everywhere
+    (equality is structural); routing hot-path construction through the
+    intern table avoids re-allocating the same handful of literals the
+    protocol mentions over and over.
+    """
+    return _literal_cached(txn, bool(positive))
 
 
 def _product_is_contradictory(product: Product) -> bool:
@@ -145,7 +189,7 @@ def _resolve_once(products: Set[Product]) -> Optional[Set[Product]]:
     return None
 
 
-def _simplify_products(products: Iterable[Product]) -> FrozenSet[Product]:
+def _simplify_products(products: FrozenSet[Product]) -> FrozenSet[Product]:
     """Canonicalise a sum of products.
 
     Drops contradictory products (rule 3 of section 3.1), then applies
@@ -154,13 +198,17 @@ def _simplify_products(products: Iterable[Product]) -> FrozenSet[Product]:
     McCluskey), but it is small, deterministic and — crucially for the
     mechanism — reduces to the canonical ``TRUE``/``FALSE`` forms when
     the sum is a tautology over one variable or is unsatisfiable.
+
+    Callers go through the memoized ``_simplify_cached`` wrapper; the
+    returned products are interned so equal products across conditions
+    share one frozenset (and its cached hash).
     """
     current: Set[Product] = {p for p in products if not _product_is_contradictory(p)}
     while True:
         current = _absorb(current)
         resolved = _resolve_once(current)
         if resolved is None:
-            return frozenset(current)
+            return frozenset(_intern_product(p) for p in current)
         current = resolved
 
 
@@ -175,13 +223,33 @@ class Condition:
     Conditions support ``&`` (and), ``|`` (or), ``~`` (not), equality
     (structural, after simplification), :meth:`equivalent` (semantic),
     and hashing, so they can be used as dict keys and set members.
+
+    Instances are hash-consed: the constructor simplifies, then interns,
+    so structurally equal conditions are one shared, immutable object
+    with a precomputed hash and variable set.
     """
 
-    __slots__ = ("_products",)
+    __slots__ = ("_products", "_hash", "_variables", "_truth", "_str", "__weakref__")
+
+    def __new__(cls, products: Iterable[Iterable[Literal]] = ()) -> "Condition":
+        key = frozenset(
+            product if type(product) is frozenset else frozenset(product)
+            for product in products
+        )
+        return _intern(_simplify_cached(key))
 
     def __init__(self, products: Iterable[Iterable[Literal]] = ()) -> None:
-        self._products: FrozenSet[Product] = _simplify_products(
-            frozenset(product) for product in products
+        # All state is attached by ``_intern`` in ``__new__``; this
+        # only exists so the ``Condition(products)`` call signature
+        # remains the ordinary constructor.
+        pass
+
+    def __reduce__(self):
+        # Pickle/copy must round-trip through the interning constructor
+        # so deserialisation can never corrupt a shared instance.
+        return (
+            Condition,
+            (tuple(tuple(sorted(product)) for product in self._products),),
         )
 
     # ------------------------------------------------------------------
@@ -201,27 +269,27 @@ class Condition:
     @staticmethod
     def of(txn: TxnId) -> "Condition":
         """The condition "transaction *txn* completed"."""
-        return Condition([[Literal(txn, True)]])
+        return Condition([[intern_literal(txn, True)]])
 
     @staticmethod
     def not_of(txn: TxnId) -> "Condition":
         """The condition "transaction *txn* aborted"."""
-        return Condition([[Literal(txn, False)]])
+        return Condition([[intern_literal(txn, False)]])
 
     @staticmethod
     def literal(txn: TxnId, positive: bool) -> "Condition":
         """The single-literal condition for *txn* with the given polarity."""
-        return Condition([[Literal(txn, positive)]])
+        return Condition([[intern_literal(txn, positive)]])
 
     @staticmethod
     def all_of(*txns: TxnId) -> "Condition":
         """The conjunction "every one of *txns* completed"."""
-        return Condition([[Literal(t, True) for t in txns]])
+        return Condition([[intern_literal(t, True) for t in txns]])
 
     @staticmethod
     def any_of(*txns: TxnId) -> "Condition":
         """The disjunction "at least one of *txns* completed"."""
-        return Condition([[Literal(t, True)] for t in txns])
+        return Condition([[intern_literal(t, True)] for t in txns])
 
     # ------------------------------------------------------------------
     # Structure
@@ -234,9 +302,7 @@ class Condition:
 
     def variables(self) -> FrozenSet[TxnId]:
         """The set of transaction identifiers this condition mentions."""
-        return frozenset(
-            literal.txn for product in self._products for literal in product
-        )
+        return self._variables
 
     def is_true(self) -> bool:
         """True iff this condition is the canonical *true* form.
@@ -245,11 +311,11 @@ class Condition:
         (``T | ~T``) reaches this form; for a semantic check on arbitrary
         conditions use :meth:`is_tautology`.
         """
-        return self._products == frozenset([frozenset()])
+        return self._truth is True
 
     def is_false(self) -> bool:
         """True iff this condition is the canonical *false* form (empty sum)."""
-        return len(self._products) == 0
+        return self._truth is False
 
     # ------------------------------------------------------------------
     # Algebra
@@ -258,37 +324,39 @@ class Condition:
     def __and__(self, other: "Condition") -> "Condition":
         if not isinstance(other, Condition):
             return NotImplemented
-        return Condition(
-            p | q for p in self._products for q in other._products
-        )
+        # Identity shortcuts agree with what simplification would
+        # produce, because both operands are already canonical.
+        if self._truth is True:
+            return other
+        if other._truth is True:
+            return self
+        if self._truth is False or other._truth is False:
+            return FALSE
+        return _and_cached(self, other)
 
     def __or__(self, other: "Condition") -> "Condition":
         if not isinstance(other, Condition):
             return NotImplemented
-        return Condition(itertools.chain(self._products, other._products))
+        if self._truth is False:
+            return other
+        if other._truth is False:
+            return self
+        if self._truth is True or other._truth is True:
+            return TRUE
+        return _or_cached(self, other)
 
     def __invert__(self) -> "Condition":
-        # De Morgan: negate a sum of products by taking, for every way of
-        # choosing one literal from each product, the product of the
-        # complements.  The constructor simplifies the (possibly large)
-        # intermediate form; condition sizes in this system are tiny.
-        if self.is_false():
-            return Condition.true()
-        negated = Condition.true()
-        for product in self._products:
-            complements = Condition(
-                [[literal.negate()] for literal in product]
-            )
-            negated = negated & complements
-        return negated
+        return _invert_cached(self)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Condition):
             return NotImplemented
         return self._products == other._products
 
     def __hash__(self) -> int:
-        return hash(self._products)
+        return self._hash
 
     # ------------------------------------------------------------------
     # Semantics
@@ -314,21 +382,17 @@ class Condition:
         can be replaced by true or false in the predicates".  Literals
         satisfied by *outcomes* are dropped from their products; products
         containing a falsified literal are dropped entirely.
+
+        Memoized on the outcomes *restricted to this condition's own
+        variables* — outcomes for transactions the condition never
+        mentions cannot affect the result, so they never pollute the
+        cache key (and interning can never leak across TxnId spaces).
         """
-        new_products = []
-        for product in self._products:
-            kept: list = []
-            dead = False
-            for literal in product:
-                outcome = outcomes.get(literal.txn)
-                if outcome is None:
-                    kept.append(literal)
-                elif outcome != literal.positive:
-                    dead = True
-                    break
-            if not dead:
-                new_products.append(kept)
-        return Condition(new_products)
+        relevant = [txn for txn in self._variables if txn in outcomes]
+        if not relevant:
+            return self
+        key = tuple(sorted((txn, bool(outcomes[txn])) for txn in relevant))
+        return _substitute_cached(self, key)
 
     def is_satisfiable(self) -> bool:
         """True iff some outcome assignment makes this condition hold.
@@ -336,7 +400,7 @@ class Condition:
         In sum-of-products form with contradictions already removed by
         the constructor, satisfiability is simply non-emptiness.
         """
-        return not self.is_false()
+        return self._truth is not False
 
     def is_tautology(self) -> bool:
         """True iff every outcome assignment makes this condition hold.
@@ -377,20 +441,26 @@ class Condition:
     # ------------------------------------------------------------------
 
     def __str__(self) -> str:
-        if self.is_true():
-            return "TRUE"
-        if self.is_false():
-            return "FALSE"
-        rendered_products = []
-        for product in sorted(
-            self._products, key=lambda p: sorted(str(l) for l in p)
-        ):
-            literals = sorted(str(literal) for literal in product)
-            rendered_products.append(" & ".join(literals))
-        return " | ".join(
-            f"({p})" if len(self._products) > 1 and " & " in p else p
-            for p in sorted(rendered_products)
-        )
+        rendered = self._str
+        if rendered is not None:
+            return rendered
+        if self._truth is True:
+            rendered = "TRUE"
+        elif self._truth is False:
+            rendered = "FALSE"
+        else:
+            rendered_products = []
+            for product in sorted(
+                self._products, key=lambda p: sorted(str(l) for l in p)
+            ):
+                literals = sorted(str(literal) for literal in product)
+                rendered_products.append(" & ".join(literals))
+            rendered = " | ".join(
+                f"({p})" if len(self._products) > 1 and " & " in p else p
+                for p in sorted(rendered_products)
+            )
+        self._str = rendered
+        return rendered
 
     def __repr__(self) -> str:
         return f"Condition({str(self)})"
@@ -421,6 +491,151 @@ def _assignments(variables: Sequence[TxnId]) -> Iterator[Dict[TxnId, bool]]:
     """Yield every outcome assignment over *variables* (no size guard)."""
     for values in itertools.product((False, True), repeat=len(variables)):
         yield dict(zip(variables, values))
+
+
+# ----------------------------------------------------------------------
+# Interning and memoization infrastructure
+# ----------------------------------------------------------------------
+#
+# Interned conditions live in a weak-value table keyed by their
+# simplified product set, so a condition exists at most once but is
+# reclaimed as soon as nothing (including the strong LRU caches below)
+# references it.  The operation caches are keyed on interned identities:
+# Condition.__hash__ is a precomputed field and __eq__ short-circuits on
+# identity, so cache lookups never re-hash product sets.
+
+_INTERNED: "weakref.WeakValueDictionary[FrozenSet[Product], Condition]" = (
+    weakref.WeakValueDictionary()
+)
+
+#: The canonical product set of the *true* condition (the empty product).
+_TRUE_PRODUCTS: FrozenSet[Product] = frozenset([frozenset()])
+
+
+def _intern(products: FrozenSet[Product]) -> Condition:
+    """The unique :class:`Condition` for an already-simplified product set."""
+    existing = _INTERNED.get(products)
+    if existing is not None:
+        return existing
+    condition = object.__new__(Condition)
+    condition._products = products
+    condition._hash = hash(products)
+    condition._variables = frozenset(
+        literal.txn for product in products for literal in product
+    )
+    if products == _TRUE_PRODUCTS:
+        condition._truth = True
+    elif not products:
+        condition._truth = False
+    else:
+        condition._truth = None
+    condition._str = None
+    _INTERNED[products] = condition
+    return condition
+
+
+def _identity_product(product: Product) -> Product:
+    # lru_cache keyed on frozenset equality returns the first instance
+    # seen for each distinct product, which is exactly interning.
+    return product
+
+
+def _and_uncached(a: Condition, b: Condition) -> Condition:
+    return Condition(p | q for p in a._products for q in b._products)
+
+
+def _or_uncached(a: Condition, b: Condition) -> Condition:
+    return Condition(itertools.chain(a._products, b._products))
+
+
+def _invert_uncached(a: Condition) -> Condition:
+    # De Morgan: negate a sum of products by taking, for every way of
+    # choosing one literal from each product, the product of the
+    # complements.  The constructor simplifies the (possibly large)
+    # intermediate form; condition sizes in this system are tiny.
+    if a._truth is False:
+        return TRUE
+    negated = TRUE
+    for product in a._products:
+        complements = Condition([[literal.negate()] for literal in product])
+        negated = negated & complements
+    return negated
+
+
+def _substitute_uncached(
+    condition: Condition, outcome_items: Tuple[Tuple[TxnId, bool], ...]
+) -> Condition:
+    outcomes = dict(outcome_items)
+    new_products = []
+    for product in condition._products:
+        kept: list = []
+        dead = False
+        for literal in product:
+            outcome = outcomes.get(literal.txn)
+            if outcome is None:
+                kept.append(literal)
+            elif outcome != literal.positive:
+                dead = True
+                break
+        if not dead:
+            new_products.append(kept)
+    return Condition(new_products)
+
+
+def _build_caches(maxsize: Optional[int]) -> None:
+    global _literal_cached, _intern_product, _simplify_cached
+    global _and_cached, _or_cached, _invert_cached, _substitute_cached
+    _literal_cached = lru_cache(maxsize=maxsize)(Literal)
+    _intern_product = lru_cache(maxsize=maxsize)(_identity_product)
+    _simplify_cached = lru_cache(maxsize=maxsize)(_simplify_products)
+    _and_cached = lru_cache(maxsize=maxsize)(_and_uncached)
+    _or_cached = lru_cache(maxsize=maxsize)(_or_uncached)
+    _invert_cached = lru_cache(maxsize=maxsize)(_invert_uncached)
+    _substitute_cached = lru_cache(maxsize=maxsize)(_substitute_uncached)
+
+
+def _caches() -> Dict[str, Any]:
+    return {
+        "literal": _literal_cached,
+        "product": _intern_product,
+        "simplify": _simplify_cached,
+        "and": _and_cached,
+        "or": _or_cached,
+        "invert": _invert_cached,
+        "substitute": _substitute_cached,
+    }
+
+
+def configure_caches(maxsize: Optional[int] = DEFAULT_CACHE_SIZE) -> None:
+    """(Re)build the memoization caches with the given per-cache bound.
+
+    ``maxsize=0`` disables memoization entirely (every operation
+    recomputes — useful for A/B benchmarking the caches themselves);
+    ``maxsize=None`` makes the caches unbounded.  Rebuilding discards
+    all currently memoized entries.  Interned :class:`Condition`
+    instances are unaffected: they live in a weak table and remain
+    shared regardless of cache configuration.
+    """
+    _build_caches(maxsize)
+
+
+def clear_caches() -> None:
+    """Drop every memoized entry, keeping the configured cache bounds."""
+    for cache in _caches().values():
+        cache.cache_clear()
+
+
+def cache_info() -> Dict[str, Any]:
+    """Per-cache :func:`functools.lru_cache` statistics, by cache name.
+
+    Keys: ``literal``, ``product``, ``simplify``, ``and``, ``or``,
+    ``invert``, ``substitute``; values are ``CacheInfo`` tuples with
+    ``hits``/``misses``/``maxsize``/``currsize`` fields.
+    """
+    return {name: cache.cache_info() for name, cache in _caches().items()}
+
+
+_build_caches(DEFAULT_CACHE_SIZE)
 
 
 #: Module-level singletons for the two constant conditions.  Conditions

@@ -84,9 +84,10 @@ class Polyvalue:
     module-level :func:`simplify` which collapses automatically.
     """
 
-    __slots__ = ("_pairs",)
+    __slots__ = ("_pairs", "_depends")
 
     def __init__(self, pairs: Iterable[Pair], *, validate: bool = True) -> None:
+        self._depends: Any = None  # lazily computed by depends_on()
         flattened = _flatten(pairs)
         merged = _merge_equal_values(flattened)
         live = [(v, c) for v, c in merged if not c.is_false()]
@@ -125,6 +126,21 @@ class Polyvalue:
         If new and old simplify to the same value the result is that
         plain value (no uncertainty is introduced).
         """
+        if not isinstance(new_value, Polyvalue) and not isinstance(
+            old_value, Polyvalue
+        ):
+            # Fast path for the overwhelmingly common case of two simple
+            # values: ``{<v, T>, <v', ~T>}`` is complete and disjoint by
+            # construction, so the truth-table validation is skipped.
+            if _values_equal(new_value, old_value):
+                return new_value
+            return Polyvalue(
+                [
+                    (new_value, Condition.of(txn)),
+                    (old_value, Condition.not_of(txn)),
+                ],
+                validate=False,
+            )
         result = Polyvalue(
             [
                 (new_value, Condition.of(txn)),
@@ -152,10 +168,14 @@ class Polyvalue:
         This is the "tag" set that each site's outcome table tracks
         (section 3.3).
         """
-        ids: set = set()
-        for _, condition in self._pairs:
-            ids |= condition.variables()
-        return frozenset(ids)
+        depends = self._depends
+        if depends is None:
+            ids: set = set()
+            for _, condition in self._pairs:
+                ids |= condition.variables()
+            depends = frozenset(ids)
+            self._depends = depends
+        return depends
 
     def is_certain(self) -> bool:
         """True iff only one value remains possible."""
@@ -246,6 +266,12 @@ class Polyvalue:
         all uncertainty."  Returns a plain value when only one pair
         survives.
         """
+        if len(self._pairs) > 1 and not any(
+            txn in self.depends_on() for txn in outcomes
+        ):
+            # None of the known outcomes mention a transaction this
+            # polyvalue awaits; substitution would be an identity map.
+            return self
         reduced = [
             (value, condition.substitute(outcomes))
             for value, condition in self._pairs
@@ -377,6 +403,10 @@ def combine(fn: Callable[..., Value], *operands: Value) -> Value:
     >>> combine(lambda b: b >= 50, balance)
     True
     """
+    if not any(isinstance(operand, Polyvalue) for operand in operands):
+        # All operands are simple: no conditions to thread through, the
+        # lifted application is just the application.
+        return simplify(fn(*operands))
     alternatives: List[Tuple[Condition, Tuple[Value, ...]]] = [
         (Condition.true(), ())
     ]

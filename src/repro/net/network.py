@@ -18,8 +18,8 @@ timeouts are the recovery mechanism, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Set
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.errors import NetworkError
 from repro.net.message import Envelope, SiteId
@@ -49,6 +49,24 @@ class NetworkStats:
             + self.dropped_partition
             + self.dropped_loss
         )
+
+
+@dataclass
+class _DeliveryBatch:
+    """Envelopes sharing one simulator event.
+
+    Back-to-back sends that would arrive at the same instant (a
+    broadcast with zero jitter is the common case) are coalesced into a
+    single scheduled event.  ``seq`` is the sequence number of that
+    event: an envelope may only join the batch while
+    ``sim.next_sequence == seq + 1`` — i.e. while no other event has
+    been scheduled since — which makes batching provably
+    order-equivalent to scheduling each delivery individually.
+    """
+
+    time: float
+    seq: int
+    envelopes: List[Envelope] = field(default_factory=list)
 
 
 class Network:
@@ -98,6 +116,7 @@ class Network:
         self._down: Set[SiteId] = set()
         self._partitions: Set[FrozenSet[SiteId]] = set()
         self._observers: list = []
+        self._batch: Optional[_DeliveryBatch] = None
         self.stats = NetworkStats()
 
     def subscribe(self, observer: Callable[[str, Envelope, float], None]) -> None:
@@ -111,6 +130,8 @@ class Network:
         self._observers.append(observer)
 
     def _notify(self, event: str, envelope: Envelope) -> None:
+        if not self._observers and self._bus is None:
+            return
         for observer in self._observers:
             observer(event, envelope, self._sim.now)
         bus = self._bus
@@ -229,11 +250,39 @@ class Network:
             latency = self._base_latency
             if self._jitter > 0:
                 latency += self._rng.uniform(0.0, self._jitter)
-            self._sim.schedule(
-                latency,
-                lambda: self._deliver(envelope),
-                label=f"deliver:{sender}->{recipient}",
-            )
+            self._schedule_delivery(latency, envelope)
+
+    def _schedule_delivery(self, latency: float, envelope: Envelope) -> None:
+        at = self._sim.now + latency
+        batch = self._batch
+        if (
+            batch is not None
+            and batch.time == at
+            and self._sim.next_sequence == batch.seq + 1
+        ):
+            # Nothing was scheduled since the batch's own event, so this
+            # envelope fires at the same position it would have had as a
+            # standalone event — join the batch instead of growing the
+            # simulator's heap.
+            batch.envelopes.append(envelope)
+            return
+        batch = _DeliveryBatch(time=at, seq=self._sim.next_sequence)
+        batch.envelopes.append(envelope)
+        self._batch = batch
+        self._sim.schedule_at(
+            at,
+            lambda: self._deliver_batch(batch),
+            label=f"deliver:{envelope.sender}->{envelope.recipient}",
+        )
+
+    def _deliver_batch(self, batch: _DeliveryBatch) -> None:
+        # Close the batch before delivering: a handler may send again at
+        # zero latency, and those messages must open a fresh batch (their
+        # event necessarily fires after this one).
+        if self._batch is batch:
+            self._batch = None
+        for envelope in batch.envelopes:
+            self._deliver(envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
         if envelope.recipient in self._down:

@@ -14,7 +14,7 @@ scheduling order.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
 from repro.sim.events import Action, Event, SimTime
@@ -40,6 +40,17 @@ class Simulator:
         self._sequence = 0
         self._processed = 0
         self._running = False
+        #: Secondary index: per label-class min-heaps, used by
+        #: ``next_time_except`` to answer "earliest non-background event"
+        #: in O(#classes) instead of scanning the whole queue.  Built
+        #: lazily, and only once the queue is big enough for the index
+        #: to beat a plain scan, so simulations that never ask (e.g. the
+        #: Monte-Carlo harness) or stay tiny (the check explorer's short
+        #: schedules) pay nothing.
+        self._class_heaps: Optional[Dict[str, List[Event]]] = None
+        #: Memoized per-class treatment for each distinct ignore-prefix
+        #: tuple (the system facade always passes the same one).
+        self._class_modes: Dict[Tuple[str, ...], Dict[str, int]] = {}
         #: Optional observability bus (attached by the system facade).
         #: Checked once per ``run_until`` window, never per event, so an
         #: unobserved simulation pays nothing on the hot loop.
@@ -60,30 +71,113 @@ class Simulator:
         return self._processed
 
     @property
+    def next_sequence(self) -> int:
+        """The sequence number the next scheduled event will receive.
+
+        Tie-breaking at equal firing times is by sequence, so a component
+        that batches work (e.g. the network's same-tick delivery batch)
+        can use this to prove no event was interleaved since it last
+        scheduled — appending to the batch is then order-equivalent to
+        scheduling a fresh event.
+        """
+        return self._sequence
+
+    @property
     def events_pending(self) -> int:
         """How many events are scheduled and not cancelled."""
         return sum(1 for event in self._queue if not event.cancelled)
 
-    def pending_labels(self) -> List[str]:
-        """The labels of every pending (non-cancelled) event.
+    #: Queue size below which ``next_time_except`` answers with a plain
+    #: scan instead of building (and then maintaining) the class index.
+    _INDEX_THRESHOLD = 64
 
-        The correctness harness uses this to decide quiescence: a
-        system is quiescent when everything still scheduled belongs to
-        background maintenance, not to in-flight protocol work.
+    @staticmethod
+    def _class_of(label: str) -> str:
+        """The label class: everything before the first ``:``.
+
+        Labels follow a ``family:detail`` convention ("deliver:…",
+        "compute-timeout:T3"), so the class is the family name and the
+        number of classes is small and bounded.
         """
-        return [event.label for event in self._queue if not event.cancelled]
+        return label.split(":", 1)[0]
+
+    def _build_class_index(self) -> Dict[str, List[Event]]:
+        heaps: Dict[str, List[Event]] = {}
+        for event in self._queue:
+            if not event.cancelled:
+                heaps.setdefault(self._class_of(event.label), []).append(event)
+        for heap in heaps.values():
+            heapq.heapify(heap)
+        self._class_heaps = heaps
+        return heaps
 
     def next_time_except(self, ignore_prefixes: Tuple[str, ...]) -> Optional[SimTime]:
         """The firing time of the earliest pending event whose label does
-        not start with any of *ignore_prefixes* (None if no such event)."""
-        best: Optional[SimTime] = None
-        for event in self._queue:
-            if event.cancelled:
+        not start with any of *ignore_prefixes* (None if no such event).
+
+        The quiescence loops (:meth:`run_until_quiescent`, the system
+        facade, the check explorer) call this once per fired event, so it
+        is served from the per-class index: each class answers from its
+        heap head unless an ignore prefix reaches *into* the class (e.g.
+        ``deliver:site1`` against class ``deliver``), in which case only
+        that class degrades to a scan.  Fired and cancelled events are
+        discarded lazily at the heads.
+        """
+        heaps = self._class_heaps
+        if heaps is None:
+            if len(self._queue) <= self._INDEX_THRESHOLD:
+                # Tiny queue: a straight scan beats index bookkeeping.
+                best: Optional[SimTime] = None
+                for event in self._queue:
+                    if event.cancelled or event.label.startswith(ignore_prefixes):
+                        continue
+                    if best is None or event.time < best:
+                        best = event.time
+                return best
+            heaps = self._build_class_index()
+        modes = self._class_modes.get(ignore_prefixes)
+        if modes is None:
+            modes = self._class_modes[ignore_prefixes] = {}
+        best = None
+        empty: List[str] = []
+        for cls, heap in heaps.items():
+            while heap and (heap[0].cancelled or heap[0].fired):
+                heapq.heappop(heap)
+            if not heap:
+                empty.append(cls)
                 continue
-            if event.label.startswith(ignore_prefixes):
+            mode = modes.get(cls)
+            if mode is None:
+                # An ignore prefix that is itself a prefix of the class
+                # name ignores every label in the class (all labels start
+                # with the class name); a longer prefix that starts with
+                # the class name may match only some labels and degrades
+                # that one class to a scan.
+                if any(cls.startswith(prefix) for prefix in ignore_prefixes):
+                    mode = 1
+                elif any(
+                    prefix.startswith(cls) and len(prefix) > len(cls)
+                    for prefix in ignore_prefixes
+                ):
+                    mode = 2
+                else:
+                    mode = 0
+                modes[cls] = mode
+            if mode == 1:
                 continue
-            if best is None or event.time < best:
-                best = event.time
+            if mode == 2:
+                for event in heap:
+                    if event.cancelled or event.fired:
+                        continue
+                    if event.label.startswith(ignore_prefixes):
+                        continue
+                    if best is None or event.time < best:
+                        best = event.time
+                continue
+            if best is None or heap[0].time < best:
+                best = heap[0].time
+        for cls in empty:
+            del heaps[cls]
         return best
 
     def run_until_quiescent(
@@ -138,6 +232,10 @@ class Simulator:
         event = Event(time=time, seq=self._sequence, action=action, label=label)
         self._sequence += 1
         heapq.heappush(self._queue, event)
+        if self._class_heaps is not None:
+            heapq.heappush(
+                self._class_heaps.setdefault(self._class_of(label), []), event
+            )
         return event
 
     # ------------------------------------------------------------------
@@ -150,6 +248,7 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.fired = True
             self._now = event.time
             self._processed += 1
             event.action()

@@ -33,6 +33,11 @@ class Event:
     action: Action = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the simulator when the event is dispatched.  The label-class
+    #: index (``Simulator.next_time_except``) holds references to events
+    #: the main queue has already popped; this flag lets it discard them
+    #: lazily, exactly like ``cancelled``.
+    fired: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
         """Prevent this event from firing (safe if already fired)."""

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set, Tuple
 
-from repro.core.polyvalue import Polyvalue, depends_on
+from repro.core.polyvalue import Polyvalue
 from repro.db.locks import LockMode
 from repro.sim.events import Event
 from repro.txn import protocol
@@ -147,10 +147,13 @@ class Participant:
         # Section 3.3: polyvalues are about to leave this site — record
         # the coordinator as a destination to notify for every in-doubt
         # transaction they depend on.
-        for value in values.values():
-            for in_doubt in depends_on(value):
-                if sender != rt.site_id:
-                    rt.outcomes.record_forward(in_doubt, sender)
+        if sender != rt.site_id:
+            for value in values.values():
+                # Simple values depend on nothing; only polyvalues carry
+                # in-doubt transactions that need forwarding.
+                if isinstance(value, Polyvalue):
+                    for in_doubt in value.depends_on():
+                        rt.outcomes.record_forward(in_doubt, sender)
         rt.send(
             sender,
             protocol.ReadReply(txn=txn, site=rt.site_id, ok=True, values=values),

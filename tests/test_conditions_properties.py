@@ -11,6 +11,7 @@ import itertools
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import conditions
 from repro.core.conditions import Condition, Literal
 
 TXNS = ["T1", "T2", "T3", "T4"]
@@ -138,3 +139,93 @@ def test_structural_equality_implies_equal_hash(products_list):
     b = build(list(products_list))
     assert a == b
     assert hash(a) == hash(b)
+
+
+# ----------------------------------------------------------------------
+# Interning and memoization (the performance layer)
+# ----------------------------------------------------------------------
+#
+# The Condition constructor hash-conses: structurally equal conditions
+# are the *same object*, and the algebra is memoized on those interned
+# identities.  None of that may change observable behaviour — the
+# properties below run every operation twice, once with the caches as
+# configured and once with memoization disabled (``configure_caches(0)``
+# turns every lru_cache off while keeping the weak intern table), and
+# demand identical answers.
+
+
+@given(raw_conditions)
+@settings(max_examples=60)
+def test_interning_yields_identical_objects(products_list):
+    a = build(products_list)
+    b = build(list(products_list))
+    assert a is b
+
+
+def _algebra_snapshot(left, right):
+    """Every observable product of the algebra on a pair of conditions."""
+    a, b = build(left), build(right)
+    reduced = (a & b).substitute({"T1": True, "T3": False})
+    return {
+        "and": sorted(map(str, (a & b).products)),
+        "or": sorted(map(str, (a | b).products)),
+        "not": sorted(map(str, (~a).products)),
+        "substitute": sorted(map(str, reduced.products)),
+        "variables": sorted(a.variables() | b.variables()),
+        "satisfiable": (a & b).is_satisfiable(),
+        "tautology": (a | ~a).is_tautology(),
+        "evaluations": [
+            (a & b).evaluate(assignment) for assignment in all_assignments()
+        ],
+    }
+
+
+@given(raw_conditions, raw_conditions)
+@settings(max_examples=60)
+def test_cached_algebra_observationally_identical_to_uncached(left, right):
+    cached = _algebra_snapshot(left, right)
+    conditions.configure_caches(0)
+    try:
+        uncached = _algebra_snapshot(left, right)
+    finally:
+        conditions.configure_caches()
+    assert cached == uncached
+
+
+@given(raw_conditions, st.booleans())
+@settings(max_examples=60)
+def test_interning_never_leaks_across_txnid_spaces(products_list, outcome):
+    """Conditions over one TxnId space are inert under another space.
+
+    The memoized ``substitute`` is keyed on the outcomes *restricted to
+    the condition's own variables*, so outcomes for foreign transaction
+    identifiers must neither change the result nor smuggle foreign
+    variables into it.
+    """
+    condition = build(products_list)
+    foreign = {"U1": outcome, "U2": not outcome}
+    # Substituting outcomes from a disjoint TxnId space is an identity —
+    # literally: the fast path returns the very same interned object.
+    assert condition.substitute(foreign) is condition
+    # Mixing foreign outcomes into a relevant substitution changes
+    # nothing relative to the restricted substitution.
+    mixed = condition.substitute({"T1": outcome, **foreign})
+    assert mixed is condition.substitute({"T1": outcome})
+    # And no operation ever invents variables from the foreign space.
+    assert not (condition.variables() & set(foreign))
+    assert not ((~condition).variables() & set(foreign))
+
+
+@given(raw_conditions)
+@settings(max_examples=60)
+def test_cache_reconfiguration_preserves_identity_of_live_conditions(
+    products_list,
+):
+    """Clearing/resizing the memoization caches must not break interning:
+    a condition rebuilt after ``clear_caches`` is still the same object
+    as its live predecessor (the intern table is weak, not an lru_cache).
+    """
+    before = build(products_list)
+    conditions.clear_caches()
+    after = build(list(products_list))
+    assert after is before
