@@ -27,6 +27,12 @@ The surface, by layer:
   (``docs/observability.md``).
 * **Correctness harness** — :func:`explore`, :func:`run_mutation_smoke`
   and the oracle entry points (``docs/testing.md``).
+* **Resilience** — the gray-failure fault model
+  (:class:`FailureAction`, :class:`ScheduleScript`), adaptive patience
+  (:class:`TimeoutPolicy`, :class:`RttEstimator`, :class:`Patience`),
+  bounded retransmission (:class:`RetryPolicy`), and the chaos
+  campaign (:class:`ChaosProfile`, :func:`run_campaign`,
+  :func:`replay_chaos`) — ``docs/faults.md``.
 * **Measurement** — :func:`run_benchmarks`, backing
   ``python -m repro bench`` (``docs/performance.md``).
 
@@ -104,9 +110,21 @@ from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.events import Event, SimTime
 from repro.sim.rand import Rng
 from repro.net.network import Network, NetworkStats
-from repro.net.failures import CrashPlan, RandomFailures, ScriptedFailures
+from repro.net.failures import (
+    CrashPlan,
+    FailureAction,
+    RandomFailures,
+    ScheduleScript,
+    ScriptedFailures,
+)
 from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
 from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.timeouts import (
+    Patience,
+    RetryPolicy,
+    RttEstimator,
+    TimeoutPolicy,
+)
 from repro.txn.system import DistributedSystem
 from repro.txn.tracing import ProtocolTracer
 from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
@@ -121,6 +139,9 @@ from repro.check.explorer import explore, replay, run_schedule
 from repro.check.mutation import run_mutation_smoke
 from repro.check.oracles import CheckContext, check_converged, check_quiescent, failed
 
+# Resilience layer: gray-failure chaos campaign (docs/faults.md).
+from repro.chaos import ChaosProfile, chaos_walk, replay_chaos, run_campaign
+
 # Analysis: the section 4 analytic model and Monte-Carlo simulation.
 from repro.analysis.model import table1_rows, table2_rows
 from repro.analysis.montecarlo import simulate
@@ -129,6 +150,7 @@ from repro.analysis.montecarlo import simulate
 from repro.bench import run_benchmarks
 
 __all__ = [
+    "ChaosProfile",
     "CheckContext",
     "CommitPolicy",
     "Condition",
@@ -138,12 +160,14 @@ __all__ = [
     "Event",
     "EventBus",
     "FALSE",
+    "FailureAction",
     "Literal",
     "MetricsRegistry",
     "Network",
     "NetworkStats",
     "OutcomeLog",
     "OutcomeTable",
+    "Patience",
     "PeriodicTask",
     "PolyContext",
     "PolyTransactionResult",
@@ -155,13 +179,17 @@ __all__ = [
     "RandomFailures",
     "ReproError",
     "Resolution",
+    "RetryPolicy",
     "Rng",
+    "RttEstimator",
+    "ScheduleScript",
     "ScriptedFailures",
     "SimTime",
     "SimulationError",
     "Simulator",
     "SpanTracer",
     "TRUE",
+    "TimeoutPolicy",
     "Transaction",
     "TransactionAborted",
     "TransactionError",
@@ -174,6 +202,7 @@ __all__ = [
     "blocking_system",
     "cache_info",
     "certain",
+    "chaos_walk",
     "check_converged",
     "check_quiescent",
     "clear_caches",
@@ -201,7 +230,9 @@ __all__ = [
     "reduce_value",
     "relaxed_system",
     "replay",
+    "replay_chaos",
     "run_benchmarks",
+    "run_campaign",
     "run_mutation_smoke",
     "run_schedule",
     "simplify",

@@ -26,6 +26,16 @@ conditions.configure_caches>`;
   truth-table validation for two simple values) vs the full validating
   constructor on the same inputs.
 
+The resilience layer adds three more machine-relative guards (see
+:func:`bench_resilience` and ``docs/faults.md``):
+
+* ``adaptive_spurious_reduction`` — spurious wait-timeout polyvalue
+  installs under the reference gray campaign, fixed / resilient;
+* ``outage_detection_parity`` — real-outage detection latency,
+  fixed / resilient;
+* ``retransmission_reduction`` — owed-notification sends over a
+  one-minute outage, flat-interval / exponential-backoff.
+
 CI compares the guards against the committed ``BENCH_perf.json`` and
 fails on a >25% relative regression; ratios transfer across runner
 speeds where absolute ops/s do not.  See ``docs/performance.md``.
@@ -163,6 +173,220 @@ def bench_explorer(
     }
 
 
+# ----------------------------------------------------------------------
+# Resilience benchmarks (the gray-failure layer)
+# ----------------------------------------------------------------------
+
+#: Simulated seconds of gray-campaign traffic.  Smoke mode does NOT
+#: shrink this: simulated seconds are nearly free in wall time, and an
+#: identical seeded run makes every resilience guard bit-for-bit
+#: reproducible across machines (unlike the timing-based guards).
+GRAY_DURATION = 200.0
+
+#: Simulated seconds the retransmission outage lasts (the acceptance
+#: scenario: one site down for a minute while owed a notification).
+OUTAGE_DURATION = 60.0
+
+
+def _resilience_transfer(src: str, dst: str):
+    from repro.txn.transaction import Transaction
+
+    def body(ctx):
+        ctx.write(src, ctx.read(src) - 1)
+        ctx.write(dst, ctx.read(dst) + 1)
+
+    return Transaction(body=body, items=(src, dst), label=f"{src}->{dst}")
+
+
+def _resilience_spread(items3):
+    from repro.txn.transaction import Transaction
+
+    a, b, c = items3
+
+    def body(ctx):
+        ctx.write(a, ctx.read(a) - 2)
+        ctx.write(b, ctx.read(b) + 1)
+        ctx.write(c, ctx.read(c) + 1)
+
+    return Transaction(body=body, items=items3, label=f"spread:{a}")
+
+
+def _resilience_config(resilient: bool, retry=None):
+    from repro.txn.runtime import ProtocolConfig
+    from repro.txn.timeouts import TimeoutPolicy
+
+    kwargs = {"retry": retry} if retry is not None else {}
+    if resilient:
+        # The resilient stack: adaptive RTO + two §6 wait-phase probes
+        # (three probes at the adaptive RTO fit the fixed policy's
+        # outage-detection budget — measured by the parity guard).
+        return ProtocolConfig(
+            timeout_policy=TimeoutPolicy(mode="adaptive"),
+            wait_query_retries=2,
+            **kwargs,
+        )
+    return ProtocolConfig(**kwargs)
+
+
+def _gray_campaign_run(resilient: bool, seed: int, duration: float) -> Dict[str, Any]:
+    """The reference gray campaign: no crash ever happens, so every
+    wait-timeout polyvalue install is spurious.
+
+    Three sites; healthy warmup, then one site degraded x5, one
+    directed link spiked x10 and 2% ambient message loss for the rest
+    of the run.  Steady disjoint three-site transactions keep lock
+    contention out of the measurement.
+    """
+    from repro.check.oracles import CheckContext, check_converged, failed
+    from repro.txn.system import DistributedSystem
+
+    system = DistributedSystem.build(
+        sites=3,
+        items={f"item-{i}": 100 for i in range(12)},
+        seed=seed,
+        loss_probability=0.02,
+        config=_resilience_config(resilient),
+    )
+    groups = [
+        tuple(f"item-{3 * g + k}" for k in range(3)) for g in range(4)
+    ]
+    at, index = 0.1, 0
+    while at < duration:
+        group = groups[index % len(groups)]
+        system.sim.schedule_at(
+            at,
+            lambda g=group: system.submit(_resilience_spread(g)),
+            label="arrival",
+        )
+        at += 0.2
+        index += 1
+    system.run_until(5.0)  # healthy warmup: estimators sample real RTTs
+    system.degrade_site("site-2", 5.0)
+    system.network.spike_link("site-0", "site-1", 10.0)
+    system.run_until(duration)
+    system.restore_site("site-2")
+    system.network.clear_link("site-0", "site-1")
+    settled = system.settle(max_time=system.sim.now + 120.0)
+    oracles = check_converged(CheckContext(system=system))
+    return {
+        "spurious_installs": system.metrics.in_doubt_windows,
+        "committed": system.metrics.committed,
+        "aborted": system.metrics.aborted,
+        "settled": settled,
+        "oracles_checked": len(oracles),
+        "oracles_ok": settled and not failed(oracles),
+    }
+
+
+def _outage_detection_run(resilient: bool, seed: int) -> float:
+    """Seconds from a real coordinator crash (healthy network, warmed
+    estimators) to the participant's first polyvalue install."""
+    from repro.txn.system import DistributedSystem
+
+    system = DistributedSystem.build(
+        sites=3,
+        items={f"item-{i}": 100 for i in range(6)},
+        seed=seed,
+        config=_resilience_config(resilient),
+    )
+    for _ in range(10):  # warmup so adaptive mode runs on live estimates
+        system.submit(_resilience_transfer("item-0", "item-1"))
+        system.run_for(0.4)
+    system.submit(_resilience_transfer("item-0", "item-1"))
+    system.run_for(0.030)  # mid-protocol: the in-doubt window is open
+    before = system.metrics.in_doubt_windows
+    crashed_at = system.sim.now
+    system.crash_site("site-0")
+    while (
+        system.metrics.in_doubt_windows == before
+        and system.sim.now < crashed_at + 30.0
+    ):
+        system.run_for(0.005)
+    latency = system.sim.now - crashed_at
+    system.recover_site("site-0")
+    system.settle(max_time=system.sim.now + 60.0)
+    return latency
+
+
+def _retransmission_run(flat: bool, seed: int) -> int:
+    """OutcomeNotify retransmissions over a one-minute participant
+    outage that begins inside the notification window."""
+    from repro.txn.system import DistributedSystem
+    from repro.txn.timeouts import RetryPolicy
+
+    retry = (
+        RetryPolicy(
+            backoff_factor=1.0, jitter=0.0, suppression_threshold=10**9
+        )
+        if flat
+        else RetryPolicy()
+    )
+    system = DistributedSystem.build(
+        sites=3,
+        items={f"item-{i}": 100 for i in range(6)},
+        seed=seed,
+        config=_resilience_config(False, retry=retry),
+    )
+    system.submit(_resilience_transfer("item-0", "item-1"))
+    log = system.sites["site-0"].runtime.outcome_log
+    while not log.pending() and system.sim.now < 1.0:
+        system.run_for(0.002)
+    system.crash_site("site-1")
+    system.run_for(OUTAGE_DURATION)
+    sends = system.metrics.notify_retransmissions
+    system.recover_site("site-1")
+    system.settle(max_time=system.sim.now + 60.0)
+    return sends
+
+
+def bench_resilience(*, seed: int = 0) -> Dict[str, Any]:
+    """The resilience suite: three measurements, three guard ratios.
+
+    * ``adaptive_spurious_reduction`` — spurious wait-timeout polyvalue
+      installs under the reference gray campaign, fixed / resilient
+      (acceptance floor: 3x);
+    * ``outage_detection_parity`` — real-outage detection latency,
+      fixed / resilient (~1: the resilient stack buys its reduction
+      without giving up detection speed);
+    * ``retransmission_reduction`` — OutcomeNotify sends over a
+      one-minute owed-notification outage, flat / backoff.
+    """
+    baseline = _gray_campaign_run(False, seed, GRAY_DURATION)
+    resilient = _gray_campaign_run(True, seed, GRAY_DURATION)
+    detection_fixed = _outage_detection_run(False, seed)
+    detection_adaptive = _outage_detection_run(True, seed)
+    flat_sends = _retransmission_run(True, seed)
+    backoff_sends = _retransmission_run(False, seed)
+    results = {
+        "gray_spurious_installs_fixed": baseline["spurious_installs"],
+        "gray_spurious_installs_adaptive": resilient["spurious_installs"],
+        "gray_committed_fixed": baseline["committed"],
+        "gray_committed_adaptive": resilient["committed"],
+        "gray_oracles_checked": baseline["oracles_checked"],
+        "gray_oracles_ok": bool(
+            baseline["oracles_ok"] and resilient["oracles_ok"]
+        ),
+        "outage_detection_fixed_s": round(detection_fixed, 3),
+        "outage_detection_adaptive_s": round(detection_adaptive, 3),
+        "outage_retransmissions_flat": flat_sends,
+        "outage_retransmissions_backoff": backoff_sends,
+    }
+    guards = {
+        "adaptive_spurious_reduction": round(
+            baseline["spurious_installs"]
+            / max(1, resilient["spurious_installs"]),
+            2,
+        ),
+        "outage_detection_parity": round(
+            detection_fixed / detection_adaptive, 2
+        ),
+        "retransmission_reduction": round(
+            flat_sends / max(1, backoff_sends), 2
+        ),
+    }
+    return {"results": results, "guards": guards}
+
+
 def bench_table2(duration: float = FULL_TABLE2_DURATION) -> float:
     """Wall seconds to run every Table-2 row for *duration* sim-seconds."""
     from repro.analysis.model import table2_rows
@@ -205,6 +429,7 @@ def run_benchmarks(
     duration = SMOKE_TABLE2_DURATION if smoke else FULL_TABLE2_DURATION
 
     explorer = bench_explorer(seeds=explorer_seeds, first=seed)
+    resilience = bench_resilience(seed=seed)
     results: Dict[str, Any] = {
         "condition_ops_per_s": round(bench_condition_ops(min_time), 1),
         "polyvalue_ops_per_s": round(bench_polyvalue_reads(min_time), 1),
@@ -213,6 +438,7 @@ def run_benchmarks(
         "explorer_ok": explorer["ok"],
         "table2_wall_s": round(bench_table2(duration), 3),
     }
+    results.update(resilience["results"])
     guards = {
         "condition_cache_speedup": round(
             bench_condition_cache_speedup(min_time), 2
@@ -221,6 +447,7 @@ def run_benchmarks(
             bench_polyvalue_fastpath_speedup(min_time), 2
         ),
     }
+    guards.update(resilience["guards"])
     return {
         "schema": 1,
         "mode": "smoke" if smoke else "full",
@@ -262,6 +489,10 @@ def check_regression(
             )
     if not report["results"].get("explorer_ok", True):
         failures.append("explorer reported oracle violations during bench")
+    if not report["results"].get("gray_oracles_ok", True):
+        failures.append(
+            "gray campaign reported oracle violations during bench"
+        )
     return failures
 
 
@@ -283,6 +514,22 @@ def render_report(report: Dict[str, Any]) -> str:
         f"  cache speedup:      {guards['condition_cache_speedup']:>12.2f}x",
         f"  fast-path speedup:  {guards['polyvalue_fastpath_speedup']:>12.2f}x",
     ]
+    if "adaptive_spurious_reduction" in guards:
+        lines += [
+            f"  spurious installs:  "
+            f"{results['gray_spurious_installs_fixed']:>8} fixed / "
+            f"{results['gray_spurious_installs_adaptive']} adaptive "
+            f"({guards['adaptive_spurious_reduction']:.1f}x reduction, "
+            f"oracles ok={results['gray_oracles_ok']})",
+            f"  outage detection:   "
+            f"{results['outage_detection_fixed_s']:>8.3f}s fixed / "
+            f"{results['outage_detection_adaptive_s']:.3f}s adaptive "
+            f"(parity {guards['outage_detection_parity']:.2f})",
+            f"  retransmissions:    "
+            f"{results['outage_retransmissions_flat']:>8} flat / "
+            f"{results['outage_retransmissions_backoff']} backoff "
+            f"({guards['retransmission_reduction']:.1f}x reduction)",
+        ]
     return "\n".join(lines)
 
 

@@ -1,0 +1,447 @@
+"""The chaos campaign: every fault class at once, judged by the oracles.
+
+Where ``python -m repro check`` explores *fail-stop* schedules (crash /
+recover / partition / heal) over a perfect network, the chaos campaign
+layers the full gray-failure model on top:
+
+* **ambient unreliability** — every message is subject to seeded loss,
+  duplication and checksum-detected corruption for the whole run;
+* **gray failures** — seeded walks that degrade whole sites, spike
+  individual directed links, and cut links one way only
+  (:class:`~repro.net.failures.FailureAction`'s extended vocabulary);
+* **fail-stop failures** — the classic crash/recover/partition/heal
+  actions, interleaved with the gray ones;
+* **resilience configuration** — the campaign runs the protocol with
+  the adaptive :class:`~repro.txn.timeouts.TimeoutPolicy` (and
+  optionally a polyvalue budget) so the resilience layer itself is
+  inside the tested loop, not just the failure injectors.
+
+Every run is still a pure function of ``(scenario, seed, schedule,
+profile)``: a violating run writes a JSON artifact embedding all four,
+and :func:`replay_chaos` re-executes it bit-for-bit.
+
+Command line: ``python -m repro chaos`` (see ``docs/faults.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SimulationError
+from repro.net.failures import FailureAction
+from repro.sim.rand import Rng
+from repro.txn.runtime import ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.timeouts import TimeoutPolicy
+from repro.check.explorer import (
+    WALK_DELTAS,
+    ExplorationResult,
+    Schedule,
+    Violation,
+)
+from repro.check.explorer import run_schedule as _run_schedule
+from repro.check.scenarios import SCENARIOS, build_scenario
+
+#: Scenario subset used by ``--smoke`` (CI): the 2- and 3-site scopes
+#: where protocol bugs first appear, skipping the slowest scenario.
+SMOKE_SCENARIOS: Tuple[str, ...] = ("pair", "transfers")
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Ambient unreliability plus the resilience configuration under test.
+
+    The profile is half of a campaign's identity (the other half being
+    the per-run ``(scenario, seed, schedule)`` triple): identical
+    profiles replay identical runs, so the profile is embedded in every
+    violation artifact.
+    """
+
+    #: Per-message loss probability on every link, all run long.
+    loss_probability: float = 0.02
+    #: Per-message probability of checksum-detected corruption (the
+    #: receiver discards; shows up as the ``drop:corrupt`` stat).
+    corruption_probability: float = 0.01
+    #: Per-message duplication probability.
+    duplicate_probability: float = 0.02
+    #: Latency multiplier a ``degrade`` action applies to a whole site.
+    degrade_factor: float = 5.0
+    #: Latency multiplier a ``link-spike`` action applies to one
+    #: directed link.
+    spike_factor: float = 10.0
+    #: Run the protocol with adaptive (RTT-tracking) timeouts; False
+    #: pins the fixed-timeout baseline.
+    adaptive: bool = True
+    #: Optional per-site polyvalue budget (the section 6 overload
+    #: valve); None leaves degradation-under-overload off.
+    polyvalue_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "loss_probability",
+            "corruption_probability",
+            "duplicate_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(
+                    f"{name} must be within [0, 1], got {value}"
+                )
+        for name in ("degrade_factor", "spike_factor"):
+            value = getattr(self, name)
+            if value < 1.0:
+                raise SimulationError(
+                    f"{name} must be >= 1 (a latency multiplier), "
+                    f"got {value}"
+                )
+
+    def protocol_config(self) -> ProtocolConfig:
+        """The protocol configuration this profile runs under.
+
+        Adaptive mode is the full resilient stack: RTT-tracking
+        timeouts plus two section 6 wait-phase query probes (the
+        adaptive RTO is small enough that three probes still fit the
+        fixed policy's outage-detection budget).  Fixed mode is the
+        exact historical configuration.
+        """
+        return ProtocolConfig(
+            timeout_policy=TimeoutPolicy(
+                mode="adaptive" if self.adaptive else "fixed"
+            ),
+            wait_query_retries=2 if self.adaptive else 0,
+            polyvalue_budget=self.polyvalue_budget,
+        )
+
+    def network_kwargs(self) -> Dict[str, float]:
+        """The ambient-unreliability keywords for the system builder."""
+        return {
+            "loss_probability": self.loss_probability,
+            "corruption_probability": self.corruption_probability,
+            "duplicate_probability": self.duplicate_probability,
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "loss_probability": self.loss_probability,
+            "corruption_probability": self.corruption_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "degrade_factor": self.degrade_factor,
+            "spike_factor": self.spike_factor,
+            "adaptive": self.adaptive,
+            "polyvalue_budget": self.polyvalue_budget,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "ChaosProfile":
+        budget = data.get("polyvalue_budget")
+        return ChaosProfile(
+            loss_probability=float(data.get("loss_probability", 0.02)),
+            corruption_probability=float(
+                data.get("corruption_probability", 0.01)
+            ),
+            duplicate_probability=float(
+                data.get("duplicate_probability", 0.02)
+            ),
+            degrade_factor=float(data.get("degrade_factor", 5.0)),
+            spike_factor=float(data.get("spike_factor", 10.0)),
+            adaptive=bool(data.get("adaptive", True)),
+            polyvalue_budget=None if budget is None else int(budget),
+        )
+
+
+def system_factory(
+    profile: ChaosProfile,
+) -> Callable[[Schedule], DistributedSystem]:
+    """A :func:`~repro.check.explorer.run_schedule` system factory that
+    builds the schedule's scenario over *profile*'s lossy network with
+    *profile*'s resilience configuration."""
+
+    def factory(schedule: Schedule) -> DistributedSystem:
+        return build_scenario(
+            schedule.scenario,
+            schedule.seed,
+            config=profile.protocol_config(),
+            network=profile.network_kwargs(),
+        )
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+
+
+def chaos_walk(
+    scenario: str,
+    seed: int,
+    *,
+    profile: Optional[ChaosProfile] = None,
+    steps: int = 14,
+) -> Schedule:
+    """One seeded walk over the FULL failure vocabulary (symbolically).
+
+    Like :func:`~repro.check.explorer.random_walk`, but each step may
+    also gray-degrade a site, spike or cut a single directed link, or
+    undo any of those.  State tracking keeps actions sensible (no
+    double-degrade, at least one site up); finalisation during the run
+    repairs whatever the walk left broken.
+    """
+    if scenario not in SCENARIOS:
+        raise SimulationError(f"unknown scenario {scenario!r}")
+    profile = profile or ChaosProfile()
+    rng = Rng(seed).fork(f"chaos:{scenario}")
+    sites = [f"site-{index}" for index in range(SCENARIOS[scenario].sites)]
+    links = [
+        (a, b) for a, b in itertools.permutations(sites, 2)
+    ]
+    down: set = set()
+    partitions: set = set()
+    degraded: set = set()
+    spiked: set = set()
+    oneway: set = set()
+    now = 0.0
+    actions: List[FailureAction] = []
+    for _ in range(steps):
+        now += rng.choice(WALK_DELTAS)
+        now = round(now, 6)
+        candidates: List[Tuple[str, Tuple[str, ...], float]] = [
+            ("none", (), 0.0)
+        ]
+        for site in sites:
+            if site in down:
+                candidates.append(("recover", (site,), 0.0))
+            elif len(down) < len(sites) - 1:
+                candidates.append(("crash", (site,), 0.0))
+            if site in degraded:
+                candidates.append(("restore", (site,), 0.0))
+            else:
+                candidates.append(
+                    ("degrade", (site,), profile.degrade_factor)
+                )
+        for a, b in itertools.combinations(sites, 2):
+            pair = frozenset((a, b))
+            if pair in partitions:
+                candidates.append(("heal", (a, b), 0.0))
+            else:
+                candidates.append(("partition", (a, b), 0.0))
+        for link in links:
+            if link in spiked:
+                candidates.append(("link-clear", link, 0.0))
+            else:
+                candidates.append(
+                    ("link-spike", link, profile.spike_factor)
+                )
+            if link in oneway:
+                candidates.append(("heal-oneway", link, 0.0))
+            else:
+                candidates.append(("partition-oneway", link, 0.0))
+        kind, targets, value = rng.choice(candidates)
+        if kind == "none":
+            continue
+        if kind == "crash":
+            down.add(targets[0])
+        elif kind == "recover":
+            down.discard(targets[0])
+        elif kind == "partition":
+            partitions.add(frozenset(targets))
+        elif kind == "heal":
+            partitions.discard(frozenset(targets))
+        elif kind == "degrade":
+            degraded.add(targets[0])
+        elif kind == "restore":
+            degraded.discard(targets[0])
+        elif kind == "link-spike":
+            spiked.add(targets)
+        elif kind == "link-clear":
+            spiked.discard(targets)
+        elif kind == "partition-oneway":
+            oneway.add(targets)
+        elif kind == "heal-oneway":
+            oneway.discard(targets)
+        actions.append(
+            FailureAction(at=now, kind=kind, targets=targets, value=value)
+        )
+    horizon = max(4.5, now + 0.25)
+    return Schedule(
+        scenario=scenario,
+        seed=seed,
+        actions=tuple(actions),
+        horizon=round(horizon, 6),
+        label=f"chaos:{scenario}:{seed}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of one chaos campaign."""
+
+    profile: ChaosProfile
+    results: List[ExplorationResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def schedules_run(self) -> int:
+        return len(self.results)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for result in self.results for v in result.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def total_stats(self) -> Dict[str, int]:
+        """Summed fault-injection evidence across the campaign's runs."""
+        totals = {
+            "gray_actions": 0,
+            "failstop_actions": 0,
+            "events": 0,
+        }
+        gray_kinds = {
+            "degrade",
+            "restore",
+            "link-spike",
+            "link-clear",
+            "partition-oneway",
+            "heal-oneway",
+        }
+        for result in self.results:
+            totals["events"] += result.events_processed
+            for action in result.schedule.actions:
+                bucket = (
+                    "gray_actions"
+                    if action.kind in gray_kinds
+                    else "failstop_actions"
+                )
+                totals[bucket] += 1
+        return totals
+
+    def summary_lines(self) -> List[str]:
+        totals = self.total_stats()
+        mode = "adaptive" if self.profile.adaptive else "fixed"
+        lines = [
+            f"{self.schedules_run} chaos schedules in "
+            f"{self.wall_seconds:.2f}s wall "
+            f"({totals['gray_actions']} gray + "
+            f"{totals['failstop_actions']} fail-stop actions, "
+            f"{totals['events']} events, {mode} timeouts, "
+            f"loss={self.profile.loss_probability:g} "
+            f"corrupt={self.profile.corruption_probability:g})",
+        ]
+        if self.ok:
+            lines.append("all oracles passed on every schedule")
+        else:
+            lines.append(f"{len(self.violations)} ORACLE VIOLATION(S):")
+            for result in self.results:
+                for violation in result.violations:
+                    where = result.artifact_path or result.schedule.label
+                    lines.append(f"  {where}: {violation}")
+        return lines
+
+
+def _write_chaos_artifact(
+    schedule: Schedule,
+    profile: ChaosProfile,
+    violations: List[Violation],
+    artifact_dir: str,
+) -> str:
+    os.makedirs(artifact_dir, exist_ok=True)
+    payload = schedule.to_dict()
+    payload["profile"] = profile.to_dict()
+    fingerprint = zlib.crc32(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    payload["violations"] = [
+        {"phase": v.phase, "oracle": v.oracle, "details": v.details}
+        for v in violations
+    ]
+    name = (
+        f"chaos-{schedule.scenario}-seed{schedule.seed}-"
+        f"{fingerprint:08x}.json"
+    )
+    path = os.path.join(artifact_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_chaos_schedule(
+    schedule: Schedule,
+    profile: ChaosProfile,
+    *,
+    artifact_dir: Optional[str] = None,
+) -> ExplorationResult:
+    """Execute one chaos schedule under *profile* and judge it."""
+    result = _run_schedule(
+        schedule, system_factory=system_factory(profile)
+    )
+    if result.violations and artifact_dir is not None:
+        result.artifact_path = _write_chaos_artifact(
+            schedule, profile, result.violations, artifact_dir
+        )
+    return result
+
+
+def replay_chaos(artifact_path: str) -> ExplorationResult:
+    """Re-execute the run stored in a chaos violation artifact.
+
+    The artifact embeds both the schedule and the profile, so the same
+    ambient unreliability, gray actions and resilience configuration
+    are reconstructed; the recorded violation either reappears
+    identically or was produced by a since-fixed build.
+    """
+    with open(artifact_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schedule = Schedule.from_dict(data)
+    profile = ChaosProfile.from_dict(data.get("profile", {}))
+    return run_chaos_schedule(schedule, profile)
+
+
+def run_campaign(
+    *,
+    profile: Optional[ChaosProfile] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = range(10),
+    steps: int = 14,
+    smoke: bool = False,
+    artifact_dir: Optional[str] = None,
+) -> ChaosReport:
+    """Run the chaos campaign: one :func:`chaos_walk` per (scenario, seed).
+
+    ``smoke=True`` trims to the :data:`SMOKE_SCENARIOS` subset and
+    shorter walks — the CI budget.  Explicit *scenarios*/*steps*
+    override the smoke defaults.
+    """
+    profile = profile or ChaosProfile()
+    if scenarios is None:
+        scenarios = SMOKE_SCENARIOS if smoke else tuple(SCENARIOS)
+    if smoke:
+        steps = min(steps, 10)
+    report = ChaosReport(profile=profile)
+    started = time.perf_counter()
+    for seed in seeds:
+        for scenario in scenarios:
+            schedule = chaos_walk(
+                scenario, seed, profile=profile, steps=steps
+            )
+            report.results.append(
+                run_chaos_schedule(
+                    schedule, profile, artifact_dir=artifact_dir
+                )
+            )
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -34,7 +34,7 @@ import os
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SimulationError
 from repro.net.failures import FailureAction, ScheduleScript
@@ -97,6 +97,7 @@ class Schedule:
                     "at": action.at,
                     "kind": action.kind,
                     "targets": list(action.targets),
+                    "value": action.value,
                 }
                 for action in self.actions
             ],
@@ -115,6 +116,7 @@ class Schedule:
                     at=float(entry["at"]),
                     kind=entry["kind"],
                     targets=tuple(entry["targets"]),
+                    value=float(entry.get("value", 0.0)),
                 )
                 for entry in data["actions"]
             ),
@@ -359,6 +361,7 @@ def run_schedule(
     *,
     artifact_dir: Optional[str] = None,
     settle_budget: float = 120.0,
+    system_factory: Optional[Callable] = None,
 ) -> ExplorationResult:
     """Execute one schedule and judge it with the full oracle catalogue.
 
@@ -366,17 +369,28 @@ def run_schedule(
     drives the system to quiescence between actions (bounded by the
     next action's time) and evaluates the quiescent-point oracles at
     every such point.  After the last action and the traffic horizon it
-    recovers every site, heals every partition, settles, and evaluates
-    the convergence oracles.  Any violation (or an outright crash of
-    the protocol code) is recorded; with *artifact_dir* set, a
-    replayable artifact is written.
+    recovers every site, heals every partition, clears every gray
+    degradation, settles, and evaluates the convergence oracles.  Any
+    violation (or an outright crash of the protocol code) is recorded;
+    with *artifact_dir* set, a replayable artifact is written.
+
+    *system_factory* (``schedule -> DistributedSystem``) overrides the
+    default scenario construction — the chaos campaign uses it to build
+    scenarios over lossy/corrupting networks with resilience configs.
+    A factory takes full responsibility for the config (including
+    ``schedule.fault``, which the default path arms itself).
     """
-    config = (
-        ProtocolConfig(wait_phase_fault=schedule.fault)
-        if schedule.fault
-        else None
-    )
-    system = build_scenario(schedule.scenario, schedule.seed, config=config)
+    if system_factory is not None:
+        system = system_factory(schedule)
+    else:
+        config = (
+            ProtocolConfig(wait_phase_fault=schedule.fault)
+            if schedule.fault
+            else None
+        )
+        system = build_scenario(
+            schedule.scenario, schedule.seed, config=config
+        )
     ctx = CheckContext(system=system)
     script = ScheduleScript(system.sim, system, system.network, ())
     violations: List[Violation] = []
@@ -413,6 +427,7 @@ def run_schedule(
         # Finalisation: deterministically repair everything, then let
         # the section 3.3 machinery resolve all remaining uncertainty.
         system.network.heal_all()
+        system.network.clear_degradations()
         for site in system.down_sites():
             system.recover_site(site)
         converged = system.settle(

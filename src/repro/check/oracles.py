@@ -173,6 +173,12 @@ def no_blocking_oracle(ctx: CheckContext) -> Verdict:
     implies no locks at all on polyvalued items; the BLOCKING baseline
     legitimately violates this, which is exactly the contrast the
     paper draws — so this oracle only applies to the polyvalue policy.
+
+    One deliberate exception: a configured ``polyvalue_budget``
+    (ProtocolConfig's §6 overload valve) switches wait-timeouts to
+    blocking once the site is saturated, and those transactions hold
+    their locks *by design* — a lock whose holder the participant
+    reports as blocked is therefore not a violation.
     """
     from repro.txn.runtime import CommitPolicy
 
@@ -180,11 +186,16 @@ def no_blocking_oracle(ctx: CheckContext) -> Verdict:
         return Verdict(
             oracle="no-blocking", ok=True, details="skipped: non-polyvalue policy"
         )
+    budgeted = ctx.system.config.polyvalue_budget is not None
     problems: List[str] = []
     for site_id, site in ctx.system.sites.items():
-        locked = site.runtime.locks.locked_items()
+        locks = site.runtime.locks
+        locked = locks.locked_items()
+        blocked = site.participant.blocked_transactions() if budgeted else set()
         for item in site.store.polyvalued_items():
             if item in locked:
+                if blocked and locks.holders(item) <= blocked:
+                    continue  # overload valve: blocking chosen by config
                 problems.append(
                     f"{site_id}/{item}: holds a polyvalue but is locked "
                     f"(availability violated)"

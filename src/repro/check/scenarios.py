@@ -18,7 +18,7 @@ plain increments (single-site fast path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.errors import SimulationError
 from repro.txn.runtime import ProtocolConfig
@@ -35,7 +35,7 @@ class Scenario:
     name: str
     sites: int
     description: str
-    build: Callable[[int, Optional[ProtocolConfig]], DistributedSystem]
+    build: Callable[..., DistributedSystem]
 
 
 def _items(count: int) -> Dict[ItemId, int]:
@@ -89,7 +89,11 @@ def _schedule_submissions(
         )
 
 
-def _build_pair(seed: int, config: Optional[ProtocolConfig]) -> DistributedSystem:
+def _build_pair(
+    seed: int,
+    config: Optional[ProtocolConfig],
+    network: Optional[Mapping] = None,
+) -> DistributedSystem:
     """Two sites, one cross-site transfer then a dependent increment.
 
     The minimal configuration in which the in-doubt window exists at
@@ -97,7 +101,7 @@ def _build_pair(seed: int, config: Optional[ProtocolConfig]) -> DistributedSyste
     must install polyvalues.
     """
     system = DistributedSystem.build(
-        sites=2, items=_items(4), seed=seed, config=config
+        sites=2, items=_items(4), seed=seed, config=config, **(network or {})
     )
     _schedule_submissions(
         system,
@@ -111,11 +115,13 @@ def _build_pair(seed: int, config: Optional[ProtocolConfig]) -> DistributedSyste
 
 
 def _build_transfers(
-    seed: int, config: Optional[ProtocolConfig]
+    seed: int,
+    config: Optional[ProtocolConfig],
+    network: Optional[Mapping] = None,
 ) -> DistributedSystem:
     """Three sites, a braid of transfers touching every site pair."""
     system = DistributedSystem.build(
-        sites=3, items=_items(6), seed=seed, config=config
+        sites=3, items=_items(6), seed=seed, config=config, **(network or {})
     )
     _schedule_submissions(
         system,
@@ -132,7 +138,9 @@ def _build_transfers(
 
 
 def _build_mixed(
-    seed: int, config: Optional[ProtocolConfig]
+    seed: int,
+    config: Optional[ProtocolConfig],
+    network: Optional[Mapping] = None,
 ) -> DistributedSystem:
     """Three sites; transfers plus forwarding and modal-collapse traffic.
 
@@ -141,7 +149,7 @@ def _build_mixed(
     must stay simple even over polyvalued inputs (section 3.2).
     """
     system = DistributedSystem.build(
-        sites=3, items=_items(6), seed=seed, config=config
+        sites=3, items=_items(6), seed=seed, config=config, **(network or {})
     )
     _schedule_submissions(
         system,
@@ -183,13 +191,25 @@ SCENARIOS: Dict[str, Scenario] = {
 
 
 def build_scenario(
-    name: str, seed: int, *, config: Optional[ProtocolConfig] = None
+    name: str,
+    seed: int,
+    *,
+    config: Optional[ProtocolConfig] = None,
+    network: Optional[Mapping] = None,
 ) -> DistributedSystem:
-    """Instantiate scenario *name* with *seed* (and an optional config)."""
+    """Instantiate scenario *name* with *seed*.
+
+    *config* is the protocol configuration; *network* is an optional
+    mapping of :meth:`DistributedSystem.build` network keywords
+    (``loss_probability``, ``corruption_probability``,
+    ``duplicate_probability``, ``jitter``, ``base_latency``) — the
+    chaos campaign uses it to run the same seeded traffic over an
+    unreliable network.
+    """
     try:
         scenario = SCENARIOS[name]
     except KeyError:
         raise SimulationError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
-    return scenario.build(seed, config)
+    return scenario.build(seed, config, network)

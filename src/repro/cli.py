@@ -18,6 +18,10 @@ code:
 * ``check`` — the correctness harness: invariant oracles over
   seed-enumerated failure schedules, optional mutation smoke test,
   deterministic replay of violation artifacts;
+* ``chaos`` — the resilience campaign: the same oracles over gray
+  failures (site degradation, link spikes, one-way partitions) plus
+  ambient loss/corruption/duplication, with the adaptive-timeout
+  resilience layer in the loop (``docs/faults.md``);
 * ``bench`` — the hot-path performance suite behind ``BENCH_perf.json``
   (``docs/performance.md``).
 
@@ -313,6 +317,43 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosProfile, replay_chaos, run_campaign
+
+    if args.replay:
+        result = replay_chaos(args.replay)
+        print(f"replayed {args.replay}:")
+        print(f"  {result.events_processed} events, "
+              f"{result.quiescent_checkpoints} quiescent checkpoints")
+        if result.ok:
+            print("  all oracles passed (the recorded violation is fixed)")
+            return 0
+        for violation in result.violations:
+            print(f"  {violation}")
+        return 1
+
+    profile = ChaosProfile(
+        loss_probability=args.loss,
+        corruption_probability=args.corruption,
+        duplicate_probability=args.duplicates,
+        degrade_factor=args.degrade_factor,
+        spike_factor=args.spike_factor,
+        adaptive=not args.fixed_timeouts,
+        polyvalue_budget=args.polyvalue_budget,
+    )
+    report = run_campaign(
+        profile=profile,
+        scenarios=tuple(args.scenario) if args.scenario else None,
+        seeds=range(args.seed, args.seed + args.seeds),
+        steps=args.steps,
+        smoke=args.smoke,
+        artifact_dir=args.artifact_dir,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -445,6 +486,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-execute a violation artifact instead of "
                        "exploring")
     check.set_defaults(handler=_cmd_check)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the resilience campaign (gray failures + lossy network)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="first chaos-walk seed (default 0)")
+    chaos.add_argument("--seeds", type=int, default=10,
+                       help="number of chaos-walk seeds (default 10)")
+    chaos.add_argument("--steps", type=int, default=14,
+                       help="failure actions per chaos walk (default 14)")
+    chaos.add_argument("--scenario", action="append",
+                       help="restrict to this scenario (repeatable)")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="shrunken scenario/steps budget for CI")
+    chaos.add_argument("--loss", type=float, default=0.02,
+                       help="ambient per-message loss probability "
+                       "(default 0.02)")
+    chaos.add_argument("--corruption", type=float, default=0.01,
+                       help="ambient corruption probability (default 0.01)")
+    chaos.add_argument("--duplicates", type=float, default=0.02,
+                       help="ambient duplication probability (default 0.02)")
+    chaos.add_argument("--degrade-factor", type=float, default=5.0,
+                       help="site gray-degradation latency multiplier "
+                       "(default 5)")
+    chaos.add_argument("--spike-factor", type=float, default=10.0,
+                       help="directed link-spike latency multiplier "
+                       "(default 10)")
+    chaos.add_argument("--fixed-timeouts", action="store_true",
+                       help="pin the fixed-timeout baseline instead of "
+                       "the adaptive policy")
+    chaos.add_argument("--polyvalue-budget", type=int, default=None,
+                       help="per-site polyvalue budget (overload valve; "
+                       "default off)")
+    chaos.add_argument("--artifact-dir", default=None,
+                       help="write replayable (schedule, profile) "
+                       "artifacts for violations here")
+    chaos.add_argument("--replay", default=None, metavar="ARTIFACT",
+                       help="re-execute a chaos violation artifact "
+                       "instead of exploring")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     bench = commands.add_parser(
         "bench",

@@ -86,6 +86,21 @@ class MetricsCollector:
             "Transactions aborted by a lock conflict",
             ("site",),
         )
+        self._retransmits = r.counter(
+            "repro_notify_retransmissions_total",
+            "Outcome notifications resent by the maintenance backoff loop",
+            ("site",),
+        )
+        self._overflows = r.counter(
+            "repro_fanout_overflow_aborts_total",
+            "Transactions aborted for exceeding max_alternatives",
+            ("site",),
+        )
+        self._overload_blocks = r.counter(
+            "repro_overload_blocked_total",
+            "Wait-timeouts switched to blocking by the polyvalue budget",
+            ("site",),
+        )
         self._outputs = r.counter(
             "repro_outputs_total",
             "External outputs, by certainty (section 3.4)",
@@ -188,6 +203,18 @@ class MetricsCollector:
     def lock_conflict(self, site: str = "") -> None:
         self._lock_conflicts.inc(site=site)
 
+    def notify_retransmitted(self, site: str = "") -> None:
+        """The maintenance loop resent an owed outcome notification."""
+        self._retransmits.inc(site=site)
+
+    def fanout_overflow(self, site: str = "") -> None:
+        """A polytransaction exceeded max_alternatives and was aborted."""
+        self._overflows.inc(site=site)
+
+    def overload_blocked(self, site: str = "") -> None:
+        """A wait-timeout fell back to blocking under the polyvalue budget."""
+        self._overload_blocks.inc(site=site)
+
     def unilateral_decision(self) -> None:
         self._unilateral.inc()
 
@@ -239,6 +266,18 @@ class MetricsCollector:
     @in_doubt_windows.setter
     def in_doubt_windows(self, value: int) -> None:
         self._in_doubt.inc(value - self.in_doubt_windows, site="")
+
+    @property
+    def notify_retransmissions(self) -> int:
+        return int(self._retransmits.value)
+
+    @property
+    def fanout_overflows(self) -> int:
+        return int(self._overflows.value)
+
+    @property
+    def overload_blocks(self) -> int:
+        return int(self._overload_blocks.value)
 
     @property
     def lock_conflict_aborts(self) -> int:
@@ -314,6 +353,9 @@ class MetricsCollector:
             "polyvalues_installed": self.polyvalues_installed,
             "polyvalues_resolved": self.polyvalues_resolved,
             "lock_conflict_aborts": self.lock_conflict_aborts,
+            "notify_retransmissions": self.notify_retransmissions,
+            "fanout_overflows": self.fanout_overflows,
+            "overload_blocks": self.overload_blocks,
             "certain_output_fraction": self.certain_output_fraction,
             "unilateral_decisions": self.unilateral_decisions,
             "inconsistent_decisions": self.inconsistent_decisions,

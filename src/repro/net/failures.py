@@ -86,30 +86,68 @@ class ScriptedFailures:
 class FailureAction:
     """One scheduled failure-injection action, at absolute time *at*.
 
-    ``kind`` is one of ``"crash"``, ``"recover"``, ``"partition"``,
-    ``"heal"``, ``"heal-all"``; ``targets`` names the affected site(s)
-    (two sites for partition/heal, none for heal-all).  This is the
-    on-disk vocabulary of the schedule explorer's ``(seed, schedule)``
-    artifacts (:mod:`repro.check.explorer`), so a violating interleaving
-    replays exactly.
+    ``kind`` is one of the fail-stop kinds — ``"crash"``, ``"recover"``,
+    ``"partition"``, ``"heal"``, ``"heal-all"`` — or the gray-failure
+    kinds — ``"degrade"``/``"restore"`` (site latency multiplier),
+    ``"link-spike"``/``"link-clear"`` (directed link multiplier) and
+    ``"partition-oneway"``/``"heal-oneway"`` (asymmetric reachability).
+    ``targets`` names the affected site(s); for the directed kinds the
+    order is ``(sender, recipient)``.  ``value`` carries the multiplier
+    for ``degrade``/``link-spike`` and is ignored elsewhere.  This is
+    the on-disk vocabulary of the schedule explorer's
+    ``(seed, schedule)`` artifacts (:mod:`repro.check.explorer`), so a
+    violating interleaving replays exactly.
     """
 
     at: float
     kind: str
     targets: Tuple[SiteId, ...] = ()
+    value: float = 0.0
 
-    KINDS = ("crash", "recover", "partition", "heal", "heal-all")
+    KINDS = (
+        "crash",
+        "recover",
+        "partition",
+        "heal",
+        "heal-all",
+        "degrade",
+        "restore",
+        "link-spike",
+        "link-clear",
+        "partition-oneway",
+        "heal-oneway",
+    )
+
+    #: Kinds whose ``value`` is a latency multiplier (must be >= 1).
+    VALUED_KINDS = ("degrade", "link-spike")
+
+    _TARGET_COUNTS = {
+        "crash": 1,
+        "recover": 1,
+        "partition": 2,
+        "heal": 2,
+        "heal-all": 0,
+        "degrade": 1,
+        "restore": 1,
+        "link-spike": 2,
+        "link-clear": 2,
+        "partition-oneway": 2,
+        "heal-oneway": 2,
+    }
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise SimulationError(f"action time must be >= 0, got {self.at}")
         if self.kind not in self.KINDS:
             raise SimulationError(f"unknown failure action kind {self.kind!r}")
-        expected = {"crash": 1, "recover": 1, "partition": 2, "heal": 2,
-                    "heal-all": 0}[self.kind]
+        expected = self._TARGET_COUNTS[self.kind]
         if len(self.targets) != expected:
             raise SimulationError(
                 f"{self.kind} takes {expected} target(s), got {self.targets}"
+            )
+        if self.kind in self.VALUED_KINDS and self.value < 1.0:
+            raise SimulationError(
+                f"{self.kind} needs a multiplier value >= 1, got {self.value}"
             )
 
 
@@ -121,6 +159,18 @@ class PartitionableNetwork(Protocol):
     def heal(self, a: SiteId, b: SiteId) -> None: ...
 
     def heal_all(self) -> None: ...
+
+    def degrade_site(self, site: SiteId, factor: float) -> None: ...
+
+    def restore_site(self, site: SiteId) -> None: ...
+
+    def spike_link(self, sender: SiteId, recipient: SiteId, factor: float) -> None: ...
+
+    def clear_link(self, sender: SiteId, recipient: SiteId) -> None: ...
+
+    def partition_oneway(self, sender: SiteId, recipient: SiteId) -> None: ...
+
+    def heal_oneway(self, sender: SiteId, recipient: SiteId) -> None: ...
 
 
 class ScheduleScript:
@@ -166,6 +216,31 @@ class ScheduleScript:
             self._network.heal(*action.targets)
         elif action.kind == "heal-all":
             self._network.heal_all()
+        elif action.kind == "degrade":
+            # Prefer the system facade (it emits obs events) when the
+            # crash target exposes degradation; fall back to the raw
+            # network for network-only scripts.
+            driver = (
+                self._target
+                if hasattr(self._target, "degrade_site")
+                else self._network
+            )
+            driver.degrade_site(action.targets[0], action.value)
+        elif action.kind == "restore":
+            driver = (
+                self._target
+                if hasattr(self._target, "restore_site")
+                else self._network
+            )
+            driver.restore_site(action.targets[0])
+        elif action.kind == "link-spike":
+            self._network.spike_link(*action.targets, action.value)
+        elif action.kind == "link-clear":
+            self._network.clear_link(*action.targets)
+        elif action.kind == "partition-oneway":
+            self._network.partition_oneway(*action.targets)
+        elif action.kind == "heal-oneway":
+            self._network.heal_oneway(*action.targets)
 
 
 class RandomFailures:
@@ -180,6 +255,20 @@ class RandomFailures:
     sites:
         Which sites may crash.  A site that is already down when its
         next crash fires simply reschedules.
+    gray_rate:
+        Expected gray episodes per simulated second, per site (default
+        0: fail-stop only, preserving existing seeded streams).  Each
+        episode degrades the site by *degrade_factor* — or, when a
+        *network* is supplied, may instead spike one outgoing link by
+        *spike_factor* (a 50/50 choice) — for an exponentially
+        distributed duration of mean *mean_gray*.
+    mean_gray:
+        Mean gray-episode duration, in simulated seconds.
+    degrade_factor / spike_factor:
+        Latency multipliers applied during an episode.
+    network:
+        Gray-capable network (needed for link spikes; degradation falls
+        back to the crash target's ``degrade_site`` when absent).
     """
 
     def __init__(
@@ -191,11 +280,20 @@ class RandomFailures:
         crash_rate: float,
         mean_repair: float,
         sites: Sequence[SiteId],
+        gray_rate: float = 0.0,
+        mean_gray: float = 1.0,
+        degrade_factor: float = 5.0,
+        spike_factor: float = 10.0,
+        network: "PartitionableNetwork | None" = None,
     ) -> None:
         if crash_rate < 0:
             raise SimulationError(f"crash_rate must be >= 0, got {crash_rate}")
         if mean_repair <= 0:
             raise SimulationError(f"mean_repair must be > 0, got {mean_repair}")
+        if gray_rate < 0:
+            raise SimulationError(f"gray_rate must be >= 0, got {gray_rate}")
+        if mean_gray <= 0:
+            raise SimulationError(f"mean_gray must be > 0, got {mean_gray}")
         if not sites:
             raise SimulationError("RandomFailures needs at least one site")
         self._sim = sim
@@ -205,10 +303,19 @@ class RandomFailures:
         self._mean_repair = mean_repair
         self._sites = list(sites)
         self._down: set = set()
+        self._gray_rate = gray_rate
+        self._mean_gray = mean_gray
+        self._degrade_factor = degrade_factor
+        self._spike_factor = spike_factor
+        self._network = network
         self.crashes_injected = 0
+        self.gray_injected = 0
         if crash_rate > 0:
             for site in self._sites:
                 self._schedule_next_crash(site)
+        if gray_rate > 0:
+            for site in self._sites:
+                self._schedule_next_gray(site)
 
     def _schedule_next_crash(self, site: SiteId) -> None:
         delay = self._rng.exponential(1.0 / self._crash_rate)
@@ -228,3 +335,50 @@ class RandomFailures:
     def _recover(self, site: SiteId) -> None:
         self._down.discard(site)
         self._target.recover_site(site)
+
+    # -- gray episodes -------------------------------------------------
+
+    def _schedule_next_gray(self, site: SiteId) -> None:
+        delay = self._rng.exponential(1.0 / self._gray_rate)
+        self._sim.schedule(delay, lambda: self._gray(site), label=f"gray:{site}")
+
+    def _gray(self, site: SiteId) -> None:
+        self.gray_injected += 1
+        duration = self._rng.exponential(self._mean_gray)
+        peers = [s for s in self._sites if s != site]
+        use_spike = (
+            self._network is not None
+            and peers
+            and self._rng.bernoulli(0.5)
+        )
+        if use_spike:
+            peer = self._rng.choice(peers)
+            self._network.spike_link(site, peer, self._spike_factor)
+            self._sim.schedule(
+                duration,
+                lambda: self._network.clear_link(site, peer),
+                label=f"gray:{site}",
+            )
+        else:
+            driver = (
+                self._target
+                if hasattr(self._target, "degrade_site")
+                else self._network
+            )
+            if driver is not None:
+                driver.degrade_site(site, self._degrade_factor)
+                self._sim.schedule(
+                    duration,
+                    lambda: self._restore(site),
+                    label=f"gray:{site}",
+                )
+        self._schedule_next_gray(site)
+
+    def _restore(self, site: SiteId) -> None:
+        driver = (
+            self._target
+            if hasattr(self._target, "restore_site")
+            else self._network
+        )
+        if driver is not None:
+            driver.restore_site(site)

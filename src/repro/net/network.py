@@ -12,6 +12,23 @@ failure modes the paper's protocol must survive:
 * **message loss** — independent per-message loss with a configurable
   probability.
 
+Beyond fail-stop, the network also models *gray failures* — the
+slow-but-not-dead behaviour that fixed timeouts handle worst (Gray &
+Lamport's realistic-timing critique, and the transient hiccups the
+paper's section 6 retry/backoff hybrid targets):
+
+* **site degradation** — :meth:`Network.degrade_site` multiplies the
+  latency of every message a site sends or receives (an overloaded or
+  thrashing host);
+* **link delay spikes** — :meth:`Network.spike_link` multiplies latency
+  on one directed link only;
+* **one-way partitions** — :meth:`Network.partition_oneway` blocks a
+  single direction, the asymmetric-reachability case bidirectional
+  partitions can't express;
+* **corruption** — checksum-style per-message corruption; a corrupted
+  message fails its (modelled) checksum and is dropped with the
+  ``drop:corrupt`` stat, indistinguishable from loss to the protocol.
+
 Dropped messages are counted, never raised: the commit protocol's
 timeouts are the recovery mechanism, exactly as in the paper.
 """
@@ -19,7 +36,7 @@ timeouts are the recovery mechanism, exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.errors import NetworkError
 from repro.net.message import Envelope, SiteId
@@ -40,6 +57,7 @@ class NetworkStats:
     dropped_site_down: int = 0
     dropped_partition: int = 0
     dropped_loss: int = 0
+    dropped_corrupt: int = 0
 
     @property
     def dropped(self) -> int:
@@ -48,6 +66,7 @@ class NetworkStats:
             self.dropped_site_down
             + self.dropped_partition
             + self.dropped_loss
+            + self.dropped_corrupt
         )
 
 
@@ -88,6 +107,11 @@ class Network:
         Independent probability that a message is delivered twice (the
         second copy after an extra latency draw).  Real networks and
         retry layers duplicate; the protocol must be idempotent.
+    corruption_probability:
+        Independent probability that a message is corrupted in transit.
+        A corrupted message fails its checksum at the receiver and is
+        dropped (counted as ``dropped_corrupt``); the payload is never
+        delivered mangled — the model is detect-and-discard.
     """
 
     def __init__(
@@ -99,12 +123,15 @@ class Network:
         jitter: float = 0.005,
         loss_probability: float = 0.0,
         duplicate_probability: float = 0.0,
+        corruption_probability: float = 0.0,
         bus: "EventBus | None" = None,
     ) -> None:
         if base_latency < 0 or jitter < 0:
             raise NetworkError("latency parameters must be non-negative")
         if not 0.0 <= duplicate_probability <= 1.0:
             raise NetworkError("duplicate_probability must be in [0, 1]")
+        if not 0.0 <= corruption_probability <= 1.0:
+            raise NetworkError("corruption_probability must be in [0, 1]")
         self._sim = sim
         self._rng = rng
         self._bus = bus
@@ -112,9 +139,15 @@ class Network:
         self._jitter = jitter
         self._loss_probability = loss_probability
         self._duplicate_probability = duplicate_probability
+        self._corruption_probability = corruption_probability
         self._handlers: Dict[SiteId, Handler] = {}
         self._down: Set[SiteId] = set()
         self._partitions: Set[FrozenSet[SiteId]] = set()
+        #: Gray-failure state: per-site processing-latency multipliers,
+        #: per-directed-link delay multipliers, and blocked directions.
+        self._degraded: Dict[SiteId, float] = {}
+        self._link_spikes: Dict[Tuple[SiteId, SiteId], float] = {}
+        self._oneway: Set[Tuple[SiteId, SiteId]] = set()
         self._observers: list = []
         self._batch: Optional[_DeliveryBatch] = None
         self.stats = NetworkStats()
@@ -124,8 +157,9 @@ class Network:
 
         The observer is called as ``observer(event, envelope, time)``
         with events ``"send"``, ``"deliver"``, ``"drop:site-down"``,
-        ``"drop:partition"`` and ``"drop:loss"``.  Observers must not
-        mutate the envelope or send messages re-entrantly.
+        ``"drop:partition"``, ``"drop:loss"`` and ``"drop:corrupt"``.
+        Observers must not mutate the envelope or send messages
+        re-entrantly.
         """
         self._observers.append(observer)
 
@@ -203,12 +237,75 @@ class Network:
                         self.partition(a, b)
 
     def heal_all(self) -> None:
-        """Remove every partition."""
+        """Remove every partition, including one-way partitions."""
         self._partitions.clear()
+        self._oneway.clear()
 
     def is_partitioned(self, a: SiteId, b: SiteId) -> bool:
-        """True iff traffic between *a* and *b* is blocked."""
+        """True iff traffic between *a* and *b* is blocked (either way)."""
         return frozenset((a, b)) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Gray-failure state
+    # ------------------------------------------------------------------
+
+    def degrade_site(self, site: SiteId, factor: float) -> None:
+        """Multiply the latency of every message *site* sends or receives.
+
+        Models a slow-but-alive host (paging, GC, overload): traffic
+        still flows, just late.  ``factor`` must be >= 1; degrading an
+        already-degraded site replaces (not stacks) the factor.
+        """
+        if factor < 1.0:
+            raise NetworkError(f"degrade factor must be >= 1, got {factor}")
+        self._degraded[site] = factor
+
+    def restore_site(self, site: SiteId) -> None:
+        """Remove *site*'s degradation (no-op if not degraded)."""
+        self._degraded.pop(site, None)
+
+    def degradation_of(self, site: SiteId) -> float:
+        """The current latency multiplier for *site* (1.0 = healthy)."""
+        return self._degraded.get(site, 1.0)
+
+    def spike_link(self, sender: SiteId, recipient: SiteId, factor: float) -> None:
+        """Multiply latency on the directed link *sender* → *recipient*.
+
+        Directed: the reverse link is unaffected unless spiked too.
+        """
+        if factor < 1.0:
+            raise NetworkError(f"link spike factor must be >= 1, got {factor}")
+        self._link_spikes[(sender, recipient)] = factor
+
+    def clear_link(self, sender: SiteId, recipient: SiteId) -> None:
+        """Remove the delay spike on *sender* → *recipient* (no-op if none)."""
+        self._link_spikes.pop((sender, recipient), None)
+
+    def partition_oneway(self, sender: SiteId, recipient: SiteId) -> None:
+        """Block traffic in the single direction *sender* → *recipient*.
+
+        The asymmetric-reachability case a bidirectional partition can't
+        express: *recipient* still reaches *sender*, so e.g. queries
+        arrive but the answers are lost.
+        """
+        self._oneway.add((sender, recipient))
+
+    def heal_oneway(self, sender: SiteId, recipient: SiteId) -> None:
+        """Restore the direction *sender* → *recipient*."""
+        self._oneway.discard((sender, recipient))
+
+    def is_blocked(self, sender: SiteId, recipient: SiteId) -> bool:
+        """True iff a message *sender* → *recipient* would be dropped
+        by a partition (bidirectional or one-way) right now."""
+        return (
+            frozenset((sender, recipient)) in self._partitions
+            or (sender, recipient) in self._oneway
+        )
+
+    def clear_degradations(self) -> None:
+        """Remove every site degradation and link spike (not partitions)."""
+        self._degraded.clear()
+        self._link_spikes.clear()
 
     # ------------------------------------------------------------------
     # Transport
@@ -240,17 +337,38 @@ class Network:
             self.stats.dropped_loss += 1
             self._notify("drop:loss", envelope)
             return
+        if self._corruption_probability > 0 and self._rng.bernoulli(
+            self._corruption_probability
+        ):
+            # The checksum failure is detected at the receiver, but the
+            # protocol-visible effect (message never handled) is the
+            # same wherever we count it; sampling at send keeps the
+            # seeded RNG stream independent of in-flight state.
+            self.stats.dropped_corrupt += 1
+            self._notify("drop:corrupt", envelope)
+            return
         copies = 1
         if self._duplicate_probability > 0 and self._rng.bernoulli(
             self._duplicate_probability
         ):
             copies = 2
             self.stats.duplicated += 1
+        factor = self._gray_factor(sender, recipient)
         for _ in range(copies):
             latency = self._base_latency
             if self._jitter > 0:
                 latency += self._rng.uniform(0.0, self._jitter)
-            self._schedule_delivery(latency, envelope)
+            self._schedule_delivery(latency * factor, envelope)
+
+    def _gray_factor(self, sender: SiteId, recipient: SiteId) -> float:
+        """Combined latency multiplier for *sender* → *recipient* now."""
+        if not self._degraded and not self._link_spikes:
+            return 1.0
+        return (
+            self._degraded.get(sender, 1.0)
+            * self._degraded.get(recipient, 1.0)
+            * self._link_spikes.get((sender, recipient), 1.0)
+        )
 
     def _schedule_delivery(self, latency: float, envelope: Envelope) -> None:
         at = self._sim.now + latency
@@ -289,7 +407,7 @@ class Network:
             self.stats.dropped_site_down += 1
             self._notify("drop:site-down", envelope)
             return
-        if self.is_partitioned(envelope.sender, envelope.recipient):
+        if self.is_blocked(envelope.sender, envelope.recipient):
             self.stats.dropped_partition += 1
             self._notify("drop:partition", envelope)
             return

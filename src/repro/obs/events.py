@@ -72,6 +72,10 @@ TAXONOMY = (
     "msg.drop",
     "site.crash",
     "site.recover",
+    "site.degrade",
+    "site.restore",
+    "txn.overflow",
+    "overload.block",
     "sim.window",
 )
 

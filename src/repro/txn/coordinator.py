@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.core import polytransaction
-from repro.core.errors import TransactionError
+from repro.core.errors import ConditionError, PolyvalueError, TransactionError
+from repro.core.polytransaction import TooManyAlternativesError
 from repro.core.polyvalue import depends_on, is_polyvalue, reduce_value
 from repro.sim.events import Event
 from repro.txn import protocol
@@ -65,6 +66,9 @@ class _CoordTxn:
     values: Dict[ItemId, Any] = field(default_factory=dict)
     outputs: Dict[str, Any] = field(default_factory=dict)
     timer: Optional[Event] = None
+    #: When the current phase's request went out to each site — the
+    #: reply closes a per-peer round-trip sample for adaptive patience.
+    sent_at: Dict[str, float] = field(default_factory=dict)
 
     def cancel_timer(self) -> None:
         if self.timer is not None:
@@ -129,9 +133,10 @@ class Coordinator:
             )
             rt.bus.emit("phase.read.start", time=rt.now, txn=txn, site=rt.site_id)
         for site, items in involved.items():
+            record.sent_at[site] = rt.now
             rt.send(site, protocol.ReadRequest(txn=txn, items=tuple(items)))
         record.timer = rt.schedule(
-            rt.config.ready_timeout,
+            rt.patience.timeout_over(involved, rt.config.ready_timeout),
             lambda: self._phase_timeout(txn),
             label=f"coord-read-timeout:{txn}",
         )
@@ -145,6 +150,10 @@ class Coordinator:
         record = self._active.get(message.txn)
         if record is None or record.phase is not _Phase.READING:
             return
+        if message.site in record.awaiting:
+            sent = record.sent_at.get(message.site)
+            if sent is not None:
+                self._rt.patience.observe(message.site, self._rt.now - sent)
         if not message.ok:
             self._decide_abort(record, f"read refused by {message.site}: {message.reason}")
             return
@@ -162,13 +171,34 @@ class Coordinator:
     def _execute_and_stage(self, record: _CoordTxn) -> None:
         rt = self._rt
         record.cancel_timer()
+        # Everything that can blow up on pathological in-doubt fan-out
+        # lives inside this try: ``execute`` raises
+        # TooManyAlternativesError past ``max_alternatives``, and the
+        # merge steps re-validate the combined condition sets, which can
+        # raise PolyvalueError/ConditionError on the same inputs.  All
+        # of it must become a clean abort — an exception escaping here
+        # would unwind the site's message handler out of the simulator.
         try:
             result = polytransaction.execute(
                 record.transaction.body,
                 record.values,
                 max_alternatives=rt.config.max_alternatives,
             )
-        except TransactionError as error:
+            writes = result.merged_writes(record.values)
+            outputs = result.merged_outputs()
+        except TooManyAlternativesError as error:
+            rt.metrics.fanout_overflow(site=rt.site_id)
+            if rt.bus:
+                rt.bus.emit(
+                    "txn.overflow",
+                    time=rt.now,
+                    txn=record.txn,
+                    site=rt.site_id,
+                    limit=rt.config.max_alternatives,
+                )
+            self._decide_abort(record, f"fan-out overflow: {error}")
+            return
+        except (TransactionError, PolyvalueError, ConditionError) as error:
             self._decide_abort(record, f"body failed: {error}")
             return
         if not result.is_simple():
@@ -176,8 +206,7 @@ class Coordinator:
             rt.metrics.txn_was_poly(
                 fanout=len(result.alternatives), site=rt.site_id
             )
-        writes = result.merged_writes(record.values)
-        record.outputs = result.merged_outputs()
+        record.outputs = outputs
         by_site = rt.catalog.group_by_site(writes)
         record.phase = _Phase.STAGING
         if rt.bus:
@@ -189,6 +218,7 @@ class Coordinator:
                 writes=tuple(sorted(writes)),
             )
         record.awaiting = set(record.involved)
+        record.sent_at = {}
         for site in record.involved:
             site_writes = {
                 item: writes[item] for item in by_site.get(site, ())
@@ -200,6 +230,7 @@ class Coordinator:
                 for in_doubt in depends_on(value):
                     if site != rt.site_id:
                         rt.outcomes.record_forward(in_doubt, site)
+            record.sent_at[site] = rt.now
             rt.send(
                 site,
                 protocol.StageRequest(
@@ -207,7 +238,7 @@ class Coordinator:
                 ),
             )
         record.timer = rt.schedule(
-            rt.config.ready_timeout,
+            rt.patience.timeout_over(record.involved, rt.config.ready_timeout),
             lambda: self._phase_timeout(record.txn),
             label=f"coord-ready-timeout:{record.txn}",
         )
@@ -220,6 +251,10 @@ class Coordinator:
         record = self._active.get(message.txn)
         if record is None or record.phase is not _Phase.STAGING:
             return
+        if message.site in record.awaiting:
+            sent = record.sent_at.get(message.site)
+            if sent is not None:
+                self._rt.patience.observe(message.site, self._rt.now - sent)
         record.awaiting.discard(message.site)
         if not record.awaiting:
             self._decide_complete(record)
@@ -236,6 +271,12 @@ class Coordinator:
         record = self._active.get(txn)
         if record is None or record.phase is _Phase.DECIDED:
             return
+        # Karn backoff: the peers that failed to answer within the
+        # adaptive timeout never produce the sample that would stretch
+        # it, so stretch it explicitly or a latency step up aborts
+        # every subsequent transaction too.
+        for site in record.awaiting:
+            self._rt.patience.penalize(site)
         missing = ", ".join(sorted(record.awaiting))
         record.handle.was_delayed_by_failure = True
         self._decide_abort(

@@ -63,6 +63,11 @@ class _ParticipantTxn:
     #: POLYVALUE policy: outcome-query retries already spent in the
     #: wait phase (§6 combination; see ProtocolConfig.wait_query_retries).
     wait_retries_used: int = 0
+    #: When this site answered the read request / sent ready — closed by
+    #: the stage request / decision arrival into the phase-interval
+    #: samples that feed adaptive patience.
+    reply_sent_at: Optional[float] = None
+    ready_sent_at: Optional[float] = None
 
     def cancel_timer(self) -> None:
         if self.timer is not None:
@@ -158,8 +163,9 @@ class Participant:
             sender,
             protocol.ReadReply(txn=txn, site=rt.site_id, ok=True, values=values),
         )
+        record.reply_sent_at = rt.now
         record.timer = rt.schedule(
-            rt.config.compute_timeout,
+            rt.patience.timeout_for(sender, rt.config.compute_timeout),
             lambda: self._compute_timeout(txn),
             label=f"compute-timeout:{txn}",
         )
@@ -174,6 +180,12 @@ class Participant:
             # own timeout will handle it.
             return
         record.cancel_timer()
+        if record.reply_sent_at is not None:
+            # One compute-phase interval: reply sent -> stage request
+            # arrived.  This is exactly the span the compute timeout
+            # must cover, coordinator processing included.
+            rt.patience.observe(sender, rt.now - record.reply_sent_at)
+            record.reply_sent_at = None
         for item in message.writes:
             if not rt.locks.try_acquire(txn, item, LockMode.WRITE):
                 rt.metrics.lock_conflict(site=rt.site_id)
@@ -202,8 +214,9 @@ class Participant:
         record.state = SiteState.WAIT
         self._transition(record, SiteState.COMPUTE, SiteState.WAIT, "ready")
         rt.send(sender, protocol.Ready(txn=txn, site=rt.site_id))
+        record.ready_sent_at = rt.now
         record.timer = rt.schedule(
-            rt.config.wait_timeout,
+            rt.patience.timeout_for(sender, rt.config.wait_timeout),
             lambda: self._wait_timeout(txn),
             label=f"wait-timeout:{txn}",
         )
@@ -218,6 +231,7 @@ class Participant:
         if record is None or record.state is not SiteState.WAIT:
             return  # late/duplicate; outcome handling at the site level applies
         record.cancel_timer()
+        self._observe_decision_interval(record)
         self._install_staged(message.txn, record.staged or {})
         self._transition(record, SiteState.WAIT, SiteState.IDLE, "complete")
         self._forget(message.txn)
@@ -228,9 +242,24 @@ class Participant:
         if record is None:
             return
         record.cancel_timer()
+        if record.state is SiteState.WAIT:
+            self._observe_decision_interval(record)
         source = record.state
         self._transition(record, source, SiteState.IDLE, "abort")
         self._forget(message.txn)
+
+    def _observe_decision_interval(self, record: _ParticipantTxn) -> None:
+        """Close the wait-phase sample: ready sent -> decision arrived.
+
+        This interval includes the *slowest other participant's* stage
+        round — exactly what this site's wait patience must outlast, so
+        it is the right sample even though it is not a pure network RTT.
+        """
+        if record.ready_sent_at is not None:
+            self._rt.patience.observe(
+                record.coordinator, self._rt.now - record.ready_sent_at
+            )
+            record.ready_sent_at = None
 
     # ------------------------------------------------------------------
     # Timeouts (the interesting part)
@@ -240,6 +269,9 @@ class Participant:
         record = self._active.get(txn)
         if record is None or record.state is not SiteState.COMPUTE:
             return
+        # Karn backoff, mirroring the coordinator's: the stage request
+        # that failed to arrive in time is the censored sample.
+        self._rt.patience.penalize(record.coordinator)
         # Section 3.1: "that site simply discards the computation
         # performed for the transaction and continues processing
         # transactions as if the transaction interrupted by the failure
@@ -251,6 +283,9 @@ class Participant:
         if record is None or record.state is not SiteState.WAIT:
             return
         policy = self._rt.config.policy
+        # Karn backoff: the decision that failed to arrive in time is
+        # the censored sample (see Patience.penalize).
+        self._rt.patience.penalize(record.coordinator)
         if policy is CommitPolicy.POLYVALUE:
             if record.wait_retries_used < self._rt.config.wait_query_retries:
                 # §6 combination: ask the coordinator once more before
@@ -262,10 +297,36 @@ class Participant:
                     protocol.OutcomeQuery(txn=txn, requester=self._rt.site_id),
                 )
                 record.timer = self._rt.schedule(
-                    self._rt.config.wait_timeout,
+                    self._rt.patience.timeout_for(
+                        record.coordinator, self._rt.config.wait_timeout
+                    ),
                     lambda: self._wait_timeout(txn),
                     label=f"wait-retry:{txn}",
                 )
+                return
+            budget = self._rt.config.polyvalue_budget
+            if (
+                budget is not None
+                and self._rt.store.polyvalue_count() >= budget
+            ):
+                # §6 hybrid, overload valve: this site already carries
+                # its budget of unresolved polyvalues — fall back to the
+                # blocking policy for this transaction instead of adding
+                # uncertainty.  Availability on these items is traded
+                # for a bound on in-doubt state; the outcome-query loop
+                # resolves it like any blocked transaction.
+                self._rt.metrics.overload_blocked(site=self._rt.site_id)
+                if self._rt.bus:
+                    self._rt.bus.emit(
+                        "overload.block",
+                        time=self._rt.now,
+                        txn=txn,
+                        site=self._rt.site_id,
+                        budget=budget,
+                        polyvalues=self._rt.store.polyvalue_count(),
+                    )
+                self._blocked.add(txn)
+                record.blocked_since = self._rt.now
                 return
             self._install_polyvalues(txn, record.staged or {})
             self._transition(record, SiteState.WAIT, SiteState.IDLE, "wait-timeout")

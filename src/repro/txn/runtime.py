@@ -38,6 +38,7 @@ from repro.net.network import Network
 from repro.obs.events import EventBus
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
+from repro.txn.timeouts import Patience, RetryPolicy, TimeoutPolicy
 
 
 class CommitPolicy(enum.Enum):
@@ -88,6 +89,22 @@ class ProtocolConfig:
     wait_query_retries: int = 0
     #: Cap on polytransaction fan-out (section 3.2 alternatives).
     max_alternatives: int = 1024
+    #: How the three patience constants above are interpreted: the
+    #: default fixed policy uses them verbatim (bit-for-bit replayable);
+    #: an adaptive policy treats them as pre-sample fallbacks and feeds
+    #: per-peer Jacobson RTT estimators into every timeout (see
+    #: :mod:`repro.txn.timeouts`).
+    timeout_policy: TimeoutPolicy = TimeoutPolicy()
+    #: Bounded retransmission for the outcome-maintenance loop:
+    #: per-destination exponential backoff with deterministic jitter
+    #: and a down-peer suppression window.
+    retry: RetryPolicy = RetryPolicy()
+    #: Graceful-degradation valve (the paper's §6 hybrid): when set, a
+    #: site already holding this many unresolved polyvalues answers new
+    #: wait-phase timeouts with the BLOCKING policy instead of
+    #: installing more — bounding in-doubt state under overload at the
+    #: cost of availability on the affected items.  None disables.
+    polyvalue_budget: Optional[int] = None
     #: Fault injection for the correctness harness (repro.check) ONLY.
     #: None in any real configuration.  When set to a fault name (see
     #: :data:`repro.check.mutation.FAULTS`), the participant's
@@ -258,6 +275,14 @@ class SiteRuntime:
     #: The system-wide observability bus (None in standalone use; every
     #: emission is guarded so the unobserved cost is a truthiness check).
     bus: Optional[EventBus] = None
+    #: Per-peer RTT estimators + timeout policy (auto-built from the
+    #: config; volatile — survives crashes only because rebuilding from
+    #: scratch is exactly what a recovering site would do anyway).
+    patience: Optional[Patience] = None
+
+    def __post_init__(self) -> None:
+        if self.patience is None:
+            self.patience = Patience(self.config.timeout_policy)
 
     def send(self, recipient: SiteId, payload: Any) -> None:
         """Send a protocol message from this site."""

@@ -20,6 +20,7 @@ crash/recovery behaviour all live here:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.errors import ProtocolError
@@ -38,6 +39,14 @@ from repro.txn.transaction import (
 )
 
 
+@dataclass
+class _RetryState:
+    """Volatile backoff bookkeeping for one owed notification."""
+
+    attempts: int = 0
+    next_at: float = 0.0
+
+
 class DatabaseSite:
     """One site of the distributed database."""
 
@@ -48,6 +57,13 @@ class DatabaseSite:
         #: Durable: outcome notifications owed to other sites, retried
         #: until acknowledged.  Maps (txn, site) -> committed.
         self._pending_notifies: Dict[Tuple[TxnId, SiteId], bool] = {}
+        #: Volatile: per-owed-entry exponential backoff state.  Losing
+        #: it on a crash is correct — a recovering site should resend
+        #: promptly, exactly what empty state produces.
+        self._retry: Dict[Tuple[TxnId, SiteId], _RetryState] = {}
+        #: Volatile: consecutive unacknowledged sends per destination;
+        #: reaching the policy threshold suppresses the destination.
+        self._peer_strikes: Dict[SiteId, int] = {}
         self._maintenance = PeriodicTask(
             runtime.sim,
             runtime.config.outcome_query_interval,
@@ -96,6 +112,8 @@ class DatabaseSite:
         """Handle one delivered protocol message."""
         if not self.runtime.up:
             return  # the network normally drops these; belt and braces
+        if envelope.sender != self.site_id:
+            self._note_peer_alive(envelope.sender)
         message = envelope.payload
         if isinstance(message, protocol.ReadRequest):
             self.participant.handle_read_request(message, envelope.sender)
@@ -128,6 +146,7 @@ class DatabaseSite:
         elif isinstance(message, protocol.OutcomeAck):
             self.runtime.outcome_log.acknowledge(message.txn, message.site)
             self._pending_notifies.pop((message.txn, message.site), None)
+            self._retry.pop((message.txn, message.site), None)
         else:
             raise ProtocolError(f"unhandled message type: {message!r}")
 
@@ -196,36 +215,90 @@ class DatabaseSite:
             ),
         )
 
+    def _note_peer_alive(self, peer: SiteId) -> None:
+        """Any inbound message is liveness evidence: end suppression and
+        re-arm owed entries for *peer* at the base delay, so a recovered
+        peer is caught up within roughly one maintenance period instead
+        of waiting out a capped backoff."""
+        if self._peer_strikes.get(peer):
+            self._peer_strikes[peer] = 0
+        if not self._retry:
+            return
+        rt = self.runtime
+        base = rt.config.retry.base(rt.config.outcome_query_interval)
+        horizon = rt.now + base
+        for (txn, site), state in self._retry.items():
+            if site == peer and state.next_at > horizon:
+                state.next_at = horizon
+                state.attempts = 0
+
+    def _owed_notifications(self) -> Dict[Tuple[TxnId, SiteId], bool]:
+        """Every (txn, site) this site owes an OutcomeNotify, deduplicated.
+
+        ``_pending_notifies`` (relay duties from the section 3.3 tables)
+        and the durable outcome log's unacknowledged participants can
+        both list the same pair — the log retry exists because the first
+        Complete can be delivered while this coordinator is down for the
+        returning OutcomeAck (the repro.check convergence oracle caught
+        that leak).  Merging them here sends one message per pair per
+        pass instead of two.
+        """
+        rt = self.runtime
+        owed: Dict[Tuple[TxnId, SiteId], bool] = dict(self._pending_notifies)
+        for txn, entry in rt.outcome_log.entries().items():
+            for site in entry.unacknowledged:
+                if site == self.site_id:
+                    rt.outcome_log.acknowledge(txn, site)
+                    continue
+                owed[(txn, site)] = entry.committed
+        return owed
+
     def _outcome_maintenance(self) -> None:
-        """Periodic: retry owed notifications, query for needed outcomes."""
+        """Periodic: retry owed notifications, query for needed outcomes.
+
+        Notification retries back off exponentially per destination
+        entry (deterministic jitter, suppression window for peers that
+        never answer) — a long outage costs O(log) sends per entry, not
+        one per tick.  Outcome *queries* stay flat-interval: they are
+        the liveness path for this site's own polyvalues and their cost
+        is bounded by the number of in-doubt transactions.
+        """
         rt = self.runtime
         if not rt.up:
             return
-        for (txn, site), committed in list(self._pending_notifies.items()):
+        policy = rt.config.retry
+        base = policy.base(rt.config.outcome_query_interval)
+        now = rt.now
+        owed = self._owed_notifications()
+        # Drop retry state for entries no longer owed (acknowledged).
+        for key in [key for key in self._retry if key not in owed]:
+            del self._retry[key]
+        for (txn, site), committed in owed.items():
+            state = self._retry.get((txn, site))
+            if state is None:
+                state = _RetryState()
+                if self._peer_strikes.get(site, 0) >= policy.suppression_threshold:
+                    # The destination has repeatedly failed to ack:
+                    # start new entries inside the suppression window
+                    # instead of probing from the base again.
+                    state.next_at = now + policy.suppression_window
+                    self._retry[(txn, site)] = state
+                    continue
+                self._retry[(txn, site)] = state
+            elif now < state.next_at:
+                continue
+            state.attempts += 1
+            state.next_at = now + policy.delay(
+                state.attempts, default_base=base, key=f"{txn}->{site}"
+            )
+            self._peer_strikes[site] = self._peer_strikes.get(site, 0) + 1
+            rt.metrics.notify_retransmitted(site=self.site_id)
             rt.send(
                 site,
                 protocol.OutcomeNotify(
                     txn=txn, committed=committed, origin=self.site_id
                 ),
             )
-        # Re-notify participants the durable outcome log is still waiting
-        # on.  The first Complete can be delivered while this coordinator
-        # is down for the returning OutcomeAck; without a retry here that
-        # log entry would be retained forever (the repro.check convergence
-        # oracle caught exactly this leak).
-        for txn, entry in rt.outcome_log.entries().items():
-            for site in entry.unacknowledged:
-                if site == self.site_id:
-                    rt.outcome_log.acknowledge(txn, site)
-                    continue
-                rt.send(
-                    site,
-                    protocol.OutcomeNotify(
-                        txn=txn,
-                        committed=entry.committed,
-                        origin=self.site_id,
-                    ),
-                )
         needed = set(rt.direct_doubts) | self.participant.pending_outcome_queries()
         for txn in needed:
             coordinator = coordinator_of(txn)
@@ -256,8 +329,10 @@ class DatabaseSite:
         rt.up = False
         undecided = self.coordinator.on_crash()
         self.participant.on_crash()
-        # Locks are volatile.
+        # Locks are volatile, as is the retransmission bookkeeping.
         rt.locks = type(rt.locks)()
+        self._retry.clear()
+        self._peer_strikes.clear()
         return undecided
 
     def recover(self) -> None:

@@ -62,6 +62,7 @@ class DistributedSystem:
         jitter: float = 0.005,
         loss_probability: float = 0.0,
         duplicate_probability: float = 0.0,
+        corruption_probability: float = 0.0,
     ) -> None:
         self.config = config or ProtocolConfig()
         #: The database's initial contents, retained for ground-truth
@@ -84,6 +85,7 @@ class DistributedSystem:
             jitter=jitter,
             loss_probability=loss_probability,
             duplicate_probability=duplicate_probability,
+            corruption_probability=corruption_probability,
             bus=self.bus,
         )
         self.sites: Dict[SiteId, DatabaseSite] = {}
@@ -122,6 +124,7 @@ class DistributedSystem:
         jitter: float = 0.005,
         loss_probability: float = 0.0,
         duplicate_probability: float = 0.0,
+        corruption_probability: float = 0.0,
     ) -> "DistributedSystem":
         """Build a system with *items* spread round-robin over *sites* sites."""
         if sites <= 0:
@@ -137,6 +140,7 @@ class DistributedSystem:
             jitter=jitter,
             loss_probability=loss_probability,
             duplicate_probability=duplicate_probability,
+            corruption_probability=corruption_probability,
         )
 
     # ------------------------------------------------------------------
@@ -257,6 +261,12 @@ class DistributedSystem:
                     for site in self.sites.values()
                 )
                 and not self.pending_handles()
+                # A protocol timer still armed (e.g. a participant whose
+                # abort message was lost, waiting out its compute
+                # timeout) will still move state — and release locks —
+                # when it fires; the system has not converged until it
+                # is also quiescent.
+                and self.quiescent()
             )
 
         while self.sim.now < max_time:
@@ -310,6 +320,24 @@ class DistributedSystem:
         if self.bus:
             self.bus.emit("site.recover", time=self.sim.now, site=site)
         self.sites[site].recover()
+
+    def degrade_site(self, site: SiteId, factor: float) -> None:
+        """Gray-degrade *site*: all its traffic slows by *factor*.
+
+        The site keeps processing — this is the slow-but-alive failure
+        mode, not an outage.
+        """
+        self.network.degrade_site(site, factor)
+        if self.bus:
+            self.bus.emit(
+                "site.degrade", time=self.sim.now, site=site, factor=factor
+            )
+
+    def restore_site(self, site: SiteId) -> None:
+        """Remove *site*'s gray degradation."""
+        self.network.restore_site(site)
+        if self.bus:
+            self.bus.emit("site.restore", time=self.sim.now, site=site)
 
     # ------------------------------------------------------------------
     # Whole-database observations

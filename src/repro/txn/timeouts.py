@@ -1,0 +1,286 @@
+"""Adaptive patience and bounded retry for the commit protocol.
+
+The paper uses one word — "promptly" — for every patience in the
+protocol, and the reproduction historically pinned it to fixed
+constants (``compute_timeout``/``wait_timeout``/``ready_timeout``).
+Fixed constants are exactly wrong under *gray* failures: when the
+network is slow rather than dead, a fixed timeout fires spuriously,
+installing polyvalues for transactions that were milliseconds from
+completing (section 6 warns that transient hiccups should not create
+polyvalues).
+
+This module provides the resilience primitives:
+
+* :class:`RttEstimator` — the Jacobson/Karels estimator TCP uses:
+  exponentially weighted moving averages of the round-trip time
+  (``srtt``) and its deviation (``rttvar``), giving a retransmission
+  timeout of ``srtt + k * rttvar``;
+* :class:`TimeoutPolicy` — configuration selecting ``fixed`` mode (the
+  default: exact historical behaviour, bit-for-bit replayable) or
+  ``adaptive`` mode (per-peer estimators feed every patience);
+* :class:`Patience` — one site's view: a per-peer estimator bank with
+  the policy applied, falling back to the fixed constants until the
+  first sample arrives;
+* :class:`RetryPolicy` — bounded retransmission: exponential
+  per-destination backoff with *deterministic* jitter (a CRC of the
+  destination key, not an RNG draw, so replays are exact) and a
+  down-peer suppression window.
+
+Everything here is pure computation over observed samples — no
+simulator access, no RNG — which is what keeps adaptive mode
+deterministic for a fixed schedule.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.errors import SimulationError
+
+
+class RttEstimator:
+    """Jacobson/Karels round-trip estimation (RFC 6298 shape).
+
+    ``observe(sample)`` folds one measured interval in; :meth:`rto`
+    answers ``srtt + k * rttvar``.  The first sample initialises
+    ``srtt = sample`` and ``rttvar = sample / 2`` exactly as TCP does.
+    """
+
+    __slots__ = ("srtt", "rttvar", "samples", "_alpha", "_beta")
+
+    def __init__(self, *, alpha: float = 0.125, beta: float = 0.25) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.samples: int = 0
+        self._alpha = alpha
+        self._beta = beta
+
+    def observe(self, sample: float) -> None:
+        """Fold one measured interval (simulated seconds) into the EWMA."""
+        if sample < 0:
+            raise SimulationError(f"rtt sample must be >= 0, got {sample}")
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+            return
+        deviation = abs(sample - self.srtt)
+        self.rttvar = (1.0 - self._beta) * self.rttvar + self._beta * deviation
+        self.srtt = (1.0 - self._alpha) * self.srtt + self._alpha * sample
+
+    def rto(self, k: float = 4.0) -> Optional[float]:
+        """``srtt + k * rttvar`` — None until the first sample."""
+        if self.srtt is None:
+            return None
+        return self.srtt + k * self.rttvar
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """How a site turns observed round trips into protocol patience.
+
+    ``mode="fixed"`` (default) reproduces the historical behaviour: the
+    :class:`~repro.txn.runtime.ProtocolConfig` constants are used
+    verbatim and no estimator state affects the run — existing seeded
+    schedules replay bit-for-bit.  ``mode="adaptive"`` feeds a per-peer
+    :class:`RttEstimator` into every patience: the timeout for a peer
+    is ``grace + srtt + k * rttvar``, clamped to
+    ``[min_timeout, max_timeout]``, falling back to the fixed constant
+    until that peer has produced a sample.
+    """
+
+    mode: str = "fixed"
+    #: EWMA gains (TCP's 1/8 and 1/4).
+    alpha: float = 0.125
+    beta: float = 0.25
+    #: Deviation multiplier in the RTO.
+    k: float = 4.0
+    #: Constant slack added on top of the estimator (processing time at
+    #: the far end is not part of a pure network RTT).
+    grace: float = 0.05
+    #: Clamp: never time out faster than this (keeps detection sane on
+    #: all-local topologies where srtt is microscopic) ...
+    min_timeout: float = 0.05
+    #: ... nor slower than this (bounds detection latency under extreme
+    #: gray noise; an actually-dead peer is still detected).
+    max_timeout: float = 30.0
+
+    MODES = ("fixed", "adaptive")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise SimulationError(f"unknown timeout mode {self.mode!r}")
+        if not 0.0 < self.alpha <= 1.0 or not 0.0 < self.beta <= 1.0:
+            raise SimulationError("EWMA gains must be in (0, 1]")
+        if self.min_timeout <= 0 or self.max_timeout < self.min_timeout:
+            raise SimulationError(
+                f"need 0 < min_timeout <= max_timeout, got "
+                f"[{self.min_timeout}, {self.max_timeout}]"
+            )
+
+    @property
+    def adaptive(self) -> bool:
+        return self.mode == "adaptive"
+
+
+class Patience:
+    """One site's per-peer patience: estimators + policy + fallbacks.
+
+    The coordinator observes true per-peer round trips (read request →
+    read reply, stage request → ready); a participant observes the
+    *phase intervals* its patience must actually cover (read reply sent
+    → stage request arrived, ready sent → complete/abort arrived).
+    Both feed the same estimator bank through :meth:`observe`.
+    """
+
+    #: Cap on consecutive-timeout doublings (2^6 = 64x; the max_timeout
+    #: clamp usually engages first).
+    MAX_PENALTY = 6
+
+    def __init__(self, policy: TimeoutPolicy) -> None:
+        self.policy = policy
+        self._estimators: Dict[str, RttEstimator] = {}
+        self._penalty: Dict[str, int] = {}
+
+    def observe(self, peer: str, sample: float) -> None:
+        """Record one measured interval against *peer*.
+
+        In fixed mode samples are still accepted (the estimator bank is
+        cheap and lets tooling inspect what adaptive mode *would* do)
+        but never influence any timeout.  A genuine sample clears any
+        timeout penalty: the peer answered, so the estimate is live
+        again.
+        """
+        self._penalty.pop(peer, None)
+        estimator = self._estimators.get(peer)
+        if estimator is None:
+            estimator = self._estimators[peer] = RttEstimator(
+                alpha=self.policy.alpha, beta=self.policy.beta
+            )
+        estimator.observe(sample)
+
+    def penalize(self, peer: str) -> None:
+        """Back off after a timeout against *peer* (Karn's algorithm).
+
+        A fired timeout censors the very sample that would have taught
+        the estimator the new, slower round-trip — without this, a
+        latency step up (a gray degradation) locks the estimator at the
+        old fast estimate and every subsequent exchange times out too.
+        Each consecutive timeout doubles the peer's effective timeout
+        (up to 2^:data:`MAX_PENALTY`); the next accepted sample resets
+        it.
+        """
+        current = self._penalty.get(peer, 0)
+        if current < self.MAX_PENALTY:
+            self._penalty[peer] = current + 1
+
+    def estimator(self, peer: str) -> Optional[RttEstimator]:
+        """The estimator for *peer*, if any samples were recorded."""
+        return self._estimators.get(peer)
+
+    def timeout_for(self, peer: str, fallback: float) -> float:
+        """The patience to use when waiting on *peer*.
+
+        Fixed mode — or an unsampled peer — answers *fallback*
+        unchanged; adaptive mode answers the clamped RTO.
+        """
+        if not self.policy.adaptive:
+            return fallback
+        estimator = self._estimators.get(peer)
+        rto = estimator.rto(self.policy.k) if estimator else None
+        if rto is None:
+            return fallback
+        value = self.policy.grace + rto
+        value *= 1 << self._penalty.get(peer, 0)
+        return min(self.policy.max_timeout, max(self.policy.min_timeout, value))
+
+    def timeout_over(self, peers: Iterable[str], fallback: float) -> float:
+        """The patience to use when waiting on *all* of *peers*.
+
+        The slowest peer dominates: the result is the maximum per-peer
+        timeout, with *fallback* substituting for any unsampled peer
+        (so early rounds behave exactly like fixed mode).
+        """
+        if not self.policy.adaptive:
+            return fallback
+        best = 0.0
+        for peer in peers:
+            best = max(best, self.timeout_for(peer, fallback))
+        return best or fallback
+
+
+def deterministic_jitter_fraction(key: str, attempt: int) -> float:
+    """A stable pseudo-random fraction in ``[0, 1)`` for (*key*, *attempt*).
+
+    CRC-derived, not RNG-derived: retransmission jitter must not
+    consume the simulation's seeded stream (replays would diverge), and
+    must differ across destinations so synchronized retry storms decor-
+    relate.
+    """
+    digest = zlib.crc32(f"{key}#{attempt}".encode("utf-8"))
+    return (digest & 0xFFFFFFFF) / 4294967296.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission: exponential backoff + peer suppression.
+
+    The outcome-maintenance loop owes notifications and queries to
+    peers that may be down for a long time.  Flat-interval resends are
+    O(outage / interval) messages per owed entry; this policy makes a
+    long outage cost O(log(outage)) instead:
+
+    * per-entry delay ``min(cap, base * factor^(attempt-1))``, spread
+      by deterministic jitter (``* (1 + jitter * frac)``);
+    * after ``suppression_threshold`` consecutive unacknowledged sends
+      to one destination, the destination is *suppressed* — new entries
+      for it start at the suppression window rather than probing from
+      the base again;
+    * any inbound message from the destination resets suppression and
+      re-arms owed entries at the base delay (a recovered peer is
+      caught up within roughly one maintenance period).
+
+    ``backoff_base=None`` uses the config's ``outcome_query_interval``,
+    so fixed-policy runs with default settings retransmit first at
+    exactly the historical time.
+    """
+
+    backoff_base: Optional[float] = None
+    backoff_factor: float = 2.0
+    backoff_cap: float = 8.0
+    jitter: float = 0.1
+    suppression_threshold: int = 3
+    suppression_window: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap <= 0:
+            raise SimulationError(
+                f"backoff_cap must be > 0, got {self.backoff_cap}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SimulationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.suppression_threshold < 1:
+            raise SimulationError(
+                "suppression_threshold must be >= 1, got "
+                f"{self.suppression_threshold}"
+            )
+
+    def base(self, default: float) -> float:
+        """The first-retry delay (*default* when ``backoff_base`` unset)."""
+        return self.backoff_base if self.backoff_base is not None else default
+
+    def delay(self, attempt: int, *, default_base: float, key: str = "") -> float:
+        """Delay before retry number *attempt* (1-based) for entry *key*."""
+        if attempt < 1:
+            raise SimulationError(f"attempt must be >= 1, got {attempt}")
+        base = self.base(default_base)
+        raw = min(self.backoff_cap, base * self.backoff_factor ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 + self.jitter * deterministic_jitter_fraction(key, attempt))

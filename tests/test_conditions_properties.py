@@ -162,15 +162,24 @@ def test_interning_yields_identical_objects(products_list):
     assert a is b
 
 
+def _products_canonical(condition):
+    # str(frozenset) is not canonical (iteration order differs between
+    # equal frozensets built in different orders), so sort the literals
+    # inside each product before sorting the products.
+    return sorted(
+        "&".join(sorted(map(str, product))) for product in condition.products
+    )
+
+
 def _algebra_snapshot(left, right):
     """Every observable product of the algebra on a pair of conditions."""
     a, b = build(left), build(right)
     reduced = (a & b).substitute({"T1": True, "T3": False})
     return {
-        "and": sorted(map(str, (a & b).products)),
-        "or": sorted(map(str, (a | b).products)),
-        "not": sorted(map(str, (~a).products)),
-        "substitute": sorted(map(str, reduced.products)),
+        "and": _products_canonical(a & b),
+        "or": _products_canonical(a | b),
+        "not": _products_canonical(~a),
+        "substitute": _products_canonical(reduced),
         "variables": sorted(a.variables() | b.variables()),
         "satisfiable": (a & b).is_satisfiable(),
         "tautology": (a | ~a).is_tautology(),

@@ -1,0 +1,190 @@
+"""Double faults: a second failure landing inside recovery from a first.
+
+Three scenarios the single-fault suites never reach:
+
+* a participant crashes while in doubt, recovers (installing its
+  polyvalues), and crashes AGAIN before the outcome queries resolve;
+* a partition heals at the exact moment a wait-phase outcome query
+  (the section 6 probe) is in flight across it;
+* the coordinator's first complete messages are lost (one-way
+  partition) and the coordinator then crashes — the durable commit
+  record written *before* the completes is the only surviving evidence
+  of the decision, and recovery must finish the commit from it.
+
+Timing notes (zero jitter, 10 ms links): reads arrive at t=0.01,
+stage requests at 0.03, ready messages at 0.04 — so the coordinator
+decides at 0.04 and completes land at 0.05.
+"""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.runtime import ProtocolConfig
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import move
+
+
+def build(config=None, seed=11):
+    return DistributedSystem.build(
+        sites=3,
+        items={f"item-{index}": 100 for index in range(6)},
+        seed=seed,
+        jitter=0.0,
+        config=config,
+    )
+
+
+class TestCrashDuringRecovery:
+    def _strand_committed_participant(self, system):
+        """Commit a transfer whose target participant (site-1) crashed
+        in its wait phase: the decision is COMMIT, site-1 holds the
+        staged update durably but never learned the outcome."""
+        handle = system.submit(move("item-0", "item-1", 10))
+        system.run_for(0.035)  # site-1 staged, ready in flight
+        system.crash_site("site-1")
+        system.run_for(0.5)
+        assert handle.status is TxnStatus.COMMITTED
+        return handle
+
+    def test_recrash_after_recovery_install_converges(self):
+        system = build()
+        self._strand_committed_participant(system)
+        # First recovery: the staged-in-doubt transaction becomes
+        # polyvalues, and outcome queries start.
+        system.recover_site("site-1")
+        assert system.sites["site-1"].polyvalue_count() > 0
+        # Re-crash before any query answer can land (answers need one
+        # round trip; 5 ms is inside it).
+        system.run_for(0.005)
+        system.crash_site("site-1")
+        system.run_for(0.5)
+        # Second recovery: nothing staged remains (the polyvalues are
+        # stable storage), so recovery must not re-install or crash —
+        # the outcome-query loop resolves the existing polyvalues.
+        system.recover_site("site-1")
+        system.run_for(5.0)
+        assert system.read_item("item-1") == 110
+        assert system.read_item("item-0") == 90
+        assert system.settle(max_time=system.sim.now + 30.0)
+
+    def test_double_recovery_does_not_double_install(self):
+        system = build()
+        self._strand_committed_participant(system)
+        system.recover_site("site-1")
+        system.run_for(0.005)
+        count_after_first = system.metrics.in_doubt_windows
+        system.crash_site("site-1")
+        system.run_for(0.5)
+        system.recover_site("site-1")
+        system.run_for(0.005)
+        # Recovery installs are non-live windows; the counter must not
+        # move at all, on either pass.
+        assert system.metrics.in_doubt_windows == count_after_first == 0
+
+    def test_coordinator_crash_during_participant_recovery(self):
+        # The outcome source itself disappears while the recovering
+        # participant is querying: queries go unanswered until the
+        # coordinator returns, then resolve from its durable log.
+        system = build()
+        self._strand_committed_participant(system)
+        system.crash_site("site-0")
+        system.recover_site("site-1")
+        system.run_for(3.0)
+        assert system.sites["site-1"].polyvalue_count() > 0  # still in doubt
+        system.recover_site("site-0")
+        system.run_for(5.0)
+        assert system.read_item("item-1") == 110
+        assert system.settle(max_time=system.sim.now + 30.0)
+
+
+class TestHealWithQueryInFlight:
+    def test_probe_crossing_healing_partition_resolves_without_polyvalue(self):
+        # §6 probes on: the wait-phase timeout asks the coordinator
+        # before installing.  The partition swallows the decision, the
+        # first probe is launched while the link is still down, and the
+        # partition heals while that probe is IN FLIGHT — it must be
+        # delivered, answered, and resolve the wait without creating
+        # any polyvalue.
+        system = build(config=ProtocolConfig(wait_query_retries=2))
+        handle = system.submit(move("item-0", "item-1", 10))
+        system.run_for(0.045)  # decision made at 0.04, completes in flight
+        system.network.partition("site-0", "site-1")
+        system.run_for(0.49)  # wait timeout at ~0.53 sends the probe
+        assert handle.status is TxnStatus.COMMITTED
+        system.run_for(0.002)  # probe sent (t=0.53), not yet delivered
+        system.network.heal("site-0", "site-1")
+        system.run_for(2.0)
+        site1 = system.sites["site-1"]
+        assert site1.polyvalue_count() == 0
+        assert system.metrics.in_doubt_windows == 0
+        assert system.read_item("item-1") == 110
+        assert system.settle(max_time=system.sim.now + 30.0)
+
+    def test_partition_outlasting_probes_still_installs(self):
+        # Sanity contrast: if the partition outlives every probe, the
+        # participant must eventually fall back to polyvalues (the
+        # probes must not block forever).
+        system = build(config=ProtocolConfig(wait_query_retries=2))
+        system.submit(move("item-0", "item-1", 10))
+        system.run_for(0.045)
+        system.network.partition("site-0", "site-1")
+        system.run_for(3.0)
+        assert system.sites["site-1"].polyvalue_count() > 0
+        system.network.heal("site-0", "site-1")
+        assert system.settle(max_time=system.sim.now + 30.0)
+        assert system.read_item("item-1") == 110
+
+
+class TestDurableDecisionSurvivesCoordinatorCrash:
+    def test_commit_finishes_from_durable_log_after_crash(self):
+        system = build()
+        handle = system.submit(move("item-0", "item-1", 10))
+        system.run_for(0.035)  # stages delivered, readies in flight
+        # Cut only the coordinator's OUTBOUND links: the readies still
+        # arrive (so the decision happens and is logged durably) but no
+        # complete message ever leaves.
+        system.network.partition_oneway("site-0", "site-1")
+        system.network.partition_oneway("site-0", "site-2")
+        system.run_for(0.01)
+        assert handle.status is TxnStatus.COMMITTED
+        log = system.sites["site-0"].runtime.outcome_log
+        assert handle.txn in log.pending()
+        # The crash, after the durable record but before any complete
+        # was delivered.  Drops happen at delivery time, so keep the
+        # cut up until the in-flight completes (due t=0.05) are gone.
+        system.crash_site("site-0")
+        system.run_for(0.02)
+        system.network.heal_oneway("site-0", "site-1")
+        system.network.heal_oneway("site-0", "site-2")
+        system.run_for(1.0)
+        # Participants time out in doubt meanwhile.
+        assert system.sites["site-1"].polyvalue_count() > 0
+        system.recover_site("site-0")
+        system.run_for(5.0)
+        # Recovery replays the outcome log: the commit completes.
+        assert system.read_item("item-0") == 90
+        assert system.read_item("item-1") == 110
+        assert system.settle(max_time=system.sim.now + 30.0)
+        assert log.pending() == frozenset()
+
+    def test_decision_consistency_after_the_double_fault(self):
+        from repro.check.oracles import CheckContext, check_converged
+
+        system = build()
+        system.submit(move("item-0", "item-1", 10))
+        system.run_for(0.035)
+        system.network.partition_oneway("site-0", "site-1")
+        system.network.partition_oneway("site-0", "site-2")
+        system.run_for(0.01)
+        system.crash_site("site-0")
+        system.run_for(0.02)
+        system.network.heal_oneway("site-0", "site-1")
+        system.network.heal_oneway("site-0", "site-2")
+        system.run_for(1.0)
+        system.recover_site("site-0")
+        assert system.settle(max_time=system.sim.now + 30.0)
+        verdicts = check_converged(CheckContext(system=system))
+        failed = [v for v in verdicts if not v.ok]
+        assert not failed, failed

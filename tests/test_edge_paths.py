@@ -110,7 +110,8 @@ class TestFanOutAbort:
         handle = system.submit(increment("item-1"), at="site-1")
         run_to_decision(system, handle)
         assert handle.status is TxnStatus.ABORTED
-        assert "body failed" in handle.abort_reason
+        assert "fan-out overflow" in handle.abort_reason
+        assert system.metrics.fanout_overflows == 1
 
 
 class TestOutcomeCacheAnswers:

@@ -1,0 +1,220 @@
+"""The gray-failure fault model in repro.net.
+
+Fail-stop failures (crash, partition) silence a site completely; gray
+failures leave it limping — slow, lossy in one direction, or corrupting
+messages.  These tests pin the semantics of each gray primitive
+directly at the network layer: latency multipliers compose, one-way
+partitions block exactly one direction, corruption is detected-and-
+dropped (never delivered), and the repair operations restore the
+healthy baseline exactly.
+"""
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.net.failures import FailureAction, ScheduleScript
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rand import Rng
+
+
+def make_network(**kwargs):
+    sim = Simulator()
+    network = Network(sim, Rng(7), base_latency=0.01, jitter=0.0, **kwargs)
+    inboxes = {}
+    for site in ("a", "b", "c"):
+        inboxes[site] = []
+        network.register(
+            site,
+            lambda env, box=inboxes[site]: box.append(
+                (env.payload, network._sim.now)
+            ),
+        )
+    return sim, network, inboxes
+
+
+def send_and_run(sim, network, sender, recipient, payload="m"):
+    start = sim.now
+    network.send(sender, recipient, payload)
+    sim.run_until(sim.now + 100.0)
+    return start
+
+
+class TestDegradedSite:
+    def test_degrade_multiplies_latency_both_directions(self):
+        sim, network, inboxes = make_network()
+        network.degrade_site("b", 5.0)
+        start = send_and_run(sim, network, "a", "b")
+        assert inboxes["b"][-1][1] == pytest.approx(start + 0.05)
+        start = send_and_run(sim, network, "b", "a")
+        assert inboxes["a"][-1][1] == pytest.approx(start + 0.05)
+
+    def test_degrade_does_not_slow_unrelated_links(self):
+        sim, network, inboxes = make_network()
+        network.degrade_site("b", 5.0)
+        start = send_and_run(sim, network, "a", "c")
+        assert inboxes["c"][-1][1] == pytest.approx(start + 0.01)
+
+    def test_degrade_replaces_not_stacks(self):
+        sim, network, _ = make_network()
+        network.degrade_site("b", 5.0)
+        network.degrade_site("b", 2.0)
+        assert network.degradation_of("b") == 2.0
+
+    def test_factors_compose_across_sites_and_links(self):
+        sim, network, inboxes = make_network()
+        network.degrade_site("a", 2.0)
+        network.degrade_site("b", 3.0)
+        network.spike_link("a", "b", 4.0)
+        start = send_and_run(sim, network, "a", "b")
+        assert inboxes["b"][-1][1] == pytest.approx(start + 0.01 * 24.0)
+
+    def test_restore_site_returns_to_baseline(self):
+        sim, network, inboxes = make_network()
+        network.degrade_site("b", 5.0)
+        network.restore_site("b")
+        assert network.degradation_of("b") == 1.0
+        start = send_and_run(sim, network, "a", "b")
+        assert inboxes["b"][-1][1] == pytest.approx(start + 0.01)
+
+    def test_degrade_factor_below_one_rejected(self):
+        _, network, _ = make_network()
+        with pytest.raises(NetworkError):
+            network.degrade_site("b", 0.5)
+
+    def test_traffic_still_flows_while_degraded(self):
+        # The defining property of a gray failure: nothing is dropped.
+        sim, network, inboxes = make_network()
+        network.degrade_site("b", 100.0)
+        send_and_run(sim, network, "a", "b")
+        assert len(inboxes["b"]) == 1
+        assert network.stats.dropped == 0
+
+
+class TestLinkSpike:
+    def test_spike_is_directional(self):
+        sim, network, inboxes = make_network()
+        network.spike_link("a", "b", 10.0)
+        start = send_and_run(sim, network, "a", "b")
+        assert inboxes["b"][-1][1] == pytest.approx(start + 0.1)
+        start = send_and_run(sim, network, "b", "a")
+        assert inboxes["a"][-1][1] == pytest.approx(start + 0.01)
+
+    def test_clear_link_restores_baseline(self):
+        sim, network, inboxes = make_network()
+        network.spike_link("a", "b", 10.0)
+        network.clear_link("a", "b")
+        start = send_and_run(sim, network, "a", "b")
+        assert inboxes["b"][-1][1] == pytest.approx(start + 0.01)
+
+    def test_spike_factor_below_one_rejected(self):
+        _, network, _ = make_network()
+        with pytest.raises(NetworkError):
+            network.spike_link("a", "b", 0.9)
+
+
+class TestOneWayPartition:
+    def test_blocks_one_direction_only(self):
+        sim, network, inboxes = make_network()
+        network.partition_oneway("a", "b")
+        send_and_run(sim, network, "a", "b")
+        assert inboxes["b"] == []
+        assert network.stats.dropped_partition == 1
+        send_and_run(sim, network, "b", "a")
+        assert len(inboxes["a"]) == 1
+
+    def test_is_blocked_reflects_direction(self):
+        _, network, _ = make_network()
+        network.partition_oneway("a", "b")
+        assert network.is_blocked("a", "b")
+        assert not network.is_blocked("b", "a")
+
+    def test_heal_oneway(self):
+        sim, network, inboxes = make_network()
+        network.partition_oneway("a", "b")
+        network.heal_oneway("a", "b")
+        send_and_run(sim, network, "a", "b")
+        assert len(inboxes["b"]) == 1
+
+    def test_heal_all_clears_oneway_partitions(self):
+        sim, network, inboxes = make_network()
+        network.partition_oneway("a", "b")
+        network.partition("b", "c")
+        network.heal_all()
+        send_and_run(sim, network, "a", "b")
+        send_and_run(sim, network, "b", "c")
+        assert len(inboxes["b"]) == 1
+        assert len(inboxes["c"]) == 1
+
+
+class TestCorruption:
+    def test_corrupted_messages_are_dropped_and_counted(self):
+        sim, network, inboxes = make_network(corruption_probability=1.0)
+        send_and_run(sim, network, "a", "b")
+        assert inboxes["b"] == []
+        assert network.stats.dropped_corrupt == 1
+        assert network.stats.dropped == 1
+
+    def test_corruption_counts_separately_from_loss(self):
+        sim, network, _ = make_network(
+            loss_probability=0.5, corruption_probability=0.5
+        )
+        for _ in range(200):
+            network.send("a", "b", "m")
+        sim.run_until(sim.now + 100.0)
+        assert network.stats.dropped_loss > 0
+        assert network.stats.dropped_corrupt > 0
+        assert (
+            network.stats.delivered
+            + network.stats.dropped_loss
+            + network.stats.dropped_corrupt
+            == 200
+        )
+
+
+class TestClearDegradations:
+    def test_clears_degrades_and_spikes_not_partitions(self):
+        _, network, _ = make_network()
+        network.degrade_site("a", 5.0)
+        network.spike_link("a", "b", 10.0)
+        network.partition("a", "c")
+        network.clear_degradations()
+        assert network.degradation_of("a") == 1.0
+        assert network._gray_factor("a", "b") == 1.0
+        assert network.is_partitioned("a", "c")
+
+
+class TestScriptedGrayFailures:
+    def test_schedule_script_drives_gray_vocabulary(self):
+        sim, network, inboxes = make_network()
+        script = ScheduleScript(
+            sim,
+            network,
+            network,
+            actions=[
+                FailureAction(at=0.1, kind="degrade", targets=("b",), value=5.0),
+                FailureAction(
+                    at=0.2, kind="link-spike", targets=("a", "c"), value=10.0
+                ),
+                FailureAction(
+                    at=0.3, kind="partition-oneway", targets=("a", "b")
+                ),
+                FailureAction(at=0.4, kind="restore", targets=("b",)),
+                FailureAction(at=0.5, kind="link-clear", targets=("a", "c")),
+                FailureAction(at=0.6, kind="heal-oneway", targets=("a", "b")),
+            ],
+        )
+        assert len(script.actions) == 6
+        sim.run_until(0.25)
+        assert network.degradation_of("b") == 5.0
+        assert network._gray_factor("a", "c") == 10.0
+        sim.run_until(0.35)
+        assert network.is_blocked("a", "b")
+        sim.run_until(1.0)
+        assert network.degradation_of("b") == 1.0
+        assert network._gray_factor("a", "c") == 1.0
+        assert not network.is_blocked("a", "b")
+
+    def test_valued_kind_requires_factor(self):
+        with pytest.raises(Exception):
+            FailureAction(at=0.1, kind="degrade", targets=("b",), value=0.0)

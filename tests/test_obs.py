@@ -390,8 +390,9 @@ class TestCollectorCompatibility:
             "submitted", "committed", "aborted", "commit_rate",
             "polytransactions", "polyvalues_installed",
             "polyvalues_resolved", "lock_conflict_aborts",
-            "certain_output_fraction", "unilateral_decisions",
-            "inconsistent_decisions",
+            "notify_retransmissions", "fanout_overflows",
+            "overload_blocks", "certain_output_fraction",
+            "unilateral_decisions", "inconsistent_decisions",
         }
 
     def test_site_labels_reach_the_registry(self):

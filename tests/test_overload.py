@@ -1,0 +1,127 @@
+"""Graceful degradation under overload: the polyvalue budget.
+
+Section 6 sketches hybrids of the polyvalue mechanism with other
+protocols; the ``polyvalue_budget`` valve implements the overload
+half: once a site already carries its budget of unresolved polyvalues,
+further wait-phase timeouts fall back to the BLOCKING policy — the
+site trades availability on those items for a bound on in-doubt state
+instead of fanning out more uncertainty.
+"""
+
+import pytest
+
+from repro.core.polyvalue import is_polyvalue
+from repro.txn.runtime import ProtocolConfig, SiteState
+from repro.txn.system import DistributedSystem
+from repro.txn.transaction import TxnStatus
+
+from tests.conftest import move
+
+
+def build(budget, sites=3, items=6, seed=42):
+    config = ProtocolConfig(polyvalue_budget=budget)
+    return DistributedSystem.build(
+        sites=sites,
+        items={f"item-{index}": 100 for index in range(items)},
+        seed=seed,
+        jitter=0.0,
+        config=config,
+    )
+
+
+def strand_two_transfers(system):
+    """Put site-1 in doubt for two transactions at once: two transfers
+    into site-1's items, both coordinated at site-0, with site-0
+    crashed inside the commit window."""
+    system.submit(move("item-0", "item-1", 10))
+    system.submit(move("item-3", "item-4", 10))
+    # With zero jitter the ready messages land at t=0.04; crashing at
+    # 0.035 catches both participants after staging, in WAIT.
+    system.run_for(0.035)
+    system.crash_site("site-0")
+    system.run_for(2.0)
+
+
+class TestBudgetValve:
+    def test_zero_budget_blocks_instead_of_installing(self):
+        system = build(budget=0)
+        strand_two_transfers(system)
+        site1 = system.sites["site-1"]
+        assert site1.polyvalue_count() == 0
+        assert len(site1.participant.blocked_transactions()) == 2
+        assert system.metrics.overload_blocks == 2
+        # Blocking means the locks are (deliberately) still held.
+        assert site1.runtime.locks.locked_items() != frozenset()
+
+    def test_budget_of_one_installs_then_blocks(self):
+        system = build(budget=1)
+        strand_two_transfers(system)
+        site1 = system.sites["site-1"]
+        # First wait-timeout fit the budget and installed; the second
+        # found the site saturated and blocked.
+        assert site1.polyvalue_count() == 1
+        assert len(site1.participant.blocked_transactions()) == 1
+        assert system.metrics.overload_blocks == 1
+        assert system.metrics.in_doubt_windows == 1
+
+    def test_no_budget_installs_everything(self):
+        system = build(budget=None)
+        strand_two_transfers(system)
+        site1 = system.sites["site-1"]
+        assert site1.polyvalue_count() == 2
+        assert site1.participant.blocked_transactions() == set()
+        assert system.metrics.overload_blocks == 0
+
+    def test_blocked_transaction_stays_in_wait_state(self):
+        system = build(budget=0)
+        strand_two_transfers(system)
+        site1 = system.sites["site-1"]
+        for txn in site1.participant.blocked_transactions():
+            assert site1.participant.state_of(txn) is SiteState.WAIT
+
+    def test_recovery_resolves_blocked_transactions(self):
+        system = build(budget=0)
+        strand_two_transfers(system)
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        site1 = system.sites["site-1"]
+        assert site1.participant.blocked_transactions() == set()
+        assert site1.runtime.locks.locked_items() == frozenset()
+        # Presumed abort: the coordinator crashed undecided, so the
+        # blocked updates must not have been applied.
+        assert system.read_item("item-1") == 100
+        assert system.read_item("item-4") == 100
+
+    def test_converges_cleanly_after_recovery(self):
+        system = build(budget=1)
+        strand_two_transfers(system)
+        system.recover_site("site-0")
+        assert system.settle(max_time=system.sim.now + 30.0)
+        assert system.total_polyvalues() == 0
+
+
+class TestOracleTolerance:
+    def test_no_blocking_oracle_tolerates_budgeted_locks(self):
+        # The availability oracle must not flag locks held by design
+        # (budget saturation), only genuine leaks.
+        from repro.check.oracles import CheckContext, no_blocking_oracle
+
+        system = build(budget=1)
+        strand_two_transfers(system)
+        verdict = no_blocking_oracle(CheckContext(system=system))
+        assert verdict.ok, verdict.details
+
+    def test_oracle_still_fires_without_budget_config(self):
+        # Same protocol state, but no budget configured: a polyvalued
+        # item that is somehow still locked IS a violation.
+        from repro.check.oracles import CheckContext, no_blocking_oracle
+
+        system = build(budget=None)
+        strand_two_transfers(system)
+        site1 = system.sites["site-1"]
+        item = next(iter(site1.store.polyvalued_items()))
+        from repro.db.locks import LockMode
+
+        site1.runtime.locks.try_acquire("leak", item, LockMode.WRITE)
+        verdict = no_blocking_oracle(CheckContext(system=system))
+        assert not verdict.ok

@@ -1,0 +1,225 @@
+"""Unit tests for the resilience primitives in repro.txn.timeouts.
+
+The estimator math follows RFC 6298 exactly; these tests pin the
+numbers so a refactor cannot silently change protocol patience.  The
+Patience tests cover the property the whole adaptive mode rests on:
+fixed mode and unsampled peers behave bit-for-bit like the historical
+constants, and Karn backoff (penalize) widens — never narrows — the
+window after a timeout until a genuine sample arrives.
+"""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.txn.timeouts import (
+    Patience,
+    RetryPolicy,
+    RttEstimator,
+    TimeoutPolicy,
+    deterministic_jitter_fraction,
+)
+
+
+class TestRttEstimator:
+    def test_no_samples_no_rto(self):
+        estimator = RttEstimator()
+        assert estimator.rto() is None
+        assert estimator.samples == 0
+
+    def test_first_sample_initialises_like_tcp(self):
+        estimator = RttEstimator()
+        estimator.observe(0.1)
+        assert estimator.srtt == pytest.approx(0.1)
+        assert estimator.rttvar == pytest.approx(0.05)
+        assert estimator.rto(k=4.0) == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_ewma_update(self):
+        estimator = RttEstimator()
+        estimator.observe(0.1)
+        estimator.observe(0.2)
+        # rttvar updates first with the OLD srtt: |0.2-0.1| = 0.1
+        assert estimator.rttvar == pytest.approx(0.75 * 0.05 + 0.25 * 0.1)
+        assert estimator.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+    def test_converges_to_steady_rtt(self):
+        estimator = RttEstimator()
+        for _ in range(200):
+            estimator.observe(0.04)
+        assert estimator.srtt == pytest.approx(0.04)
+        assert estimator.rttvar == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_sample_rejected(self):
+        estimator = RttEstimator()
+        with pytest.raises(SimulationError):
+            estimator.observe(-0.01)
+
+
+class TestTimeoutPolicy:
+    def test_default_is_fixed(self):
+        assert TimeoutPolicy().mode == "fixed"
+        assert not TimeoutPolicy().adaptive
+        assert TimeoutPolicy(mode="adaptive").adaptive
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeoutPolicy(mode="psychic")
+
+    def test_bad_gains_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeoutPolicy(alpha=0.0)
+        with pytest.raises(SimulationError):
+            TimeoutPolicy(beta=1.5)
+
+    def test_bad_clamp_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeoutPolicy(min_timeout=0.0)
+        with pytest.raises(SimulationError):
+            TimeoutPolicy(min_timeout=2.0, max_timeout=1.0)
+
+
+class TestPatience:
+    def test_fixed_mode_always_answers_fallback(self):
+        patience = Patience(TimeoutPolicy(mode="fixed"))
+        patience.observe("peer", 0.01)
+        patience.penalize("peer")
+        assert patience.timeout_for("peer", 0.5) == 0.5
+        assert patience.timeout_over(["peer", "other"], 0.5) == 0.5
+
+    def test_adaptive_unsampled_peer_falls_back(self):
+        patience = Patience(TimeoutPolicy(mode="adaptive"))
+        assert patience.timeout_for("stranger", 0.5) == 0.5
+
+    def test_adaptive_sampled_peer_uses_rto(self):
+        policy = TimeoutPolicy(mode="adaptive")
+        patience = Patience(policy)
+        patience.observe("peer", 0.1)
+        expected = policy.grace + 0.1 + policy.k * 0.05
+        assert patience.timeout_for("peer", 0.5) == pytest.approx(expected)
+
+    def test_clamped_to_bounds(self):
+        policy = TimeoutPolicy(mode="adaptive", min_timeout=0.2, max_timeout=1.0)
+        patience = Patience(policy)
+        patience.observe("fast", 0.0001)
+        assert patience.timeout_for("fast", 0.5) == 0.2
+        patience.observe("slow", 10.0)
+        assert patience.timeout_for("slow", 0.5) == 1.0
+
+    def test_timeout_over_takes_slowest_peer(self):
+        policy = TimeoutPolicy(mode="adaptive")
+        patience = Patience(policy)
+        patience.observe("fast", 0.01)
+        patience.observe("slow", 0.2)
+        assert patience.timeout_over(["fast", "slow"], 0.5) == pytest.approx(
+            patience.timeout_for("slow", 0.5)
+        )
+
+    def test_timeout_over_unsampled_mixed_in(self):
+        # An unsampled peer contributes the fallback, which dominates a
+        # fast sampled peer — early rounds behave like fixed mode.
+        patience = Patience(TimeoutPolicy(mode="adaptive"))
+        patience.observe("fast", 0.01)
+        assert patience.timeout_over(["fast", "stranger"], 0.5) == 0.5
+
+
+class TestKarnBackoff:
+    def test_penalty_doubles_per_consecutive_timeout(self):
+        patience = Patience(TimeoutPolicy(mode="adaptive", max_timeout=1000.0))
+        patience.observe("peer", 0.1)
+        base = patience.timeout_for("peer", 0.5)
+        patience.penalize("peer")
+        assert patience.timeout_for("peer", 0.5) == pytest.approx(2 * base)
+        patience.penalize("peer")
+        assert patience.timeout_for("peer", 0.5) == pytest.approx(4 * base)
+
+    def test_penalty_capped(self):
+        patience = Patience(TimeoutPolicy(mode="adaptive", max_timeout=1e9))
+        patience.observe("peer", 0.1)
+        base = patience.timeout_for("peer", 0.5)
+        for _ in range(50):
+            patience.penalize("peer")
+        assert patience.timeout_for("peer", 0.5) == pytest.approx(
+            base * (1 << Patience.MAX_PENALTY)
+        )
+
+    def test_sample_resets_penalty(self):
+        policy = TimeoutPolicy(mode="adaptive", max_timeout=1000.0)
+        patience = Patience(policy)
+        patience.observe("peer", 0.1)
+        patience.penalize("peer")
+        patience.penalize("peer")
+        patience.observe("peer", 0.1)
+        # The new sample clears the 4x penalty; what remains is the pure
+        # (re-estimated) RTO.
+        estimator = patience.estimator("peer")
+        expected = policy.grace + estimator.rto(policy.k)
+        assert patience.timeout_for("peer", 0.5) == pytest.approx(expected)
+
+    def test_penalty_still_clamped_by_max_timeout(self):
+        policy = TimeoutPolicy(mode="adaptive", max_timeout=0.3)
+        patience = Patience(policy)
+        patience.observe("peer", 0.1)
+        for _ in range(10):
+            patience.penalize("peer")
+        assert patience.timeout_for("peer", 0.5) == 0.3
+
+
+class TestRetryPolicy:
+    def test_defaults_validate(self):
+        RetryPolicy()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_cap=0.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(suppression_threshold=0)
+
+    def test_base_defaults_to_config_interval(self):
+        assert RetryPolicy().base(1.0) == 1.0
+        assert RetryPolicy(backoff_base=0.25).base(1.0) == 0.25
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(backoff_factor=2.0, backoff_cap=8.0, jitter=0.0)
+        delays = [
+            policy.delay(attempt, default_base=1.0) for attempt in range(1, 7)
+        ]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_flat_policy_reproduces_historical_cadence(self):
+        policy = RetryPolicy(
+            backoff_factor=1.0, jitter=0.0, suppression_threshold=10**9
+        )
+        assert all(
+            policy.delay(attempt, default_base=1.0) == 1.0
+            for attempt in range(1, 10)
+        )
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(jitter=0.1)
+        first = policy.delay(2, default_base=1.0, key="T1->site-1")
+        again = policy.delay(2, default_base=1.0, key="T1->site-1")
+        other = policy.delay(2, default_base=1.0, key="T1->site-2")
+        assert first == again
+        assert first != other
+        assert 2.0 <= first <= 2.2
+
+    def test_invalid_attempt_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy().delay(0, default_base=1.0)
+
+
+class TestDeterministicJitter:
+    def test_stable_and_in_range(self):
+        values = {
+            deterministic_jitter_fraction(f"key-{index}", attempt)
+            for index in range(20)
+            for attempt in range(1, 4)
+        }
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert len(values) > 40  # decorrelated across keys/attempts
+        assert deterministic_jitter_fraction(
+            "k", 1
+        ) == deterministic_jitter_fraction("k", 1)
