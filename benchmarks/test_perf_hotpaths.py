@@ -97,18 +97,27 @@ class TestBenchHarness:
         report = bench.run_benchmarks(smoke=True)
         assert report["schema"] == 1
         assert report["mode"] == "smoke"
-        assert set(report["results"]) == {
+        assert set(report["results"]) >= {
             "condition_ops_per_s",
             "polyvalue_ops_per_s",
             "explorer_schedules",
             "explorer_schedules_per_s",
             "explorer_ok",
             "table2_wall_s",
+            "gray_oracles_ok",
+            "parallel_cpus",
+            "parallel_campaign_trials",
+            "parallel_bitwise_identical",
+            "campaign_jobs1_per_s",
         }
-        assert set(report["guards"]) == {
+        assert set(report["guards"]) >= {
             "condition_cache_speedup",
             "polyvalue_fastpath_speedup",
+            "adaptive_spurious_reduction",
+            "outage_detection_parity",
+            "retransmission_reduction",
         }
+        assert report["results"]["parallel_bitwise_identical"] is True
         assert report["pre_pr_baseline"] == bench.PRE_PR_BASELINE
         # A payload never regresses against itself.
         assert bench.check_regression(report, report) == []
@@ -137,3 +146,27 @@ class TestBenchHarness:
         failures = bench.check_regression(report, baseline)
         assert any("missing" in failure for failure in failures)
         assert any("oracle" in failure for failure in failures)
+
+    def test_check_regression_skips_parallel_guards_below_core_count(self):
+        # A 1-core machine cannot measure jobs=4 scaling: the committed
+        # floor is enforced by multi-core CI, not failed locally.
+        baseline = {"guards": {"parallel_speedup_jobs4": 2.0}}
+        single_core = {"results": {"parallel_cpus": 1}, "guards": {}}
+        assert bench.check_regression(single_core, baseline) == []
+        quad_core = {"results": {"parallel_cpus": 4}, "guards": {}}
+        failures = bench.check_regression(quad_core, baseline)
+        assert any("missing" in failure for failure in failures)
+        quad_slow = {
+            "results": {"parallel_cpus": 4},
+            "guards": {"parallel_speedup_jobs4": 1.0},
+        }
+        failures = bench.check_regression(quad_slow, baseline)
+        assert any("parallel_speedup_jobs4" in f for f in failures)
+
+    def test_check_regression_flags_serial_parallel_divergence(self):
+        report = {
+            "results": {"parallel_bitwise_identical": False},
+            "guards": {},
+        }
+        failures = bench.check_regression(report, {"guards": {}})
+        assert any("diverged" in failure for failure in failures)

@@ -30,11 +30,14 @@ demonstrates the mechanism; this one reproduces Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.model import ModelParams, steady_state_polyvalues
 from repro.core.errors import SimulationError
 from repro.metrics.series import TimeSeries
+from repro.obs.events import EventBus
+from repro.parallel.pool import run_trials
+from repro.parallel.seeds import trial_seeds
 from repro.sim.engine import Simulator
 from repro.sim.rand import Rng
 
@@ -310,6 +313,57 @@ def simulate(
     return simulation.run(duration, warmup_fraction=warmup_fraction)
 
 
+def _simulation_trial(
+    task: Tuple[ModelParams, Optional[float], int, float],
+) -> SimulationResult:
+    """The engine worker: one seeded Monte-Carlo run."""
+    params, duration, seed, warmup_fraction = task
+    return simulate(
+        params, duration=duration, seed=seed, warmup_fraction=warmup_fraction
+    )
+
+
+def simulate_many(
+    params_list: Sequence[ModelParams],
+    *,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    seeds: Optional[Iterable[int]] = None,
+    warmup_fraction: float = 0.5,
+    jobs: Optional[int] = 1,
+    bus: Optional[EventBus] = None,
+) -> List[SimulationResult]:
+    """One seeded run per entry of *params_list*, through the engine.
+
+    Trial seeds come from the shared campaign derivation
+    (:func:`repro.parallel.seeds.trial_seed` over ``(seed, index)``);
+    pass *seeds* explicitly to pin them instead.  *jobs* selects the
+    worker count (``1`` = the serial in-process path, ``None`` = every
+    core); per-trial results are bit-identical for every value.  Any
+    trial failure raises :class:`SimulationError` — a Monte-Carlo batch
+    with holes in it would silently bias the averages.
+    """
+    params_list = list(params_list)
+    if seeds is None:
+        run_seeds = trial_seeds(seed, len(params_list))
+    else:
+        run_seeds = list(seeds)
+        if len(run_seeds) != len(params_list):
+            raise SimulationError(
+                f"got {len(run_seeds)} seeds for {len(params_list)} "
+                "parameter sets"
+            )
+    tasks = [
+        (params, duration, run_seed, warmup_fraction)
+        for params, run_seed in zip(params_list, run_seeds)
+    ]
+    outcome = run_trials(
+        _simulation_trial, tasks, jobs=jobs, bus=bus, label="montecarlo"
+    )
+    outcome.require_ok("montecarlo")
+    return list(outcome.results)
+
+
 def simulate_averaged(
     params: ModelParams,
     *,
@@ -317,16 +371,17 @@ def simulate_averaged(
     duration: Optional[float] = None,
     seed: int = 0,
     warmup_fraction: float = 0.5,
+    jobs: Optional[int] = 1,
+    bus: Optional[EventBus] = None,
 ) -> List[SimulationResult]:
     """Several independent runs with derived seeds (for error bars)."""
     if runs <= 0:
         raise SimulationError(f"runs must be positive, got {runs}")
-    return [
-        simulate(
-            params,
-            duration=duration,
-            seed=seed + run_index * 7919,
-            warmup_fraction=warmup_fraction,
-        )
-        for run_index in range(runs)
-    ]
+    return simulate_many(
+        [params] * runs,
+        duration=duration,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+        jobs=jobs,
+        bus=bus,
+    )

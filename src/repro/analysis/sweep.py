@@ -18,8 +18,10 @@ from repro.analysis.model import (
     is_stable,
     steady_state_polyvalues,
 )
-from repro.analysis.montecarlo import simulate
+from repro.analysis.montecarlo import simulate_many
 from repro.core.errors import ReproError
+from repro.obs.events import EventBus
+from repro.parallel.seeds import trial_seed
 
 #: ModelParams field names accepted by :func:`sweep`.
 SWEEPABLE = (
@@ -55,41 +57,60 @@ def sweep(
     run_simulation: bool = False,
     duration: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = 1,
+    bus: Optional[EventBus] = None,
 ) -> List[SweepPoint]:
     """Vary *parameter* of *base* over *values*.
 
     Unstable points (propagation outpacing recovery) get ``model=None``
     rather than raising, so a sweep can cross the stability boundary —
     that boundary itself is one of the model's qualitative predictions.
-    Simulation (optional, slower) is skipped at unstable points.
+    Simulation (optional, slower) is skipped at unstable points; the
+    simulated points run as one campaign through the engine (*jobs*
+    workers, ``1`` = serial), each point seeded by
+    :func:`repro.parallel.seeds.trial_seed` over ``(seed, index)`` so
+    a point's result never depends on which other points are stable.
     """
     if parameter not in SWEEPABLE:
         raise ReproError(
             f"cannot sweep {parameter!r}; choose one of {SWEEPABLE}"
         )
-    points: List[SweepPoint] = []
-    for index, value in enumerate(values):
+    all_params: List[ModelParams] = []
+    model_values: List[Optional[float]] = []
+    for value in values:
         params = base.vary(**{parameter: value})
-        if is_stable(params):
-            model_value: Optional[float] = steady_state_polyvalues(params)
-        else:
-            model_value = None
-        simulated: Optional[float] = None
-        if run_simulation and model_value is not None:
-            result = simulate(
-                params, duration=duration, seed=seed + index * 104729
-            )
-            simulated = result.mean_polyvalues
-        points.append(
-            SweepPoint(
-                parameter=parameter,
-                value=value,
-                params=params,
-                model=model_value,
-                simulated=simulated,
-            )
+        all_params.append(params)
+        model_values.append(
+            steady_state_polyvalues(params) if is_stable(params) else None
         )
-    return points
+    simulated_values: List[Optional[float]] = [None] * len(all_params)
+    if run_simulation:
+        sim_indexes = [
+            index
+            for index, model_value in enumerate(model_values)
+            if model_value is not None
+        ]
+        results = simulate_many(
+            [all_params[index] for index in sim_indexes],
+            duration=duration,
+            seeds=[trial_seed(seed, index) for index in sim_indexes],
+            jobs=jobs,
+            bus=bus,
+        )
+        for index, result in zip(sim_indexes, results):
+            simulated_values[index] = result.mean_polyvalues
+    return [
+        SweepPoint(
+            parameter=parameter,
+            value=value,
+            params=params,
+            model=model_value,
+            simulated=simulated,
+        )
+        for value, params, model_value, simulated in zip(
+            values, all_params, model_values, simulated_values
+        )
+    ]
 
 
 def format_sweep_table(points: Sequence[SweepPoint]) -> str:

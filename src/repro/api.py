@@ -35,6 +35,12 @@ The surface, by layer:
   :func:`replay_chaos`) — ``docs/faults.md``.
 * **Measurement** — :func:`run_benchmarks`, backing
   ``python -m repro bench`` (``docs/performance.md``).
+* **Parallel campaigns** — the process-pool campaign engine
+  (:func:`run_trials`, :class:`CampaignOutcome`,
+  :class:`TrialFailure`, :func:`default_jobs`), the shared seed
+  derivation (:func:`trial_seed`, :func:`trial_seeds`), and the
+  batched Monte-Carlo entry point (:func:`simulate_many`) —
+  ``docs/performance.md`` ("Parallel campaigns").
 
 Example
 -------
@@ -144,12 +150,23 @@ from repro.chaos import ChaosProfile, chaos_walk, replay_chaos, run_campaign
 
 # Analysis: the section 4 analytic model and Monte-Carlo simulation.
 from repro.analysis.model import table1_rows, table2_rows
-from repro.analysis.montecarlo import simulate
+from repro.analysis.montecarlo import simulate, simulate_many
 
-# Measurement (this PR, docs/performance.md).
+# Measurement (docs/performance.md).
 from repro.bench import run_benchmarks
 
+# Parallel campaign engine (docs/performance.md, "Parallel campaigns").
+from repro.parallel import (
+    CampaignOutcome,
+    TrialFailure,
+    default_jobs,
+    run_trials,
+    trial_seed,
+    trial_seeds,
+)
+
 __all__ = [
+    "CampaignOutcome",
     "ChaosProfile",
     "CheckContext",
     "CommitPolicy",
@@ -195,6 +212,7 @@ __all__ = [
     "TransactionError",
     "TransactionHandle",
     "TransactionInDoubt",
+    "TrialFailure",
     "TxnId",
     "TxnStatus",
     "UncertainValueError",
@@ -213,6 +231,7 @@ __all__ = [
     "configure_caches",
     "decode_state",
     "decode_value",
+    "default_jobs",
     "definitely",
     "depends_on",
     "encode_state",
@@ -235,8 +254,12 @@ __all__ = [
     "run_campaign",
     "run_mutation_smoke",
     "run_schedule",
+    "run_trials",
     "simplify",
     "simulate",
+    "simulate_many",
     "table1_rows",
     "table2_rows",
+    "trial_seed",
+    "trial_seeds",
 ]

@@ -43,13 +43,15 @@ speeds where absolute ops/s do not.  See ``docs/performance.md``.
 
 from __future__ import annotations
 
-import json
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.core import conditions
 from repro.core.conditions import Condition
 from repro.core.polyvalue import Polyvalue, combine
+from repro.parallel.artifacts import write_json
+from repro.parallel.pool import default_jobs
+from repro.parallel.seeds import trial_seed
 
 #: Seconds each microbenchmark loop runs for (after one warmup call).
 FULL_MIN_TIME = 0.4
@@ -160,12 +162,19 @@ def bench_polyvalue_fastpath_speedup(min_time: float = FULL_MIN_TIME) -> float:
 
 
 def bench_explorer(
-    seeds: int = FULL_EXPLORER_SEEDS, first: int = 0
+    seeds: int = FULL_EXPLORER_SEEDS,
+    first: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Any]:
     """Schedules/second of the deterministic explorer (oracles on)."""
     from repro.check.explorer import explore
 
-    report = explore(seeds=range(first, first + seeds), include_enumeration=True)
+    report = explore(
+        campaign_seed=first,
+        trials=seeds,
+        include_enumeration=True,
+        jobs=jobs,
+    )
     return {
         "schedules": report.schedules_run,
         "schedules_per_s": report.schedules_per_second,
@@ -394,8 +403,85 @@ def bench_table2(duration: float = FULL_TABLE2_DURATION) -> float:
 
     start = time.perf_counter()
     for index, row in enumerate(table2_rows()):
-        simulate(row.params, duration=duration, seed=index)
+        simulate(row.params, duration=duration, seed=trial_seed(0, index))
     return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Parallel campaign scaling (the campaign engine)
+# ----------------------------------------------------------------------
+
+#: Monte-Carlo trials in the scaling campaign.  Each trial is a full
+#: stable-period simulation (~0.1-0.2 wall seconds), so chunk dispatch
+#: and fork overhead are noise against the work being sharded.
+SCALING_TRIALS_FULL = 24
+SCALING_TRIALS_SMOKE = 12
+
+#: Worker counts the scaling bench measures.  Levels above what the
+#: machine can actually schedule (``default_jobs()``) are skipped —
+#: oversubscribed workers time-slice one core and measure nothing.
+SCALING_JOBS_LEVELS = (1, 2, 4)
+
+
+def bench_parallel_scaling(
+    *,
+    seed: int = 0,
+    trials: int = SCALING_TRIALS_FULL,
+    jobs_levels: Sequence[int] = SCALING_JOBS_LEVELS,
+) -> Dict[str, Any]:
+    """Campaign throughput at each worker count, plus speedup guards.
+
+    Runs the same seeded Monte-Carlo campaign (the Table-2 baseline
+    row) through :func:`~repro.analysis.montecarlo.simulate_many` at
+    each jobs level.  Besides throughput, it asserts the engine's core
+    promise — per-seed results bit-identical at every level — and
+    reports it as ``parallel_bitwise_identical``.
+
+    Guards are ``parallel_speedup_jobsN`` = throughput at N workers
+    over the serial path.  :func:`check_regression` skips a committed
+    ``parallel_speedup_jobsN`` guard when the measuring machine has
+    fewer than N usable cores (the committed floors are enforced by
+    multi-core CI, not by whatever laptop re-runs the suite).
+    """
+    from repro.analysis.model import ModelParams
+    from repro.analysis.montecarlo import simulate_many
+
+    params = ModelParams(
+        updates_per_second=40.0,
+        failure_probability=0.02,
+        items=25_000,
+        recovery_rate=0.02,
+        dependency_mean=2.0,
+        update_independence=0.5,
+    )
+    cpus = default_jobs()
+    results: Dict[str, Any] = {
+        "parallel_campaign_trials": trials,
+        "parallel_cpus": cpus,
+    }
+    guards: Dict[str, Any] = {}
+    throughput: Dict[int, float] = {}
+    reference = None
+    identical = True
+    for level in jobs_levels:
+        if level > max(1, cpus):
+            continue
+        start = time.perf_counter()
+        batch = simulate_many([params] * trials, seed=seed, jobs=level)
+        wall = time.perf_counter() - start
+        throughput[level] = trials / wall
+        results[f"campaign_jobs{level}_per_s"] = round(trials / wall, 2)
+        means = [result.mean_polyvalues for result in batch]
+        if reference is None:
+            reference = means
+        elif means != reference:
+            identical = False
+    results["parallel_bitwise_identical"] = identical
+    serial = throughput.get(1)
+    for level, rate in throughput.items():
+        if level > 1 and serial:
+            guards[f"parallel_speedup_jobs{level}"] = round(rate / serial, 2)
+    return {"results": results, "guards": guards}
 
 
 #: The pre-PR measurements this performance layer is judged against,
@@ -414,22 +500,33 @@ def run_benchmarks(
     smoke: bool = False,
     explorer_seeds: Optional[int] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the full perf suite and return the ``BENCH_perf.json`` payload.
 
     ``smoke=True`` shrinks every budget (CI-friendly: a few seconds
     total); absolute numbers then undershoot full mode, but the guard
-    ratios remain meaningful.  *seed* is the first explorer seed
+    ratios remain meaningful.  *seed* is the explorer campaign seed
     (mirroring ``repro check --seed``); the microbenchmarks are
-    deterministic modulo timing.
+    deterministic modulo timing.  *jobs* caps the scaling bench's
+    worker levels (``None`` = every level the machine can schedule);
+    the other benchmarks stay serial — they time single-core hot paths.
     """
     min_time = SMOKE_MIN_TIME if smoke else FULL_MIN_TIME
     if explorer_seeds is None:
         explorer_seeds = SMOKE_EXPLORER_SEEDS if smoke else FULL_EXPLORER_SEEDS
     duration = SMOKE_TABLE2_DURATION if smoke else FULL_TABLE2_DURATION
+    scaling_trials = SCALING_TRIALS_SMOKE if smoke else SCALING_TRIALS_FULL
+    jobs_cap = default_jobs() if jobs is None else jobs
+    jobs_levels = tuple(
+        level for level in SCALING_JOBS_LEVELS if level <= max(1, jobs_cap)
+    )
 
     explorer = bench_explorer(seeds=explorer_seeds, first=seed)
     resilience = bench_resilience(seed=seed)
+    scaling = bench_parallel_scaling(
+        seed=seed, trials=scaling_trials, jobs_levels=jobs_levels
+    )
     results: Dict[str, Any] = {
         "condition_ops_per_s": round(bench_condition_ops(min_time), 1),
         "polyvalue_ops_per_s": round(bench_polyvalue_reads(min_time), 1),
@@ -439,6 +536,7 @@ def run_benchmarks(
         "table2_wall_s": round(bench_table2(duration), 3),
     }
     results.update(resilience["results"])
+    results.update(scaling["results"])
     guards = {
         "condition_cache_speedup": round(
             bench_condition_cache_speedup(min_time), 2
@@ -448,6 +546,7 @@ def run_benchmarks(
         ),
     }
     guards.update(resilience["guards"])
+    guards.update(scaling["guards"])
     return {
         "schema": 1,
         "mode": "smoke" if smoke else "full",
@@ -456,6 +555,7 @@ def run_benchmarks(
             "microbench_min_time_s": min_time,
             "explorer_seeds": explorer_seeds,
             "table2_duration_s": duration,
+            "scaling_trials": scaling_trials,
         },
         "pre_pr_baseline": dict(PRE_PR_BASELINE),
         "results": results,
@@ -473,12 +573,21 @@ def check_regression(
 
     Returns a list of human-readable failures (empty = pass).  Only the
     machine-relative guard ratios are gated — absolute ops/s depend on
-    the runner and would flake.
+    the runner and would flake.  A committed ``parallel_speedup_jobsN``
+    guard is skipped (not failed) when the machine running the check
+    has fewer than N usable cores: the floor is meaningful only where
+    N workers can actually run in parallel, and multi-core CI is the
+    enforcement point.
     """
     failures = []
+    cpus = report.get("results", {}).get("parallel_cpus", default_jobs())
     for name, recorded in baseline.get("guards", {}).items():
         measured = report["guards"].get(name)
         if measured is None:
+            if name.startswith("parallel_speedup_jobs"):
+                suffix = name[len("parallel_speedup_jobs"):]
+                if suffix.isdigit() and cpus < int(suffix):
+                    continue
             failures.append(f"guard {name!r} missing from this run")
             continue
         floor = recorded * (1.0 - max_regression)
@@ -492,6 +601,10 @@ def check_regression(
     if not report["results"].get("gray_oracles_ok", True):
         failures.append(
             "gray campaign reported oracle violations during bench"
+        )
+    if report["results"].get("parallel_bitwise_identical") is False:
+        failures.append(
+            "parallel campaign results diverged from the serial path"
         )
     return failures
 
@@ -530,11 +643,26 @@ def render_report(report: Dict[str, Any]) -> str:
             f"{results['outage_retransmissions_backoff']} backoff "
             f"({guards['retransmission_reduction']:.1f}x reduction)",
         ]
+    if "parallel_cpus" in results:
+        levels = ", ".join(
+            f"jobs={level} {results[key]:.2f}/s"
+            for level in SCALING_JOBS_LEVELS
+            if (key := f"campaign_jobs{level}_per_s") in results
+        )
+        lines.append(
+            f"  campaign scaling:   {levels} "
+            f"({results['parallel_cpus']} cpus, bitwise "
+            f"identical={results['parallel_bitwise_identical']})"
+        )
+        for level in SCALING_JOBS_LEVELS:
+            guard = guards.get(f"parallel_speedup_jobs{level}")
+            if guard is not None:
+                lines.append(
+                    f"  speedup @ jobs={level}:   {guard:>12.2f}x"
+                )
     return "\n".join(lines)
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
     """Write *report* as stable, diff-friendly JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_json(report, path)

@@ -25,16 +25,19 @@ Command line: ``python -m repro chaos`` (see ``docs/faults.md``).
 
 from __future__ import annotations
 
+import functools
 import itertools
 import json
-import os
 import time
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SimulationError
 from repro.net.failures import FailureAction
+from repro.obs.events import EventBus
+from repro.parallel.artifacts import write_violation_artifact
+from repro.parallel.pool import run_trials
+from repro.parallel.seeds import trial_seeds
 from repro.sim.rand import Rng
 from repro.txn.runtime import ProtocolConfig
 from repro.txn.system import DistributedSystem
@@ -44,6 +47,7 @@ from repro.check.explorer import (
     ExplorationResult,
     Schedule,
     Violation,
+    reduce_exploration,
 )
 from repro.check.explorer import run_schedule as _run_schedule
 from repro.check.scenarios import SCENARIOS, build_scenario
@@ -290,6 +294,9 @@ class ChaosReport:
     profile: ChaosProfile
     results: List[ExplorationResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Trials that produced no result at all (worker process died);
+    #: one human-readable line each.  Distinct from oracle violations.
+    failed_trials: List[str] = field(default_factory=list)
 
     @property
     def schedules_run(self) -> int:
@@ -301,7 +308,7 @@ class ChaosReport:
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.failed_trials
 
     def total_stats(self) -> Dict[str, int]:
         """Summed fault-injection evidence across the campaign's runs."""
@@ -341,9 +348,15 @@ class ChaosReport:
             f"loss={self.profile.loss_probability:g} "
             f"corrupt={self.profile.corruption_probability:g})",
         ]
+        if self.failed_trials:
+            lines.append(
+                f"{len(self.failed_trials)} FAILED TRIAL(S) "
+                "(no result produced):"
+            )
+            lines.extend(f"  {entry}" for entry in self.failed_trials)
         if self.ok:
             lines.append("all oracles passed on every schedule")
-        else:
+        elif self.violations:
             lines.append(f"{len(self.violations)} ORACLE VIOLATION(S):")
             for result in self.results:
                 for violation in result.violations:
@@ -358,25 +371,13 @@ def _write_chaos_artifact(
     violations: List[Violation],
     artifact_dir: str,
 ) -> str:
-    os.makedirs(artifact_dir, exist_ok=True)
-    payload = schedule.to_dict()
-    payload["profile"] = profile.to_dict()
-    fingerprint = zlib.crc32(
-        json.dumps(payload, sort_keys=True).encode("utf-8")
+    return write_violation_artifact(
+        schedule,
+        violations,
+        artifact_dir,
+        prefix="chaos",
+        extra={"profile": profile.to_dict()},
     )
-    payload["violations"] = [
-        {"phase": v.phase, "oracle": v.oracle, "details": v.details}
-        for v in violations
-    ]
-    name = (
-        f"chaos-{schedule.scenario}-seed{schedule.seed}-"
-        f"{fingerprint:08x}.json"
-    )
-    path = os.path.join(artifact_dir, name)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
 
 
 def run_chaos_schedule(
@@ -411,37 +412,69 @@ def replay_chaos(artifact_path: str) -> ExplorationResult:
     return run_chaos_schedule(schedule, profile)
 
 
+def _chaos_trial(profile: ChaosProfile, schedule: Schedule):
+    """The engine worker: one chaos schedule under *profile*.
+
+    No artifact I/O in the worker — the reduce step writes artifacts in
+    the parent so the file set is identical whatever the worker count.
+    """
+    return _run_schedule(schedule, system_factory=system_factory(profile))
+
+
 def run_campaign(
     *,
     profile: Optional[ChaosProfile] = None,
     scenarios: Optional[Sequence[str]] = None,
-    seeds: Iterable[int] = range(10),
+    seeds: Optional[Iterable[int]] = None,
+    campaign_seed: int = 0,
+    trials: int = 10,
     steps: int = 14,
     smoke: bool = False,
     artifact_dir: Optional[str] = None,
+    jobs: Optional[int] = 1,
+    bus: Optional[EventBus] = None,
 ) -> ChaosReport:
     """Run the chaos campaign: one :func:`chaos_walk` per (scenario, seed).
 
-    ``smoke=True`` trims to the :data:`SMOKE_SCENARIOS` subset and
-    shorter walks — the CI budget.  Explicit *scenarios*/*steps*
-    override the smoke defaults.
+    Walk seeds come from the shared campaign derivation
+    (:func:`repro.parallel.seeds.trial_seed` over
+    ``(campaign_seed, 0..trials)``); pass *seeds* explicitly to pin
+    exact walk seeds instead.  ``smoke=True`` trims to the
+    :data:`SMOKE_SCENARIOS` subset and shorter walks — the CI budget.
+    Explicit *scenarios*/*steps* override the smoke defaults.
+
+    *jobs* selects the campaign engine's worker count (``1`` = the
+    serial in-process path, ``None`` = every core); per-seed results
+    are bit-identical for every value.  *bus* receives streamed
+    ``campaign.*`` progress events.
     """
     profile = profile or ChaosProfile()
     if scenarios is None:
         scenarios = SMOKE_SCENARIOS if smoke else tuple(SCENARIOS)
     if smoke:
         steps = min(steps, 10)
+    if seeds is None:
+        seeds = trial_seeds(campaign_seed, trials)
+    schedules = [
+        chaos_walk(scenario, seed, profile=profile, steps=steps)
+        for seed in seeds
+        for scenario in scenarios
+    ]
     report = ChaosReport(profile=profile)
     started = time.perf_counter()
-    for seed in seeds:
-        for scenario in scenarios:
-            schedule = chaos_walk(
-                scenario, seed, profile=profile, steps=steps
-            )
-            report.results.append(
-                run_chaos_schedule(
-                    schedule, profile, artifact_dir=artifact_dir
-                )
-            )
+    outcome = run_trials(
+        functools.partial(_chaos_trial, profile),
+        schedules,
+        jobs=jobs,
+        bus=bus,
+        label="chaos",
+    )
+    report.results, report.failed_trials = reduce_exploration(
+        schedules,
+        outcome,
+        artifact_dir=artifact_dir,
+        artifact_prefix="chaos",
+        artifact_extra={"profile": profile.to_dict()},
+    )
     report.wall_seconds = time.perf_counter() - started
     return report

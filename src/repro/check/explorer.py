@@ -30,14 +30,19 @@ from __future__ import annotations
 
 import itertools
 import json
-import os
 import time
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SimulationError
 from repro.net.failures import FailureAction, ScheduleScript
+from repro.obs.events import EventBus
+from repro.parallel.artifacts import (
+    fingerprint as artifact_fingerprint,
+    write_violation_artifact,
+)
+from repro.parallel.pool import run_trials
+from repro.parallel.seeds import trial_seeds
 from repro.sim.rand import Rng
 from repro.txn.runtime import ProtocolConfig
 from repro.check.oracles import (
@@ -82,8 +87,7 @@ class Schedule:
 
     def fingerprint(self) -> str:
         """A short stable id for artifact file names."""
-        blob = json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
-        return f"{zlib.crc32(blob):08x}"
+        return artifact_fingerprint(self.to_dict())
 
     def to_dict(self) -> Dict:
         return {
@@ -158,6 +162,9 @@ class ExplorerReport:
 
     results: List[ExplorationResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Trials that produced no result at all (worker process died);
+    #: one human-readable line each.  Distinct from oracle violations.
+    failed_trials: List[str] = field(default_factory=list)
 
     @property
     def schedules_run(self) -> int:
@@ -169,7 +176,7 @@ class ExplorerReport:
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.failed_trials
 
     @property
     def schedules_per_second(self) -> float:
@@ -185,9 +192,15 @@ class ExplorerReport:
             f"({self.schedules_per_second:.1f} schedules/s), "
             f"{checkpoints} quiescent checkpoints",
         ]
+        if self.failed_trials:
+            lines.append(
+                f"{len(self.failed_trials)} FAILED TRIAL(S) "
+                "(no result produced):"
+            )
+            lines.extend(f"  {entry}" for entry in self.failed_trials)
         if self.ok:
             lines.append("all oracles passed on every schedule")
-        else:
+        elif self.violations:
             lines.append(f"{len(self.violations)} ORACLE VIOLATION(S):")
             for result in self.results:
                 for violation in result.violations:
@@ -333,21 +346,9 @@ def enumerate_small_scope(
 def _write_artifact(
     schedule: Schedule, violations: List[Violation], artifact_dir: str
 ) -> str:
-    os.makedirs(artifact_dir, exist_ok=True)
-    payload = schedule.to_dict()
-    payload["violations"] = [
-        {"phase": v.phase, "oracle": v.oracle, "details": v.details}
-        for v in violations
-    ]
-    name = (
-        f"violation-{schedule.scenario}-seed{schedule.seed}-"
-        f"{schedule.fingerprint()}.json"
+    return write_violation_artifact(
+        schedule, violations, artifact_dir, prefix="violation"
     )
-    path = os.path.join(artifact_dir, name)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
 
 
 def load_artifact(path: str) -> Schedule:
@@ -470,22 +471,86 @@ def replay(artifact_path: str, **kwargs) -> ExplorationResult:
     return run_schedule(load_artifact(artifact_path), **kwargs)
 
 
+def _explore_trial(schedule: Schedule) -> ExplorationResult:
+    """The engine worker: one schedule, no artifact I/O in the worker.
+
+    Artifacts are written by the reduce step in the parent so the file
+    set is identical whatever the worker count.
+    """
+    return run_schedule(schedule, artifact_dir=None)
+
+
+def reduce_exploration(
+    schedules: Sequence[Schedule],
+    outcome,
+    *,
+    artifact_dir: Optional[str] = None,
+    artifact_prefix: str = "violation",
+    artifact_extra: Optional[Dict] = None,
+) -> Tuple[List[ExplorationResult], List[str]]:
+    """The typed reduce step shared by the explorer and chaos campaigns.
+
+    Merges a :class:`~repro.parallel.pool.CampaignOutcome` back into the
+    serial output shape: completed :class:`ExplorationResult` records in
+    schedule order (violating ones get their artifact written here, by
+    the parent), plus one line per trial that produced no result.
+    """
+    errors = {failure.index: failure.error for failure in outcome.failures}
+    results: List[ExplorationResult] = []
+    failed_trials: List[str] = []
+    for index, (schedule, result) in enumerate(
+        zip(schedules, outcome.results)
+    ):
+        if result is None:
+            where = schedule.label or (
+                f"{schedule.scenario} seed={schedule.seed}"
+            )
+            failed_trials.append(
+                f"{where}: {errors.get(index, 'no result')}"
+            )
+            continue
+        if result.violations and artifact_dir is not None:
+            result.artifact_path = write_violation_artifact(
+                schedule,
+                result.violations,
+                artifact_dir,
+                prefix=artifact_prefix,
+                extra=artifact_extra,
+            )
+        results.append(result)
+    return results, failed_trials
+
+
 def explore(
     *,
     scenarios: Sequence[str] = ("pair", "transfers", "mixed"),
-    seeds: Iterable[int] = range(10),
+    seeds: Optional[Iterable[int]] = None,
+    campaign_seed: int = 0,
+    trials: int = 10,
     steps: int = 12,
     include_enumeration: bool = True,
     artifact_dir: Optional[str] = None,
     fault: Optional[str] = None,
+    jobs: Optional[int] = 1,
+    bus: Optional[EventBus] = None,
 ) -> ExplorerReport:
     """Run the full exploration budget: random walks plus enumeration.
 
-    Every seed yields one random walk per scenario; the small-scope
-    enumeration is appended once (it is deterministic and seed-free).
-    *fault* arms a wait-phase mutation in every run (used by the
-    mutation smoke test).
+    Walk seeds come from the shared campaign derivation
+    (:func:`repro.parallel.seeds.trial_seed` over
+    ``(campaign_seed, 0..trials)``); pass *seeds* explicitly to pin
+    exact walk seeds instead (replay, tests).  Every seed yields one
+    random walk per scenario; the small-scope enumeration is appended
+    once (it is deterministic and seed-free).  *fault* arms a
+    wait-phase mutation in every run (used by the mutation smoke test).
+
+    *jobs* selects the campaign engine's worker count (``1`` = the
+    serial in-process path, ``None`` = every core); per-seed results
+    are bit-identical for every value.  *bus* receives streamed
+    ``campaign.*`` progress events.
     """
+    if seeds is None:
+        seeds = trial_seeds(campaign_seed, trials)
     schedules: List[Schedule] = []
     for seed in seeds:
         for scenario in scenarios:
@@ -510,9 +575,11 @@ def explore(
         ]
     report = ExplorerReport()
     started = time.perf_counter()
-    for schedule in schedules:
-        report.results.append(
-            run_schedule(schedule, artifact_dir=artifact_dir)
-        )
+    outcome = run_trials(
+        _explore_trial, schedules, jobs=jobs, bus=bus, label="explore"
+    )
+    report.results, report.failed_trials = reduce_exploration(
+        schedules, outcome, artifact_dir=artifact_dir
+    )
     report.wall_seconds = time.perf_counter() - started
     return report

@@ -25,9 +25,14 @@ code:
 * ``bench`` — the hot-path performance suite behind ``BENCH_perf.json``
   (``docs/performance.md``).
 
-All randomness is seeded: ``--seed`` is always the first seed and, for
-the multi-seed commands (``check``, ``bench``), ``--seeds`` is how many
-consecutive seeds to run, so every invocation is reproducible.
+All randomness is seeded: ``--seed`` is the campaign seed and, for the
+multi-trial commands (``check``, ``chaos``, ``bench``), ``--seeds`` is
+how many trials to derive from it (one walk seed per trial via
+``repro.parallel.seeds.trial_seed``), so every invocation is
+reproducible.  The campaign commands (``check``, ``chaos``, ``table2``,
+``sweep``, ``bench``) take ``--jobs N`` to shard trials over N worker
+processes; results are bit-identical for every N, and ``--jobs 1`` is
+the exact serial in-process path.
 """
 
 from __future__ import annotations
@@ -45,8 +50,15 @@ from repro.analysis.model import (
     table2_rows,
     time_to_settle,
 )
-from repro.analysis.montecarlo import simulate
+from repro.analysis.montecarlo import simulate, simulate_many
 from repro.analysis.sweep import SWEEPABLE, format_sweep_table, sweep
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="campaign-engine worker processes (default: "
+                        "all cores; 1 = the serial in-process path; "
+                        "results are identical for every value)")
 
 
 def _add_model_params(parser: argparse.ArgumentParser) -> None:
@@ -96,10 +108,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
           f"(duration={args.duration:g}s, seed={args.seed})")
     print(f"{'U':>4} {'F':>7} {'R':>6} {'I':>7} {'Y':>3} {'D':>3} "
           f"{'sim P':>8} {'model P':>8} {'paper sim':>10} {'paper pred':>11}")
-    for index, row in enumerate(table2_rows()):
-        result = simulate(
-            row.params, duration=args.duration, seed=args.seed + index
-        )
+    rows = list(table2_rows())
+    results = simulate_many(
+        [row.params for row in rows],
+        duration=args.duration,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    for row, result in zip(rows, results):
         p = row.params
         print(f"{p.U:>4g} {p.F:>7g} {p.R:>6g} {p.I:>7g} {p.Y:>3g} {p.D:>3g} "
               f"{result.mean_polyvalues:>8.2f} {row.model_value:>8.2f} "
@@ -155,6 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         run_simulation=args.simulate,
         duration=args.duration if args.simulate else None,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(format_sweep_table(points))
     return 0
@@ -297,10 +314,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if not args.mutation_only:
         report = explore(
             scenarios=scenarios,
-            seeds=range(args.seed, args.seed + args.seeds),
+            campaign_seed=args.seed,
+            trials=args.seeds,
             steps=args.steps,
             include_enumeration=not args.no_enumeration,
             artifact_dir=args.artifact_dir,
+            jobs=args.jobs,
         )
         for line in report.summary_lines():
             print(line)
@@ -344,10 +363,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     report = run_campaign(
         profile=profile,
         scenarios=tuple(args.scenario) if args.scenario else None,
-        seeds=range(args.seed, args.seed + args.seeds),
+        campaign_seed=args.seed,
+        trials=args.seeds,
         steps=args.steps,
         smoke=args.smoke,
         artifact_dir=args.artifact_dir,
+        jobs=args.jobs,
     )
     for line in report.summary_lines():
         print(line)
@@ -365,7 +386,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     report = run_benchmarks(
-        smoke=args.smoke, explorer_seeds=args.seeds, seed=args.seed
+        smoke=args.smoke,
+        explorer_seeds=args.seeds,
+        seed=args.seed,
+        jobs=args.jobs,
     )
     print(render_bench_report(report))
     if args.output:
@@ -406,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = commands.add_parser("table2", help="run Table 2 (Monte-Carlo)")
     table2.add_argument("--duration", type=float, default=2000.0)
     table2.add_argument("--seed", type=int, default=0)
+    _add_jobs(table2)
     table2.set_defaults(handler=_cmd_table2)
 
     model = commands.add_parser("model", help="evaluate the analytic model")
@@ -428,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also run the Monte-Carlo sim per point")
     sweep_cmd.add_argument("--duration", type=float, default=None)
     sweep_cmd.add_argument("--seed", type=int, default=0)
+    _add_jobs(sweep_cmd)
     sweep_cmd.set_defaults(handler=_cmd_sweep)
 
     demo = commands.add_parser("demo", help="failure/polyvalue walkthrough")
@@ -466,9 +492,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the correctness harness (oracles + schedule explorer)",
     )
     check.add_argument("--seed", type=int, default=0,
-                       help="first random-walk seed (default 0)")
+                       help="campaign seed the walk seeds derive from "
+                       "(default 0)")
     check.add_argument("--seeds", type=int, default=10,
-                       help="number of random-walk seeds (default 10)")
+                       help="number of random-walk trials (default 10)")
+    _add_jobs(check)
     check.add_argument("--steps", type=int, default=12,
                        help="failure actions per random walk (default 12)")
     check.add_argument("--scenario", action="append",
@@ -492,9 +520,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the resilience campaign (gray failures + lossy network)",
     )
     chaos.add_argument("--seed", type=int, default=0,
-                       help="first chaos-walk seed (default 0)")
+                       help="campaign seed the walk seeds derive from "
+                       "(default 0)")
     chaos.add_argument("--seeds", type=int, default=10,
-                       help="number of chaos-walk seeds (default 10)")
+                       help="number of chaos-walk trials (default 10)")
+    _add_jobs(chaos)
     chaos.add_argument("--steps", type=int, default=14,
                        help="failure actions per chaos walk (default 14)")
     chaos.add_argument("--scenario", action="append",
@@ -533,9 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="hot-path performance benchmarks (writes BENCH_perf.json)",
     )
     bench.add_argument("--seed", type=int, default=0,
-                       help="first explorer seed (default 0)")
+                       help="campaign seed (default 0)")
     bench.add_argument("--seeds", type=int, default=None,
-                       help="explorer seed count (default: 25 full, 5 smoke)")
+                       help="explorer trial count (default: 25 full, 5 smoke)")
+    _add_jobs(bench)
     bench.add_argument("--smoke", action="store_true",
                        help="shrunken budgets for CI")
     bench.add_argument("--output", default=None, metavar="PATH",

@@ -45,6 +45,14 @@ name                 emitted when
 ``site.recover``     a crashed site comes back up
 ``sim.window``       one ``run_until`` window of the simulator finished
                      (attrs ``events``, ``since``)
+``campaign.start``   a campaign engine run begins
+                     (attrs ``label``, ``trials``, ``jobs``, ``chunks``)
+``campaign.trial``   one campaign trial finished
+                     (attrs ``label``, ``index``, ``ok``)
+``campaign.chunk``   one chunk of trials finished
+                     (attrs ``label``, ``chunk``, ``ok``)
+``campaign.done``    the campaign finished
+                     (attrs ``label``, ``trials``, ``failures``)
 ===================  ====================================================
 """
 
@@ -77,6 +85,10 @@ TAXONOMY = (
     "txn.overflow",
     "overload.block",
     "sim.window",
+    "campaign.start",
+    "campaign.trial",
+    "campaign.chunk",
+    "campaign.done",
 )
 
 

@@ -1,0 +1,48 @@
+"""repro.parallel — the multi-core campaign engine.
+
+Campaigns (explorer schedules, chaos walks, Monte-Carlo runs, bench
+sweeps) are batches of seeded, shared-nothing trials.  This package
+holds the three pieces every campaign driver now shares:
+
+* :mod:`repro.parallel.pool` — the process-pool engine
+  (:func:`run_trials`): deterministic chunked sharding, crash-isolated
+  workers, index-merged results, streamed ``campaign.*`` progress
+  events;
+* :mod:`repro.parallel.seeds` — the single
+  ``(campaign_seed, trial_index)`` seed derivation
+  (:func:`trial_seed`) that makes serial and parallel runs
+  bit-identical;
+* :mod:`repro.parallel.artifacts` — the one artifact/report writer the
+  reduce steps use.
+
+See ``docs/performance.md`` ("Parallel campaigns").
+"""
+
+from repro.parallel.artifacts import (
+    canonical_json,
+    fingerprint,
+    write_json,
+    write_violation_artifact,
+)
+from repro.parallel.pool import (
+    CampaignOutcome,
+    TrialFailure,
+    default_chunk_size,
+    default_jobs,
+    run_trials,
+)
+from repro.parallel.seeds import trial_seed, trial_seeds
+
+__all__ = [
+    "CampaignOutcome",
+    "TrialFailure",
+    "canonical_json",
+    "default_chunk_size",
+    "default_jobs",
+    "fingerprint",
+    "run_trials",
+    "trial_seed",
+    "trial_seeds",
+    "write_json",
+    "write_violation_artifact",
+]

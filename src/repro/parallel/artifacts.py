@@ -1,0 +1,82 @@
+"""Shared artifact writing for every campaign reduce step.
+
+The explorer, the chaos campaign and the bench suite each grew a
+near-identical "dump canonical JSON with a crc32 fingerprint in the
+file name" helper; this module is the one implementation all three now
+use, and the one the parallel reduce step calls when it writes the
+violation artifacts its workers reported back.
+
+Two invariants the replay machinery depends on:
+
+* **canonical JSON** — ``sort_keys=True``, two-space indent, trailing
+  newline — so artifacts diff cleanly and fingerprints are stable;
+* **fingerprint excludes the violations** — the fingerprint identifies
+  the *input* (schedule, and for chaos the profile), so a re-run of the
+  same input overwrites the same file instead of accumulating
+  duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, List, Optional
+
+#: Duck type: anything with ``scenario``, ``seed`` and ``to_dict()``
+#: (the explorer's ``Schedule``); kept structural to avoid importing
+#: ``repro.check`` from this layer.
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical rendering every artifact and report uses."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def fingerprint(payload: Any) -> str:
+    """A short stable id of *payload* (crc32 of its canonical form)."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return f"{zlib.crc32(blob):08x}"
+
+
+def write_json(payload: Any, path: str) -> str:
+    """Write *payload* as stable, diff-friendly JSON; returns *path*."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(payload))
+    return path
+
+
+def violation_dicts(violations: List[Any]) -> List[Dict[str, str]]:
+    """Serialise explorer ``Violation`` records for an artifact."""
+    return [
+        {"phase": v.phase, "oracle": v.oracle, "details": v.details}
+        for v in violations
+    ]
+
+
+def write_violation_artifact(
+    schedule: Any,
+    violations: List[Any],
+    artifact_dir: str,
+    *,
+    prefix: str = "violation",
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write one replayable violation artifact; returns its path.
+
+    The payload is ``schedule.to_dict()`` plus *extra* (the chaos
+    campaign passes ``{"profile": ...}``), fingerprinted **before** the
+    violations are appended, then written as
+    ``{prefix}-{scenario}-seed{seed}-{fingerprint}.json``.
+    """
+    os.makedirs(artifact_dir, exist_ok=True)
+    payload = schedule.to_dict()
+    if extra:
+        payload.update(extra)
+    stamp = fingerprint(payload)
+    payload["violations"] = violation_dicts(violations)
+    name = f"{prefix}-{schedule.scenario}-seed{schedule.seed}-{stamp}.json"
+    return write_json(payload, os.path.join(artifact_dir, name))

@@ -1,0 +1,441 @@
+"""The process-pool campaign engine: multi-core seeded-trial execution.
+
+Every campaign in this repo — explorer schedules, chaos walks,
+Monte-Carlo runs, bench sweeps — is a batch of *shared-nothing* trials:
+each trial is a pure function of its (picklable) task descriptor, and
+the campaign result is a typed reduce over the per-trial results.  That
+shape is exactly what a process pool parallelises safely, and
+:func:`run_trials` is the one engine all four drivers use.
+
+Design points:
+
+* **Deterministic sharding** — the task list is split into contiguous,
+  index-tagged chunks; results are merged back *by task index*, so the
+  merged output is identical regardless of worker count, scheduling or
+  completion order.  Combined with :mod:`repro.parallel.seeds` (a
+  trial's seed depends only on its campaign seed and index), per-seed
+  results are bit-identical between ``jobs=1`` and ``jobs=N``.
+* **The serial path is really serial** — ``jobs=1`` runs every trial
+  in-process, in order, with no multiprocessing machinery at all: the
+  exact code path the drivers always had.
+* **Crash isolation** — each chunk runs in its own worker process.  A
+  worker that dies (segfault, OOM-kill, ``SIGKILL``) loses only the
+  not-yet-reported trials of its chunk: those are marked failed, the
+  slot is refilled with a fresh worker for the next chunk, and the
+  campaign completes instead of hanging.  Trials the worker streamed
+  back before dying are kept — they finished.
+* **Streaming progress** — workers send each trial result through a
+  pipe as it completes; the parent republishes ``campaign.*`` events on
+  an optional :class:`~repro.obs.events.EventBus`, so campaign progress
+  rides the same observability spine as everything else.  (Progress
+  *event order* across workers is wall-clock-dependent; the merged
+  *results* are not.)
+
+Failure taxonomy: an exception raised *by the worker function* fails
+that one trial (the worker carries on); a worker *process* dying fails
+the unreported remainder of its chunk.  Neither is retried — retrying
+would make campaign output depend on wall-clock failure timing.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.errors import SimulationError
+from repro.obs.events import EventBus
+
+#: Start method: ``fork`` where the platform offers it (cheap, inherits
+#: the warmed interpreter), the platform default otherwise.  Module
+#: constant so tests can pin it.
+START_METHOD: Optional[str] = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: every usable core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without CPU affinity
+        return max(1, os.cpu_count() or 1)
+
+
+def default_chunk_size(total: int, jobs: int) -> int:
+    """Tasks per chunk: ~4 chunks per worker.
+
+    Chunking amortises process startup over several trials while
+    keeping the crash blast radius (the trials one dead worker can take
+    down) and the load-balance granularity bounded.
+    """
+    if total <= 0:
+        return 1
+    return max(1, math.ceil(total / (max(1, jobs) * 4)))
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One trial that produced no result, and why."""
+
+    index: int
+    error: str
+
+    def __str__(self) -> str:
+        return f"trial {self.index}: {self.error}"
+
+
+@dataclass
+class CampaignOutcome:
+    """The typed reduce input: per-trial results in task order.
+
+    ``results[i]`` is trial *i*'s result, or ``None`` when trial *i*
+    failed (its entry is then in ``failures``).  The merge is by task
+    index, so this shape is identical for every ``jobs`` value.
+    """
+
+    results: List[Any]
+    failures: List[TrialFailure] = field(default_factory=list)
+    jobs: int = 1
+    chunks: int = 0
+    failed_chunks: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.trials / self.wall_seconds
+
+    def require_ok(self, label: str = "campaign") -> "CampaignOutcome":
+        """Raise (listing the failed trials) unless every trial ran."""
+        if self.failures:
+            detail = "; ".join(str(f) for f in self.failures[:5])
+            more = len(self.failures) - 5
+            if more > 0:
+                detail += f"; ... {more} more"
+            raise SimulationError(
+                f"{label}: {len(self.failures)} of {self.trials} "
+                f"trial(s) failed: {detail}"
+            )
+        return self
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _chunk_worker(
+    conn,
+    worker: Callable[[Any], Any],
+    chunk_index: int,
+    entries: Sequence[Tuple[int, Any]],
+) -> None:
+    """Run one chunk, streaming each trial back as it completes."""
+    try:
+        for index, task in entries:
+            try:
+                result = worker(task)
+            except Exception as error:  # noqa: BLE001 — trial-level fault
+                conn.send(
+                    ("trial", index, False, f"{type(error).__name__}: {error}")
+                )
+                continue
+            try:
+                conn.send(("trial", index, True, result))
+            except Exception as error:  # noqa: BLE001 — unpicklable result
+                conn.send(
+                    (
+                        "trial",
+                        index,
+                        False,
+                        f"result not transferable: "
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+        conn.send(("done", chunk_index))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _ActiveChunk:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("process", "conn", "index", "outstanding", "done")
+
+    def __init__(self, process, conn, index: int, task_indices) -> None:
+        self.process = process
+        self.conn = conn
+        self.index = index
+        self.outstanding = set(task_indices)
+        self.done = False
+
+
+class _Campaign:
+    """One :func:`run_trials` execution (parallel branch)."""
+
+    def __init__(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: List[Any],
+        jobs: int,
+        chunk_size: int,
+        bus: Optional[EventBus],
+        label: str,
+    ) -> None:
+        self.worker = worker
+        self.tasks = tasks
+        self.jobs = jobs
+        self.bus = bus
+        self.label = label
+        self.started = time.perf_counter()
+        self.results: List[Any] = [None] * len(tasks)
+        self.failures: Dict[int, str] = {}
+        self.failed_chunks = 0
+        indexed = list(enumerate(tasks))
+        self.pending = deque(
+            (chunk_index, indexed[offset : offset + chunk_size])
+            for chunk_index, offset in enumerate(
+                range(0, len(indexed), chunk_size)
+            )
+        )
+        self.total_chunks = len(self.pending)
+        self.context = multiprocessing.get_context(START_METHOD)
+        self.active: Dict[int, _ActiveChunk] = {}
+
+    # -- events --------------------------------------------------------
+
+    def _emit(self, name: str, **attrs: Any) -> None:
+        if self.bus:
+            self.bus.emit(
+                name,
+                time=time.perf_counter() - self.started,
+                **attrs,
+            )
+
+    def _emit_trial(self, index: int, ok: bool) -> None:
+        self._emit(
+            "campaign.trial", label=self.label, index=index, ok=ok
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self) -> None:
+        chunk_index, entries = self.pending.popleft()
+        parent_conn, child_conn = self.context.Pipe(duplex=False)
+        process = self.context.Process(
+            target=_chunk_worker,
+            args=(child_conn, self.worker, chunk_index, entries),
+            daemon=True,
+            name=f"repro-{self.label}-{chunk_index}",
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the receiving end
+        self.active[chunk_index] = _ActiveChunk(
+            process, parent_conn, chunk_index, (i for i, _ in entries)
+        )
+
+    def _handle(self, chunk: _ActiveChunk, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "trial":
+            _, index, ok, payload = message
+            chunk.outstanding.discard(index)
+            if ok:
+                self.results[index] = payload
+            else:
+                self.failures[index] = payload
+            self._emit_trial(index, ok)
+        elif kind == "done":
+            chunk.done = True
+
+    def _drain(self, chunk: _ActiveChunk) -> bool:
+        """Receive everything buffered; True when the pipe is finished."""
+        try:
+            while chunk.conn.poll():
+                self._handle(chunk, chunk.conn.recv())
+        except (EOFError, OSError):
+            return True
+        except Exception as error:  # noqa: BLE001 — torn mid-send pickle
+            chunk.done = False
+            self._finalize(chunk, transport_error=repr(error))
+            return False
+        return chunk.done
+
+    def _finalize(
+        self, chunk: _ActiveChunk, transport_error: Optional[str] = None
+    ) -> None:
+        self.active.pop(chunk.index, None)
+        chunk.conn.close()
+        chunk.process.join()
+        if chunk.outstanding or not chunk.done:
+            self.failed_chunks += 1
+            exitcode = chunk.process.exitcode
+            reason = transport_error or (
+                f"worker died (exit {exitcode})"
+                if exitcode
+                else "worker stopped before finishing its chunk"
+            )
+            for index in sorted(chunk.outstanding):
+                self.failures[index] = reason
+                self._emit_trial(index, False)
+        self._emit(
+            "campaign.chunk",
+            label=self.label,
+            chunk=chunk.index,
+            ok=chunk.done and not chunk.outstanding,
+        )
+
+    def run(self) -> CampaignOutcome:
+        self._emit(
+            "campaign.start",
+            label=self.label,
+            trials=len(self.tasks),
+            jobs=self.jobs,
+            chunks=self.total_chunks,
+        )
+        while self.pending or self.active:
+            while self.pending and len(self.active) < self.jobs:
+                self._spawn()
+            waitables: List[Any] = []
+            by_waitable: Dict[Any, _ActiveChunk] = {}
+            for chunk in list(self.active.values()):
+                waitables.append(chunk.conn)
+                by_waitable[chunk.conn] = chunk
+                # The sentinel catches a worker that dies without ever
+                # writing to the pipe (e.g. SIGKILL before its first
+                # trial finished) — the pipe alone would block forever.
+                waitables.append(chunk.process.sentinel)
+                by_waitable[chunk.process.sentinel] = chunk
+            if not waitables:
+                continue
+            seen = set()
+            for ready in mp_connection.wait(waitables, timeout=1.0):
+                chunk = by_waitable[ready]
+                if id(chunk) in seen or chunk.index not in self.active:
+                    continue
+                seen.add(id(chunk))
+                if self._drain(chunk) and chunk.index in self.active:
+                    self._finalize(chunk)
+        outcome = CampaignOutcome(
+            results=self.results,
+            failures=[
+                TrialFailure(index, error)
+                for index, error in sorted(self.failures.items())
+            ],
+            jobs=self.jobs,
+            chunks=self.total_chunks,
+            failed_chunks=self.failed_chunks,
+            wall_seconds=time.perf_counter() - self.started,
+        )
+        self._emit(
+            "campaign.done",
+            label=self.label,
+            trials=outcome.trials,
+            failures=len(outcome.failures),
+        )
+        return outcome
+
+
+def run_trials(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    bus: Optional[EventBus] = None,
+    label: str = "campaign",
+) -> CampaignOutcome:
+    """Run *worker* over every task; merge per-trial results by index.
+
+    *worker* must be picklable (a module-level callable or a
+    ``functools.partial`` of one) and *tasks* picklable values.
+    ``jobs=None`` uses every usable core; ``jobs=1`` runs serially
+    in-process with no multiprocessing machinery.  Results are returned
+    in task order whatever the worker count — see the module docstring
+    for the determinism and crash-isolation contracts.
+    """
+    tasks = list(tasks)
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, max(1, len(tasks)))
+    if jobs == 1:
+        # The exact serial code path: same process, same call order.
+        started = time.perf_counter()
+        if bus:
+            bus.emit(
+                "campaign.start",
+                time=0.0,
+                label=label,
+                trials=len(tasks),
+                jobs=1,
+                chunks=0,
+            )
+        results: List[Any] = [None] * len(tasks)
+        failures: List[TrialFailure] = []
+        for index, task in enumerate(tasks):
+            ok = True
+            try:
+                results[index] = worker(task)
+            except Exception as error:  # noqa: BLE001 — trial-level fault
+                ok = False
+                failures.append(
+                    TrialFailure(
+                        index, f"{type(error).__name__}: {error}"
+                    )
+                )
+            if bus:
+                bus.emit(
+                    "campaign.trial",
+                    time=time.perf_counter() - started,
+                    label=label,
+                    index=index,
+                    ok=ok,
+                )
+        outcome = CampaignOutcome(
+            results=results,
+            failures=failures,
+            jobs=1,
+            wall_seconds=time.perf_counter() - started,
+        )
+        if bus:
+            bus.emit(
+                "campaign.done",
+                time=outcome.wall_seconds,
+                label=label,
+                trials=outcome.trials,
+                failures=len(failures),
+            )
+        return outcome
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(tasks), jobs)
+    if chunk_size < 1:
+        raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return _Campaign(worker, tasks, jobs, chunk_size, bus, label).run()

@@ -1,0 +1,247 @@
+"""The campaign engine itself: sharding, determinism, crash isolation.
+
+The drivers' serial-vs-parallel bit-identity lives in
+``test_parallel_equivalence.py``; this file exercises the engine
+(:mod:`repro.parallel.pool`) and its two support modules (seeds,
+artifacts) directly, with cheap synthetic workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.obs.events import TAXONOMY, EventBus, EventLog
+from repro.parallel import (
+    CampaignOutcome,
+    TrialFailure,
+    canonical_json,
+    default_chunk_size,
+    default_jobs,
+    fingerprint,
+    run_trials,
+    trial_seed,
+    trial_seeds,
+)
+
+
+# ----------------------------------------------------------------------
+# Workers (module-level: they must pickle into the worker processes)
+# ----------------------------------------------------------------------
+
+
+def _square(value):
+    return value * value
+
+
+def _flaky(value):
+    if value == 5:
+        raise ValueError("boom")
+    return value * 2
+
+
+def _kill_on_seven(value):
+    if value == 7:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 3
+
+
+def _unpicklable(value):
+    if value == 2:
+        return lambda: None  # functions don't pickle
+    return value
+
+
+# ----------------------------------------------------------------------
+# Seeds
+# ----------------------------------------------------------------------
+
+
+def test_trial_seed_is_deterministic_and_index_sensitive():
+    assert trial_seed(0, 0) == trial_seed(0, 0)
+    seeds = trial_seeds(0, 50)
+    assert seeds == trial_seeds(0, 50)
+    assert len(set(seeds)) == 50, "adjacent indices must not collide"
+    assert trial_seeds(1, 50) != seeds, "campaign seed must matter"
+    # Stays inside the engine's seed space (and Rng's accepted range).
+    assert all(0 <= s <= 0x7FFFFFFFFFFFFFFF for s in seeds)
+
+
+def test_trial_seed_rejects_negative_index():
+    with pytest.raises(SimulationError):
+        trial_seed(0, -1)
+
+
+# ----------------------------------------------------------------------
+# Sharding and the serial path
+# ----------------------------------------------------------------------
+
+
+def test_serial_and_parallel_results_are_identical():
+    tasks = list(range(17))
+    serial = run_trials(_square, tasks, jobs=1)
+    parallel = run_trials(_square, tasks, jobs=3, chunk_size=2)
+    assert serial.results == [v * v for v in tasks]
+    assert parallel.results == serial.results
+    assert serial.ok and parallel.ok
+    assert serial.jobs == 1 and parallel.jobs == 3
+
+
+def test_results_merge_by_index_for_any_chunking():
+    tasks = list(range(11))
+    expected = [v * v for v in tasks]
+    for chunk_size in (1, 2, 5, 11):
+        outcome = run_trials(_square, tasks, jobs=2, chunk_size=chunk_size)
+        assert outcome.results == expected, f"chunk_size={chunk_size}"
+
+
+def test_jobs_are_clamped_to_task_count():
+    outcome = run_trials(_square, [3], jobs=8)
+    assert outcome.results == [9]
+    assert outcome.jobs == 1  # one task -> the serial path
+
+
+def test_empty_task_list():
+    outcome = run_trials(_square, [], jobs=4)
+    assert outcome.results == [] and outcome.ok
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(SimulationError):
+        run_trials(_square, [1, 2], jobs=0)
+
+
+def test_default_chunk_size_bounds():
+    assert default_chunk_size(0, 4) == 1
+    assert default_chunk_size(100, 4) == 7  # ~4 chunks per worker
+    assert default_chunk_size(3, 8) == 1
+    assert default_jobs() >= 1
+
+
+# ----------------------------------------------------------------------
+# Failure isolation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_worker_exception_fails_only_that_trial(jobs):
+    outcome = run_trials(_flaky, list(range(10)), jobs=jobs, chunk_size=2)
+    assert outcome.results[5] is None
+    assert [r for i, r in enumerate(outcome.results) if i != 5] == [
+        v * 2 for v in range(10) if v != 5
+    ]
+    assert [f.index for f in outcome.failures] == [5]
+    assert "ValueError: boom" in outcome.failures[0].error
+    assert not outcome.ok
+    with pytest.raises(SimulationError, match="trial 5"):
+        outcome.require_ok("flaky")
+
+
+def test_sigkilled_worker_fails_chunk_remainder_not_campaign():
+    # chunk_size=2 over 0..9: the killer lands in chunk (6, 7).  Trial 6
+    # streamed its result before the SIGKILL, so only 7 is lost; the
+    # campaign completes and every other chunk is intact.
+    outcome = run_trials(
+        _kill_on_seven, list(range(10)), jobs=2, chunk_size=2
+    )
+    assert [f.index for f in outcome.failures] == [7]
+    assert "worker died" in outcome.failures[0].error
+    assert outcome.results[7] is None
+    assert outcome.results[6] == 18
+    for index in (0, 1, 2, 3, 4, 5, 8, 9):
+        assert outcome.results[index] == index * 3
+    assert outcome.failed_chunks == 1
+    assert outcome.chunks == 5
+
+
+def test_sigkill_before_first_result_fails_whole_chunk():
+    # chunk_size=4 puts the killer first in its chunk (4..7): nothing
+    # was reported, so the entire chunk is marked failed.
+    tasks = [7, 8, 9, 10]
+    outcome = run_trials(_kill_on_seven, tasks, jobs=2, chunk_size=4)
+    assert [f.index for f in outcome.failures] == [0, 1, 2, 3]
+    assert all("worker died" in f.error for f in outcome.failures)
+    assert outcome.failed_chunks == 1
+
+
+def test_unpicklable_result_fails_that_trial_only():
+    outcome = run_trials(_unpicklable, list(range(4)), jobs=2, chunk_size=2)
+    assert [f.index for f in outcome.failures] == [2]
+    assert "not transferable" in outcome.failures[0].error
+    assert outcome.results[3] == 3, "chunk continues past the bad trial"
+
+
+# ----------------------------------------------------------------------
+# Progress events
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_campaign_events_stream_to_the_bus(jobs):
+    bus = EventBus()
+    log = EventLog(bus, prefix="campaign.")
+    outcome = run_trials(
+        _square, list(range(6)), jobs=jobs, chunk_size=2, bus=bus,
+        label="unit",
+    )
+    assert outcome.ok
+    names = [event.name for event in log.events]
+    assert names[0] == "campaign.start"
+    assert names[-1] == "campaign.done"
+    assert names.count("campaign.trial") == 6
+    assert set(names) <= set(TAXONOMY)
+    start = log.events[0]
+    assert start.attrs["label"] == "unit"
+    assert start.attrs["trials"] == 6
+    assert start.attrs["jobs"] == jobs
+    trial_indices = sorted(
+        event.attrs["index"]
+        for event in log.events
+        if event.name == "campaign.trial"
+    )
+    assert trial_indices == list(range(6))
+
+
+def test_parallel_run_leaves_global_rng_untouched():
+    state = random.getstate()
+    run_trials(_square, list(range(8)), jobs=2, chunk_size=2)
+    run_trials(_square, list(range(8)), jobs=1)
+    assert random.getstate() == state
+
+
+# ----------------------------------------------------------------------
+# Outcome type
+# ----------------------------------------------------------------------
+
+
+def test_outcome_require_ok_truncates_long_failure_lists():
+    failures = [TrialFailure(i, "X") for i in range(8)]
+    outcome = CampaignOutcome(results=[None] * 8, failures=failures)
+    with pytest.raises(SimulationError, match=r"\.\.\. 3 more"):
+        outcome.require_ok()
+
+
+def test_outcome_throughput():
+    outcome = CampaignOutcome(results=[1, 2], wall_seconds=0.5)
+    assert outcome.trials_per_second == 4.0
+    assert CampaignOutcome(results=[]).trials_per_second == 0.0
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+
+def test_canonical_json_and_fingerprint_are_stable():
+    payload = {"b": 1, "a": [2, 3]}
+    text = canonical_json(payload)
+    assert text.endswith("\n")
+    assert json.loads(text) == payload
+    assert fingerprint(payload) == fingerprint({"a": [2, 3], "b": 1})
+    assert fingerprint(payload) != fingerprint({"a": [2, 3], "b": 2})
+    assert len(fingerprint(payload)) == 8

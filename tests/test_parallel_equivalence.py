@@ -1,0 +1,131 @@
+"""Serial/parallel bit-identity for the four campaign drivers.
+
+The engine's contract is that ``--jobs N`` changes wall-clock time and
+nothing else: per-seed results, verdicts, artifacts and report shapes
+are bit-identical to the serial path.  These tests run each driver's
+smoke-sized campaign at ``jobs=1`` and ``jobs=4`` and compare the full
+semantic content (everything except wall-clock timings).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.analysis.model import ModelParams
+from repro.analysis.montecarlo import simulate_averaged
+from repro.analysis.sweep import sweep
+from repro.chaos import ChaosProfile, run_campaign
+from repro.check.explorer import explore
+
+PARAMS = ModelParams(
+    updates_per_second=40.0,
+    failure_probability=0.02,
+    items=25_000,
+    recovery_rate=0.02,
+    dependency_mean=2.0,
+    update_independence=0.5,
+)
+
+
+def _explorer_content(report):
+    """Everything semantic in an ExplorerReport (not the timings)."""
+    return {
+        "ok": report.ok,
+        "failed_trials": report.failed_trials,
+        "schedules": [r.schedule.to_dict() for r in report.results],
+        "violations": [
+            [str(v) for v in r.violations] for r in report.results
+        ],
+        "verdicts": [
+            [(v.oracle, v.ok) for v in r.final_verdicts]
+            for r in report.results
+        ],
+        "checkpoints": [r.quiescent_checkpoints for r in report.results],
+        "events": [r.events_processed for r in report.results],
+        "converged": [r.converged for r in report.results],
+    }
+
+
+def test_explorer_campaign_bit_identical(tmp_path):
+    kwargs = dict(
+        campaign_seed=3,
+        trials=4,
+        steps=6,
+        include_enumeration=True,
+    )
+    serial = explore(
+        jobs=1, artifact_dir=str(tmp_path / "serial"), **kwargs
+    )
+    parallel = explore(
+        jobs=4, artifact_dir=str(tmp_path / "parallel"), **kwargs
+    )
+    assert _explorer_content(serial) == _explorer_content(parallel)
+    # Identical artifact file sets (normally both empty: no violations).
+    serial_files = sorted(os.listdir(tmp_path / "serial")) if (
+        tmp_path / "serial"
+    ).exists() else []
+    parallel_files = sorted(os.listdir(tmp_path / "parallel")) if (
+        tmp_path / "parallel"
+    ).exists() else []
+    assert serial_files == parallel_files
+
+
+def test_chaos_campaign_bit_identical():
+    profile = ChaosProfile()
+    kwargs = dict(profile=profile, smoke=True, campaign_seed=5, trials=3)
+    serial = run_campaign(jobs=1, **kwargs)
+    parallel = run_campaign(jobs=4, **kwargs)
+    assert _explorer_content(serial) == _explorer_content(parallel)
+    assert serial.ok
+
+
+def test_montecarlo_campaign_bit_identical():
+    serial = simulate_averaged(PARAMS, runs=4, seed=11, jobs=1)
+    parallel = simulate_averaged(PARAMS, runs=4, seed=11, jobs=4)
+    assert [r.seed for r in serial] == [r.seed for r in parallel]
+    assert [r.mean_polyvalues for r in serial] == [
+        r.mean_polyvalues for r in parallel
+    ]
+    assert [r.transactions for r in serial] == [
+        r.transactions for r in parallel
+    ]
+    assert [r.failures for r in serial] == [r.failures for r in parallel]
+    assert [
+        r.series.points for r in serial
+    ] == [r.series.points for r in parallel]
+
+
+def test_sweep_bit_identical():
+    values = [0.01, 0.02, 0.2]  # the last point is unstable and skipped
+    serial = sweep(
+        PARAMS, "failure_probability", values,
+        run_simulation=True, seed=2, jobs=1,
+    )
+    parallel = sweep(
+        PARAMS, "failure_probability", values,
+        run_simulation=True, seed=2, jobs=4,
+    )
+    assert [(p.value, p.model, p.simulated) for p in serial] == [
+        (p.value, p.model, p.simulated) for p in parallel
+    ]
+
+
+def test_campaigns_leave_global_rng_untouched():
+    state = random.getstate()
+    run_campaign(smoke=True, campaign_seed=1, trials=2, jobs=4)
+    explore(campaign_seed=1, trials=2, steps=4,
+            include_enumeration=False, jobs=4)
+    simulate_averaged(PARAMS, runs=2, seed=1, jobs=4)
+    assert random.getstate() == state
+
+
+def test_seed_override_still_supported():
+    # Explicit seed iterables (the pre-engine API) pin the exact walk
+    # seeds, serial or parallel.
+    serial = run_campaign(smoke=True, seeds=[4, 9], jobs=1)
+    parallel = run_campaign(smoke=True, seeds=[4, 9], jobs=4)
+    assert [r.schedule.seed for r in serial.results] == [4, 4, 9, 9]
+    assert _explorer_content(serial) == _explorer_content(parallel)
