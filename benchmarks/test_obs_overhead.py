@@ -104,6 +104,71 @@ class TestUnobservedOverhead:
         assert unobserved <= baseline * 1.05 + 0.002
 
 
+def _campaign_worker(seed):
+    """One guard trial: drive a small instrumented system to quiescence."""
+    system = _build_system(seed=seed)
+    _drive(system, transactions=15)
+    return system.metrics.committed
+
+
+class TestCampaignRecordingOverhead:
+    """The PR-6 telemetry contract: recording a campaign into the
+    SQLite store (a CampaignRecorder subscribed to the driver bus)
+    stays within a few percent of the same campaign unrecorded, and a
+    bus with no subscribers is still skipped by the pool's truthiness
+    guard exactly like the protocol hot paths."""
+
+    TRIALS = 6
+
+    def _campaign(self, bus):
+        from repro.parallel import run_trials
+
+        start = time.perf_counter()
+        outcome = run_trials(
+            _campaign_worker,
+            list(range(self.TRIALS)),
+            jobs=1,
+            label="overhead-guard",
+            bus=bus,
+        )
+        elapsed = time.perf_counter() - start
+        assert not outcome.failures
+        return elapsed
+
+    def test_recorder_subscribed_within_5_percent(self, tmp_path):
+        from repro.obs.store import CampaignRecorder, CampaignStore
+
+        def recorded(round_index):
+            store = CampaignStore(str(tmp_path / f"guard-{round_index}.sqlite"))
+            bus = EventBus()
+            recorder = CampaignRecorder(
+                store, command="bench", label="overhead-guard", bus=bus
+            )
+            try:
+                return self._campaign(bus)
+            finally:
+                recorder.finish(ok=True)
+                store.close()
+
+        bare = min(self._campaign(None) for _ in range(3))
+        with_recorder = min(recorded(i) for i in range(3))
+        bare = min(bare, min(self._campaign(None) for _ in range(2)))
+        # 5% relative plus 2ms absolute slack for timer granularity.
+        assert with_recorder <= bare * 1.05 + 0.002, (
+            f"recorded campaign {with_recorder * 1000:.2f}ms vs bare "
+            f"{bare * 1000:.2f}ms — the campaign recorder got expensive"
+        )
+
+    def test_no_subscriber_campaign_bus_is_free(self):
+        bare = min(self._campaign(None) for _ in range(3))
+        empty_bus = min(self._campaign(EventBus()) for _ in range(3))
+        bare = min(bare, min(self._campaign(None) for _ in range(2)))
+        assert empty_bus <= bare * 1.05 + 0.002, (
+            f"unobserved campaign {empty_bus * 1000:.2f}ms vs bus-free "
+            f"{bare * 1000:.2f}ms — the no-subscriber guard got expensive"
+        )
+
+
 class TestObservationIsPassive:
     def test_subscribing_changes_nothing_but_observation(self):
         observed = _build_system()

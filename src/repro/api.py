@@ -25,6 +25,12 @@ The surface, by layer:
 * **Observability** — :class:`EventBus`, :class:`SpanTracer`,
   :class:`MetricsRegistry`, :class:`ProtocolTracer`
   (``docs/observability.md``).
+* **Campaign telemetry** — the persistent results store
+  (:class:`CampaignStore`, :class:`CampaignRecorder`,
+  :func:`default_store_path`) behind ``repro history``, and the live
+  dashboard (:class:`DashboardServer`, :class:`LiveState`,
+  :func:`serve_dash`) behind ``repro serve-dash``
+  (``docs/observability.md``, "The campaign store").
 * **Correctness harness** — :func:`explore`, :func:`run_mutation_smoke`
   and the oracle entry points (``docs/testing.md``).
 * **Resilience** — the gray-failure fault model
@@ -137,8 +143,21 @@ from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
 
 # Observability (PR 1, docs/observability.md).
 from repro.obs.events import EventBus
+from repro.obs.export import CampaignMetrics
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanTracer
+
+# Campaign telemetry: the persistent store + live dashboard (PR 6).
+from repro.obs.store import (
+    CampaignRecorder,
+    CampaignStore,
+    RunRecord,
+    StoreError,
+    TrialRecord,
+    VerdictRecord,
+    default_store_path,
+)
+from repro.obs.live import DashboardServer, LiveState, serve_dash
 
 # Correctness harness (PR 2, docs/testing.md).
 from repro.check.explorer import explore, replay, run_schedule
@@ -166,19 +185,24 @@ from repro.parallel import (
 )
 
 __all__ = [
+    "CampaignMetrics",
     "CampaignOutcome",
+    "CampaignRecorder",
+    "CampaignStore",
     "ChaosProfile",
     "CheckContext",
     "CommitPolicy",
     "Condition",
     "ConditionError",
     "CrashPlan",
+    "DashboardServer",
     "DistributedSystem",
     "Event",
     "EventBus",
     "FALSE",
     "FailureAction",
     "Literal",
+    "LiveState",
     "MetricsRegistry",
     "Network",
     "NetworkStats",
@@ -199,12 +223,14 @@ __all__ = [
     "RetryPolicy",
     "Rng",
     "RttEstimator",
+    "RunRecord",
     "ScheduleScript",
     "ScriptedFailures",
     "SimTime",
     "SimulationError",
     "Simulator",
     "SpanTracer",
+    "StoreError",
     "TRUE",
     "TimeoutPolicy",
     "Transaction",
@@ -213,9 +239,11 @@ __all__ = [
     "TransactionHandle",
     "TransactionInDoubt",
     "TrialFailure",
+    "TrialRecord",
     "TxnId",
     "TxnStatus",
     "UncertainValueError",
+    "VerdictRecord",
     "as_pairs",
     "blocking_system",
     "cache_info",
@@ -232,6 +260,7 @@ __all__ = [
     "decode_state",
     "decode_value",
     "default_jobs",
+    "default_store_path",
     "definitely",
     "depends_on",
     "encode_state",
@@ -255,6 +284,7 @@ __all__ = [
     "run_mutation_smoke",
     "run_schedule",
     "run_trials",
+    "serve_dash",
     "simplify",
     "simulate",
     "simulate_many",

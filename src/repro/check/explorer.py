@@ -150,6 +150,17 @@ class ExplorationResult:
     events_processed: int
     converged: bool
     artifact_path: Optional[str] = None
+    #: Headline numbers of the run's metrics collector (committed,
+    #: aborted, polyvalue counts, ...) — deterministic per (scenario,
+    #: seed, schedule), so they survive the worker boundary intact.
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: The run's in-doubt window distribution as non-cumulative
+    #: (upper-bound, count) pairs, ready for
+    #: :meth:`~repro.obs.store.CampaignStore.record_histogram`.
+    in_doubt_hist: List[Tuple[float, int]] = field(default_factory=list)
+    #: Position in the campaign's task list (set by the reduce step);
+    #: the key the store's trial rows are written under.
+    task_index: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -457,7 +468,20 @@ def run_schedule(
         events_processed=system.sim.events_processed,
         converged=converged,
         artifact_path=artifact_path,
+        stats=system.metrics.summary(),
+        in_doubt_hist=_in_doubt_hist(system),
     )
+
+
+def _in_doubt_hist(system) -> List[Tuple[float, int]]:
+    """The run's in-doubt window histogram as (upper-bound, count)
+    pairs, non-cumulative, with the +Inf overflow slot last."""
+    family = system.metrics.registry.get("repro_in_doubt_window_seconds")
+    if family is None:
+        return []
+    child = family.merged()
+    bounds = list(child.buckets) + [float("inf")]
+    return list(zip(bounds, child.counts))
 
 
 def replay(artifact_path: str, **kwargs) -> ExplorationResult:
@@ -517,6 +541,7 @@ def reduce_exploration(
                 prefix=artifact_prefix,
                 extra=artifact_extra,
             )
+        result.task_index = index
         results.append(result)
     return results, failed_trials
 

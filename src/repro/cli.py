@@ -23,7 +23,12 @@ code:
   ambient loss/corruption/duplication, with the adaptive-timeout
   resilience layer in the loop (``docs/faults.md``);
 * ``bench`` — the hot-path performance suite behind ``BENCH_perf.json``
-  (``docs/performance.md``).
+  (``docs/performance.md``);
+* ``history`` — query the persistent campaign store: list runs, trend
+  one metric across runs/PRs with deltas, or dump one run's full
+  evidence (trials, metrics, verdicts, histograms);
+* ``serve-dash`` — the zero-dependency live dashboard: stdlib HTTP +
+  SSE streaming the observability bus of a running scenario.
 
 All randomness is seeded: ``--seed`` is the campaign seed and, for the
 multi-trial commands (``check``, ``chaos``, ``bench``), ``--seeds`` is
@@ -32,14 +37,18 @@ how many trials to derive from it (one walk seed per trial via
 reproducible.  The campaign commands (``check``, ``chaos``, ``table2``,
 ``sweep``, ``bench``) take ``--jobs N`` to shard trials over N worker
 processes; results are bit-identical for every N, and ``--jobs 1`` is
-the exact serial in-process path.
+the exact serial in-process path.  Each of them also takes ``--store``
+(or honours ``REPRO_STORE``) to record the run — seeds, trial rows,
+oracle verdicts, metrics, in-doubt histograms — into the SQLite
+campaign store that ``repro history`` queries.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.model import (
     ModelParams,
@@ -59,6 +68,54 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="campaign-engine worker processes (default: "
                         "all cores; 1 = the serial in-process path; "
                         "results are identical for every value)")
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="record this run into the campaign store "
+                        "(bare --store or $REPRO_STORE uses "
+                        ".repro/campaigns.sqlite; query with "
+                        "'repro history')")
+
+
+def _open_recorder(
+    args: argparse.Namespace,
+    command: str,
+    *,
+    label: str = "",
+    config: Optional[dict] = None,
+    campaign_seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    with_bus: bool = True,
+) -> Tuple[Optional[object], Optional[object]]:
+    """(recorder, bus) when campaign recording is on, else (None, None).
+
+    Recording is opt-in: the ``--store`` flag or a ``REPRO_STORE``
+    environment variable turns it on; the recorder appends the run row
+    immediately and streams ``campaign.*`` trial events from *bus*.
+    """
+    if args.store is None and not os.environ.get("REPRO_STORE"):
+        return None, None
+    from repro.obs.events import EventBus
+    from repro.obs.store import (
+        CampaignRecorder,
+        CampaignStore,
+        default_store_path,
+    )
+
+    store = CampaignStore(default_store_path(args.store or None))
+    bus = EventBus() if with_bus else None
+    recorder = CampaignRecorder(
+        store,
+        command=command,
+        label=label,
+        campaign_seed=campaign_seed,
+        jobs=jobs,
+        config=config,
+        bus=bus,
+    )
+    return recorder, bus
 
 
 def _add_model_params(parser: argparse.ArgumentParser) -> None:
@@ -103,23 +160,85 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _finish_recorder(recorder, ok: bool) -> None:
+    """Stamp and close an optional campaign recorder (no-op when off)."""
+    if recorder is not None:
+        recorder.finish(ok=ok)
+        recorder.store.close()
+
+
+def _add_campaign_metrics(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--campaign-metrics", metavar="PATH", default=None,
+                        help="after the run, write the campaign.* progress "
+                        "metrics in Prometheus text exposition format to "
+                        "PATH ('-' prints the human report table instead)")
+
+
+def _attach_campaign_metrics(args, bus):
+    """(metrics, bus) with a CampaignMetrics subscribed when requested.
+
+    Creates the driver bus if campaign recording didn't already, so
+    ``--campaign-metrics`` works with or without ``--store``.
+    """
+    if not getattr(args, "campaign_metrics", None):
+        return None, bus
+    from repro.obs.events import EventBus
+    from repro.obs.export import CampaignMetrics
+
+    if bus is None:
+        bus = EventBus()
+    return CampaignMetrics(bus), bus
+
+
+def _flush_campaign_metrics(args, metrics) -> None:
+    """Render the accumulated campaign metrics where the user asked."""
+    if metrics is None:
+        return
+    from repro.obs.export import prometheus_text, render_report
+
+    if args.campaign_metrics == "-":
+        print(render_report(metrics))
+    else:
+        with open(args.campaign_metrics, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(metrics.registry))
+        print(f"campaign metrics written to {args.campaign_metrics}")
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     print("Table 2: Monte-Carlo simulation vs model "
           f"(duration={args.duration:g}s, seed={args.seed})")
     print(f"{'U':>4} {'F':>7} {'R':>6} {'I':>7} {'Y':>3} {'D':>3} "
           f"{'sim P':>8} {'model P':>8} {'paper sim':>10} {'paper pred':>11}")
     rows = list(table2_rows())
-    results = simulate_many(
-        [row.params for row in rows],
-        duration=args.duration,
-        seed=args.seed,
-        jobs=args.jobs,
+    recorder, bus = _open_recorder(
+        args, "table2", label="table2",
+        config={"duration": args.duration, "seed": args.seed},
+        campaign_seed=args.seed, jobs=args.jobs,
     )
-    for row, result in zip(rows, results):
-        p = row.params
-        print(f"{p.U:>4g} {p.F:>7g} {p.R:>6g} {p.I:>7g} {p.Y:>3g} {p.D:>3g} "
-              f"{result.mean_polyvalues:>8.2f} {row.model_value:>8.2f} "
-              f"{row.paper_actual:>10.2f} {row.paper_predicted:>11.2f}")
+    cmetrics, bus = _attach_campaign_metrics(args, bus)
+    ok = False
+    try:
+        results = simulate_many(
+            [row.params for row in rows],
+            duration=args.duration,
+            seed=args.seed,
+            jobs=args.jobs,
+            bus=bus,
+        )
+        for row, result in zip(rows, results):
+            p = row.params
+            print(f"{p.U:>4g} {p.F:>7g} {p.R:>6g} {p.I:>7g} {p.Y:>3g} "
+                  f"{p.D:>3g} {result.mean_polyvalues:>8.2f} "
+                  f"{row.model_value:>8.2f} {row.paper_actual:>10.2f} "
+                  f"{row.paper_predicted:>11.2f}")
+        if recorder is not None:
+            from repro.obs.store import record_table2
+
+            record_table2(recorder.store, recorder.run_id, rows, results)
+        ok = True
+    finally:
+        _finish_recorder(recorder, ok=ok)
+        _flush_campaign_metrics(args, cmetrics)
     return 0
 
 
@@ -164,16 +283,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{args.values!r}", file=sys.stderr)
         return 2
     base = _params_from(args)
-    points = sweep(
-        base,
-        args.parameter,
-        values,
-        run_simulation=args.simulate,
-        duration=args.duration if args.simulate else None,
-        seed=args.seed,
-        jobs=args.jobs,
+    recorder, bus = _open_recorder(
+        args, "sweep", label=f"sweep:{args.parameter}",
+        config={
+            "parameter": args.parameter,
+            "values": values,
+            "simulate": bool(args.simulate),
+            "duration": args.duration if args.simulate else None,
+            "seed": args.seed,
+        },
+        campaign_seed=args.seed, jobs=args.jobs,
     )
-    print(format_sweep_table(points))
+    cmetrics, bus = _attach_campaign_metrics(args, bus)
+    ok = False
+    try:
+        points = sweep(
+            base,
+            args.parameter,
+            values,
+            run_simulation=args.simulate,
+            duration=args.duration if args.simulate else None,
+            seed=args.seed,
+            jobs=args.jobs,
+            bus=bus,
+        )
+        print(format_sweep_table(points))
+        if recorder is not None:
+            from repro.obs.store import record_sweep
+
+            record_sweep(recorder.store, recorder.run_id, points)
+        ok = True
+    finally:
+        _finish_recorder(recorder, ok=ok)
+        _flush_campaign_metrics(args, cmetrics)
     return 0
 
 
@@ -311,28 +453,51 @@ def _cmd_check(args: argparse.Namespace) -> int:
     scenarios = (
         tuple(args.scenario) if args.scenario else tuple(SCENARIOS)
     )
-    if not args.mutation_only:
-        report = explore(
-            scenarios=scenarios,
-            campaign_seed=args.seed,
-            trials=args.seeds,
-            steps=args.steps,
-            include_enumeration=not args.no_enumeration,
-            artifact_dir=args.artifact_dir,
-            jobs=args.jobs,
-        )
-        for line in report.summary_lines():
-            print(line)
-        if not report.ok:
-            exit_code = 1
-    if args.mutation or args.mutation_only:
-        smoke = run_mutation_smoke(
-            seed=args.seed, artifact_dir=args.artifact_dir
-        )
-        for line in smoke.summary_lines():
-            print(line)
-        if not smoke.ok:
-            exit_code = 1
+    recorder, bus = _open_recorder(
+        args, "check", label="explore",
+        config={
+            "scenarios": list(scenarios),
+            "seeds": args.seeds,
+            "steps": args.steps,
+            "enumeration": not args.no_enumeration,
+            "seed": args.seed,
+        },
+        campaign_seed=args.seed, jobs=args.jobs,
+    )
+    cmetrics, bus = _attach_campaign_metrics(args, bus)
+    try:
+        if not args.mutation_only:
+            report = explore(
+                scenarios=scenarios,
+                campaign_seed=args.seed,
+                trials=args.seeds,
+                steps=args.steps,
+                include_enumeration=not args.no_enumeration,
+                artifact_dir=args.artifact_dir,
+                jobs=args.jobs,
+                bus=bus,
+            )
+            for line in report.summary_lines():
+                print(line)
+            if not report.ok:
+                exit_code = 1
+            if recorder is not None:
+                from repro.obs.store import record_exploration_report
+
+                record_exploration_report(
+                    recorder.store, recorder.run_id, report
+                )
+        if args.mutation or args.mutation_only:
+            smoke = run_mutation_smoke(
+                seed=args.seed, artifact_dir=args.artifact_dir
+            )
+            for line in smoke.summary_lines():
+                print(line)
+            if not smoke.ok:
+                exit_code = 1
+    finally:
+        _finish_recorder(recorder, ok=exit_code == 0)
+        _flush_campaign_metrics(args, cmetrics)
     return exit_code
 
 
@@ -360,24 +525,96 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         adaptive=not args.fixed_timeouts,
         polyvalue_budget=args.polyvalue_budget,
     )
-    report = run_campaign(
-        profile=profile,
-        scenarios=tuple(args.scenario) if args.scenario else None,
-        campaign_seed=args.seed,
-        trials=args.seeds,
-        steps=args.steps,
-        smoke=args.smoke,
-        artifact_dir=args.artifact_dir,
-        jobs=args.jobs,
+    recorder, bus = _open_recorder(
+        args, "chaos", label="chaos",
+        config={
+            "profile": profile.to_dict(),
+            "scenarios": list(args.scenario) if args.scenario else None,
+            "seeds": args.seeds,
+            "steps": args.steps,
+            "smoke": bool(args.smoke),
+            "seed": args.seed,
+        },
+        campaign_seed=args.seed, jobs=args.jobs,
     )
-    for line in report.summary_lines():
-        print(line)
-    return 0 if report.ok else 1
+    cmetrics, bus = _attach_campaign_metrics(args, bus)
+    ok = False
+    try:
+        report = run_campaign(
+            profile=profile,
+            scenarios=tuple(args.scenario) if args.scenario else None,
+            campaign_seed=args.seed,
+            trials=args.seeds,
+            steps=args.steps,
+            smoke=args.smoke,
+            artifact_dir=args.artifact_dir,
+            jobs=args.jobs,
+            bus=bus,
+        )
+        for line in report.summary_lines():
+            print(line)
+        if recorder is not None:
+            from repro.obs.store import record_exploration_report
+
+            record_exploration_report(recorder.store, recorder.run_id, report)
+        ok = report.ok
+    finally:
+        _finish_recorder(recorder, ok=ok)
+        _flush_campaign_metrics(args, cmetrics)
+    return 0 if ok else 1
+
+
+def _looks_like_store(path: str) -> bool:
+    """True when a ``--check-against`` target is a campaign store
+    (the literal word ``store``, a SQLite file, or a ``.sqlite`` path)
+    rather than a committed ``BENCH_perf.json``."""
+    if path == "store":
+        return True
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(16).startswith(b"SQLite format 3")
+    except OSError:
+        return path.endswith(".sqlite")
+
+
+def _bench_baseline(args: argparse.Namespace, recorder):
+    """Resolve the ``--check-against`` baseline payload, or None.
+
+    A JSON path loads the committed file (the original contract); a
+    store path compares against the newest *finished* bench run in the
+    stored history — excluding the run being recorded right now.
+    """
+    import json as _json
+
+    if not _looks_like_store(args.check_against):
+        with open(args.check_against, encoding="utf-8") as handle:
+            return _json.load(handle)
+    from repro.obs.store import (
+        CampaignStore,
+        bench_baseline_from_run,
+        default_store_path,
+    )
+
+    path = (
+        default_store_path(args.store or None)
+        if args.check_against == "store"
+        else args.check_against
+    )
+    if recorder is not None and recorder.store.path == path:
+        baseline_run = recorder.store.latest_run(
+            "bench", before=recorder.run_id
+        )
+        if baseline_run is None:
+            return None
+        return bench_baseline_from_run(recorder.store, baseline_run)
+    with CampaignStore(path) as store:
+        baseline_run = store.latest_run("bench")
+        if baseline_run is None:
+            return None
+        return bench_baseline_from_run(store, baseline_run)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    import json as _json
-
     from repro.bench import (
         check_regression,
         render_report as render_bench_report,
@@ -385,30 +622,272 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
-    report = run_benchmarks(
-        smoke=args.smoke,
-        explorer_seeds=args.seeds,
-        seed=args.seed,
-        jobs=args.jobs,
+    recorder, _ = _open_recorder(
+        args, "bench", label="smoke" if args.smoke else "full",
+        config={
+            "mode": "smoke" if args.smoke else "full",
+            "seed": args.seed,
+            "explorer_seeds": args.seeds,
+        },
+        campaign_seed=args.seed, jobs=args.jobs, with_bus=False,
     )
-    print(render_bench_report(report))
-    if args.output:
-        write_report(report, args.output)
-        print(f"wrote {args.output}")
-    if args.check_against:
-        with open(args.check_against, encoding="utf-8") as handle:
-            baseline = _json.load(handle)
-        failures = check_regression(
-            report, baseline, max_regression=args.max_regression
+    exit_code = 0
+    try:
+        report = run_benchmarks(
+            smoke=args.smoke,
+            explorer_seeds=args.seeds,
+            seed=args.seed,
+            jobs=args.jobs,
         )
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(
-            f"no regression vs {args.check_against} "
-            f"(tolerance {args.max_regression:.0%})"
+        print(render_bench_report(report))
+        if recorder is not None:
+            from repro.obs.store import record_bench_report
+
+            record_bench_report(recorder.store, recorder.run_id, report)
+        if args.output:
+            write_report(report, args.output)
+            print(f"wrote {args.output}")
+        if args.check_against:
+            baseline = _bench_baseline(args, recorder)
+            if baseline is None:
+                print(
+                    f"no bench history to compare against in "
+                    f"{args.check_against}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+            else:
+                failures = check_regression(
+                    report, baseline, max_regression=args.max_regression
+                )
+                if failures:
+                    for failure in failures:
+                        print(f"REGRESSION: {failure}", file=sys.stderr)
+                    exit_code = 1
+                else:
+                    against = args.check_against
+                    if "run_id" in baseline:
+                        against += f" (run {baseline['run_id']})"
+                    print(
+                        f"no regression vs {against} "
+                        f"(tolerance {args.max_regression:.0%})"
+                    )
+    finally:
+        _finish_recorder(recorder, ok=exit_code == 0)
+    return exit_code
+
+
+def _parse_since(text: str) -> float:
+    """``--since`` forms: ISO date (2026-08-01), a relative age (7d,
+    12h, 30m), or raw POSIX seconds."""
+    import time as _time
+    from datetime import datetime
+
+    suffixes = {"d": 86400.0, "h": 3600.0, "m": 60.0}
+    if text and text[-1] in suffixes and text[:-1]:
+        try:
+            return _time.time() - float(text[:-1]) * suffixes[text[-1]]
+        except ValueError:
+            pass
+    try:
+        return datetime.fromisoformat(text).timestamp()
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--since must be an ISO date, an age like 7d/12h/30m, or "
+            f"POSIX seconds; got {text!r}"
         )
+
+
+def _stamp(posix: Optional[float]) -> str:
+    from datetime import datetime
+
+    if posix is None:
+        return "-"
+    return datetime.fromtimestamp(posix).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _history_runs(store, args) -> int:
+    import json as _json
+
+    runs = store.runs(
+        command=args.command, since=args.since, limit=args.limit
+    )
+    if args.format == "json":
+        print(_json.dumps([run.to_dict() for run in runs], sort_keys=True))
+        return 0
+    if not runs:
+        print("no matching runs")
+        return 0
+    print(f"{'id':>4} {'command':<8} {'label':<12} "
+          f"{'started':<19} {'trials':>6} {'fail':>4} {'ok':>4} "
+          f"{'wall':>8} fingerprint")
+    for run in runs:
+        ok = "-" if run.ok is None else ("yes" if run.ok else "NO")
+        wall = "-" if run.wall_seconds is None else f"{run.wall_seconds:.2f}s"
+        print(f"{run.id:>4} {run.command:<8} {run.label[:12]:<12} "
+              f"{_stamp(run.started_at):<19} {run.trials:>6} "
+              f"{run.failures:>4} {ok:>4} {wall:>8} {run.fingerprint}")
+    return 0
+
+
+def _history_metric(store, args) -> int:
+    import json as _json
+
+    rows = store.metric_history(
+        args.metric, command=args.command, since=args.since,
+        limit=args.limit,
+    )
+    if args.format == "json":
+        print(_json.dumps(
+            [
+                {
+                    "run_id": run.id,
+                    "command": run.command,
+                    "started_at": run.started_at,
+                    "value": value,
+                }
+                for run, value in rows
+            ],
+            sort_keys=True,
+        ))
+        return 0
+    if not rows:
+        known = ", ".join(store.metric_names()) or "(store is empty)"
+        print(f"no history for metric {args.metric!r}; known: {known}")
+        return 1
+    print(f"metric {args.metric}")
+    print(f"{'id':>4} {'command':<8} {'started':<19} "
+          f"{'value':>14} {'delta':>12}")
+    previous = None
+    for run, value in rows:
+        if previous in (None, 0):
+            delta = "-"
+        else:
+            delta = f"{(value - previous) / abs(previous):+.1%}"
+        print(f"{run.id:>4} {run.command:<8} {_stamp(run.started_at):<19} "
+              f"{value:>14g} {delta:>12}")
+        previous = value
+    return 0
+
+
+def _history_run_detail(store, args) -> int:
+    import json as _json
+
+    run = store.run(args.run)
+    trials = store.trials(run.id)
+    metrics = store.metrics(run.id)
+    verdicts = store.verdicts(run.id)
+    hists = {
+        name: store.histogram(run.id, name)
+        for name in store.histogram_names(run.id)
+    }
+    if args.format == "json":
+        print(_json.dumps(
+            {
+                "run": run.to_dict(),
+                "trials": [
+                    {
+                        "index": t.index,
+                        "seed": t.seed,
+                        "scenario": t.scenario,
+                        "label": t.label,
+                        "ok": t.ok,
+                        "detail": t.detail,
+                    }
+                    for t in trials
+                ],
+                "metrics": metrics,
+                "verdicts": [
+                    {
+                        "trial_index": v.trial_index,
+                        "phase": v.phase,
+                        "oracle": v.oracle,
+                        "ok": v.ok,
+                        "details": v.details,
+                    }
+                    for v in verdicts
+                ],
+                "histograms": hists,
+            },
+            sort_keys=True,
+        ))
+        return 0
+    ok = "-" if run.ok is None else ("ok" if run.ok else "FAILED")
+    wall = "-" if run.wall_seconds is None else f"{run.wall_seconds:.2f}s"
+    print(f"run {run.id}: {run.command} [{run.label}] {ok}")
+    print(f"  started  {_stamp(run.started_at)}   finished "
+          f"{_stamp(run.finished_at)}   wall {wall}")
+    print(f"  seed {run.campaign_seed}  jobs {run.jobs}  "
+          f"fingerprint {run.fingerprint}")
+    print(f"  trials {run.trials}  failures {run.failures}")
+    if metrics:
+        print("  metrics:")
+        for name in sorted(metrics):
+            print(f"    {name:<32} {metrics[name]:g}")
+    failing = [v for v in verdicts if not v.ok]
+    if verdicts:
+        passed = len(verdicts) - len(failing)
+        print(f"  verdicts: {passed} ok, {len(failing)} failed")
+        for verdict in failing:
+            where = (
+                "" if verdict.trial_index is None
+                else f" trial {verdict.trial_index}"
+            )
+            print(f"    FAIL {verdict.oracle}{where} "
+                  f"[{verdict.phase}]: {verdict.details}")
+    for name, pairs in sorted(hists.items()):
+        print(f"  histogram {name}:")
+        for bound, count in pairs:
+            label = "+Inf" if bound == float("inf") else f"{bound:g}"
+            print(f"    le {label:<8} {count}")
+    failed_trials = [t for t in trials if t.ok is False]
+    if failed_trials:
+        print(f"  failed trials ({len(failed_trials)}):")
+        for trial in failed_trials:
+            reason = trial.detail.get("error", "")
+            print(f"    #{trial.index} {trial.label or trial.scenario}"
+                  f"{': ' + reason if reason else ''}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.store import CampaignStore, default_store_path
+
+    path = default_store_path(args.store or None)
+    if not os.path.exists(path):
+        print(f"no campaign store at {path} (record one with "
+              f"--store on check/chaos/bench/table2/sweep)",
+              file=sys.stderr)
+        return 1
+    with CampaignStore(path) as store:
+        if args.run is not None:
+            return _history_run_detail(store, args)
+        if args.metric:
+            return _history_metric(store, args)
+        return _history_runs(store, args)
+
+
+def _cmd_serve_dash(args: argparse.Namespace) -> int:
+    from repro.obs.live import serve_dash
+
+    serve_dash(
+        host=args.host,
+        port=args.port,
+        scenario=args.scenario,
+        seed=args.seed,
+        trials=args.trials,
+        jobs=args.jobs,
+        duration=args.duration,
+        verbose=args.verbose,
+        on_start=lambda server: print(
+            f"dashboard on {server.url} "
+            f"(scenario={args.scenario}, Ctrl-C to stop)"
+        ),
+    )
     return 0
 
 
@@ -431,6 +910,8 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--duration", type=float, default=2000.0)
     table2.add_argument("--seed", type=int, default=0)
     _add_jobs(table2)
+    _add_store(table2)
+    _add_campaign_metrics(table2)
     table2.set_defaults(handler=_cmd_table2)
 
     model = commands.add_parser("model", help="evaluate the analytic model")
@@ -454,6 +935,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--duration", type=float, default=None)
     sweep_cmd.add_argument("--seed", type=int, default=0)
     _add_jobs(sweep_cmd)
+    _add_store(sweep_cmd)
+    _add_campaign_metrics(sweep_cmd)
     sweep_cmd.set_defaults(handler=_cmd_sweep)
 
     demo = commands.add_parser("demo", help="failure/polyvalue walkthrough")
@@ -513,6 +996,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", default=None, metavar="ARTIFACT",
                        help="re-execute a violation artifact instead of "
                        "exploring")
+    _add_store(check)
+    _add_campaign_metrics(check)
     check.set_defaults(handler=_cmd_check)
 
     chaos = commands.add_parser(
@@ -556,6 +1041,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay", default=None, metavar="ARTIFACT",
                        help="re-execute a chaos violation artifact "
                        "instead of exploring")
+    _add_store(chaos)
+    _add_campaign_metrics(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
     bench = commands.add_parser(
@@ -573,10 +1060,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON payload here")
     bench.add_argument("--check-against", default=None, metavar="BASELINE",
                        help="fail if a machine-relative guard regressed "
-                       "vs this committed BENCH_perf.json")
+                       "vs this baseline: a committed BENCH_perf.json, "
+                       "a campaign-store .sqlite (newest stored bench "
+                       "run), or the word 'store' (the default store)")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed relative guard regression (default 0.25)")
+    _add_store(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    history = commands.add_parser(
+        "history",
+        help="query the campaign store (runs, trends, run detail)",
+    )
+    history.add_argument("--store", default=None, metavar="PATH",
+                         help="store path (default "
+                         ".repro/campaigns.sqlite or $REPRO_STORE)")
+    history.add_argument("--command", default=None,
+                         choices=("check", "chaos", "bench", "table2",
+                                  "sweep"),
+                         help="only runs of this command")
+    history.add_argument("--metric", default=None, metavar="NAME",
+                         help="trend one stored metric across runs, "
+                         "with consecutive deltas")
+    history.add_argument("--since", type=_parse_since, default=None,
+                         help="only runs since: ISO date, age (7d, 12h, "
+                         "30m) or POSIX seconds")
+    history.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="keep only the newest N entries")
+    history.add_argument("--run", type=int, default=None, metavar="ID",
+                         help="full detail of one run (trials, metrics, "
+                         "verdicts, histograms)")
+    history.add_argument("--format", choices=("table", "json"),
+                         default="table")
+    history.set_defaults(handler=_cmd_history)
+
+    dash = commands.add_parser(
+        "serve-dash",
+        help="live dashboard: stdlib HTTP + SSE over the event bus",
+    )
+    dash.add_argument("--host", default="127.0.0.1")
+    dash.add_argument("--port", type=int, default=8537,
+                      help="TCP port (0 = ephemeral; default 8537)")
+    dash.add_argument("--scenario", choices=("demo", "chaos"),
+                      default="demo",
+                      help="what drives the stream: the looping "
+                      "coordinator-crash walkthrough or looping smoke "
+                      "chaos campaigns")
+    dash.add_argument("--seed", type=int, default=7)
+    dash.add_argument("--trials", type=int, default=2,
+                      help="trials per chaos campaign iteration")
+    _add_jobs(dash)
+    dash.add_argument("--duration", type=float, default=None,
+                      help="stop after this many wall seconds "
+                      "(default: run until Ctrl-C)")
+    dash.add_argument("--verbose", action="store_true",
+                      help="log every HTTP request")
+    dash.set_defaults(handler=_cmd_serve_dash)
 
     return parser
 

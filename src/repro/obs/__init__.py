@@ -13,7 +13,12 @@ every component of the full-system simulator (see
   (counters / gauges / fixed-bucket histograms) that
   :class:`~repro.metrics.collector.MetricsCollector` is built on;
 * :mod:`repro.obs.export` — JSON-lines, Prometheus text exposition and
-  human report renderings.
+  human report renderings;
+* :mod:`repro.obs.store` — the SQLite-backed :class:`CampaignStore`
+  every campaign driver records runs/trials/metrics/verdicts into, and
+  the :class:`CampaignRecorder` bus subscriber that feeds it;
+* :mod:`repro.obs.live` — the zero-dependency live dashboard
+  (``repro serve-dash``) streaming the bus over SSE.
 
 With no subscribers attached the bus is falsy and instrumented call
 sites skip event construction entirely, so unobserved simulations pay
@@ -22,6 +27,7 @@ only a truthiness check.
 
 from repro.obs.events import TAXONOMY, EventBus, EventLog, ObsEvent
 from repro.obs.export import (
+    CampaignMetrics,
     event_to_dict,
     events_to_jsonl,
     prometheus_text,
@@ -36,12 +42,24 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.spans import Span, SpanTracer
+from repro.obs.store import (
+    SCHEMA_VERSION,
+    CampaignRecorder,
+    CampaignStore,
+    RunRecord,
+    StoreError,
+    TrialRecord,
+    VerdictRecord,
+    default_store_path,
+)
+from repro.obs.live import DashboardServer, LiveState, SSEBroker, serve_dash
 
 __all__ = [
     "TAXONOMY",
     "EventBus",
     "EventLog",
     "ObsEvent",
+    "CampaignMetrics",
     "event_to_dict",
     "events_to_jsonl",
     "prometheus_text",
@@ -54,4 +72,16 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanTracer",
+    "SCHEMA_VERSION",
+    "CampaignRecorder",
+    "CampaignStore",
+    "RunRecord",
+    "StoreError",
+    "TrialRecord",
+    "VerdictRecord",
+    "default_store_path",
+    "DashboardServer",
+    "LiveState",
+    "SSEBroker",
+    "serve_dash",
 ]

@@ -12,21 +12,119 @@ consumer:
 * :func:`render_report` — a human-readable summary table of a
   :class:`~repro.metrics.collector.MetricsCollector`, headline counters
   plus latency-histogram percentiles (``python -m repro report``).
+
+:class:`CampaignMetrics` bridges the campaign engine into the same two
+renderers: subscribed to a bus, it folds the ``campaign.*`` taxonomy
+events into ``repro_campaign_*`` counters/gauges in its own
+:class:`MetricsRegistry`, so driver progress flows through
+:func:`prometheus_text` (``CampaignMetrics.registry``) and
+:func:`render_report` (it is collector-shaped: ``registry`` +
+``summary()``) exactly like the protocol metrics do.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.obs.events import ObsEvent
+from repro.obs.events import EventBus, ObsEvent
 from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+
+
+# ----------------------------------------------------------------------
+# Campaign metrics: campaign.* events -> a registry
+# ----------------------------------------------------------------------
+
+
+class CampaignMetrics:
+    """Folds ``campaign.*`` bus events into Prometheus-ready metrics.
+
+    Subscribe one of these to the bus a campaign driver publishes on
+    (``repro check/chaos/bench/table2/sweep``) and the engine's
+    progress becomes four metric families in :attr:`registry`:
+
+    * ``repro_campaigns_total{label}`` — campaigns started;
+    * ``repro_campaign_trials_total{label,status}`` — trial outcomes
+      (``status`` is ``ok`` or ``failed``);
+    * ``repro_campaign_chunks_total{label,status}`` — chunk completions
+      from the process pool;
+    * ``repro_campaigns_active`` — campaigns started but not yet done.
+
+    The object is collector-shaped (``registry`` attribute plus a
+    ``summary()`` dict), so it feeds :func:`prometheus_text` and
+    :func:`render_report` directly.
+    """
+
+    PREFIX = "campaign."
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._campaigns = r.counter(
+            "repro_campaigns_total",
+            "Campaigns started, by driver label",
+            ("label",),
+        )
+        self._trials = r.counter(
+            "repro_campaign_trials_total",
+            "Campaign trial outcomes, by driver label and status",
+            ("label", "status"),
+        )
+        self._chunks = r.counter(
+            "repro_campaign_chunks_total",
+            "Process-pool chunk completions, by driver label and status",
+            ("label", "status"),
+        )
+        self._active = r.gauge(
+            "repro_campaigns_active",
+            "Campaigns started but not yet finished",
+        )
+        self._bus = bus
+        if bus is not None:
+            bus.subscribe(self.on_event, prefix=self.PREFIX)
+
+    def detach(self) -> None:
+        """Stop consuming events (accumulated metrics stay available)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self.on_event)
+            self._bus = None
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Fold one ``campaign.*`` event (usable as a raw subscriber)."""
+        label = str(event.attrs.get("label", ""))
+        if event.name == "campaign.start":
+            self._campaigns.inc(label=label)
+            self._active.inc()
+        elif event.name == "campaign.trial":
+            status = "ok" if event.attrs.get("ok") else "failed"
+            self._trials.inc(label=label, status=status)
+        elif event.name == "campaign.chunk":
+            status = "ok" if event.attrs.get("ok") else "failed"
+            self._chunks.inc(label=label, status=status)
+        elif event.name == "campaign.done":
+            self._active.dec()
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers, shaped for :func:`render_report`."""
+        return {
+            "campaigns": self._campaigns.value,
+            "campaigns_active": self._active.value,
+            "trials": self._trials.value,
+            "trials_ok": self._trials.total(status="ok"),
+            "trials_failed": self._trials.total(status="failed"),
+            "chunks": self._chunks.value,
+            "chunks_failed": self._chunks.total(status="failed"),
+        }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,617 @@
+"""The live dashboard: the obs event bus over HTTP, zero dependencies.
+
+``python -m repro serve-dash`` stands up a small web dashboard on the
+standard library only (``http.server`` + server-sent events, no
+external packages) and streams the :class:`~repro.obs.events.EventBus`
+of a running scenario or campaign into it, live:
+
+* ``/`` — a single self-contained HTML page: campaign progress, txn
+  commit/abort rates, open in-doubt windows, polyvalue counts and
+  trial verdicts, updating over SSE;
+* ``/events`` — the raw event stream in ``text/event-stream`` framing,
+  one JSON object per ``data:`` frame (exactly
+  :func:`~repro.obs.export.event_to_dict`'s rendering);
+* ``/state.json`` — the :class:`LiveState` aggregate snapshot;
+* ``/healthz`` — liveness probe.
+
+The split follows the web backend/frontend separation of SimCash-style
+experiment platforms, shrunk to the stdlib: the *backend* is the bus
+(the simulation thread emits; subscribers enqueue), the *frontend* is
+whatever consumes ``/events`` — the built-in page, ``curl``, or a real
+dashboard.
+
+Threading contract: the simulation runs on one thread and delivers bus
+events synchronously; :class:`LiveState` takes a lock per event and
+:class:`SSEBroker` only appends to bounded thread-safe queues, so the
+observed system never blocks on a slow browser — a client that falls
+more than ``queue_size`` events behind loses the oldest frames, never
+the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.events import EventBus, ObsEvent
+from repro.obs.export import event_to_dict
+
+#: Frames a lagging SSE client may buffer before old frames are shed.
+DEFAULT_QUEUE_SIZE = 1000
+
+#: Seconds between SSE keep-alive comments when no events flow.
+HEARTBEAT_SECONDS = 1.0
+
+
+class LiveState:
+    """A thread-safe rolling aggregate of the event stream.
+
+    Subscribe :meth:`on_event` to any number of buses (each scenario
+    iteration of the dashboard driver builds a fresh system with its
+    own bus); :meth:`snapshot` renders the totals the dashboard shows:
+    transaction commit/abort counts, the set of *currently open*
+    in-doubt windows, polyvalue installs/resolves, campaign progress
+    per label, and per-trial verdict counts.
+    """
+
+    def __init__(self, keep_events: int = 50) -> None:
+        self._lock = threading.Lock()
+        self._keep = keep_events
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events_seen = 0
+            self.last_time = 0.0
+            self.txns = {"submitted": 0, "committed": 0, "aborted": 0}
+            self.in_doubt_opened = 0
+            self.in_doubt_closed = 0
+            self._open_windows: Dict[Tuple[str, str], float] = {}
+            self.polyvalues = {"installed": 0, "resolved": 0}
+            self.crashes = 0
+            self.recoveries = 0
+            self.drops = 0
+            self.overload_blocks = 0
+            self.overflows = 0
+            self.campaigns: Dict[str, Dict[str, Any]] = {}
+            self._recent: List[Dict[str, Any]] = []
+
+    # -- event folding -------------------------------------------------
+
+    def on_event(self, event: ObsEvent) -> None:
+        name = event.name
+        with self._lock:
+            self.events_seen += 1
+            self.last_time = event.time
+            if name == "txn.submitted":
+                self.txns["submitted"] += 1
+            elif name == "txn.committed":
+                self.txns["committed"] += 1
+            elif name == "txn.aborted":
+                self.txns["aborted"] += 1
+            elif name == "txn.overflow":
+                self.overflows += 1
+            elif name == "overload.block":
+                self.overload_blocks += 1
+            elif name == "indoubt.open":
+                self.in_doubt_opened += 1
+                self._open_windows[(event.txn or "", event.site or "")] = (
+                    event.time
+                )
+            elif name == "indoubt.close":
+                self.in_doubt_closed += 1
+                self._open_windows.pop(
+                    (event.txn or "", event.site or ""), None
+                )
+            elif name == "polyvalue.install":
+                self.polyvalues["installed"] += 1
+            elif name == "polyvalue.resolve":
+                self.polyvalues["resolved"] += 1
+            elif name == "site.crash":
+                self.crashes += 1
+            elif name == "site.recover":
+                self.recoveries += 1
+            elif name == "msg.drop":
+                self.drops += 1
+            elif name.startswith("campaign."):
+                self._on_campaign(name, event)
+            if name in ("campaign.trial", "campaign.done", "indoubt.open",
+                        "indoubt.close", "txn.aborted", "site.crash"):
+                self._recent.append(event_to_dict(event))
+                del self._recent[: -self._keep]
+
+    def _on_campaign(self, name: str, event: ObsEvent) -> None:
+        label = str(event.attrs.get("label", "campaign"))
+        entry = self.campaigns.setdefault(
+            label,
+            {
+                "trials": 0, "jobs": 1, "done": 0, "ok": 0, "failed": 0,
+                "chunks": 0, "finished": False, "failed_indices": [],
+            },
+        )
+        if name == "campaign.start":
+            # A fresh campaign under a reused label restarts its bar.
+            entry.update(
+                trials=int(event.attrs.get("trials", 0)),
+                jobs=int(event.attrs.get("jobs", 1)),
+                done=0, ok=0, failed=0, chunks=0, finished=False,
+                failed_indices=[],
+            )
+        elif name == "campaign.trial":
+            entry["done"] += 1
+            if event.attrs.get("ok"):
+                entry["ok"] += 1
+            else:
+                entry["failed"] += 1
+                entry["failed_indices"].append(
+                    int(event.attrs.get("index", -1))
+                )
+                del entry["failed_indices"][:-20]
+        elif name == "campaign.chunk":
+            entry["chunks"] += 1
+        elif name == "campaign.done":
+            entry["finished"] = True
+
+    # -- queries -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe dict of everything the dashboard renders."""
+        with self._lock:
+            decided = self.txns["committed"] + self.txns["aborted"]
+            return {
+                "events_seen": self.events_seen,
+                "sim_time": self.last_time,
+                "txns": dict(self.txns),
+                "commit_rate": (
+                    self.txns["committed"] / decided if decided else None
+                ),
+                "in_doubt": {
+                    "opened": self.in_doubt_opened,
+                    "closed": self.in_doubt_closed,
+                    "open": len(self._open_windows),
+                    "open_windows": [
+                        {"txn": txn, "site": site, "since": since}
+                        for (txn, site), since in sorted(
+                            self._open_windows.items()
+                        )
+                    ],
+                },
+                "polyvalues": {
+                    **self.polyvalues,
+                    "current": max(
+                        0,
+                        self.polyvalues["installed"]
+                        - self.polyvalues["resolved"],
+                    ),
+                },
+                "sites": {
+                    "crashes": self.crashes,
+                    "recoveries": self.recoveries,
+                },
+                "drops": self.drops,
+                "overload_blocks": self.overload_blocks,
+                "overflows": self.overflows,
+                "campaigns": {
+                    label: dict(entry)
+                    for label, entry in self.campaigns.items()
+                },
+                "recent": list(self._recent),
+            }
+
+
+class SSEBroker:
+    """Fans bus events out to any number of SSE client queues.
+
+    :meth:`on_event` is the bus subscriber; each connected client owns
+    a bounded queue — when a client lags past the bound, the oldest
+    frame is dropped so the emitting (simulation) thread never blocks.
+    """
+
+    def __init__(self, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        self._lock = threading.Lock()
+        self._clients: List["queue.Queue[str]"] = []
+        self._queue_size = queue_size
+
+    def on_event(self, event: ObsEvent) -> None:
+        frame = json.dumps(event_to_dict(event), default=repr, sort_keys=True)
+        with self._lock:
+            clients = list(self._clients)
+        for client in clients:
+            try:
+                client.put_nowait(frame)
+            except queue.Full:
+                try:  # shed the oldest frame, keep the newest
+                    client.get_nowait()
+                    client.put_nowait(frame)
+                except (queue.Empty, queue.Full):
+                    pass
+
+    def attach(self) -> "queue.Queue[str]":
+        client: "queue.Queue[str]" = queue.Queue(maxsize=self._queue_size)
+        with self._lock:
+            self._clients.append(client)
+        return client
+
+    def detach(self, client: "queue.Queue[str]") -> None:
+        with self._lock:
+            if client in self._clients:
+                self._clients.remove(client)
+
+    @property
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+
+#: The dashboard page: one self-contained HTML document, no external
+#: assets, consuming ``/state.json`` (poll) and ``/events`` (SSE).
+DASH_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro — live campaign telemetry</title>
+<style>
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5rem; background: #111418; color: #d7dce1; }
+  h1 { font-size: 1.1rem; } h2 { font-size: 0.95rem; color: #8ab4f8; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fit,
+          minmax(240px, 1fr)); gap: 1rem; }
+  .card { background: #1a1f26; border: 1px solid #2a313b;
+          border-radius: 6px; padding: 0.75rem 1rem; }
+  .big { font-size: 1.6rem; } .ok { color: #81c995; }
+  .bad { color: #f28b82; } .dim { color: #7d8590; font-size: 0.8rem; }
+  table { border-collapse: collapse; width: 100%; font-size: 0.8rem; }
+  td, th { text-align: left; padding: 0.15rem 0.5rem 0.15rem 0; }
+  #log { max-height: 16rem; overflow-y: auto; font-size: 0.75rem;
+         white-space: pre; }
+  progress { width: 100%; }
+</style>
+</head>
+<body>
+<h1>repro — live campaign telemetry</h1>
+<div class="grid">
+  <div class="card"><h2>transactions</h2>
+    <div class="big"><span id="committed" class="ok">0</span> /
+      <span id="aborted" class="bad">0</span></div>
+    <div class="dim">committed / aborted · rate
+      <span id="commit-rate">–</span> · submitted
+      <span id="submitted">0</span></div></div>
+  <div class="card"><h2>in-doubt windows</h2>
+    <div class="big" id="indoubt-open">0</div>
+    <div class="dim">open now · <span id="indoubt-opened">0</span> opened ·
+      <span id="indoubt-closed">0</span> closed</div></div>
+  <div class="card"><h2>polyvalues</h2>
+    <div class="big" id="poly-current">0</div>
+    <div class="dim"><span id="poly-installed">0</span> installed ·
+      <span id="poly-resolved">0</span> resolved</div></div>
+  <div class="card"><h2>faults</h2>
+    <div class="dim">crashes <span id="crashes">0</span> ·
+      drops <span id="drops">0</span> ·
+      overload blocks <span id="overload">0</span> ·
+      overflows <span id="overflows">0</span></div></div>
+</div>
+<h2>campaigns</h2>
+<div id="campaigns" class="card">no campaign events yet</div>
+<h2>event stream <span class="dim">(<span id="seen">0</span> events,
+  sim t=<span id="sim-time">0</span>s)</span></h2>
+<div id="log" class="card"></div>
+<script>
+  const $ = (id) => document.getElementById(id);
+  function renderState(s) {
+    $("committed").textContent = s.txns.committed;
+    $("aborted").textContent = s.txns.aborted;
+    $("submitted").textContent = s.txns.submitted;
+    $("commit-rate").textContent =
+      s.commit_rate === null ? "–" : (100 * s.commit_rate).toFixed(1) + "%";
+    $("indoubt-open").textContent = s.in_doubt.open;
+    $("indoubt-opened").textContent = s.in_doubt.opened;
+    $("indoubt-closed").textContent = s.in_doubt.closed;
+    $("poly-current").textContent = s.polyvalues.current;
+    $("poly-installed").textContent = s.polyvalues.installed;
+    $("poly-resolved").textContent = s.polyvalues.resolved;
+    $("crashes").textContent = s.sites.crashes;
+    $("drops").textContent = s.drops;
+    $("overload").textContent = s.overload_blocks;
+    $("overflows").textContent = s.overflows;
+    $("seen").textContent = s.events_seen;
+    $("sim-time").textContent = s.sim_time.toFixed(2);
+    const labels = Object.keys(s.campaigns);
+    if (labels.length) {
+      $("campaigns").innerHTML = labels.map((label) => {
+        const c = s.campaigns[label];
+        const pct = c.trials ? Math.round(100 * c.done / c.trials) : 0;
+        return `<div><b>${label}</b> — ${c.done}/${c.trials} trials ` +
+          `(<span class="ok">${c.ok} ok</span>, ` +
+          `<span class="bad">${c.failed} failed</span>, jobs=${c.jobs}` +
+          `${c.finished ? ", finished" : ""})` +
+          `<progress max="100" value="${pct}"></progress></div>`;
+      }).join("");
+    }
+  }
+  async function poll() {
+    try {
+      renderState(await (await fetch("state.json")).json());
+    } catch (e) { /* server going away is fine */ }
+    setTimeout(poll, 500);
+  }
+  poll();
+  const log = $("log");
+  const source = new EventSource("events");
+  source.onmessage = (message) => {
+    const atBottom =
+      log.scrollHeight - log.scrollTop - log.clientHeight < 40;
+    log.textContent += message.data + "\\n";
+    const lines = log.textContent.split("\\n");
+    if (lines.length > 400)
+      log.textContent = lines.slice(-400).join("\\n");
+    if (atBottom) log.scrollTop = log.scrollHeight;
+  };
+</script>
+</body>
+</html>
+"""
+
+
+class _DashHandler(BaseHTTPRequestHandler):
+    """Routes: ``/``, ``/events`` (SSE), ``/state.json``, ``/healthz``."""
+
+    server: "DashboardServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(
+        self, body: bytes, content_type: str, status: int = 200
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/index.html"):
+            self._send(DASH_PAGE.encode("utf-8"), "text/html; charset=utf-8")
+        elif path == "/state.json":
+            body = json.dumps(
+                self.server.state.snapshot(), default=repr, sort_keys=True
+            ).encode("utf-8")
+            self._send(body, "application/json")
+        elif path == "/healthz":
+            self._send(b"ok\n", "text/plain")
+        elif path == "/events":
+            self._stream_events()
+        else:
+            self._send(b"not found\n", "text/plain", status=404)
+
+    def _stream_events(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        client = self.server.broker.attach()
+        try:
+            # An immediate hello frame so probes (and the CI smoke
+            # test) see an event without waiting for simulation output.
+            hello = json.dumps(
+                {"name": "dash.hello", "state": self.server.state.snapshot()},
+                default=repr,
+                sort_keys=True,
+            )
+            self.wfile.write(f"retry: 2000\ndata: {hello}\n\n".encode("utf-8"))
+            self.wfile.flush()
+            while not self.server.stopping.is_set():
+                try:
+                    frame = client.get(timeout=HEARTBEAT_SECONDS)
+                except queue.Empty:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                self.wfile.write(f"data: {frame}\n\n".encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away — routine
+        finally:
+            self.server.broker.detach(client)
+
+
+class DashboardServer(ThreadingHTTPServer):
+    """The dashboard HTTP server; one per ``serve-dash`` invocation.
+
+    Owns the :class:`LiveState` aggregate and the :class:`SSEBroker`;
+    anything that builds an observed system attaches
+    ``server.subscribe(system.bus)`` and every event flows to both.
+    ``port=0`` binds an ephemeral port (tests); the bound port is in
+    ``server_address``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8537,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _DashHandler)
+        self.state = LiveState()
+        self.broker = SSEBroker()
+        self.stopping = threading.Event()
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}/"
+
+    def subscribe(self, bus: EventBus) -> None:
+        """Attach the aggregate and the SSE fan-out to *bus*."""
+        bus.subscribe(self.state.on_event)
+        bus.subscribe(self.broker.on_event)
+
+    def start(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the thread."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-dash",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        self.stopping.set()
+        self.shutdown()
+        self.server_close()
+
+
+# ----------------------------------------------------------------------
+# The serve-dash driver
+# ----------------------------------------------------------------------
+
+
+def _drive_demo_scenario(
+    server: DashboardServer, seed: int, stop: threading.Event
+) -> None:
+    """Loop the canned coordinator-crash scenario onto the dashboard.
+
+    Each iteration builds a fresh seeded system, attaches the server's
+    subscribers to its bus, and walks the demo failure story (traffic,
+    crash mid-commit, in-doubt window, recovery, resolution).
+    """
+    from repro.txn.system import DistributedSystem
+    from repro.txn.transaction import Transaction
+
+    iteration = 0
+    while not stop.is_set():
+        system = DistributedSystem.build(
+            sites=3,
+            items={"alice": 100, "bob": 100, "carol": 100},
+            seed=seed + iteration,
+            jitter=0.0,
+        )
+        server.subscribe(system.bus)
+
+        def bump(ctx):
+            ctx.write("carol", ctx.read("carol") + 1)
+
+        def transfer(ctx):
+            a = ctx.read("alice")
+            ctx.write("alice", a - 25)
+            ctx.write("bob", ctx.read("bob") + 25)
+
+        for _ in range(3):
+            if stop.is_set():
+                return
+            system.submit(Transaction(body=bump, items=("carol",)))
+            system.run_for(0.2)
+            stop.wait(0.15)  # pace the stream for human eyes
+        system.submit(Transaction(body=transfer, items=("alice", "bob")))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(1.0)
+        stop.wait(0.5)
+        system.recover_site("site-0")
+        system.run_for(5.0)
+        stop.wait(0.5)
+        iteration += 1
+
+
+def _drive_chaos_campaign(
+    server: DashboardServer,
+    seed: int,
+    trials: int,
+    jobs: Optional[int],
+    stop: threading.Event,
+) -> None:
+    """Run chaos campaigns onto the dashboard until stopped."""
+    from repro.chaos import run_campaign
+
+    bus = EventBus()
+    server.subscribe(bus)
+    iteration = 0
+    while not stop.is_set():
+        run_campaign(
+            campaign_seed=seed + iteration,
+            trials=trials,
+            smoke=True,
+            jobs=jobs,
+            bus=bus,
+        )
+        iteration += 1
+        stop.wait(1.0)
+
+
+def serve_dash(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8537,
+    scenario: str = "demo",
+    seed: int = 7,
+    trials: int = 2,
+    jobs: Optional[int] = 1,
+    duration: Optional[float] = None,
+    verbose: bool = False,
+    ready: Optional[threading.Event] = None,
+    on_start: Optional[Callable[[DashboardServer], None]] = None,
+) -> DashboardServer:
+    """Run the dashboard plus a driving scenario until interrupted.
+
+    *scenario* is ``demo`` (the looping coordinator-crash walkthrough)
+    or ``chaos`` (looping smoke chaos campaigns with live ``campaign.*``
+    progress).  *duration* bounds wall-clock seconds (None = until
+    Ctrl-C); *ready*, when given, is set once the server is listening
+    (tests); *on_start* is called with the listening server (the CLI
+    prints the URL there).  Returns the (stopped) server.
+    """
+    if scenario not in ("demo", "chaos"):
+        raise ValueError(f"unknown serve-dash scenario {scenario!r}")
+    server = DashboardServer(host, port, verbose=verbose)
+    server_thread = server.start()
+    if on_start is not None:
+        on_start(server)
+    stop = threading.Event()
+    if scenario == "demo":
+        driver = threading.Thread(
+            target=_drive_demo_scenario,
+            args=(server, seed, stop),
+            name="repro-dash-demo",
+            daemon=True,
+        )
+    else:
+        driver = threading.Thread(
+            target=_drive_chaos_campaign,
+            args=(server, seed, trials, jobs, stop),
+            name="repro-dash-chaos",
+            daemon=True,
+        )
+    driver.start()
+    if ready is not None:
+        ready.set()
+    try:
+        if duration is None:
+            while server_thread.is_alive():
+                server_thread.join(0.5)
+        else:
+            stop.wait(duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        server.stop()
+        driver.join(timeout=5.0)
+    return server

@@ -17,7 +17,14 @@ and folds the protocol's structured events into a tree of
 * **in-doubt window** children ``in-doubt@<site>``, opened when a
   wait-phase timeout installs polyvalues and closed when that site
   learns the transaction's outcome — the §3.1 window the whole paper is
-  about, now directly measurable per transaction and site.
+  about, now directly measurable per transaction and site;
+* **overload window** children ``overload@<site>``, opened when the §6
+  polyvalue budget makes a site fall back to blocking
+  (``overload.block``) and closed when the outcome-query loop finally
+  resolves the transaction at that site;
+* a ``txn.overflow`` event (fan-out past ``max_alternatives``) is
+  recorded on the root span as ``overflow=True`` plus the limit, so
+  overflow aborts are distinguishable from ordinary ones.
 
 An in-doubt window routinely outlives its root span (the coordinator's
 decision — often a presumed abort after a crash — happens long before
@@ -104,7 +111,7 @@ class SpanTracer:
     """
 
     #: The event families the tracer consumes.
-    PREFIXES = ("txn.", "phase.", "site.state", "indoubt.")
+    PREFIXES = ("txn.", "phase.", "site.state", "indoubt.", "overload.")
 
     def __init__(self, bus: EventBus) -> None:
         self._bus = bus
@@ -113,6 +120,7 @@ class SpanTracer:
         self._open_phase: Dict[str, Span] = {}
         self._open_site: Dict[Tuple[str, str], Span] = {}
         self._open_indoubt: Dict[Tuple[str, str], Span] = {}
+        self._open_overload: Dict[Tuple[str, str], Span] = {}
         bus.subscribe(self._on_event, prefix=self.PREFIXES)
 
     def detach(self) -> None:
@@ -178,6 +186,24 @@ class SpanTracer:
             span = self._open_indoubt.pop((txn, event.site or ""), None)
             if span is not None:
                 span.close(event.time, committed=event.attrs.get("committed"))
+        elif name == "txn.overflow":
+            root = self._root(txn, event.time, event.site)
+            root.attrs["overflow"] = True
+            root.attrs["overflow_limit"] = event.attrs.get("limit")
+        elif name == "overload.block":
+            root = self._root(txn, event.time)
+            span = Span(
+                name=f"overload@{event.site}",
+                txn=txn,
+                site=event.site,
+                start=event.time,
+                attrs={
+                    "budget": event.attrs.get("budget"),
+                    "polyvalues": event.attrs.get("polyvalues"),
+                },
+            )
+            root.children.append(span)
+            self._open_overload[(txn, event.site or "")] = span
 
     def _on_site_state(self, event: ObsEvent) -> None:
         txn, site = event.txn, event.site or ""
@@ -204,6 +230,13 @@ class SpanTracer:
             span = self._open_site.pop(key, None)
             if span is not None:
                 span.close(event.time, ended_by=trigger)
+            if trigger in ("complete", "abort"):
+                # An overload-blocked participant sits in WAIT with no
+                # transition of its own; the WAIT → IDLE resolution is
+                # what ends its overload window.
+                overload = self._open_overload.pop(key, None)
+                if overload is not None:
+                    overload.close(event.time, ended_by=trigger)
 
     # ------------------------------------------------------------------
     # Queries and rendering
@@ -223,6 +256,13 @@ class SpanTracer:
         found: List[Span] = []
         for root in self.roots.values():
             found.extend(root.find("in-doubt@"))
+        return found
+
+    def overload_windows(self) -> List[Span]:
+        """Every §6 overload-fallback window span, across transactions."""
+        found: List[Span] = []
+        for root in self.roots.values():
+            found.extend(root.find("overload@"))
         return found
 
     def to_dicts(self) -> List[Dict[str, Any]]:

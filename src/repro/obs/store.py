@@ -1,0 +1,1072 @@
+"""The campaign results store: persistent, queryable telemetry.
+
+Every campaign driver — ``repro check``, ``repro chaos``, ``repro
+bench``, ``repro table2``, ``repro sweep`` — can record its runs into
+one SQLite-backed :class:`CampaignStore`, so the evidence behind any
+figure in any PR survives the run that produced it and is trendable
+across PRs (``python -m repro history``).
+
+The store is **append-only at run granularity**: a run, once finished,
+is never rewritten — re-running the same campaign appends a new run
+row, and the ``fingerprint`` column (a
+:func:`~repro.parallel.artifacts.fingerprint` of the campaign's
+canonical-JSON configuration) identifies runs of the *same* experiment
+so trend queries compare like with like.
+
+Schema (version :data:`SCHEMA_VERSION`):
+
+* ``runs`` — one row per campaign invocation: command, label, campaign
+  seed, worker count, canonical config JSON + fingerprint, start /
+  finish wall-clock stamps, trial and failure counts, overall verdict;
+* ``trials`` — one row per trial: index, derived seed, scenario,
+  label, ok flag, and a JSON detail blob (per-trial headline stats);
+* ``metrics`` — named scalar results of the run (guard ratios,
+  throughput figures, violation counts — whatever the driver reports);
+* ``verdicts`` — oracle verdicts, run- or trial-scoped;
+* ``hists`` — fixed-bucket histogram rows (e.g. the in-doubt window
+  distribution summed over a campaign's trials).
+
+Schema changes are versioned: :data:`MIGRATIONS` carries the DDL that
+lifts an older store in place, applied transactionally on open, and
+:func:`migration_round_trip` proves the path works (CI runs it).
+
+:class:`CampaignRecorder` is the bus subscriber every driver shares:
+attach it to the campaign engine's :class:`~repro.obs.events.EventBus`
+and the ``campaign.*`` progress events stream into the store as they
+happen (one trial row per ``campaign.trial``, from whichever worker
+process produced it); the driver then enriches the rows with seeds,
+verdicts and metrics in its reduce step and calls :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.errors import ReproError
+from repro.obs.events import EventBus, ObsEvent
+from repro.parallel.artifacts import canonical_json, fingerprint
+
+#: Current schema version; stored in ``meta('schema_version')``.
+SCHEMA_VERSION = 2
+
+#: Default store location (overridable with ``REPRO_STORE`` or
+#: ``--store``): one hidden directory per working tree, like
+#: ``.git``/``.pytest_cache``.
+DEFAULT_STORE_PATH = os.path.join(".repro", "campaigns.sqlite")
+
+
+class StoreError(ReproError):
+    """Raised on campaign-store misuse or corruption."""
+
+
+def default_store_path(explicit: Optional[str] = None) -> str:
+    """Resolve the store path: explicit arg > ``REPRO_STORE`` > default."""
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_STORE") or DEFAULT_STORE_PATH
+
+
+# ----------------------------------------------------------------------
+# Schema
+# ----------------------------------------------------------------------
+
+#: Version-1 schema (the initial release of the store).  Kept verbatim
+#: so :func:`migration_round_trip` can build a genuinely old store and
+#: prove the migration path lifts it.
+SCHEMA_V1 = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    started_at    REAL NOT NULL,
+    finished_at   REAL,
+    command       TEXT NOT NULL,
+    label         TEXT NOT NULL DEFAULT '',
+    campaign_seed INTEGER,
+    jobs          INTEGER,
+    config_json   TEXT NOT NULL DEFAULT '{}',
+    trials        INTEGER NOT NULL DEFAULT 0,
+    failures      INTEGER NOT NULL DEFAULT 0,
+    ok            INTEGER,
+    wall_seconds  REAL
+);
+CREATE TABLE IF NOT EXISTS trials (
+    run_id      INTEGER NOT NULL REFERENCES runs(id),
+    idx         INTEGER NOT NULL,
+    seed        INTEGER,
+    scenario    TEXT,
+    label       TEXT,
+    ok          INTEGER,
+    detail_json TEXT,
+    PRIMARY KEY (run_id, idx)
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL REFERENCES runs(id),
+    name   TEXT NOT NULL,
+    value  REAL,
+    unit   TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (run_id, name)
+);
+CREATE TABLE IF NOT EXISTS verdicts (
+    run_id    INTEGER NOT NULL REFERENCES runs(id),
+    trial_idx INTEGER,
+    phase     TEXT NOT NULL DEFAULT '',
+    oracle    TEXT NOT NULL,
+    ok        INTEGER NOT NULL,
+    details   TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_runs_command ON runs(command, started_at);
+CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics(name);
+"""
+
+#: DDL lifting version N to N+1, keyed by N.  Applied in order,
+#: transactionally, when an older store is opened.
+MIGRATIONS: Dict[int, Sequence[str]] = {
+    # v1 -> v2: the config fingerprint column (dedup / trend matching)
+    # and the histogram table (in-doubt window distributions).
+    1: (
+        "ALTER TABLE runs ADD COLUMN fingerprint TEXT NOT NULL DEFAULT ''",
+        """
+        CREATE TABLE IF NOT EXISTS hists (
+            run_id INTEGER NOT NULL REFERENCES runs(id),
+            name   TEXT NOT NULL,
+            le     REAL NOT NULL,
+            count  INTEGER NOT NULL,
+            PRIMARY KEY (run_id, name, le)
+        )
+        """,
+        "CREATE INDEX IF NOT EXISTS idx_runs_fp ON runs(fingerprint)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One campaign run, as stored."""
+
+    id: int
+    started_at: float
+    finished_at: Optional[float]
+    command: str
+    label: str
+    campaign_seed: Optional[int]
+    jobs: Optional[int]
+    config: Dict[str, Any]
+    fingerprint: str
+    trials: int
+    failures: int
+    ok: Optional[bool]
+    wall_seconds: Optional[float]
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "command": self.command,
+            "label": self.label,
+            "campaign_seed": self.campaign_seed,
+            "jobs": self.jobs,
+            "config": self.config,
+            "fingerprint": self.fingerprint,
+            "trials": self.trials,
+            "failures": self.failures,
+            "ok": self.ok,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One trial row of a run."""
+
+    run_id: int
+    index: int
+    seed: Optional[int]
+    scenario: Optional[str]
+    label: Optional[str]
+    ok: Optional[bool]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class VerdictRecord:
+    """One oracle verdict row of a run."""
+
+    run_id: int
+    trial_index: Optional[int]
+    phase: str
+    oracle: str
+    ok: bool
+    details: str
+
+
+class CampaignStore:
+    """The SQLite-backed campaign results store.
+
+    ``path=":memory:"`` gives an ephemeral store (tests); any other
+    path is created (directories included) on first open, and an
+    existing store is schema-migrated in place if it is older than
+    :data:`SCHEMA_VERSION`.  All writes are committed immediately —
+    a crashed campaign leaves its unfinished run row visible, which is
+    itself evidence.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        if path != ":memory:":
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+        # The dashboard and recorder may touch the store from a
+        # background thread; one lock serialises every statement.
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        if path != ":memory:":
+            # The recorder streams one small commit per trial; with the
+            # default rollback journal each commit creates and deletes
+            # a journal file, which dwarfs sub-millisecond trials.  WAL
+            # with synchronous=NORMAL keeps commits append-only (the
+            # obs overhead guard pins the recorder under 5%) while a
+            # crash still loses at most the final WAL flush — fine for
+            # evidence that the reduce step rewrites anyway.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._ensure_schema()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- schema --------------------------------------------------------
+
+    def _ensure_schema(self) -> None:
+        with self._lock, self._conn:
+            version = self._stored_version()
+            if version is None:
+                # Fresh database: create v1 then roll migrations
+                # forward, so there is exactly one creation path.
+                self._conn.executescript(SCHEMA_V1)
+                version = 1
+            if version > SCHEMA_VERSION:
+                raise StoreError(
+                    f"store {self.path!r} is schema v{version}, newer "
+                    f"than this build (v{SCHEMA_VERSION}); refusing to "
+                    "touch it"
+                )
+            while version < SCHEMA_VERSION:
+                for statement in MIGRATIONS[version]:
+                    self._conn.execute(statement)
+                version += 1
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(version),),
+            )
+
+    def _stored_version(self) -> Optional[int]:
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return None  # no meta table: a fresh database
+        if row is None:
+            return 1  # tables exist but the stamp is missing: oldest
+        return int(row["value"])
+
+    @property
+    def schema_version(self) -> int:
+        with self._lock:
+            return self._stored_version() or 0
+
+    # -- writes --------------------------------------------------------
+
+    def begin_run(
+        self,
+        command: str,
+        *,
+        label: str = "",
+        campaign_seed: Optional[int] = None,
+        jobs: Optional[int] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        started_at: Optional[float] = None,
+    ) -> int:
+        """Append a new (unfinished) run row; returns its id.
+
+        *config* is stored as canonical JSON and fingerprinted, so
+        identical experiment configurations share a fingerprint across
+        runs and PRs.
+        """
+        config = dict(config or {})
+        blob = canonical_json(config).rstrip("\n")
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (started_at, command, label, "
+                "campaign_seed, jobs, config_json, fingerprint) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    time.time() if started_at is None else started_at,
+                    command,
+                    label,
+                    campaign_seed,
+                    jobs,
+                    blob,
+                    fingerprint(config),
+                ),
+            )
+            return int(cursor.lastrowid)
+
+    def record_trial(
+        self,
+        run_id: int,
+        index: int,
+        *,
+        seed: Optional[int] = None,
+        scenario: Optional[str] = None,
+        label: Optional[str] = None,
+        ok: Optional[bool] = None,
+        detail: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Insert or enrich one trial row.
+
+        Streaming (the recorder) writes ``(index, ok)`` as events
+        arrive; the driver's reduce step calls again with seeds and
+        details — non-None fields overwrite, None fields are kept.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO trials (run_id, idx, seed, scenario, label, "
+                "ok, detail_json) VALUES (?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(run_id, idx) DO UPDATE SET "
+                "seed = COALESCE(excluded.seed, trials.seed), "
+                "scenario = COALESCE(excluded.scenario, trials.scenario), "
+                "label = COALESCE(excluded.label, trials.label), "
+                "ok = COALESCE(excluded.ok, trials.ok), "
+                "detail_json = COALESCE(excluded.detail_json, "
+                "trials.detail_json)",
+                (
+                    run_id,
+                    index,
+                    seed,
+                    scenario,
+                    label,
+                    None if ok is None else int(ok),
+                    None
+                    if detail is None
+                    else json.dumps(dict(detail), sort_keys=True),
+                ),
+            )
+
+    def record_metric(
+        self, run_id: int, name: str, value: float, unit: str = ""
+    ) -> None:
+        """Record (or overwrite, within the run) one scalar result."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO metrics (run_id, name, value, unit) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(run_id, name) DO UPDATE SET "
+                "value = excluded.value, unit = excluded.unit",
+                (run_id, name, float(value), unit),
+            )
+
+    def record_metrics(
+        self, run_id: int, values: Mapping[str, Any], unit: str = ""
+    ) -> None:
+        """Record every numeric entry of *values* (bools count as 0/1)."""
+        for name, value in values.items():
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                self.record_metric(run_id, name, value, unit)
+
+    def record_verdict(
+        self,
+        run_id: int,
+        oracle: str,
+        ok: bool,
+        *,
+        trial_index: Optional[int] = None,
+        phase: str = "",
+        details: str = "",
+    ) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO verdicts (run_id, trial_idx, phase, oracle, "
+                "ok, details) VALUES (?, ?, ?, ?, ?, ?)",
+                (run_id, trial_index, phase, oracle, int(ok), details),
+            )
+
+    def record_histogram(
+        self,
+        run_id: int,
+        name: str,
+        pairs: Iterable[Tuple[float, int]],
+    ) -> None:
+        """Record per-bucket (upper-bound, count) rows (non-cumulative).
+
+        ``math.inf`` upper bounds round-trip through SQLite REALs.
+        """
+        with self._lock, self._conn:
+            for bound, count in pairs:
+                self._conn.execute(
+                    "INSERT INTO hists (run_id, name, le, count) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT(run_id, name, le) DO UPDATE SET "
+                    "count = excluded.count",
+                    (run_id, name, float(bound), int(count)),
+                )
+
+    def finish_run(
+        self,
+        run_id: int,
+        *,
+        ok: bool,
+        trials: Optional[int] = None,
+        failures: Optional[int] = None,
+        wall_seconds: Optional[float] = None,
+        finished_at: Optional[float] = None,
+    ) -> None:
+        """Stamp the run finished.  Trial/failure counts default to
+        what the trial rows say."""
+        with self._lock, self._conn:
+            if trials is None:
+                trials = self._conn.execute(
+                    "SELECT COUNT(*) FROM trials WHERE run_id = ?", (run_id,)
+                ).fetchone()[0]
+            if failures is None:
+                failures = self._conn.execute(
+                    "SELECT COUNT(*) FROM trials WHERE run_id = ? AND ok = 0",
+                    (run_id,),
+                ).fetchone()[0]
+            self._conn.execute(
+                "UPDATE runs SET finished_at = ?, ok = ?, trials = ?, "
+                "failures = ?, wall_seconds = ? WHERE id = ?",
+                (
+                    time.time() if finished_at is None else finished_at,
+                    int(ok),
+                    trials,
+                    failures,
+                    wall_seconds,
+                    run_id,
+                ),
+            )
+
+    # -- queries -------------------------------------------------------
+
+    @staticmethod
+    def _run_from_row(row: sqlite3.Row) -> RunRecord:
+        return RunRecord(
+            id=row["id"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            command=row["command"],
+            label=row["label"],
+            campaign_seed=row["campaign_seed"],
+            jobs=row["jobs"],
+            config=json.loads(row["config_json"] or "{}"),
+            fingerprint=row["fingerprint"],
+            trials=row["trials"],
+            failures=row["failures"],
+            ok=None if row["ok"] is None else bool(row["ok"]),
+            wall_seconds=row["wall_seconds"],
+        )
+
+    def runs(
+        self,
+        *,
+        command: Optional[str] = None,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Runs, oldest first, optionally filtered by command / start
+        time; *limit* keeps the newest N."""
+        query = "SELECT * FROM runs"
+        clauses, params = [], []
+        if command is not None:
+            clauses.append("command = ?")
+            params.append(command)
+        if since is not None:
+            clauses.append("started_at >= ?")
+            params.append(since)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [self._run_from_row(row) for row in reversed(rows)]
+
+    def run(self, run_id: int) -> RunRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"no run {run_id} in {self.path!r}")
+        return self._run_from_row(row)
+
+    def latest_run(
+        self,
+        command: Optional[str] = None,
+        *,
+        before: Optional[int] = None,
+        finished_only: bool = True,
+        config_fingerprint: Optional[str] = None,
+    ) -> Optional[RunRecord]:
+        """The newest matching run (e.g. the bench baseline), or None.
+
+        *before* excludes run ids >= it (so a freshly-appended run can
+        look up its own predecessor); *config_fingerprint* restricts to
+        runs of the identical experiment configuration.
+        """
+        query = "SELECT * FROM runs"
+        clauses, params = [], []
+        if command is not None:
+            clauses.append("command = ?")
+            params.append(command)
+        if before is not None:
+            clauses.append("id < ?")
+            params.append(before)
+        if finished_only:
+            clauses.append("finished_at IS NOT NULL")
+        if config_fingerprint is not None:
+            clauses.append("fingerprint = ?")
+            params.append(config_fingerprint)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id DESC LIMIT 1"
+        with self._lock:
+            row = self._conn.execute(query, params).fetchone()
+        return None if row is None else self._run_from_row(row)
+
+    def trials(self, run_id: int) -> List[TrialRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM trials WHERE run_id = ? ORDER BY idx",
+                (run_id,),
+            ).fetchall()
+        return [
+            TrialRecord(
+                run_id=row["run_id"],
+                index=row["idx"],
+                seed=row["seed"],
+                scenario=row["scenario"],
+                label=row["label"],
+                ok=None if row["ok"] is None else bool(row["ok"]),
+                detail=json.loads(row["detail_json"] or "{}"),
+            )
+            for row in rows
+        ]
+
+    def metrics(self, run_id: int) -> Dict[str, float]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name, value FROM metrics WHERE run_id = ? "
+                "ORDER BY name",
+                (run_id,),
+            ).fetchall()
+        return {row["name"]: row["value"] for row in rows}
+
+    def verdicts(self, run_id: int) -> List[VerdictRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM verdicts WHERE run_id = ? ORDER BY rowid",
+                (run_id,),
+            ).fetchall()
+        return [
+            VerdictRecord(
+                run_id=row["run_id"],
+                trial_index=row["trial_idx"],
+                phase=row["phase"],
+                oracle=row["oracle"],
+                ok=bool(row["ok"]),
+                details=row["details"],
+            )
+            for row in rows
+        ]
+
+    def histogram(self, run_id: int, name: str) -> List[Tuple[float, int]]:
+        """(upper-bound, count) pairs, ascending (non-cumulative)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT le, count FROM hists WHERE run_id = ? AND name = ? "
+                "ORDER BY le",
+                (run_id, name),
+            ).fetchall()
+        return [(row["le"], row["count"]) for row in rows]
+
+    def histogram_names(self, run_id: int) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT name FROM hists WHERE run_id = ? "
+                "ORDER BY name",
+                (run_id,),
+            ).fetchall()
+        return [row["name"] for row in rows]
+
+    def metric_history(
+        self,
+        name: str,
+        *,
+        command: Optional[str] = None,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[RunRecord, float]]:
+        """Every recorded value of metric *name*, oldest run first.
+
+        The raw material of a trend query: ``repro history --metric``
+        renders this with consecutive deltas.
+        """
+        query = (
+            "SELECT runs.*, metrics.value AS metric_value FROM metrics "
+            "JOIN runs ON runs.id = metrics.run_id WHERE metrics.name = ?"
+        )
+        params: List[Any] = [name]
+        if command is not None:
+            query += " AND runs.command = ?"
+            params.append(command)
+        if since is not None:
+            query += " AND runs.started_at >= ?"
+            params.append(since)
+        query += " ORDER BY runs.id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [
+            (self._run_from_row(row), row["metric_value"])
+            for row in reversed(rows)
+        ]
+
+    def metric_names(self) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT name FROM metrics ORDER BY name"
+            ).fetchall()
+        return [row["name"] for row in rows]
+
+
+# ----------------------------------------------------------------------
+# The shared bus subscriber
+# ----------------------------------------------------------------------
+
+
+class CampaignRecorder:
+    """Streams ``campaign.*`` bus events into a :class:`CampaignStore`.
+
+    One recorder covers one run: it appends the run row at
+    construction, writes a trial row the moment each ``campaign.trial``
+    event arrives (workers stream results to the parent as they
+    complete, so the store tracks live progress), and the driver calls
+    :meth:`finish` with the campaign's verdict once the reduce step —
+    which may also enrich trials and record metrics / verdicts /
+    histograms through the ``store`` attribute — is done.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        *,
+        command: str,
+        label: str = "",
+        campaign_seed: Optional[int] = None,
+        jobs: Optional[int] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.store = store
+        self.run_id = store.begin_run(
+            command,
+            label=label,
+            campaign_seed=campaign_seed,
+            jobs=jobs,
+            config=config,
+        )
+        self._started = time.perf_counter()
+        self._finished = False
+        self._bus = bus
+        if bus is not None:
+            bus.subscribe(self._on_event, prefix="campaign.")
+
+    # -- bus side ------------------------------------------------------
+
+    def _on_event(self, event: ObsEvent) -> None:
+        if event.name == "campaign.trial":
+            error = event.attrs.get("error")
+            self.store.record_trial(
+                self.run_id,
+                int(event.attrs.get("index", -1)),
+                ok=bool(event.attrs.get("ok", False)),
+                label=event.attrs.get("label"),
+                detail=None if error is None else {"error": str(error)},
+            )
+
+    # -- driver side ---------------------------------------------------
+
+    def expect_trials(self, infos: Iterable[Mapping[str, Any]]) -> None:
+        """Pre-register trial metadata (index, seed, scenario, label)
+        before the campaign starts, so even trials whose worker dies
+        leave their identity in the store."""
+        for info in infos:
+            self.store.record_trial(
+                self.run_id,
+                int(info["index"]),
+                seed=info.get("seed"),
+                scenario=info.get("scenario"),
+                label=info.get("label"),
+            )
+
+    def finish(
+        self, *, ok: bool, wall_seconds: Optional[float] = None
+    ) -> None:
+        """Stamp the run finished and detach from the bus (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        if wall_seconds is None:
+            wall_seconds = time.perf_counter() - self._started
+        self.store.finish_run(
+            self.run_id, ok=ok, wall_seconds=wall_seconds
+        )
+        self.detach()
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+            self._bus = None
+
+
+# ----------------------------------------------------------------------
+# Driver-report bridges: reduce output -> store rows
+# ----------------------------------------------------------------------
+
+#: The histogram name campaign in-doubt distributions are stored under
+#: (matching the :class:`~repro.metrics.collector.MetricsCollector`
+#: family they are summed from).
+IN_DOUBT_HIST = "repro_in_doubt_window_seconds"
+
+
+def record_exploration_report(
+    store: CampaignStore, run_id: int, report: Any
+) -> None:
+    """Enrich a run with an explorer/chaos report's reduce output.
+
+    Works for both :class:`~repro.check.explorer.ExplorerReport` and
+    :class:`~repro.chaos.ChaosReport` (same result shape).  Writes, per
+    completed trial: the full trial row (seed, scenario, label, ok,
+    headline stats); a verdict row per oracle violation; and sums every
+    trial's in-doubt window histogram into the run-level
+    :data:`IN_DOUBT_HIST` distribution.  Run-level metrics carry the
+    exact numbers the report's ``summary_lines`` print — ``repro
+    history --run`` reproduces the campaign's stdout from the store.
+    """
+    agg_hist: Dict[float, int] = {}
+    oracle_ok: Dict[str, bool] = {}
+    totals: Dict[str, float] = {}
+    checkpoints = 0
+    events = 0
+    for result in report.results:
+        index = -1 if result.task_index is None else result.task_index
+        detail: Dict[str, Any] = {
+            "checkpoints": result.quiescent_checkpoints,
+            "events": result.events_processed,
+            "converged": result.converged,
+        }
+        detail.update(result.stats)
+        if result.artifact_path:
+            detail["artifact"] = result.artifact_path
+        store.record_trial(
+            run_id,
+            index,
+            seed=result.schedule.seed,
+            scenario=result.schedule.scenario,
+            label=result.schedule.label,
+            ok=result.ok,
+            detail=detail,
+        )
+        for violation in result.violations:
+            store.record_verdict(
+                run_id,
+                violation.oracle,
+                False,
+                trial_index=index,
+                phase=violation.phase,
+                details=violation.details,
+            )
+        for verdict in result.final_verdicts:
+            oracle_ok[verdict.oracle] = (
+                oracle_ok.get(verdict.oracle, True) and verdict.ok
+            )
+        for bound, count in result.in_doubt_hist:
+            agg_hist[bound] = agg_hist.get(bound, 0) + count
+        checkpoints += result.quiescent_checkpoints
+        events += result.events_processed
+        for name, value in result.stats.items():
+            # Counts sum meaningfully across trials; rates do not.
+            if name.endswith(("_rate", "_fraction")):
+                continue
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                totals[name] = totals.get(name, 0.0) + value
+    for oracle, ok in sorted(oracle_ok.items()):
+        store.record_verdict(
+            run_id,
+            oracle,
+            ok,
+            phase="converged",
+            details=f"aggregate over {len(report.results)} trial(s)",
+        )
+    if agg_hist:
+        store.record_histogram(
+            run_id, IN_DOUBT_HIST, sorted(agg_hist.items())
+        )
+    metrics: Dict[str, Any] = {
+        "schedules": report.schedules_run,
+        "violations": len(report.violations),
+        "failed_trials": len(report.failed_trials),
+        "quiescent_checkpoints": checkpoints,
+        "events": events,
+        "wall_seconds": report.wall_seconds,
+    }
+    total_stats = getattr(report, "total_stats", None)
+    if callable(total_stats):  # chaos: gray/fail-stop action counts
+        metrics.update(total_stats())
+    store.record_metrics(run_id, metrics)
+    store.record_metrics(
+        run_id, {f"sum.{name}": value for name, value in totals.items()}
+    )
+
+
+def record_bench_report(
+    store: CampaignStore, run_id: int, payload: Mapping[str, Any]
+) -> None:
+    """Record a ``run_benchmarks`` payload: every result as a metric,
+    every guard ratio under a ``guard.`` prefix, and the suite's three
+    embedded correctness verdicts as verdict rows."""
+    store.record_metrics(run_id, payload.get("results", {}))
+    store.record_metrics(
+        run_id,
+        {
+            f"guard.{name}": value
+            for name, value in payload.get("guards", {}).items()
+        },
+        unit="guard",
+    )
+    results = payload.get("results", {})
+    for oracle, key in (
+        ("explorer", "explorer_ok"),
+        ("gray-convergence", "gray_oracles_ok"),
+        ("parallel-determinism", "parallel_bitwise_identical"),
+    ):
+        if key in results:
+            store.record_verdict(
+                run_id, oracle, bool(results[key]), phase="bench"
+            )
+
+
+def bench_baseline_from_run(
+    store: CampaignStore, run: RunRecord
+) -> Dict[str, Any]:
+    """Reconstruct a :func:`repro.bench.check_regression` baseline
+    payload from a stored bench run (the ``--check-against <store>``
+    path: compare against history, not a committed file)."""
+    guards: Dict[str, float] = {}
+    results: Dict[str, float] = {}
+    for name, value in store.metrics(run.id).items():
+        if name.startswith("guard."):
+            guards[name[len("guard."):]] = value
+        else:
+            results[name] = value
+    return {
+        "schema": 1,
+        "mode": run.config.get("mode", ""),
+        "run_id": run.id,
+        "guards": guards,
+        "results": results,
+    }
+
+
+def record_table2(
+    store: CampaignStore, run_id: int, rows: Sequence[Any],
+    results: Sequence[Any],
+) -> None:
+    """Record the Table-2 campaign: one trial per row, the simulated
+    and model polyvalue counts as per-row metrics."""
+    for index, (row, result) in enumerate(zip(rows, results)):
+        params = row.params
+        store.record_trial(
+            run_id,
+            index,
+            seed=result.seed,
+            scenario="table2",
+            label=f"U={params.U:g},F={params.F:g},R={params.R:g}",
+            ok=True,
+            detail={
+                "sim_polyvalues": result.mean_polyvalues,
+                "model_polyvalues": row.model_value,
+                "paper_actual": row.paper_actual,
+                "paper_predicted": row.paper_predicted,
+                "transactions": result.transactions,
+                "failures": result.failures,
+                "polytransactions": result.polytransactions,
+            },
+        )
+        store.record_metric(
+            run_id, f"row{index}.sim_polyvalues", result.mean_polyvalues
+        )
+        store.record_metric(
+            run_id, f"row{index}.model_polyvalues", row.model_value
+        )
+    store.record_metric(run_id, "rows", len(rows))
+
+
+def record_sweep(
+    store: CampaignStore, run_id: int, points: Sequence[Any]
+) -> None:
+    """Record a parameter sweep: one trial per point, model/simulated
+    steady states as per-point metrics keyed by the swept value."""
+    for index, point in enumerate(points):
+        detail: Dict[str, Any] = {
+            "parameter": point.parameter,
+            "value": point.value,
+            "stable": point.stable,
+        }
+        if point.model is not None:
+            detail["model_polyvalues"] = point.model
+            store.record_metric(
+                run_id, f"model@{point.value:g}", point.model
+            )
+        if point.simulated is not None:
+            detail["sim_polyvalues"] = point.simulated
+            store.record_metric(
+                run_id, f"sim@{point.value:g}", point.simulated
+            )
+        store.record_trial(
+            run_id,
+            index,
+            scenario=f"sweep:{point.parameter}",
+            label=f"{point.parameter}={point.value:g}",
+            ok=point.stable,
+            detail=detail,
+        )
+    store.record_metric(run_id, "points", len(points))
+
+
+# ----------------------------------------------------------------------
+# Migration self-check
+# ----------------------------------------------------------------------
+
+
+def migration_round_trip(path: Optional[str] = None) -> Tuple[int, int]:
+    """Prove the v1 -> current migration path on a real file.
+
+    Builds a genuine version-1 store (the frozen :data:`SCHEMA_V1`
+    DDL), writes a run + trial + metric through raw SQL, reopens it
+    with :class:`CampaignStore` (triggering the migrations), and
+    asserts the old data is still there and the new surface works.
+    Returns ``(from_version, to_version)``; raises on any failure.
+    CI runs this as the store schema-migration round-trip check.
+    """
+    own_tempdir = None
+    if path is None:
+        own_tempdir = tempfile.mkdtemp(prefix="repro-store-migrate-")
+        path = os.path.join(own_tempdir, "v1.sqlite")
+    try:
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.executescript(SCHEMA_V1)
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', '1')"
+            )
+            conn.execute(
+                "INSERT INTO runs (started_at, finished_at, command, label, "
+                "campaign_seed, jobs, trials, failures, ok, wall_seconds) "
+                "VALUES (1.0, 2.0, 'chaos', 'legacy', 7, 2, 3, 1, 0, 1.5)"
+            )
+            conn.execute(
+                "INSERT INTO trials (run_id, idx, seed, ok) "
+                "VALUES (1, 0, 1234, 1)"
+            )
+            conn.execute(
+                "INSERT INTO metrics (run_id, name, value) "
+                "VALUES (1, 'violations', 1.0)"
+            )
+        conn.close()
+        store = CampaignStore(path)
+        try:
+            to_version = store.schema_version
+            if to_version != SCHEMA_VERSION:
+                raise StoreError(
+                    f"migration stopped at v{to_version}, "
+                    f"expected v{SCHEMA_VERSION}"
+                )
+            legacy = store.run(1)
+            if (
+                legacy.command != "chaos"
+                or legacy.trials != 3
+                or legacy.failures != 1
+                or legacy.fingerprint != ""
+            ):
+                raise StoreError(f"legacy run corrupted by migration: {legacy}")
+            if store.metrics(1) != {"violations": 1.0}:
+                raise StoreError("legacy metrics corrupted by migration")
+            if store.trials(1)[0].seed != 1234:
+                raise StoreError("legacy trial corrupted by migration")
+            # The migrated surface must accept current-schema writes.
+            run_id = store.begin_run("bench", config={"smoke": True})
+            store.record_histogram(
+                run_id, "in_doubt_window_seconds", [(0.5, 2), (math.inf, 1)]
+            )
+            if store.histogram(run_id, "in_doubt_window_seconds") != [
+                (0.5, 2),
+                (math.inf, 1),
+            ]:
+                raise StoreError("post-migration histogram write failed")
+        finally:
+            store.close()
+        return (1, SCHEMA_VERSION)
+    finally:
+        if own_tempdir is not None:
+            try:
+                os.remove(path)
+                os.rmdir(own_tempdir)
+            except OSError:
+                pass

@@ -27,7 +27,10 @@ Design points:
 * **Streaming progress** — workers send each trial result through a
   pipe as it completes; the parent republishes ``campaign.*`` events on
   an optional :class:`~repro.obs.events.EventBus`, so campaign progress
-  rides the same observability spine as everything else.  (Progress
+  rides the same observability spine as everything else; failing
+  ``campaign.trial`` events carry an ``error`` attr, so subscribers
+  like :class:`~repro.obs.store.CampaignRecorder` capture per-trial
+  failure detail the moment it happens.  (Progress
   *event order* across workers is wall-clock-dependent; the merged
   *results* are not.)
 
@@ -240,10 +243,15 @@ class _Campaign:
                 **attrs,
             )
 
-    def _emit_trial(self, index: int, ok: bool) -> None:
-        self._emit(
-            "campaign.trial", label=self.label, index=index, ok=ok
-        )
+    def _emit_trial(
+        self, index: int, ok: bool, error: Optional[str] = None
+    ) -> None:
+        attrs: Dict[str, Any] = {
+            "label": self.label, "index": index, "ok": ok,
+        }
+        if error is not None:
+            attrs["error"] = error
+        self._emit("campaign.trial", **attrs)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -269,9 +277,10 @@ class _Campaign:
             chunk.outstanding.discard(index)
             if ok:
                 self.results[index] = payload
+                self._emit_trial(index, True)
             else:
                 self.failures[index] = payload
-            self._emit_trial(index, ok)
+                self._emit_trial(index, False, error=payload)
         elif kind == "done":
             chunk.done = True
 
@@ -304,7 +313,7 @@ class _Campaign:
             )
             for index in sorted(chunk.outstanding):
                 self.failures[index] = reason
-                self._emit_trial(index, False)
+                self._emit_trial(index, False, error=reason)
         self._emit(
             "campaign.chunk",
             label=self.label,
@@ -401,23 +410,23 @@ def run_trials(
         results: List[Any] = [None] * len(tasks)
         failures: List[TrialFailure] = []
         for index, task in enumerate(tasks):
-            ok = True
+            ok, error_text = True, None
             try:
                 results[index] = worker(task)
             except Exception as error:  # noqa: BLE001 — trial-level fault
                 ok = False
-                failures.append(
-                    TrialFailure(
-                        index, f"{type(error).__name__}: {error}"
-                    )
-                )
+                error_text = f"{type(error).__name__}: {error}"
+                failures.append(TrialFailure(index, error_text))
             if bus:
+                attrs: Dict[str, Any] = {
+                    "label": label, "index": index, "ok": ok,
+                }
+                if error_text is not None:
+                    attrs["error"] = error_text
                 bus.emit(
                     "campaign.trial",
                     time=time.perf_counter() - started,
-                    label=label,
-                    index=index,
-                    ok=ok,
+                    **attrs,
                 )
         outcome = CampaignOutcome(
             results=results,

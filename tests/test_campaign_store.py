@@ -1,0 +1,298 @@
+"""Tests for the persistent campaign store (repro.obs.store)."""
+
+import math
+import sqlite3
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.store import (
+    IN_DOUBT_HIST,
+    SCHEMA_VERSION,
+    CampaignRecorder,
+    CampaignStore,
+    StoreError,
+    bench_baseline_from_run,
+    default_store_path,
+    migration_round_trip,
+    record_bench_report,
+    record_exploration_report,
+)
+
+
+class TestRunLifecycle:
+    def test_begin_finish_round_trip(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run(
+                "chaos", label="chaos", campaign_seed=7, jobs=4,
+                config={"seeds": 3, "smoke": True},
+            )
+            run = store.run(run_id)
+            assert not run.finished and run.ok is None
+            assert run.command == "chaos" and run.campaign_seed == 7
+            assert run.config == {"seeds": 3, "smoke": True}
+            store.finish_run(run_id, ok=True, wall_seconds=1.25)
+            run = store.run(run_id)
+            assert run.finished and run.ok is True
+            assert run.wall_seconds == 1.25
+
+    def test_unknown_run_raises(self):
+        with CampaignStore() as store:
+            with pytest.raises(StoreError):
+                store.run(99)
+
+    def test_finish_counts_default_to_trial_rows(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run("check")
+            store.record_trial(run_id, 0, ok=True)
+            store.record_trial(run_id, 1, ok=False)
+            store.record_trial(run_id, 2, ok=True)
+            store.finish_run(run_id, ok=False)
+            run = store.run(run_id)
+            assert run.trials == 3 and run.failures == 1
+
+    def test_same_config_shares_fingerprint(self):
+        with CampaignStore() as store:
+            a = store.begin_run("bench", config={"mode": "full", "seed": 1})
+            b = store.begin_run("bench", config={"seed": 1, "mode": "full"})
+            c = store.begin_run("bench", config={"mode": "full", "seed": 2})
+            fp = store.run(a).fingerprint
+            assert store.run(b).fingerprint == fp  # key order irrelevant
+            assert store.run(c).fingerprint != fp
+            assert len(fp) == 8
+
+    def test_runs_filtering_and_latest(self):
+        with CampaignStore() as store:
+            first = store.begin_run("chaos", started_at=100.0)
+            store.finish_run(first, ok=True)
+            second = store.begin_run("bench", started_at=200.0)
+            store.finish_run(second, ok=True)
+            third = store.begin_run("chaos", started_at=300.0)
+            assert [r.id for r in store.runs()] == [first, second, third]
+            assert [r.id for r in store.runs(command="chaos")] == [
+                first, third,
+            ]
+            assert [r.id for r in store.runs(since=150.0)] == [second, third]
+            assert [r.id for r in store.runs(limit=2)] == [second, third]
+            # latest_run skips the unfinished third by default...
+            assert store.latest_run("chaos").id == first
+            assert store.latest_run(
+                "chaos", finished_only=False
+            ).id == third
+            # ...and `before` lets a fresh run find its predecessor.
+            assert store.latest_run("bench", before=second) is None
+
+
+class TestTrialUpsert:
+    def test_streaming_then_reduce_merge(self):
+        """The recorder writes (index, ok) live; the reduce step adds
+        seed/scenario/detail later — non-None overwrites, None kept."""
+        with CampaignStore() as store:
+            run_id = store.begin_run("chaos")
+            store.record_trial(run_id, 0, ok=True)
+            store.record_trial(
+                run_id, 0, seed=42, scenario="crash", label="chaos",
+                detail={"events": 10},
+            )
+            (trial,) = store.trials(run_id)
+            assert trial.ok is True
+            assert trial.seed == 42 and trial.scenario == "crash"
+            assert trial.detail == {"events": 10}
+
+    def test_none_never_clears(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run("chaos")
+            store.record_trial(run_id, 0, seed=7, ok=False)
+            store.record_trial(run_id, 0)  # all-None enrichment
+            (trial,) = store.trials(run_id)
+            assert trial.seed == 7 and trial.ok is False
+
+
+class TestEvidence:
+    def test_metrics_overwrite_within_run(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run("bench")
+            store.record_metric(run_id, "speedup", 10.0)
+            store.record_metric(run_id, "speedup", 12.5, unit="guard")
+            assert store.metrics(run_id) == {"speedup": 12.5}
+
+    def test_record_metrics_skips_non_finite_and_non_numeric(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run("bench")
+            store.record_metrics(run_id, {
+                "good": 1.5, "flag": True, "bad": float("nan"),
+                "text": "nope", "inf": float("inf"),
+            })
+            assert store.metrics(run_id) == {"good": 1.5, "flag": 1.0}
+
+    def test_verdicts_preserve_order_and_scope(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run("check")
+            store.record_verdict(run_id, "conservation", False,
+                                 trial_index=3, phase="converged",
+                                 details="item drifted")
+            store.record_verdict(run_id, "serializability", True)
+            first, second = store.verdicts(run_id)
+            assert first.oracle == "conservation" and not first.ok
+            assert first.trial_index == 3 and first.phase == "converged"
+            assert second.ok and second.trial_index is None
+
+    def test_histogram_round_trips_infinity(self):
+        with CampaignStore() as store:
+            run_id = store.begin_run("chaos")
+            pairs = [(0.1, 3), (1.0, 2), (math.inf, 1)]
+            store.record_histogram(run_id, IN_DOUBT_HIST, pairs)
+            assert store.histogram(run_id, IN_DOUBT_HIST) == pairs
+            assert store.histogram_names(run_id) == [IN_DOUBT_HIST]
+
+    def test_metric_history_trends_across_runs(self):
+        with CampaignStore() as store:
+            for value in (10.0, 12.0, 11.0):
+                run_id = store.begin_run("bench")
+                store.record_metric(run_id, "speedup", value)
+                store.finish_run(run_id, ok=True)
+            history = store.metric_history("speedup")
+            assert [value for _, value in history] == [10.0, 12.0, 11.0]
+            assert [run.id for run, _ in history] == [1, 2, 3]
+            assert store.metric_names() == ["speedup"]
+
+
+class TestRecorder:
+    def test_streams_trials_from_bus(self):
+        with CampaignStore() as store:
+            bus = EventBus()
+            recorder = CampaignRecorder(
+                store, command="chaos", label="chaos", campaign_seed=7,
+                jobs=2, bus=bus,
+            )
+            bus.emit("campaign.start", time=0.0, label="chaos", trials=2,
+                     jobs=2, chunks=2)
+            bus.emit("campaign.trial", time=0.1, label="chaos", index=0,
+                     ok=True)
+            bus.emit("campaign.trial", time=0.2, label="chaos", index=1,
+                     ok=False, error="worker died (exit 9)")
+            trials = store.trials(recorder.run_id)
+            assert [(t.index, t.ok) for t in trials] == [(0, True), (1, False)]
+            assert trials[1].detail == {"error": "worker died (exit 9)"}
+            recorder.finish(ok=False)
+            run = store.run(recorder.run_id)
+            assert run.finished and run.ok is False
+            assert run.trials == 2 and run.failures == 1
+            # finish() detached: further events are ignored.
+            bus.emit("campaign.trial", time=0.3, label="chaos", index=5,
+                     ok=True)
+            assert len(store.trials(recorder.run_id)) == 2
+
+    def test_expect_trials_pre_registers_identity(self):
+        with CampaignStore() as store:
+            recorder = CampaignRecorder(store, command="check")
+            recorder.expect_trials([
+                {"index": 0, "seed": 100, "scenario": "crash"},
+                {"index": 1, "seed": 101, "scenario": "partition"},
+            ])
+            trials = store.trials(recorder.run_id)
+            # A trial whose worker dies still has its identity on file.
+            assert [(t.seed, t.scenario, t.ok) for t in trials] == [
+                (100, "crash", None), (101, "partition", None),
+            ]
+
+
+class TestDriverBridges:
+    def test_exploration_report_reproduces_headlines(self):
+        from repro.check.explorer import explore
+
+        report = explore(
+            scenarios=("pair",), campaign_seed=3, trials=2,
+            steps=12, include_enumeration=False, jobs=1,
+        )
+        with CampaignStore() as store:
+            run_id = store.begin_run("check")
+            record_exploration_report(store, run_id, report)
+            metrics = store.metrics(run_id)
+            assert metrics["schedules"] == report.schedules_run
+            assert metrics["violations"] == len(report.violations)
+            assert metrics["quiescent_checkpoints"] == sum(
+                r.quiescent_checkpoints for r in report.results
+            )
+            assert metrics["events"] == sum(
+                r.events_processed for r in report.results
+            )
+            trials = store.trials(run_id)
+            assert len(trials) == len(report.results)
+            for trial, result in zip(trials, report.results):
+                assert trial.seed == result.schedule.seed
+                assert trial.ok == result.ok
+                assert trial.detail["events"] == result.events_processed
+            # One aggregate verdict per oracle, all ok on a clean run.
+            verdicts = store.verdicts(run_id)
+            assert verdicts and all(v.ok for v in verdicts)
+            assert all(v.phase == "converged" for v in verdicts)
+
+    def test_bench_payload_and_baseline_reconstruction(self):
+        payload = {
+            "schema": 1,
+            "mode": "smoke",
+            "results": {
+                "explorer_ok": True,
+                "txn_commit_throughput": 500.0,
+                "parallel_bitwise_identical": True,
+            },
+            "guards": {"condition_cache_speedup": 14.4},
+        }
+        with CampaignStore() as store:
+            run_id = store.begin_run("bench", config={"mode": "smoke"})
+            record_bench_report(store, run_id, payload)
+            store.finish_run(run_id, ok=True)
+            metrics = store.metrics(run_id)
+            assert metrics["guard.condition_cache_speedup"] == 14.4
+            assert metrics["txn_commit_throughput"] == 500.0
+            oracles = {v.oracle: v.ok for v in store.verdicts(run_id)}
+            assert oracles == {
+                "explorer": True, "parallel-determinism": True,
+            }
+            baseline = bench_baseline_from_run(store, store.run(run_id))
+            assert baseline["mode"] == "smoke"
+            assert baseline["run_id"] == run_id
+            assert baseline["guards"] == {"condition_cache_speedup": 14.4}
+            assert baseline["results"]["txn_commit_throughput"] == 500.0
+            assert "guard.condition_cache_speedup" not in baseline["results"]
+
+
+class TestSchemaMigration:
+    def test_round_trip_lifts_v1_to_current(self, tmp_path):
+        assert migration_round_trip(
+            str(tmp_path / "v1.sqlite")
+        ) == (1, SCHEMA_VERSION)
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = str(tmp_path / "future.sqlite")
+        store = CampaignStore(path)
+        store.close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        conn.close()
+        with pytest.raises(StoreError, match="newer"):
+            CampaignStore(path)
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "stable.sqlite")
+        with CampaignStore(path) as store:
+            run_id = store.begin_run("chaos", config={"seeds": 2})
+            store.finish_run(run_id, ok=True)
+        with CampaignStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            assert store.run(run_id).config == {"seeds": 2}
+
+
+class TestDefaultPath:
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_store_path("x.sqlite") == "x.sqlite"
+        assert default_store_path() == ".repro/campaigns.sqlite"
+        monkeypatch.setenv("REPRO_STORE", "/tmp/env.sqlite")
+        assert default_store_path() == "/tmp/env.sqlite"
+        assert default_store_path("x.sqlite") == "x.sqlite"

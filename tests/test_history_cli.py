@@ -1,0 +1,197 @@
+"""Tests for campaign recording + history/serve-dash CLI plumbing."""
+
+import argparse
+import json
+import re
+
+import pytest
+
+from repro.cli import _bench_baseline, _looks_like_store, main
+from repro.obs.store import CampaignStore, record_bench_report
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "campaigns.sqlite")
+
+
+def _chaos(store_path, seed=0):
+    return main([
+        "chaos", "--smoke", "--seeds", "2", "--seed", str(seed),
+        "--store", store_path,
+    ])
+
+
+class TestStoreRecording:
+    def test_chaos_run_lands_in_store(self, store_path, capsys):
+        assert _chaos(store_path) == 0
+        capsys.readouterr()
+        assert main(["history", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"^\s*1\s+chaos\s+chaos", out, re.M)
+        assert " yes " in out  # run verdict column
+
+    def test_history_reproduces_chaos_headlines(self, store_path, capsys):
+        """The acceptance contract: every number in the campaign's
+        stdout headline is recoverable, bit-identical, from the store."""
+        assert _chaos(store_path) == 0
+        stdout = capsys.readouterr().out
+        headline = re.search(
+            r"(\d+) chaos schedules in [\d.]+s wall "
+            r"\((\d+) gray \+ (\d+) fail-stop actions, (\d+) events",
+            stdout,
+        )
+        assert headline is not None
+        schedules, gray, failstop, events = map(int, headline.groups())
+        assert main([
+            "history", "--store", store_path, "--run", "1",
+            "--format", "json",
+        ]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        metrics = dump["metrics"]
+        assert metrics["schedules"] == schedules
+        assert metrics["gray_actions"] == gray
+        assert metrics["failstop_actions"] == failstop
+        assert metrics["events"] == events
+        assert metrics["violations"] == 0
+        assert dump["run"]["ok"] is True
+        assert len(dump["trials"]) == schedules
+        assert all(t["seed"] is not None for t in dump["trials"])
+        assert dump["verdicts"] and all(v["ok"] for v in dump["verdicts"])
+        # The summed in-doubt window histogram rode along.
+        assert "repro_in_doubt_window_seconds" in dump["histograms"]
+
+    def test_repro_store_env_turns_recording_on(
+        self, store_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", store_path)
+        assert main([
+            "sweep", "-p", "recovery_rate", "--values", "0.001,0.002",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["history"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+
+    def test_no_store_flag_means_no_store_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main([
+            "sweep", "-p", "recovery_rate", "--values", "0.001",
+        ]) == 0
+        assert not (tmp_path / ".repro").exists()
+
+
+class TestHistoryQueries:
+    def test_metric_trend_shows_deltas(self, store_path, capsys):
+        _chaos(store_path, seed=0)
+        _chaos(store_path, seed=1)
+        capsys.readouterr()
+        assert main([
+            "history", "--store", store_path, "--metric", "schedules",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metric schedules" in out
+        assert out.count("\n") >= 4  # header + 2 rows
+        # First row has no predecessor; the second carries a delta.
+        rows = [line for line in out.splitlines()
+                if re.match(r"^\s*\d+\s+chaos", line)]
+        assert len(rows) == 2
+        assert rows[0].rstrip().endswith("-")
+        assert re.search(r"[+-][\d.]+%|\s-$", rows[1])
+
+    def test_unknown_metric_lists_known_names(self, store_path, capsys):
+        _chaos(store_path)
+        capsys.readouterr()
+        assert main([
+            "history", "--store", store_path, "--metric", "nope",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "no history for metric 'nope'" in out
+        assert "schedules" in out
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        missing = str(tmp_path / "absent.sqlite")
+        assert main(["history", "--store", missing]) == 1
+        assert "no campaign store" in capsys.readouterr().err
+
+    def test_json_run_listing(self, store_path, capsys):
+        _chaos(store_path)
+        capsys.readouterr()
+        assert main([
+            "history", "--store", store_path, "--format", "json",
+        ]) == 0
+        runs = json.loads(capsys.readouterr().out)
+        assert len(runs) == 1
+        assert runs[0]["command"] == "chaos"
+        assert runs[0]["config"]["smoke"] is True
+
+
+class TestBenchBaselineResolution:
+    def test_looks_like_store(self, store_path, tmp_path):
+        assert _looks_like_store("store")
+        assert _looks_like_store("missing-file.sqlite")
+        assert not _looks_like_store("BENCH_perf.json")
+        CampaignStore(store_path).close()
+        assert _looks_like_store(store_path)  # by magic bytes
+        json_path = tmp_path / "baseline.json"
+        json_path.write_text('{"schema": 1}')
+        assert not _looks_like_store(str(json_path))
+
+    def test_baseline_from_stored_history(self, store_path):
+        with CampaignStore(store_path) as store:
+            run_id = store.begin_run("bench", config={"mode": "smoke"})
+            record_bench_report(store, run_id, {
+                "results": {"txn_commit_throughput": 400.0},
+                "guards": {"condition_cache_speedup": 12.0},
+            })
+            store.finish_run(run_id, ok=True)
+        args = argparse.Namespace(check_against=store_path, store=None)
+        baseline = _bench_baseline(args, None)
+        assert baseline["run_id"] == run_id
+        assert baseline["guards"] == {"condition_cache_speedup": 12.0}
+        assert baseline["results"] == {"txn_commit_throughput": 400.0}
+
+    def test_empty_store_yields_no_baseline(self, store_path):
+        CampaignStore(store_path).close()
+        args = argparse.Namespace(check_against=store_path, store=None)
+        assert _bench_baseline(args, None) is None
+
+    def test_json_baseline_still_loads(self, tmp_path):
+        payload = {"schema": 1, "guards": {"g": 1.0}, "results": {}}
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(payload))
+        args = argparse.Namespace(check_against=str(path), store=None)
+        assert _bench_baseline(args, None) == payload
+
+
+class TestServeDashCLI:
+    def test_bounded_run_prints_url(self, capsys):
+        assert main([
+            "serve-dash", "--port", "0", "--scenario", "chaos",
+            "--trials", "1", "--duration", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"dashboard on http://127\.0\.0\.1:\d+/", out)
+
+
+class TestCampaignMetricsFlag:
+    def test_prometheus_file_export(self, tmp_path, capsys):
+        out_path = str(tmp_path / "campaign.prom")
+        assert main([
+            "chaos", "--smoke", "--seeds", "2",
+            "--campaign-metrics", out_path,
+        ]) == 0
+        text = open(out_path).read()
+        assert 'repro_campaigns_total{label="chaos"} 1' in text
+        assert 'repro_campaign_trials_total{label="chaos",status="ok"}' in text
+        assert "repro_campaigns_active 0" in text
+
+    def test_human_table_on_stdout(self, capsys):
+        assert main([
+            "chaos", "--smoke", "--seeds", "2",
+            "--campaign-metrics", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaigns" in out and "trials_ok" in out

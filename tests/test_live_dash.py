@@ -1,0 +1,239 @@
+"""Tests for the live dashboard (repro.obs.live)."""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.live import (
+    DASH_PAGE,
+    DashboardServer,
+    LiveState,
+    SSEBroker,
+    serve_dash,
+)
+from repro.txn.system import DistributedSystem
+
+from tests.conftest import move, run_to_decision
+
+
+class TestLiveState:
+    def test_folds_a_real_crash_scenario(self):
+        state = LiveState()
+        system = DistributedSystem.build(
+            sites=3, items={"a": 10, "b": 20, "c": 30}, seed=9, jitter=0.0
+        )
+        system.bus.subscribe(state.on_event)
+        system.submit(move("a", "b", 3))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(1.0)
+        snap = state.snapshot()
+        assert snap["txns"]["submitted"] == 1
+        assert snap["sites"]["crashes"] == 1
+        assert snap["in_doubt"]["open"] == 1
+        (window,) = snap["in_doubt"]["open_windows"]
+        assert window["site"] == "site-1"
+        assert snap["polyvalues"]["current"] >= 1
+        # Recovery closes the window and resolves the polyvalues.
+        system.recover_site("site-0")
+        system.run_for(5.0)
+        snap = state.snapshot()
+        assert snap["in_doubt"]["open"] == 0
+        assert snap["polyvalues"]["current"] == 0
+        assert snap["sites"]["recoveries"] == 1
+        assert json.dumps(snap)  # JSON-safe end to end
+
+    def test_commit_rate(self):
+        state = LiveState()
+        bus = EventBus()
+        bus.subscribe(state.on_event)
+        assert state.snapshot()["commit_rate"] is None
+        bus.emit("txn.committed", time=0.1, txn="t1")
+        bus.emit("txn.committed", time=0.2, txn="t2")
+        bus.emit("txn.aborted", time=0.3, txn="t3")
+        assert state.snapshot()["commit_rate"] == pytest.approx(2 / 3)
+
+    def test_campaign_progress_resets_per_start(self):
+        state = LiveState()
+        bus = EventBus()
+        bus.subscribe(state.on_event)
+        for round_index in range(2):
+            bus.emit("campaign.start", time=0.0, label="chaos", trials=2,
+                     jobs=4, chunks=2)
+            bus.emit("campaign.trial", time=0.1, label="chaos", index=0,
+                     ok=True)
+            bus.emit("campaign.trial", time=0.2, label="chaos", index=1,
+                     ok=False, error="boom")
+            bus.emit("campaign.done", time=0.3, label="chaos", trials=2,
+                     failures=1)
+        entry = state.snapshot()["campaigns"]["chaos"]
+        # The second campaign.start reset the bar — no accumulation.
+        assert entry["done"] == 2 and entry["trials"] == 2
+        assert entry["ok"] == 1 and entry["failed"] == 1
+        assert entry["jobs"] == 4 and entry["finished"] is True
+        assert entry["failed_indices"] == [1]
+
+    def test_recent_ring_is_bounded(self):
+        state = LiveState(keep_events=5)
+        bus = EventBus()
+        bus.subscribe(state.on_event)
+        for index in range(20):
+            bus.emit("campaign.trial", time=float(index), label="x",
+                     index=index, ok=True)
+        recent = state.snapshot()["recent"]
+        assert len(recent) == 5
+        assert recent[-1]["index"] == 19
+
+
+class TestSSEBroker:
+    def test_fan_out_and_detach(self):
+        broker = SSEBroker()
+        bus = EventBus()
+        bus.subscribe(broker.on_event)
+        a, b = broker.attach(), broker.attach()
+        assert broker.clients == 2
+        bus.emit("txn.committed", time=0.5, txn="t1")
+        assert json.loads(a.get_nowait())["name"] == "txn.committed"
+        assert json.loads(b.get_nowait())["name"] == "txn.committed"
+        broker.detach(b)
+        bus.emit("txn.aborted", time=0.6, txn="t2")
+        assert json.loads(a.get_nowait())["name"] == "txn.aborted"
+        assert b.empty()
+
+    def test_slow_client_sheds_oldest_never_blocks(self):
+        broker = SSEBroker(queue_size=3)
+        bus = EventBus()
+        bus.subscribe(broker.on_event)
+        client = broker.attach()
+        for index in range(10):
+            bus.emit("campaign.trial", time=float(index), label="x",
+                     index=index, ok=True)
+        frames = []
+        while not client.empty():
+            frames.append(json.loads(client.get_nowait()))
+        # Bounded at 3, keeping the newest frames.
+        assert [frame["index"] for frame in frames] == [7, 8, 9]
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+class TestDashboardServer:
+    @pytest.fixture()
+    def server(self):
+        server = DashboardServer(port=0)  # ephemeral port
+        server.start()
+        yield server
+        server.stop()
+
+    def test_healthz_page_and_state(self, server):
+        status, body = _get(server.url + "healthz")
+        assert status == 200 and body == b"ok\n"
+        status, body = _get(server.url)
+        assert status == 200
+        assert b"live campaign telemetry" in body
+        assert body.decode("utf-8") == DASH_PAGE
+        status, body = _get(server.url + "state.json")
+        assert status == 200
+        assert json.loads(body)["txns"] == {
+            "submitted": 0, "committed": 0, "aborted": 0,
+        }
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "nope")
+        assert excinfo.value.code == 404
+
+    def test_state_follows_a_subscribed_system(self, server):
+        system = DistributedSystem.build(
+            sites=3, items={"a": 10, "b": 0}, seed=3, jitter=0.0
+        )
+        server.subscribe(system.bus)
+        handle = system.submit(move("a", "b", 4))
+        run_to_decision(system, handle)
+        _, body = _get(server.url + "state.json")
+        snapshot = json.loads(body)
+        assert snapshot["txns"]["committed"] == 1
+        assert snapshot["events_seen"] > 0
+
+    def test_sse_streams_hello_then_live_frames(self, server):
+        bus = EventBus()
+        server.subscribe(bus)
+        with socket.create_connection(
+            (server.server_address[0], server.port), timeout=5.0
+        ) as conn:
+            conn.sendall(
+                b"GET /events HTTP/1.1\r\n"
+                b"Host: dash\r\nAccept: text/event-stream\r\n\r\n"
+            )
+            conn_file = conn.makefile("rb")
+            status_line = conn_file.readline()
+            assert b"200" in status_line
+            headers = b""
+            while True:
+                line = conn_file.readline()
+                headers += line
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            assert b"text/event-stream" in headers
+
+            def frames(count):
+                found = []
+                while len(found) < count:
+                    line = conn_file.readline()
+                    if line.startswith(b"data: "):
+                        found.append(json.loads(line[len(b"data: "):]))
+                return found
+
+            (hello,) = frames(1)
+            assert hello["name"] == "dash.hello"
+            assert "state" in hello
+            bus.emit("campaign.trial", time=0.1, label="chaos", index=0,
+                     ok=True)
+            (frame,) = frames(1)
+            assert frame["name"] == "campaign.trial"
+            assert frame["index"] == 0 and frame["ok"] is True
+
+
+class TestServeDash:
+    def test_chaos_scenario_serves_live_campaign_events(self):
+        ready = threading.Event()
+        captured = {}
+
+        def on_start(server):
+            captured["url"] = server.url
+
+        result = {}
+
+        def run():
+            result["server"] = serve_dash(
+                port=0, scenario="chaos", seed=11, trials=1, jobs=1,
+                duration=6.0, ready=ready, on_start=on_start,
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10.0)
+        url = captured["url"]
+        status, _ = _get(url + "healthz")
+        assert status == 200
+        deadline = threading.Event()
+        for _ in range(40):  # wait for the first campaign to land
+            _, body = _get(url + "state.json")
+            snapshot = json.loads(body)
+            if snapshot["campaigns"].get("chaos", {}).get("done"):
+                break
+            deadline.wait(0.1)
+        assert snapshot["campaigns"]["chaos"]["done"] >= 1
+        assert snapshot["campaigns"]["chaos"]["failed"] == 0
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown serve-dash scenario"):
+            serve_dash(scenario="nope")

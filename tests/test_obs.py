@@ -12,7 +12,7 @@ from repro.txn.system import DistributedSystem
 from repro.txn.tracing import ProtocolTracer
 from repro.txn.transaction import Transaction
 
-from tests.conftest import move, run_to_decision
+from tests.conftest import increment, move, run_to_decision
 
 
 def observed_system(seed=9, **kwargs):
@@ -295,6 +295,71 @@ class TestSpanTracer:
         assert len(waits) == 1
         assert waits[0].attrs["ended_by"] == "wait-timeout"
 
+    def test_overflow_abort_annotates_root_span(self):
+        from repro.txn.runtime import ProtocolConfig
+
+        config = ProtocolConfig(max_alternatives=1)
+        system = DistributedSystem.build(
+            sites=3,
+            items={f"item-{index}": 100 for index in range(3)},
+            seed=42,
+            jitter=0.0,
+            config=config,
+        )
+        tracer = SpanTracer(system.bus)
+        # Strand a transfer to make item-1 a polyvalue, then touch it:
+        # any partitioning read overflows a budget of 1.
+        system.submit(move("item-0", "item-1", 30))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(1.0)
+        handle = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, handle)
+        root = tracer.roots[handle.txn]
+        assert root.attrs["outcome"] == "aborted"
+        assert root.attrs["overflow"] is True
+        assert root.attrs["overflow_limit"] == 1
+        assert "fan-out overflow" in root.attrs["reason"]
+        # The stranded transfer's root is NOT marked.
+        others = [r for t, r in tracer.roots.items() if t != handle.txn]
+        assert all("overflow" not in r.attrs for r in others)
+
+    def test_overload_window_span_covers_block_to_resolution(self):
+        from repro.txn.runtime import ProtocolConfig
+
+        config = ProtocolConfig(polyvalue_budget=0)
+        system = DistributedSystem.build(
+            sites=3,
+            items={f"item-{index}": 100 for index in range(6)},
+            seed=42,
+            jitter=0.0,
+            config=config,
+        )
+        tracer = SpanTracer(system.bus)
+        system.submit(move("item-0", "item-1", 10))
+        system.submit(move("item-3", "item-4", 10))
+        system.run_for(0.035)
+        system.crash_site("site-0")
+        system.run_for(2.0)
+        # Budget 0: both wait-timeouts at site-1 fell back to blocking.
+        windows = tracer.overload_windows()
+        assert len(windows) == 2
+        assert all(w.site == "site-1" for w in windows)
+        assert all(w.attrs == {"budget": 0, "polyvalues": 0} for w in windows)
+        assert all(w.end is None for w in windows)  # still blocked
+        # Recovery lets the outcome-query loop resolve both; the spans
+        # close with the participant's final WAIT → IDLE trigger.
+        system.recover_site("site-0")
+        system.run_for(6.0)
+        assert all(w.end is not None for w in windows)
+        assert all(w.attrs["ended_by"] in ("complete", "abort") for w in windows)
+        # The window outlives its root span (presumed abort decided
+        # at the coordinator long before the participant learns it).
+        for window in windows:
+            root = tracer.roots[window.txn]
+            assert root.end is not None
+            assert window.end >= root.end
+
     def test_render_and_to_dicts(self):
         _, tracer, handle = self.crash_scenario()
         text = tracer.render(handle.txn)
@@ -312,6 +377,80 @@ class TestSpanTracer:
         run_to_decision(system, handle)
         assert tracer.roots == {}
         assert len(log) > 0  # other subscribers unaffected
+
+
+class TestCampaignMetrics:
+    def drive(self, bus):
+        bus.emit("campaign.start", time=0.0, label="chaos", trials=3,
+                 jobs=2, chunks=2)
+        bus.emit("campaign.trial", time=0.1, label="chaos", index=0, ok=True)
+        bus.emit("campaign.trial", time=0.2, label="chaos", index=1, ok=True)
+        bus.emit("campaign.trial", time=0.3, label="chaos", index=2,
+                 ok=False, error="worker died (exit 9)")
+        bus.emit("campaign.chunk", time=0.4, label="chaos", chunk=0, ok=True)
+        bus.emit("campaign.chunk", time=0.5, label="chaos", chunk=1, ok=False)
+
+    def test_folds_campaign_events_into_registry(self):
+        from repro.obs.export import CampaignMetrics
+
+        bus = EventBus()
+        cm = CampaignMetrics(bus)
+        self.drive(bus)
+        summary = cm.summary()
+        assert summary["campaigns"] == 1
+        assert summary["campaigns_active"] == 1  # no campaign.done yet
+        assert summary["trials"] == 3
+        assert summary["trials_ok"] == 2
+        assert summary["trials_failed"] == 1
+        assert summary["chunks"] == 2
+        assert summary["chunks_failed"] == 1
+        bus.emit("campaign.done", time=0.6, label="chaos", trials=3,
+                 failures=1)
+        assert cm.summary()["campaigns_active"] == 0
+
+    def test_flows_through_prometheus_and_report(self):
+        from repro.obs.export import CampaignMetrics
+
+        bus = EventBus()
+        cm = CampaignMetrics(bus)
+        self.drive(bus)
+        text = prometheus_text(cm.registry)
+        assert "# TYPE repro_campaigns_total counter" in text
+        assert 'repro_campaigns_total{label="chaos"} 1' in text
+        assert (
+            'repro_campaign_trials_total{label="chaos",status="failed"} 1'
+            in text
+        )
+        assert "repro_campaigns_active 1" in text
+        report = render_report(cm)
+        assert "trials_failed" in report
+
+    def test_live_campaign_feeds_metrics(self):
+        from repro.obs.export import CampaignMetrics
+        from repro.parallel import run_trials
+
+        bus = EventBus()
+        cm = CampaignMetrics(bus)
+        outcome = run_trials(
+            _square, [1, 2, 3], jobs=1, label="sq", bus=bus
+        )
+        assert outcome.results == [1, 4, 9]
+        summary = cm.summary()
+        assert summary["trials"] == 3 and summary["trials_ok"] == 3
+        assert summary["campaigns_active"] == 0
+
+    def test_detach_stops_folding(self):
+        from repro.obs.export import CampaignMetrics
+
+        bus = EventBus()
+        cm = CampaignMetrics(bus)
+        cm.detach()
+        self.drive(bus)
+        assert cm.summary()["trials"] == 0
+
+
+def _square(value):
+    return value * value
 
 
 class TestExporters:
