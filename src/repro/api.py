@@ -20,8 +20,11 @@ The surface, by layer:
 * **Simulation** (section 4) — :class:`Simulator`, :class:`Network`,
   :class:`DistributedSystem` and the policy constructors
   (:func:`polyvalue_system`, :func:`blocking_system`,
-  :func:`relaxed_system`), :class:`Transaction`,
-  :class:`ProtocolConfig`.
+  :func:`relaxed_system`, :func:`paxos_commit_system`,
+  :func:`path_sensitive_system`), :class:`Transaction`,
+  :class:`ProtocolConfig`, and the protocol selector
+  (:data:`PROTOCOL_NAMES`, :class:`CommitProtocol`,
+  :func:`config_for_protocol`) — ``docs/protocols.md``.
 * **Observability** — :class:`EventBus`, :class:`SpanTracer`,
   :class:`MetricsRegistry`, :class:`ProtocolTracer`
   (``docs/observability.md``).
@@ -31,8 +34,9 @@ The surface, by layer:
   dashboard (:class:`DashboardServer`, :class:`LiveState`,
   :func:`serve_dash`) behind ``repro serve-dash``
   (``docs/observability.md``, "The campaign store").
-* **Correctness harness** — :func:`explore`, :func:`run_mutation_smoke`
-  and the oracle entry points (``docs/testing.md``).
+* **Correctness harness** — :func:`explore`, :func:`run_mutation_smoke`,
+  :func:`run_protocol_mutation_smoke` and the oracle entry points
+  (``docs/testing.md``).
 * **Resilience** — the gray-failure fault model
   (:class:`FailureAction`, :class:`ScheduleScript`), adaptive patience
   (:class:`TimeoutPolicy`, :class:`RttEstimator`, :class:`Patience`),
@@ -40,7 +44,11 @@ The surface, by layer:
   campaign (:class:`ChaosProfile`, :func:`run_campaign`,
   :func:`replay_chaos`) — ``docs/faults.md``.
 * **Measurement** — :func:`run_benchmarks`, backing
-  ``python -m repro bench`` (``docs/performance.md``).
+  ``python -m repro bench`` (``docs/performance.md``), and the
+  four-protocol frontier campaign (:func:`run_frontier`,
+  :class:`FrontierReport`, :func:`fault_matrix`,
+  :data:`FRONTIER_PROTOCOLS`) behind ``repro frontier``
+  (``docs/protocols.md``).
 * **Parallel campaigns** — the process-pool campaign engine
   (:func:`run_trials`, :class:`CampaignOutcome`,
   :class:`TrialFailure`, :func:`default_jobs`), the shared seed
@@ -129,8 +137,20 @@ from repro.net.failures import (
     ScheduleScript,
     ScriptedFailures,
 )
-from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
-from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.baselines import (
+    blocking_system,
+    paxos_commit_system,
+    path_sensitive_system,
+    polyvalue_system,
+    relaxed_system,
+)
+from repro.txn.runtime import (
+    PROTOCOL_NAMES,
+    CommitPolicy,
+    CommitProtocol,
+    ProtocolConfig,
+    config_for_protocol,
+)
 from repro.txn.timeouts import (
     Patience,
     RetryPolicy,
@@ -161,7 +181,11 @@ from repro.obs.live import DashboardServer, LiveState, serve_dash
 
 # Correctness harness (PR 2, docs/testing.md).
 from repro.check.explorer import explore, replay, run_schedule
-from repro.check.mutation import run_mutation_smoke
+from repro.check.mutation import (
+    PROTOCOL_FAULTS,
+    run_mutation_smoke,
+    run_protocol_mutation_smoke,
+)
 from repro.check.oracles import CheckContext, check_converged, check_quiescent, failed
 
 # Resilience layer: gray-failure chaos campaign (docs/faults.md).
@@ -173,6 +197,14 @@ from repro.analysis.montecarlo import simulate, simulate_many
 
 # Measurement (docs/performance.md).
 from repro.bench import run_benchmarks
+
+# The commit-protocol bake-off frontier (docs/protocols.md).
+from repro.frontier import (
+    FRONTIER_PROTOCOLS,
+    FrontierReport,
+    fault_matrix,
+    run_frontier,
+)
 
 # Parallel campaign engine (docs/performance.md, "Parallel campaigns").
 from repro.parallel import (
@@ -192,6 +224,7 @@ __all__ = [
     "ChaosProfile",
     "CheckContext",
     "CommitPolicy",
+    "CommitProtocol",
     "Condition",
     "ConditionError",
     "CrashPlan",
@@ -200,7 +233,9 @@ __all__ = [
     "Event",
     "EventBus",
     "FALSE",
+    "FRONTIER_PROTOCOLS",
     "FailureAction",
+    "FrontierReport",
     "Literal",
     "LiveState",
     "MetricsRegistry",
@@ -208,6 +243,8 @@ __all__ = [
     "NetworkStats",
     "OutcomeLog",
     "OutcomeTable",
+    "PROTOCOL_FAULTS",
+    "PROTOCOL_NAMES",
     "Patience",
     "PeriodicTask",
     "PolyContext",
@@ -256,6 +293,7 @@ __all__ = [
     "conditions_are_complete",
     "conditions_are_complete_and_disjoint",
     "conditions_are_disjoint",
+    "config_for_protocol",
     "configure_caches",
     "decode_state",
     "decode_value",
@@ -268,10 +306,13 @@ __all__ = [
     "execute_polytransaction",
     "explore",
     "failed",
+    "fault_matrix",
     "intern_literal",
     "is_polyvalue",
     "minimize",
     "parse_condition",
+    "path_sensitive_system",
+    "paxos_commit_system",
     "polyvalue_system",
     "possible_values",
     "possibly",
@@ -281,7 +322,9 @@ __all__ = [
     "replay_chaos",
     "run_benchmarks",
     "run_campaign",
+    "run_frontier",
     "run_mutation_smoke",
+    "run_protocol_mutation_smoke",
     "run_schedule",
     "run_trials",
     "serve_dash",

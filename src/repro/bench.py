@@ -36,6 +36,12 @@ The resilience layer adds three more machine-relative guards (see
 * ``retransmission_reduction`` — owed-notification sends over a
   one-minute outage, flat-interval / exponential-backoff.
 
+The commit-protocol bake-off adds the frontier guards (see
+:mod:`repro.frontier` and ``docs/protocols.md``): per-protocol commit
+availability floors over the shared fault matrix, the path-sensitive
+message-advantage ratio, and the Didona one-round-trip latency sanity
+bit.
+
 CI compares the guards against the committed ``BENCH_perf.json`` and
 fails on a >25% relative regression; ratios transfer across runner
 speeds where absolute ops/s do not.  See ``docs/performance.md``.
@@ -408,6 +414,42 @@ def bench_table2(duration: float = FULL_TABLE2_DURATION) -> float:
 
 
 # ----------------------------------------------------------------------
+# The commit-protocol frontier (the bake-off)
+# ----------------------------------------------------------------------
+
+#: Fail-stop walks per scenario in the frontier matrix.
+FRONTIER_TRIALS_FULL = 4
+FRONTIER_TRIALS_SMOKE = 3
+
+
+def bench_frontier(
+    *,
+    seed: int = 0,
+    smoke: bool = False,
+    jobs: Optional[int] = 1,
+    protocols: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The four-protocol bake-off (see :mod:`repro.frontier`).
+
+    Contributes per-protocol availability floors, the path-sensitive
+    message-advantage guard, and the Didona latency sanity bit to the
+    benchmark payload.
+    """
+    from repro.frontier import FRONTIER_PROTOCOLS, run_frontier
+
+    report = run_frontier(
+        campaign_seed=seed,
+        trials=FRONTIER_TRIALS_SMOKE if smoke else FRONTIER_TRIALS_FULL,
+        smoke=smoke,
+        jobs=jobs,
+        protocols=tuple(protocols) if protocols else FRONTIER_PROTOCOLS,
+    )
+    payload = report.to_bench()
+    payload["results"]["frontier_failed_trials"] = len(report.failed_trials)
+    return payload
+
+
+# ----------------------------------------------------------------------
 # Parallel campaign scaling (the campaign engine)
 # ----------------------------------------------------------------------
 
@@ -501,6 +543,7 @@ def run_benchmarks(
     explorer_seeds: Optional[int] = None,
     seed: int = 0,
     jobs: Optional[int] = None,
+    frontier_protocols: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Run the full perf suite and return the ``BENCH_perf.json`` payload.
 
@@ -524,6 +567,9 @@ def run_benchmarks(
 
     explorer = bench_explorer(seeds=explorer_seeds, first=seed)
     resilience = bench_resilience(seed=seed)
+    frontier = bench_frontier(
+        seed=seed, smoke=smoke, jobs=jobs_cap, protocols=frontier_protocols
+    )
     scaling = bench_parallel_scaling(
         seed=seed, trials=scaling_trials, jobs_levels=jobs_levels
     )
@@ -536,6 +582,7 @@ def run_benchmarks(
         "table2_wall_s": round(bench_table2(duration), 3),
     }
     results.update(resilience["results"])
+    results.update(frontier["results"])
     results.update(scaling["results"])
     guards = {
         "condition_cache_speedup": round(
@@ -546,6 +593,7 @@ def run_benchmarks(
         ),
     }
     guards.update(resilience["guards"])
+    guards.update(frontier["guards"])
     guards.update(scaling["guards"])
     return {
         "schema": 1,
@@ -602,6 +650,18 @@ def check_regression(
         failures.append(
             "gray campaign reported oracle violations during bench"
         )
+    if not report["results"].get("frontier_didona_ok", True):
+        failures.append(
+            "frontier: a coordinated protocol's mean commit latency fell "
+            "below the one-round-trip floor (measurement is broken)"
+        )
+    if report["results"].get("frontier_settled") is False:
+        failures.append("frontier: a protocol failed to settle after repair")
+    if report["results"].get("frontier_failed_trials"):
+        failures.append(
+            f"frontier: {report['results']['frontier_failed_trials']} "
+            "trial(s) produced no result"
+        )
     if report["results"].get("parallel_bitwise_identical") is False:
         failures.append(
             "parallel campaign results diverged from the serial path"
@@ -643,6 +703,28 @@ def render_report(report: Dict[str, Any]) -> str:
             f"{results['outage_retransmissions_backoff']} backoff "
             f"({guards['retransmission_reduction']:.1f}x reduction)",
         ]
+    if "frontier_schedules_per_protocol" in results:
+        lines.append(
+            f"  frontier:           "
+            f"{results['frontier_schedules_per_protocol']:>8} schedules x "
+            f"4 protocols (didona ok={results['frontier_didona_ok']})"
+        )
+        for name in ("polyvalue", "blocking", "paxos", "pathsensitive"):
+            availability = guards.get(f"frontier_availability_{name}")
+            mean_ms = results.get(f"frontier_{name}_mean_latency_ms")
+            msgs = results.get(f"frontier_{name}_msgs_per_commit")
+            if availability is None:
+                continue
+            lines.append(
+                f"    {name:<14} avail={availability:.3f} "
+                f"mean={mean_ms:.2f}ms msg/commit={msgs:.2f}"
+            )
+        advantage = guards.get("frontier_path_message_advantage")
+        if advantage is not None:
+            lines.append(
+                f"    path message advantage: {advantage:.1f}x fewer "
+                "sends per commit than polyvalue"
+            )
     if "parallel_cpus" in results:
         levels = ", ".join(
             f"jobs={level} {results[key]:.2f}/s"

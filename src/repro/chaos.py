@@ -39,7 +39,11 @@ from repro.parallel.artifacts import write_violation_artifact
 from repro.parallel.pool import run_trials
 from repro.parallel.seeds import trial_seeds
 from repro.sim.rand import Rng
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.runtime import (
+    PROTOCOL_NAMES,
+    ProtocolConfig,
+    config_for_protocol,
+)
 from repro.txn.system import DistributedSystem
 from repro.txn.timeouts import TimeoutPolicy
 from repro.check.explorer import (
@@ -85,8 +89,18 @@ class ChaosProfile:
     #: Optional per-site polyvalue budget (the section 6 overload
     #: valve); None leaves degradation-under-overload off.
     polyvalue_budget: Optional[int] = None
+    #: Which commit protocol the campaign stresses (a
+    #: :data:`repro.txn.runtime.PROTOCOL_NAMES` entry) — the bake-off
+    #: peers run under the identical fault surface as the paper's
+    #: mechanism.
+    protocol: str = "polyvalue"
 
     def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise SimulationError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {PROTOCOL_NAMES}"
+            )
         for name in (
             "loss_probability",
             "corruption_probability",
@@ -114,13 +128,14 @@ class ChaosProfile:
         fixed policy's outage-detection budget).  Fixed mode is the
         exact historical configuration.
         """
-        return ProtocolConfig(
+        base = ProtocolConfig(
             timeout_policy=TimeoutPolicy(
                 mode="adaptive" if self.adaptive else "fixed"
             ),
             wait_query_retries=2 if self.adaptive else 0,
             polyvalue_budget=self.polyvalue_budget,
         )
+        return config_for_protocol(self.protocol, base=base)
 
     def network_kwargs(self) -> Dict[str, float]:
         """The ambient-unreliability keywords for the system builder."""
@@ -139,6 +154,7 @@ class ChaosProfile:
             "spike_factor": self.spike_factor,
             "adaptive": self.adaptive,
             "polyvalue_budget": self.polyvalue_budget,
+            "protocol": self.protocol,
         }
 
     @staticmethod
@@ -156,6 +172,7 @@ class ChaosProfile:
             spike_factor=float(data.get("spike_factor", 10.0)),
             adaptive=bool(data.get("adaptive", True)),
             polyvalue_budget=None if budget is None else int(budget),
+            protocol=str(data.get("protocol", "polyvalue")),
         )
 
 
@@ -278,6 +295,10 @@ def chaos_walk(
         seed=seed,
         actions=tuple(actions),
         horizon=round(horizon, 6),
+        # Stamp non-default protocols into the schedule so artifacts
+        # are self-describing; the default keeps the historical
+        # fingerprints (and the walk itself is protocol-independent).
+        protocol=None if profile.protocol == "polyvalue" else profile.protocol,
         label=f"chaos:{scenario}:{seed}",
     )
 
@@ -345,6 +366,7 @@ class ChaosReport:
             f"({totals['gray_actions']} gray + "
             f"{totals['failstop_actions']} fail-stop actions, "
             f"{totals['events']} events, {mode} timeouts, "
+            f"protocol={self.profile.protocol}, "
             f"loss={self.profile.loss_probability:g} "
             f"corrupt={self.profile.corruption_probability:g})",
         ]

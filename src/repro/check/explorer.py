@@ -28,6 +28,7 @@ that violates an oracle writes that triple to a JSON artifact which
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 import time
@@ -44,7 +45,7 @@ from repro.parallel.artifacts import (
 from repro.parallel.pool import run_trials
 from repro.parallel.seeds import trial_seeds
 from repro.sim.rand import Rng
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.runtime import ProtocolConfig, config_for_protocol
 from repro.check.oracles import (
     CheckContext,
     Verdict,
@@ -81,8 +82,13 @@ class Schedule:
     actions: Tuple[FailureAction, ...]
     #: When the scenario's traffic is over and finalisation may begin.
     horizon: float = 4.5
-    #: Armed wait-phase fault (mutation smoke test only; None normally).
+    #: Armed protocol fault (mutation smoke test only; None normally).
+    #: Plain names arm ``wait_phase_fault``; the ``paxos:``/``path:``
+    #: prefixes arm the corresponding protocol's fault hook.
     fault: Optional[str] = None
+    #: Which commit protocol to explore (a repro.txn.runtime
+    #: PROTOCOL_NAMES entry; None = the default polyvalue system).
+    protocol: Optional[str] = None
     label: str = ""
 
     def fingerprint(self) -> str:
@@ -95,6 +101,7 @@ class Schedule:
             "seed": self.seed,
             "horizon": self.horizon,
             "fault": self.fault,
+            "protocol": self.protocol,
             "label": self.label,
             "actions": [
                 {
@@ -114,6 +121,7 @@ class Schedule:
             seed=int(data["seed"]),
             horizon=float(data.get("horizon", 4.5)),
             fault=data.get("fault"),
+            protocol=data.get("protocol"),
             label=data.get("label", ""),
             actions=tuple(
                 FailureAction(
@@ -125,6 +133,33 @@ class Schedule:
                 for entry in data["actions"]
             ),
         )
+
+
+def schedule_config(schedule: Schedule) -> Optional[ProtocolConfig]:
+    """The protocol configuration a schedule asks for (None = defaults).
+
+    Fault names are namespaced by protocol: a plain name arms the
+    participant's ``wait_phase_fault`` (the original mutation
+    catalogue), ``paxos:<name>`` arms ``paxos_fault``, ``path:<name>``
+    arms ``path_fault`` — one schedule field round-trips every mutant.
+    Returns None when neither a protocol nor a fault is requested, so
+    the unconfigured baseline path stays bit-for-bit identical.
+    """
+    if not schedule.fault and not schedule.protocol:
+        return None
+    base = ProtocolConfig()
+    if schedule.fault:
+        if schedule.fault.startswith("paxos:"):
+            base = dataclasses.replace(
+                base, paxos_fault=schedule.fault.split(":", 1)[1]
+            )
+        elif schedule.fault.startswith("path:"):
+            base = dataclasses.replace(
+                base, path_fault=schedule.fault.split(":", 1)[1]
+            )
+        else:
+            base = dataclasses.replace(base, wait_phase_fault=schedule.fault)
+    return config_for_protocol(schedule.protocol or "polyvalue", base=base)
 
 
 @dataclass(frozen=True)
@@ -395,13 +430,8 @@ def run_schedule(
     if system_factory is not None:
         system = system_factory(schedule)
     else:
-        config = (
-            ProtocolConfig(wait_phase_fault=schedule.fault)
-            if schedule.fault
-            else None
-        )
         system = build_scenario(
-            schedule.scenario, schedule.seed, config=config
+            schedule.scenario, schedule.seed, config=schedule_config(schedule)
         )
     ctx = CheckContext(system=system)
     script = ScheduleScript(system.sim, system, system.network, ())
@@ -556,6 +586,7 @@ def explore(
     include_enumeration: bool = True,
     artifact_dir: Optional[str] = None,
     fault: Optional[str] = None,
+    protocol: Optional[str] = None,
     jobs: Optional[int] = 1,
     bus: Optional[EventBus] = None,
 ) -> ExplorerReport:
@@ -567,7 +598,10 @@ def explore(
     exact walk seeds instead (replay, tests).  Every seed yields one
     random walk per scenario; the small-scope enumeration is appended
     once (it is deterministic and seed-free).  *fault* arms a
-    wait-phase mutation in every run (used by the mutation smoke test).
+    wait-phase mutation in every run (used by the mutation smoke test;
+    ``paxos:``/``path:`` prefixes arm the new protocols' mutants) and
+    *protocol* walks a non-default commit protocol — see
+    :func:`schedule_config`.
 
     *jobs* selects the campaign engine's worker count (``1`` = the
     serial in-process path, ``None`` = every core); per-seed results
@@ -586,16 +620,9 @@ def explore(
                 [name for name in ("pair", "transfers") if name in scenarios]
             )
         )
-    if fault is not None:
+    if fault is not None or protocol is not None:
         schedules = [
-            Schedule(
-                scenario=schedule.scenario,
-                seed=schedule.seed,
-                actions=schedule.actions,
-                horizon=schedule.horizon,
-                fault=fault,
-                label=schedule.label,
-            )
+            dataclasses.replace(schedule, fault=fault, protocol=protocol)
             for schedule in schedules
         ]
     report = ExplorerReport()

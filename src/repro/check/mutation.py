@@ -25,14 +25,23 @@ exercise most of the oracle catalogue:
   locks are never released, defeating the availability claim the
   polyvalue mechanism exists to provide.  Caught by no-blocking and
   convergence.
+
+The bake-off peers get their own catalogue (:data:`PROTOCOL_FAULTS`,
+run by :func:`run_protocol_mutation_smoke`): a Paxos acceptor that
+acks without persisting its vote (caught by decision-consistency via
+the shared decision board) and a path-sensitive pre-analysis that
+misclassifies or drops effects (caught by the effect-conservation
+oracle).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
+from repro.net.failures import FailureAction
 from repro.check.explorer import (
     Schedule,
     Violation,
@@ -53,6 +62,27 @@ FAULTS: Dict[str, str] = {
     "keep-locks": (
         "polyvalues are installed but the write locks are never "
         "released (availability lost)"
+    ),
+}
+
+#: Protocol-specific mutants for the bake-off peers.  Names are
+#: namespaced (``paxos:``/``path:``) so one schedule ``fault`` field
+#: round-trips every catalogue; :func:`repro.check.explorer.schedule_config`
+#: arms the matching protocol's fault hook.
+PROTOCOL_FAULTS: Dict[str, str] = {
+    "paxos:acceptor-no-persist": (
+        "an acceptor replies Phase2b without recording the accepted "
+        "vote, so a failover proposer's Phase1 reads an empty history "
+        "and can decide differently from the ballot-0 leader"
+    ),
+    "path:misclassify-one": (
+        "the pre-analysis probes a single snapshot, so one "
+        "order-sensitive transaction is misclassified as decomposable "
+        "and committed without coordination"
+    ),
+    "path:drop-remote-apply": (
+        "the first remote delta of a decomposable commit is silently "
+        "swallowed instead of being shipped, losing a committed effect"
     ),
 }
 
@@ -118,11 +148,8 @@ class MutationReport:
 
 
 def _armed(schedule: Schedule, fault: Optional[str]) -> Schedule:
-    return Schedule(
-        scenario=schedule.scenario,
-        seed=schedule.seed,
-        actions=schedule.actions,
-        horizon=schedule.horizon,
+    return dataclasses.replace(
+        schedule,
         fault=fault,
         label=f"{schedule.label}|fault={fault}" if fault else schedule.label,
     )
@@ -136,6 +163,138 @@ def smoke_schedules(seed: int = 0) -> List[Schedule]:
         seed=seed,
         crash_instants=(0.03, 0.045),
         durations=(2.5,),
+    )
+
+
+def _paxos_smoke_schedules(seed: int) -> List[Schedule]:
+    """Schedules that make ``paxos:acceptor-no-persist`` observable.
+
+    The mutant is invisible while the ballot-0 leader stays fast: the
+    fast-path Phase2b quorum completes before any failover Phase1 ever
+    reads the (unpersisted) acceptor history.  Degrading the
+    coordinator site *after* every participant's Phase2a vote is out
+    but *before* the leader's Phase2b quorum completes (the
+    0.056-0.065 window for the transfers scenario's first cross-site
+    transfer at default timings) slows only the collection leg, so the
+    participants' failover timers fire while the ballot-0 Phase2b
+    messages are still crawling home.  A correct acceptor hands the
+    failover its ``prepared`` vote and both proposers agree; the
+    mutant hands it nothing, the failover presumes abort, and the
+    ballot-0 leader later commits — a decision conflict the
+    decision-consistency oracle reports from the shared board.
+    (Degrading earlier delays the leader's own participant vote too,
+    and then *both* proposers see an incomplete history and agree on
+    abort — the mutant hides.)
+    """
+    schedules = []
+    for at in (0.056, 0.06, 0.065):
+        schedules.append(
+            Schedule(
+                scenario="transfers",
+                seed=seed,
+                actions=(
+                    FailureAction(
+                        at=at, kind="degrade", targets=("site-0",), value=100.0
+                    ),
+                    FailureAction(at=2.0, kind="restore", targets=("site-0",)),
+                ),
+                protocol="paxos",
+                label=f"paxos-slow-leader@{at}",
+            )
+        )
+    return schedules
+
+
+def _path_smoke_schedules(fault: str, seed: int) -> List[Schedule]:
+    """Schedules that make the path-sensitive mutants observable.
+
+    Both mutants corrupt the fast path itself, so no failure injection
+    is needed — a failure-free run over traffic with the right shape
+    suffices.  ``misclassify-one`` needs an order-sensitive transaction
+    (the ``mixed`` scenario's copy) to force onto the fast path;
+    ``drop-remote-apply`` needs a genuinely decomposable multi-site
+    transaction (any ``transfers`` braid) whose remote delta it can
+    swallow.
+    """
+    scenarios = ("mixed",) if fault == "path:misclassify-one" else ("transfers",)
+    return [
+        Schedule(
+            scenario=scenario,
+            seed=seed,
+            actions=(),
+            protocol="pathsensitive",
+            label=f"path-{scenario}",
+        )
+        for scenario in scenarios
+    ]
+
+
+def protocol_smoke_schedules(fault: str, seed: int = 0) -> List[Schedule]:
+    """Schedules (fault *not* yet armed) under which *fault* is visible."""
+    if fault not in PROTOCOL_FAULTS:
+        raise ValueError(
+            f"unknown protocol fault {fault!r}; "
+            f"known: {', '.join(sorted(PROTOCOL_FAULTS))}"
+        )
+    if fault.startswith("paxos:"):
+        return _paxos_smoke_schedules(seed)
+    return _path_smoke_schedules(fault, seed)
+
+
+def run_protocol_mutation_smoke(
+    *,
+    faults: Sequence[str] = tuple(PROTOCOL_FAULTS),
+    seed: int = 0,
+    artifact_dir: Optional[str] = None,
+) -> MutationReport:
+    """Mutation smoke for the bake-off peers' state machines.
+
+    Mirrors :func:`run_mutation_smoke`: for every protocol fault, the
+    same schedules must run clean with the fault disarmed (the peer
+    protocols are correct under the stress that exposes the mutant) and
+    produce at least one oracle violation with it armed.  Schedules are
+    per-fault because each mutant needs different traffic shape or
+    failure timing to become observable.
+    """
+    for fault in faults:
+        if fault not in PROTOCOL_FAULTS:
+            raise ValueError(
+                f"unknown protocol fault {fault!r}; "
+                f"choose from {sorted(PROTOCOL_FAULTS)}"
+            )
+    started = time.perf_counter()
+    baseline_violations: List[Violation] = []
+    baseline_done: Set[str] = set()
+    outcomes: List[FaultOutcome] = []
+    schedules_per_fault = 0
+    for fault in faults:
+        schedules = protocol_smoke_schedules(fault, seed)
+        schedules_per_fault = max(schedules_per_fault, len(schedules))
+        for schedule in schedules:
+            key = schedule.fingerprint()
+            if key not in baseline_done:
+                baseline_done.add(key)
+                result = run_schedule(schedule, artifact_dir=artifact_dir)
+                baseline_violations.extend(result.violations)
+        violations: List[Violation] = []
+        for schedule in schedules:
+            result = run_schedule(_armed(schedule, fault))
+            violations.extend(result.violations)
+        outcomes.append(
+            FaultOutcome(
+                fault=fault,
+                schedules_run=len(schedules),
+                violations=violations,
+                oracles_triggered=sorted(
+                    {violation.oracle for violation in violations}
+                ),
+            )
+        )
+    return MutationReport(
+        baseline_violations=baseline_violations,
+        outcomes=outcomes,
+        schedules_per_fault=schedules_per_fault,
+        wall_seconds=time.perf_counter() - started,
     )
 
 

@@ -166,26 +166,48 @@ def outcome_tracking_oracle(ctx: CheckContext) -> Verdict:
 
 
 def no_blocking_oracle(ctx: CheckContext) -> Verdict:
-    """Polyvalue installation released the locks (the availability claim).
+    """Availability at quiescence, dispatched on the protocol kind.
 
-    The whole point of the paper: at a quiescent point no polyvalued
-    item may still be locked.  Under the POLYVALUE policy quiescence
-    implies no locks at all on polyvalued items; the BLOCKING baseline
-    legitimately violates this, which is exactly the contrast the
-    paper draws — so this oracle only applies to the polyvalue policy.
+    The claim this oracle guards is protocol-specific, so it inspects
+    ``ProtocolConfig.protocol_kind`` rather than hard-coding the
+    polyvalue semantics:
 
-    One deliberate exception: a configured ``polyvalue_budget``
-    (ProtocolConfig's §6 overload valve) switches wait-timeouts to
-    blocking once the site is saturated, and those transactions hold
-    their locks *by design* — a lock whose holder the participant
-    reports as blocked is therefore not a violation.
+    * **polyvalue** (and the polyvalue subset of **pathsensitive**) —
+      the paper's claim: at a quiescent point no polyvalued item may
+      still be locked (installation released the locks);
+    * **blocking** / **relaxed** — the blocking baseline *legitimately*
+      holds locks across the window and relaxed never installs
+      polyvalues; neither is a violation, exactly the contrast the
+      paper draws — skipped;
+    * **paxos** — Paxos Commit never creates polyvalues at all; any
+      polyvalue in a paxos system is a protocol bug, which is the check
+      applied instead of the lock scan.
+
+    One deliberate exception on the polyvalue path: a configured
+    ``polyvalue_budget`` (ProtocolConfig's §6 overload valve) switches
+    wait-timeouts to blocking once the site is saturated, and those
+    transactions hold their locks *by design* — a lock whose holder the
+    participant reports as blocked is therefore not a violation.
     """
-    from repro.txn.runtime import CommitPolicy
-
-    if ctx.system.config.policy is not CommitPolicy.POLYVALUE:
+    kind = ctx.system.config.protocol_kind
+    if kind in ("blocking", "relaxed"):
         return Verdict(
-            oracle="no-blocking", ok=True, details="skipped: non-polyvalue policy"
+            oracle="no-blocking",
+            ok=True,
+            details=f"skipped: {kind} legitimately blocks",
         )
+    if kind == "paxos":
+        polyvalued = ctx.system.polyvalued_items()
+        if polyvalued:
+            return Verdict(
+                oracle="no-blocking",
+                ok=False,
+                details=(
+                    "paxos commit must never create polyvalues, found on: "
+                    + ", ".join(polyvalued)
+                ),
+            )
+        return Verdict(oracle="no-blocking", ok=True)
     budgeted = ctx.system.config.polyvalue_budget is not None
     problems: List[str] = []
     for site_id, site in ctx.system.sites.items():
@@ -220,7 +242,12 @@ def decision_consistency_oracle(ctx: CheckContext) -> Verdict:
     """No transaction was both committed and aborted anywhere.
 
     Every handle reaches at most one decided status (the handle raises
-    on re-decision), and no two handles share a transaction id.
+    on re-decision), and no two handles share a transaction id.  Under
+    Paxos Commit the decision additionally flows through the shared
+    :class:`~repro.txn.paxos.DecisionBoard`, which records any
+    contradictory consensus outcome (the bug class 2F+1 durable
+    acceptors exist to prevent) instead of applying it — those conflict
+    records are violations here.
     """
     problems: List[str] = []
     seen: Dict[str, TxnStatus] = {}
@@ -234,6 +261,14 @@ def decision_consistency_oracle(ctx: CheckContext) -> Verdict:
                 f"{handle.status.value}"
             )
         seen[handle.txn] = handle.status
+    board = ctx.system.decision_board
+    if board is not None:
+        for txn, first, second, site in board.conflicts:
+            problems.append(
+                f"{txn}: consensus decided "
+                f"{'commit' if first else 'abort'} then "
+                f"{'commit' if second else 'abort'} (second at {site})"
+            )
     return _verdict("decision-consistency", problems)
 
 
@@ -273,6 +308,12 @@ def convergence_oracle(ctx: CheckContext) -> Verdict:
     pending = [handle.txn for handle in system.pending_handles()]
     if pending:
         problems.append(f"undecided transactions: {', '.join(pending)}")
+    for site_id, site in system.sites.items():
+        residue = site.protocol_residue()
+        if residue:
+            problems.append(
+                f"{site_id}: {residue} protocol-residue entries not drained"
+            )
     return _verdict("convergence", problems)
 
 
@@ -285,8 +326,20 @@ def serial_equivalence_oracle(ctx: CheckContext) -> Verdict:
     byte.  Catches lost updates (an effect vanished), phantom updates
     (an aborted transaction's effect survived — e.g. a unilateral
     commit), and non-serializable interleavings.
+
+    Path-sensitive commit deliberately trades strict serializability
+    for immediate fast-path commit (a coordinated reader can observe a
+    half-landed transfer), so under that protocol the criterion is the
+    effect-conservation contract of :func:`path_effects_oracle`
+    instead, and this oracle steps aside.
     """
     system = ctx.system
+    if system.config.protocol_kind == "pathsensitive":
+        return Verdict(
+            oracle="serial-equivalence",
+            ok=True,
+            details="skipped: pathsensitive is audited by effect conservation",
+        )
     expected = serial_replay(system.handles, ctx.initial())
     actual = system.database_state()
     problems: List[str] = []
@@ -301,6 +354,105 @@ def serial_equivalence_oracle(ctx: CheckContext) -> Verdict:
     for item in sorted(set(actual) - set(expected)):
         problems.append(f"{item}: not present in the serial replay")
     return _verdict("serial-equivalence", problems)
+
+
+def path_effects_oracle(ctx: CheckContext) -> Verdict:
+    """Path-sensitive commit's correctness contract (effect conservation).
+
+    What replaces serial equivalence for the fast path, checked once
+    converged:
+
+    * **classification audit** — every transaction that skipped
+      coordination is re-probed; if the pre-analysis cannot reproduce
+      the order-invariance claim (same deltas under every probe
+      snapshot), the routing was a protocol bug (the
+      ``misclassify-one`` mutant);
+    * **exactly-once effects** — every declared delta of a committed
+      fast-path transaction appears in exactly one site's durable apply
+      log, with the declared value; no apply log holds an effect for an
+      aborted, undeclared, or coordinated transaction (the
+      ``drop-remote-apply`` mutant loses an effect; a retransmission
+      bug would double one);
+    * **value conservation** — items touched *only* by fast-path
+      transactions end at initial-plus-sum-of-committed-deltas.
+    """
+    system = ctx.system
+    registry = system.path_registry
+    if registry is None:
+        return Verdict(
+            oracle="path-effects", ok=True, details="skipped: not pathsensitive"
+        )
+    from repro.txn.pathsensitive import decompose
+
+    problems: List[str] = []
+    status = {handle.txn: handle.status for handle in system.handles}
+    applied: Dict[Tuple[str, ItemId], List[Tuple[str, Value]]] = {}
+    for site_id, site in system.sites.items():
+        for (txn, item), delta in site.applied.items():
+            applied.setdefault((txn, item), []).append((site_id, delta))
+    decomposable = registry.by_kind("decomposable")
+    for txn, decision in sorted(decomposable.items()):
+        audit = decompose(decision.transaction)
+        if audit is None or audit.deltas != decision.deltas:
+            problems.append(
+                f"{txn}: took the fast path but re-analysis finds it "
+                f"order-sensitive (misclassified)"
+            )
+        if status.get(txn) is not TxnStatus.COMMITTED:
+            continue
+        for item, delta in sorted(decision.deltas.items()):
+            entries = applied.get((txn, item), [])
+            if not entries:
+                problems.append(
+                    f"{txn}/{item}: declared delta {delta!r} was never "
+                    f"applied (effect lost)"
+                )
+            elif len(entries) > 1:
+                sites = ", ".join(sorted(site for site, _ in entries))
+                problems.append(
+                    f"{txn}/{item}: effect applied {len(entries)} times "
+                    f"(at {sites})"
+                )
+            elif entries[0][1] != delta:
+                problems.append(
+                    f"{txn}/{item}: applied {entries[0][1]!r} but declared "
+                    f"{delta!r}"
+                )
+    for (txn, item), entries in sorted(applied.items()):
+        decision = registry.decided(txn)
+        if decision is None or decision.kind != "decomposable":
+            problems.append(
+                f"{txn}/{item}: apply log holds an effect for a "
+                f"non-fast-path transaction"
+            )
+        elif status.get(txn) is not TxnStatus.COMMITTED:
+            problems.append(
+                f"{txn}/{item}: effect of an uncommitted transaction was "
+                f"applied (phantom update)"
+            )
+        elif item not in decision.deltas:
+            problems.append(f"{txn}/{item}: undeclared effect applied")
+    touched_elsewhere: set = set()
+    for decision in registry.routed.values():
+        if decision.kind != "decomposable":
+            touched_elsewhere.update(decision.transaction.items)
+    initial = ctx.initial()
+    expected_delta: Dict[ItemId, Value] = {}
+    for txn, decision in decomposable.items():
+        if status.get(txn) is TxnStatus.COMMITTED:
+            for item, delta in decision.deltas.items():
+                expected_delta[item] = expected_delta.get(item, 0) + delta
+    actual = system.database_state()
+    for item in sorted(expected_delta):
+        if item in touched_elsewhere:
+            continue  # a coordinated/local write makes the sum non-closed
+        want = initial[item] + expected_delta[item]
+        if actual.get(item) != want:
+            problems.append(
+                f"{item}: final value {actual.get(item)!r} != initial "
+                f"{initial[item]!r} + committed deltas {expected_delta[item]!r}"
+            )
+    return _verdict("path-effects", problems)
 
 
 #: Oracles valid at any quiescent point (failures may be outstanding).
@@ -318,6 +470,7 @@ QUIESCENT_ORACLES: Tuple[Oracle, ...] = (
 CONVERGENCE_ORACLES: Tuple[Oracle, ...] = (
     convergence_oracle,
     serial_equivalence_oracle,
+    path_effects_oracle,
 )
 
 ALL_ORACLES: Tuple[Oracle, ...] = QUIESCENT_ORACLES + CONVERGENCE_ORACLES

@@ -22,6 +22,10 @@ code:
   failures (site degradation, link spikes, one-way partitions) plus
   ambient loss/corruption/duplication, with the adaptive-timeout
   resilience layer in the loop (``docs/faults.md``);
+* ``frontier`` — the commit-protocol bake-off: polyvalue, blocking
+  2PC, Paxos Commit and path-sensitive commit over one seed-derived
+  fault matrix, reporting the availability / latency / message-cost
+  frontier (``docs/protocols.md``);
 * ``bench`` — the hot-path performance suite behind ``BENCH_perf.json``
   (``docs/performance.md``);
 * ``history`` — query the persistent campaign store: list runs, trend
@@ -61,6 +65,7 @@ from repro.analysis.model import (
 )
 from repro.analysis.montecarlo import simulate, simulate_many
 from repro.analysis.sweep import SWEEPABLE, format_sweep_table, sweep
+from repro.txn.runtime import PROTOCOL_NAMES
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -476,6 +481,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 artifact_dir=args.artifact_dir,
                 jobs=args.jobs,
                 bus=bus,
+                protocol=args.protocol,
             )
             for line in report.summary_lines():
                 print(line)
@@ -488,13 +494,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     recorder.store, recorder.run_id, report
                 )
         if args.mutation or args.mutation_only:
-            smoke = run_mutation_smoke(
-                seed=args.seed, artifact_dir=args.artifact_dir
-            )
-            for line in smoke.summary_lines():
-                print(line)
-            if not smoke.ok:
-                exit_code = 1
+            from repro.check.mutation import run_protocol_mutation_smoke
+
+            for runner in (run_mutation_smoke, run_protocol_mutation_smoke):
+                smoke = runner(seed=args.seed, artifact_dir=args.artifact_dir)
+                for line in smoke.summary_lines():
+                    print(line)
+                if not smoke.ok:
+                    exit_code = 1
     finally:
         _finish_recorder(recorder, ok=exit_code == 0)
         _flush_campaign_metrics(args, cmetrics)
@@ -524,6 +531,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         spike_factor=args.spike_factor,
         adaptive=not args.fixed_timeouts,
         polyvalue_budget=args.polyvalue_budget,
+        protocol=args.protocol,
     )
     recorder, bus = _open_recorder(
         args, "chaos", label="chaos",
@@ -557,6 +565,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             from repro.obs.store import record_exploration_report
 
             record_exploration_report(recorder.store, recorder.run_id, report)
+        ok = report.ok
+    finally:
+        _finish_recorder(recorder, ok=ok)
+        _flush_campaign_metrics(args, cmetrics)
+    return 0 if ok else 1
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.frontier import FRONTIER_PROTOCOLS, run_frontier
+
+    protocols = tuple(args.protocol) if args.protocol else FRONTIER_PROTOCOLS
+    recorder, bus = _open_recorder(
+        args, "frontier", label="smoke" if args.smoke else "full",
+        config={
+            "protocols": list(protocols),
+            "scenarios": list(args.scenario) if args.scenario else None,
+            "trials": args.seeds,
+            "smoke": bool(args.smoke),
+            "seed": args.seed,
+        },
+        campaign_seed=args.seed, jobs=args.jobs,
+    )
+    cmetrics, bus = _attach_campaign_metrics(args, bus)
+    ok = False
+    try:
+        report = run_frontier(
+            campaign_seed=args.seed,
+            trials=args.seeds,
+            scenarios=tuple(args.scenario) if args.scenario else None,
+            protocols=protocols,
+            smoke=args.smoke,
+            jobs=args.jobs,
+            bus=bus,
+        )
+        for line in report.summary_lines():
+            print(line)
+        if args.output:
+            from repro.parallel.artifacts import write_json
+
+            write_json(report.to_bench(), args.output)
+            print(f"wrote {args.output}")
         ok = report.ok
     finally:
         _finish_recorder(recorder, ok=ok)
@@ -638,6 +687,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             explorer_seeds=args.seeds,
             seed=args.seed,
             jobs=args.jobs,
+            frontier_protocols=(
+                tuple(args.protocol) if args.protocol else None
+            ),
         )
         print(render_bench_report(report))
         if recorder is not None:
@@ -986,6 +1038,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to this scenario (repeatable)")
     check.add_argument("--no-enumeration", action="store_true",
                        help="skip the systematic small-scope schedules")
+    check.add_argument("--protocol", choices=PROTOCOL_NAMES, default=None,
+                       help="explore this commit protocol instead of the "
+                       "default polyvalue system")
     check.add_argument("--mutation", action="store_true",
                        help="also run the mutation smoke test")
     check.add_argument("--mutation-only", action="store_true",
@@ -1035,6 +1090,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--polyvalue-budget", type=int, default=None,
                        help="per-site polyvalue budget (overload valve; "
                        "default off)")
+    chaos.add_argument("--protocol", choices=PROTOCOL_NAMES,
+                       default="polyvalue",
+                       help="commit protocol the campaign stresses "
+                       "(default polyvalue; see docs/protocols.md)")
     chaos.add_argument("--artifact-dir", default=None,
                        help="write replayable (schedule, profile) "
                        "artifacts for violations here")
@@ -1065,8 +1124,38 @@ def build_parser() -> argparse.ArgumentParser:
                        "run), or the word 'store' (the default store)")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed relative guard regression (default 0.25)")
+    bench.add_argument("--protocol", action="append",
+                       choices=PROTOCOL_NAMES,
+                       help="restrict the frontier bake-off to these "
+                       "protocols (repeatable; default: all four peers)")
     _add_store(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    frontier = commands.add_parser(
+        "frontier",
+        help="the commit-protocol bake-off: four protocols, one fault "
+        "matrix (availability / latency / message cost)",
+    )
+    frontier.add_argument("--seed", type=int, default=0,
+                          help="campaign seed the fault matrix derives "
+                          "from (default 0)")
+    frontier.add_argument("--seeds", type=int, default=4,
+                          help="fail-stop walks per scenario (default 4)")
+    _add_jobs(frontier)
+    frontier.add_argument("--smoke", action="store_true",
+                          help="shrunken scenario/walk budget for CI")
+    frontier.add_argument("--scenario", action="append",
+                          help="restrict to this scenario (repeatable)")
+    frontier.add_argument("--protocol", action="append",
+                          choices=PROTOCOL_NAMES,
+                          help="restrict to this protocol (repeatable; "
+                          "default: polyvalue, blocking, paxos, "
+                          "pathsensitive)")
+    frontier.add_argument("--output", default=None, metavar="PATH",
+                          help="write the results/guards JSON payload here")
+    _add_store(frontier)
+    _add_campaign_metrics(frontier)
+    frontier.set_defaults(handler=_cmd_frontier)
 
     history = commands.add_parser(
         "history",
@@ -1077,7 +1166,7 @@ def build_parser() -> argparse.ArgumentParser:
                          ".repro/campaigns.sqlite or $REPRO_STORE)")
     history.add_argument("--command", default=None,
                          choices=("check", "chaos", "bench", "table2",
-                                  "sweep"),
+                                  "sweep", "frontier"),
                          help="only runs of this command")
     history.add_argument("--metric", default=None, metavar="NAME",
                          help="trend one stored metric across runs, "

@@ -152,6 +152,13 @@ class Network:
         self._batch: Optional[_DeliveryBatch] = None
         self.stats = NetworkStats()
 
+    @property
+    def base_latency(self) -> float:
+        """The healthy one-way delivery latency (before jitter and
+        gray-failure multipliers) — the unit the frontier campaign's
+        latency sanity checks are expressed in."""
+        return self._base_latency
+
     def subscribe(self, observer: Callable[[str, Envelope, float], None]) -> None:
         """Attach a transport observer (e.g. a protocol tracer).
 

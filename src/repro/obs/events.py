@@ -84,6 +84,10 @@ TAXONOMY = (
     "site.restore",
     "txn.overflow",
     "overload.block",
+    "paxos.ballot",
+    "paxos.decide",
+    "path.classify",
+    "path.apply",
     "sim.window",
     "campaign.start",
     "campaign.trial",

@@ -1,8 +1,8 @@
-"""Convenience constructors for the three commit policies.
+"""Convenience constructors for the commit-protocol bake-off peers.
 
 The paper positions polyvalues against the approaches of section 2; the
-ablation benchmarks compare all three on identical workloads, seeds and
-failure schedules:
+ablation benchmarks compare the wait-timeout policies on identical
+workloads, seeds and failure schedules:
 
 * :func:`polyvalue_system` — the paper's mechanism (section 2.4/3);
 * :func:`blocking_system` — window minimisation (section 2.2): a
@@ -11,8 +11,18 @@ failure schedules:
   participant caught in the window decides unilaterally, risking an
   incorrectly performed transaction.
 
-All three share every other parameter, so measured differences are
-attributable to the wait-timeout policy alone.
+Two protocols from the later literature join the bake-off as full
+peers, sharing the simulation kernel and fault surface:
+
+* :func:`paxos_commit_system` — Gray & Lamport's Paxos Commit
+  (:mod:`repro.txn.paxos`): non-blocking at F faults via 2F+1 acceptors
+  per transaction;
+* :func:`path_sensitive_system` — coordination avoidance by
+  pre-analysis (:mod:`repro.txn.pathsensitive`): order-invariant
+  transactions commit locally without any commit protocol.
+
+All constructors share every other parameter, so measured differences
+are attributable to the protocol alone.
 """
 
 from __future__ import annotations
@@ -21,7 +31,11 @@ import dataclasses
 from typing import Mapping, Optional
 
 from repro.core.polyvalue import Value
-from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.runtime import (
+    CommitPolicy,
+    ProtocolConfig,
+    config_for_protocol,
+)
 from repro.txn.system import DistributedSystem
 
 ItemId = str
@@ -97,4 +111,48 @@ def relaxed_system(
         seed=seed,
         config=config,
         **network_kwargs,
+    )
+
+
+def paxos_commit_system(
+    *,
+    sites: int,
+    items: Mapping[ItemId, Value],
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    fault_tolerance: Optional[int] = None,
+    **network_kwargs,
+) -> DistributedSystem:
+    """A system running Paxos Commit (Gray & Lamport).
+
+    *fault_tolerance* is F — the number of simultaneous acceptor faults
+    a commit survives (2F+1 acceptors per transaction); None picks the
+    largest F the site count supports.
+    """
+    configured = config_for_protocol("paxos", base=config)
+    if fault_tolerance is not None:
+        configured = dataclasses.replace(
+            configured, paxos_fault_tolerance=fault_tolerance
+        )
+    return DistributedSystem.build(
+        sites=sites, items=items, seed=seed, config=configured, **network_kwargs
+    )
+
+
+def path_sensitive_system(
+    *,
+    sites: int,
+    items: Mapping[ItemId, Value],
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    **network_kwargs,
+) -> DistributedSystem:
+    """A system running path-sensitive commit (coordination avoidance).
+
+    Order-invariant transactions bypass the commit protocol entirely;
+    the rest fall back to the paper's polyvalue two-phase protocol.
+    """
+    configured = config_for_protocol("pathsensitive", base=config)
+    return DistributedSystem.build(
+        sites=sites, items=items, seed=seed, config=configured, **network_kwargs
     )

@@ -21,6 +21,7 @@ Figure-1 state transitions that the protocol bench replays.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Set, Tuple
@@ -47,6 +48,30 @@ class CommitPolicy(enum.Enum):
     POLYVALUE = "polyvalue"
     BLOCKING = "blocking"
     RELAXED = "relaxed"
+
+
+class CommitProtocol(enum.Enum):
+    """Which atomic-commitment protocol the system runs.
+
+    * ``TWO_PHASE`` — the paper's two-phase commit; the
+      :class:`CommitPolicy` selects what a participant does when its
+      wait phase times out (polyvalues, blocking, or relaxed).
+    * ``PAXOS`` — Paxos Commit (Gray & Lamport, "Consensus on
+      Transaction Commit"): each participant's prepared/aborted vote is
+      decided by its own Paxos instance over 2F+1 acceptors, so the
+      commit decision survives any F simultaneous faults and no site
+      ever blocks on a single coordinator.
+    * ``PATH_SENSITIVE`` — path-sensitive commit (after Soethout et
+      al.'s local coordination avoidance): transactions whose outcome
+      is invariant across serialization orders are detected by
+      pre-analysis (:mod:`repro.txn.preanalysis` plus finite-difference
+      probing) and decided locally without any coordination round;
+      only the coordination-requiring residue runs two-phase commit.
+    """
+
+    TWO_PHASE = "two-phase"
+    PAXOS = "paxos"
+    PATH_SENSITIVE = "path-sensitive"
 
 
 @dataclass(frozen=True)
@@ -111,6 +136,95 @@ class ProtocolConfig:
     #: wait-phase branch deliberately misbehaves so the mutation smoke
     #: test can prove the invariant oracles detect protocol bugs.
     wait_phase_fault: Optional[str] = None
+    #: Which commit protocol the system runs.  ``TWO_PHASE`` keeps the
+    #: paper's protocol (modulated by :attr:`policy`); ``PAXOS`` and
+    #: ``PATH_SENSITIVE`` select the bake-off peers.
+    protocol: CommitProtocol = CommitProtocol.TWO_PHASE
+    #: PAXOS only: the number of simultaneous acceptor faults the
+    #: commit must survive.  The acceptor set has 2F+1 members drawn
+    #: round-robin from the sites; None sizes F to the largest value
+    #: the site count supports, ``(n_sites - 1) // 2``.
+    paxos_fault_tolerance: Optional[int] = None
+    #: PAXOS only: how long a wait-phase participant waits for the
+    #: leader's decision before starting leader failover (running
+    #: Phase 1 itself with a higher ballot).
+    paxos_failover_timeout: float = 0.5
+    #: Fault injection for the Paxos state machine (repro.check ONLY):
+    #: ``"acceptor-no-persist"`` makes acceptors acknowledge Phase 2a
+    #: without persisting, so failover can resurrect a forgotten vote
+    #: and contradict the fast-path decision.
+    paxos_fault: Optional[str] = None
+    #: Fault injection for the path-sensitive analyser (repro.check
+    #: ONLY): ``"misclassify-one"`` forces the first
+    #: coordination-requiring transaction onto the local fast path, so
+    #: the effect oracles can prove they catch a wrong classification.
+    path_fault: Optional[str] = None
+
+    @property
+    def protocol_kind(self) -> str:
+        """The oracle-dispatch name of this configuration's protocol.
+
+        One of ``{"polyvalue", "blocking", "relaxed", "paxos",
+        "pathsensitive"}`` — the same vocabulary the CLI's
+        ``--protocol`` flag uses.  Oracles dispatch on this rather
+        than on (protocol, policy) pairs.
+        """
+        if self.protocol is CommitProtocol.PAXOS:
+            return "paxos"
+        if self.protocol is CommitProtocol.PATH_SENSITIVE:
+            return "pathsensitive"
+        return self.policy.value
+
+
+#: The CLI's ``--protocol`` vocabulary, in presentation order.
+PROTOCOL_NAMES = (
+    "polyvalue",
+    "blocking",
+    "relaxed",
+    "paxos",
+    "pathsensitive",
+)
+
+
+def config_for_protocol(
+    name: str, base: Optional[ProtocolConfig] = None
+) -> ProtocolConfig:
+    """A :class:`ProtocolConfig` for one of the five ``--protocol`` names.
+
+    *base* supplies every other tunable (timeouts, retry policy, fault
+    hooks); only the (protocol, policy) pair is rewritten.  The
+    path-sensitive residue path runs the polyvalue policy so its
+    coordinated transactions inherit the paper's availability story.
+    """
+    base = base if base is not None else ProtocolConfig()
+    if name == "polyvalue":
+        return dataclasses.replace(
+            base, protocol=CommitProtocol.TWO_PHASE,
+            policy=CommitPolicy.POLYVALUE,
+        )
+    if name == "blocking":
+        return dataclasses.replace(
+            base, protocol=CommitProtocol.TWO_PHASE,
+            policy=CommitPolicy.BLOCKING,
+        )
+    if name == "relaxed":
+        return dataclasses.replace(
+            base, protocol=CommitProtocol.TWO_PHASE,
+            policy=CommitPolicy.RELAXED,
+        )
+    if name == "paxos":
+        return dataclasses.replace(
+            base, protocol=CommitProtocol.PAXOS,
+            policy=CommitPolicy.BLOCKING,
+        )
+    if name == "pathsensitive":
+        return dataclasses.replace(
+            base, protocol=CommitProtocol.PATH_SENSITIVE,
+            policy=CommitPolicy.POLYVALUE,
+        )
+    raise ValueError(
+        f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}"
+    )
 
 
 #: Participant states, exactly the three of Figure 1.

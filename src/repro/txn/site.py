@@ -92,6 +92,18 @@ class DatabaseSite:
         """How many local items currently hold polyvalues."""
         return self.runtime.store.polyvalue_count()
 
+    def protocol_residue(self) -> int:
+        """Protocol-specific undecided state held at this site.
+
+        The base protocol keeps all of its convergence-relevant state in
+        the structures the system facade already counts (polyvalues,
+        outcome tables, outcome logs, pending handles); subclasses with
+        extra durable machinery (Paxos acceptor state, path-sensitive
+        apply queues) report it here so :meth:`DistributedSystem.settle`
+        and the convergence oracle include it.
+        """
+        return 0
+
     # ------------------------------------------------------------------
     # Client entry point (the system facade calls this)
     # ------------------------------------------------------------------

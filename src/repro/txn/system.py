@@ -32,7 +32,10 @@ from repro.net.network import Network
 from repro.obs.events import EventBus
 from repro.sim.engine import Simulator
 from repro.sim.rand import Rng
+from repro.txn.paxos import DecisionBoard, PaxosSite
+from repro.txn.pathsensitive import PathRegistry, PathSensitiveSite
 from repro.txn.runtime import (
+    CommitProtocol,
     ProtocolConfig,
     SiteRuntime,
     TransitionLog,
@@ -90,6 +93,15 @@ class DistributedSystem:
         )
         self.sites: Dict[SiteId, DatabaseSite] = {}
         self.handles: List[TransactionHandle] = []
+        #: Populated for the protocols that need system-wide registries:
+        #: Paxos Commit's client-handle board, path-sensitive commit's
+        #: routing record.  None under the classic two-phase protocol.
+        self.decision_board: Optional[DecisionBoard] = None
+        self.path_registry: Optional[PathRegistry] = None
+        if self.config.protocol is CommitProtocol.PAXOS:
+            self.decision_board = DecisionBoard()
+        elif self.config.protocol is CommitProtocol.PATH_SENSITIVE:
+            self.path_registry = PathRegistry()
         for site_id in sorted(catalog.all_sites()):
             store = ItemStore(
                 {
@@ -111,7 +123,14 @@ class DistributedSystem:
                 transitions=self.transitions,
                 bus=self.bus,
             )
-            self.sites[site_id] = DatabaseSite(runtime)
+            if self.decision_board is not None:
+                self.sites[site_id] = PaxosSite(runtime, self.decision_board)
+            elif self.path_registry is not None:
+                self.sites[site_id] = PathSensitiveSite(
+                    runtime, self.path_registry
+                )
+            else:
+                self.sites[site_id] = DatabaseSite(runtime)
 
     @staticmethod
     def build(
@@ -256,6 +275,7 @@ class DistributedSystem:
             return (
                 self.total_polyvalues() == 0
                 and self.outcome_bookkeeping_size() == 0
+                and self.total_protocol_residue() == 0
                 and not any(
                     site.runtime.outcome_log.pending()
                     for site in self.sites.values()
@@ -373,6 +393,12 @@ class DistributedSystem:
             for handle in self.handles
             if handle.status is TxnStatus.PENDING
         ]
+
+    def total_protocol_residue(self) -> int:
+        """Protocol-specific undecided state across all sites (Paxos
+        acceptor/registrar records, path-sensitive apply queues);
+        convergence requires it to drain to zero."""
+        return sum(site.protocol_residue() for site in self.sites.values())
 
     def outcome_bookkeeping_size(self) -> int:
         """Total outcome-table entries across sites (should fall back to

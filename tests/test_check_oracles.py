@@ -49,7 +49,7 @@ def in_doubt_system(seed=42):
 class TestCatalogue:
     def test_catalogue_composition(self):
         assert len(QUIESCENT_ORACLES) == 6
-        assert len(CONVERGENCE_ORACLES) == 2
+        assert len(CONVERGENCE_ORACLES) == 3  # + path-effects (PR 7)
         assert set(ALL_ORACLES) == set(QUIESCENT_ORACLES) | set(
             CONVERGENCE_ORACLES
         )

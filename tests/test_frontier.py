@@ -1,0 +1,98 @@
+"""Tests for the four-protocol frontier campaign.
+
+The frontier crosses one protocol-independent fault matrix with every
+bake-off protocol and reports ``{availability, latency, messages per
+committed txn}`` per protocol — so the matrix must be genuinely
+protocol-free, the aggregation must be independent of the worker
+count, and the Didona-style lower-bound sanity check must hold on the
+default smoke campaign.
+"""
+
+import pytest
+
+from repro.frontier import (
+    COORDINATED,
+    FRONTIER_PROTOCOLS,
+    SMOKE_SCENARIOS,
+    fault_matrix,
+    run_frontier,
+)
+from repro.sim.engine import SimulationError
+
+
+class TestFaultMatrix:
+    def test_matrix_is_protocol_free(self):
+        matrix = fault_matrix(trials=2, scenarios=("pair", "transfers"))
+        assert all(s.protocol is None for s in matrix)
+        assert all(s.fault is None for s in matrix)
+
+    def test_one_clean_anchor_per_scenario(self):
+        matrix = fault_matrix(trials=2, scenarios=("pair", "transfers"))
+        clean = [s for s in matrix if not s.actions]
+        assert sorted(s.scenario for s in clean) == ["pair", "transfers"]
+        assert len(matrix) == 2 * (1 + 2)
+
+    def test_matrix_is_deterministic(self):
+        first = fault_matrix(campaign_seed=7, trials=3)
+        second = fault_matrix(campaign_seed=7, trials=3)
+        assert first == second
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SimulationError):
+            fault_matrix(scenarios=("nope",))
+
+
+class TestRunFrontier:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_frontier(campaign_seed=0, trials=2, smoke=True, jobs=1)
+
+    def test_smoke_campaign_is_ok(self, report):
+        assert report.failed_trials == []
+        assert report.ok
+
+    def test_every_protocol_measured(self, report):
+        assert set(report.protocols) == set(FRONTIER_PROTOCOLS)
+        expected = len(SMOKE_SCENARIOS) * (1 + 2)
+        assert report.schedules_per_protocol == expected
+        for stats in report.protocols.values():
+            assert stats.committed > 0
+
+    def test_didona_floor_holds(self, report):
+        assert report.didona_ok
+        floor = 2.0 * report.base_latency
+        for name in COORDINATED:
+            assert report.protocols[name].mean_latency >= floor
+
+    def test_path_sensitive_wins_on_messages(self, report):
+        polyvalue = report.protocols["polyvalue"]
+        path = report.protocols["pathsensitive"]
+        assert path.messages_per_commit < polyvalue.messages_per_commit
+        assert path.availability >= polyvalue.availability
+
+    def test_to_bench_carries_guards(self, report):
+        payload = report.to_bench()
+        for name in FRONTIER_PROTOCOLS:
+            assert f"frontier_availability_{name}" in payload["guards"]
+            assert f"frontier_{name}_msgs_per_commit" in payload["results"]
+        assert payload["guards"]["frontier_path_message_advantage"] > 1.0
+        assert payload["results"]["frontier_didona_ok"] is True
+        assert payload["results"]["frontier_settled"] is True
+
+    def test_bit_identical_across_job_counts(self, report):
+        parallel = run_frontier(
+            campaign_seed=0, trials=2, smoke=True, jobs=2
+        )
+        assert parallel.to_bench() == report.to_bench()
+
+    def test_protocol_subset_and_validation(self):
+        report = run_frontier(
+            campaign_seed=0,
+            trials=1,
+            smoke=True,
+            scenarios=("pair",),
+            protocols=("polyvalue", "paxos"),
+        )
+        assert set(report.protocols) == {"polyvalue", "paxos"}
+        with pytest.raises(SimulationError):
+            run_frontier(protocols=("three-phase",), smoke=True)

@@ -1,0 +1,151 @@
+"""Unit tests for path-sensitive commit (coordination avoidance).
+
+Covers the finite-difference pre-analysis (transfers and increments
+decompose; copies and thresholds do not), the three routing kinds
+(local, decomposable, coordinated), immediate commit with asynchronous
+effect shipping, retransmission of effects across a crash/recover, and
+the durable-state drain the convergence oracle audits.
+"""
+
+from repro.obs.events import EventLog
+from repro.txn.baselines import path_sensitive_system
+from repro.txn.pathsensitive import decompose
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+ITEMS = {f"item-{index}": 100 for index in range(6)}
+
+
+def _build(seed=42, **kwargs):
+    return path_sensitive_system(
+        sites=3, items=dict(ITEMS), seed=seed, **kwargs
+    )
+
+
+def _copy(source, target):
+    def body(ctx):
+        ctx.write(target, ctx.read(source))
+
+    return Transaction(body=body, items=(source, target), label="copy")
+
+
+def _threshold(item, floor, amount):
+    def body(ctx):
+        balance = ctx.read(item)
+        if balance - amount >= floor:
+            ctx.write(item, balance - amount)
+
+    return Transaction(body=body, items=(item,), label="threshold")
+
+
+class TestDecompose:
+    def test_transfer_decomposes_to_opposite_deltas(self):
+        decomposition = decompose(move("item-0", "item-1", 25))
+        assert decomposition is not None
+        assert decomposition.deltas == {"item-0": -25, "item-1": 25}
+
+    def test_increment_decomposes(self):
+        decomposition = decompose(increment("item-2", 7))
+        assert decomposition is not None
+        assert decomposition.deltas == {"item-2": 7}
+
+    def test_copy_is_order_sensitive(self):
+        assert decompose(_copy("item-0", "item-1")) is None
+
+    def test_threshold_is_order_sensitive(self):
+        assert decompose(_threshold("item-0", 0, 50)) is None
+
+    def test_probe_is_deterministic(self):
+        transaction = move("item-0", "item-1", 13)
+        assert decompose(transaction) == decompose(transaction)
+
+
+class TestRouting:
+    def test_single_site_txn_runs_local(self):
+        system = _build()
+        log = EventLog(system.bus, prefix="path.classify")
+        # item-0 lives on site-0; submitted there it never leaves.
+        handle = system.submit(increment("item-0"), at="site-0")
+        assert handle.status is TxnStatus.COMMITTED
+        assert [e.attrs["kind"] for e in log] == ["local"]
+        assert system.network.stats.sent == 0
+
+    def test_multi_site_transfer_commits_immediately(self):
+        system = _build()
+        log = EventLog(system.bus, prefix="path.classify")
+        handle = system.submit(move("item-0", "item-1", 25))
+        # No coordination round: committed at submit time.
+        assert handle.status is TxnStatus.COMMITTED
+        assert [e.attrs["kind"] for e in log] == ["decomposable"]
+        assert system.run_to_quiescence(max_time=system.sim.now + 10.0)
+        assert system.read_item("item-0") == 75
+        assert system.read_item("item-1") == 125
+
+    def test_copy_falls_back_to_coordination(self):
+        system = _build()
+        log = EventLog(system.bus, prefix="path.classify")
+        handle = system.submit(_copy("item-0", "item-1"))
+        assert handle.status is TxnStatus.PENDING
+        run_to_decision(system, handle)
+        assert handle.status is TxnStatus.COMMITTED
+        assert [e.attrs["kind"] for e in log] == ["coordinated"]
+        assert system.run_to_quiescence(max_time=system.sim.now + 10.0)
+        assert system.read_item("item-1") == 100
+
+    def test_registry_records_every_routing_decision(self):
+        system = _build()
+        for transaction in (
+            increment("item-0"),
+            move("item-0", "item-1", 5),
+            _copy("item-2", "item-3"),
+        ):
+            handle = system.submit(transaction, at="site-0")
+            run_to_decision(system, handle)
+        registry = system.path_registry
+        assert len(registry.by_kind("local")) == 1
+        assert len(registry.by_kind("decomposable")) == 1
+        assert len(registry.by_kind("coordinated")) == 1
+
+
+class TestEffectShipping:
+    def test_remote_deltas_survive_target_crash(self):
+        system = _build()
+        log = EventLog(system.bus, prefix="path.apply")
+        # item-1 lives on site-1: crash it, commit a transfer into it,
+        # recover it — the origin retransmits until acknowledged.
+        system.crash_site("site-1")
+        system.run_for(0.1)
+        handle = system.submit(move("item-0", "item-1", 25), at="site-0")
+        assert handle.status is TxnStatus.COMMITTED
+        system.run_for(1.0)
+        assert system.read_item("item-0") == 75
+        system.recover_site("site-1")
+        assert system.settle(max_time=system.sim.now + 120.0)
+        assert system.read_item("item-1") == 125
+        applied = {(e.site, e.attrs["item"]) for e in log}
+        assert ("site-1", "item-1") in applied
+
+    def test_residue_drains_after_quiescence(self):
+        system = _build()
+        for transaction in (
+            move("item-0", "item-1", 10),
+            move("item-2", "item-5", 20),
+            increment("item-4", 3),
+        ):
+            system.submit(transaction)
+            system.run_for(0.2)
+        assert system.run_to_quiescence(max_time=system.sim.now + 30.0)
+        assert system.total_protocol_residue() == 0
+        for site in system.sites.values():
+            assert site.protocol_residue() == 0
+
+    def test_applies_are_idempotent(self):
+        system = _build()
+        system.submit(move("item-0", "item-1", 10))
+        assert system.run_to_quiescence(max_time=system.sim.now + 10.0)
+        site = system.sites["site-1"]
+        (key,) = [k for k in site.applied if k[1] == "item-1"]
+        before = system.read_item("item-1")
+        assert site._apply_delta(key[0], key[1], site.applied[key])
+        assert system.read_item("item-1") == before

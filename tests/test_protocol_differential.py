@@ -1,0 +1,174 @@
+"""Differential tests across the four bake-off commit protocols.
+
+Two contracts (the ISSUE-7 satellite):
+
+* **Failure-free equivalence** — on a failure-free run of the same
+  seeded workload, polyvalue, blocking 2PC, Paxos Commit and
+  path-sensitive commit must all reach the identical final item
+  values.  The protocols differ in *how* they decide, never in *what*
+  a committed serial history computes.
+* **Availability under coordinator crash** — with the coordinator
+  crashed inside the wait phase (the paper's Figure-1 in-doubt
+  window), blocking 2PC stalls the touched items while polyvalues keep
+  them available, and Paxos Commit goes one further: the *original*
+  transaction itself commits through acceptor failover while the
+  coordinator is still down.  Parametrized over crash instants
+  bracketing the wait phase.
+"""
+
+import pytest
+
+from repro.txn.baselines import (
+    blocking_system,
+    paxos_commit_system,
+    path_sensitive_system,
+    polyvalue_system,
+)
+from repro.txn.transaction import Transaction, TxnStatus
+
+from tests.conftest import increment, move, run_to_decision
+
+ITEMS = {f"item-{index}": 100 for index in range(6)}
+
+BUILDERS = {
+    "polyvalue": polyvalue_system,
+    "blocking": blocking_system,
+    "paxos": paxos_commit_system,
+    "pathsensitive": path_sensitive_system,
+}
+
+
+def copy(source, target):
+    """A dependent copy — order-sensitive, so path-sensitive commit
+    must route it through the coordinated fallback."""
+
+    def body(ctx):
+        ctx.write(target, ctx.read(source))
+
+    return Transaction(
+        body=body, items=(source, target), label=f"copy:{source}->{target}"
+    )
+
+
+def _run_workload(system):
+    """The shared seeded workload: transfers, increments and a copy,
+    sequentially spaced so every protocol sees the same serial order."""
+    handles = []
+    for transaction in (
+        move("item-0", "item-1", 30),
+        increment("item-2", 7),
+        move("item-1", "item-2", 10),
+        copy("item-2", "item-3"),
+        move("item-4", "item-5", 20),
+        increment("item-1", 2),
+    ):
+        handles.append(system.submit(transaction))
+        system.run_for(0.3)
+    assert system.run_to_quiescence(max_time=system.sim.now + 30.0)
+    return handles
+
+
+class TestFailureFreeEquivalence:
+    def test_identical_final_values_across_protocols(self):
+        finals = {}
+        for name, builder in BUILDERS.items():
+            system = builder(sites=3, items=dict(ITEMS), seed=77)
+            handles = _run_workload(system)
+            assert all(
+                handle.status is TxnStatus.COMMITTED for handle in handles
+            ), f"{name}: not every transaction committed failure-free"
+            finals[name] = system.database_state()
+        reference = finals["polyvalue"]
+        for name, state in finals.items():
+            assert state == reference, (
+                f"{name} diverged from polyvalue: {state} != {reference}"
+            )
+
+    def test_identical_outputs_across_protocols(self):
+        def observe(ctx):
+            ctx.output("sum", ctx.read("item-0") + ctx.read("item-1"))
+
+        probe = Transaction(
+            body=observe, items=("item-0", "item-1"), label="observe"
+        )
+        outputs = {}
+        for name, builder in BUILDERS.items():
+            system = builder(sites=3, items=dict(ITEMS), seed=5)
+            system.submit(move("item-0", "item-1", 30))
+            system.run_for(0.3)
+            handle = system.submit(probe)
+            run_to_decision(system, handle)
+            assert handle.status is TxnStatus.COMMITTED
+            outputs[name] = dict(handle.outputs)
+        reference = outputs["polyvalue"]
+        for name, seen in outputs.items():
+            assert seen == reference
+
+
+#: Crash instants inside the first transfer's wait phase at default
+#: timings (reads ~10-25 ms, staging ~30-45 ms, decision ~53-55 ms):
+#: both participants have staged and hold write locks, the coordinator
+#: has not yet decided.  The paper's Figure-1 in-doubt window — by
+#: 0.055 the decision message is already out and every protocol
+#: trivially commits.
+WAIT_PHASE_CRASH_POINTS = (0.045, 0.050)
+
+
+def _crash_coordinator_in_window(builder, crash_at):
+    """Transfer item-1 -> item-2 (sites 1 and 2) coordinated by the
+    *non-participant* site-0, which crashes at *crash_at*.
+
+    A non-participant coordinator keeps the participants' own votes out
+    of the crash's blast radius — the cleanest Figure-1 shape: the only
+    thing lost is the decider."""
+    system = builder(sites=3, items=dict(ITEMS), seed=9)
+    handle = system.submit(move("item-1", "item-2", 25), at="site-0")
+    system.run_for(crash_at)
+    system.crash_site("site-0")
+    system.run_for(2.0)
+    return system, handle
+
+
+class TestCoordinatorCrashAvailability:
+    @pytest.mark.parametrize("crash_at", WAIT_PHASE_CRASH_POINTS)
+    def test_blocking_stalls_the_item(self, crash_at):
+        system, _ = _crash_coordinator_in_window(blocking_system, crash_at)
+        probe = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, probe)
+        assert probe.status is TxnStatus.ABORTED
+
+    @pytest.mark.parametrize("crash_at", WAIT_PHASE_CRASH_POINTS)
+    def test_polyvalue_keeps_the_item_available(self, crash_at):
+        system, _ = _crash_coordinator_in_window(polyvalue_system, crash_at)
+        probe = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, probe)
+        assert probe.status is TxnStatus.COMMITTED
+
+    @pytest.mark.parametrize("crash_at", WAIT_PHASE_CRASH_POINTS)
+    def test_paxos_commits_the_original_transaction(self, crash_at):
+        system, handle = _crash_coordinator_in_window(
+            paxos_commit_system, crash_at
+        )
+        # Non-blocking termination: the acceptors' failover decides the
+        # staged transaction while the coordinator is still down.
+        assert system.down_sites() == ["site-0"]
+        assert handle.status is TxnStatus.COMMITTED
+        assert system.read_item("item-1") == 75
+        assert system.read_item("item-2") == 125
+
+    @pytest.mark.parametrize("crash_at", WAIT_PHASE_CRASH_POINTS)
+    def test_paxos_keeps_the_item_available(self, crash_at):
+        system, _ = _crash_coordinator_in_window(
+            paxos_commit_system, crash_at
+        )
+        probe = system.submit(increment("item-1"), at="site-1")
+        run_to_decision(system, probe)
+        assert probe.status is TxnStatus.COMMITTED
+
+    def test_recovery_converges_every_protocol(self):
+        for name, builder in BUILDERS.items():
+            system, handle = _crash_coordinator_in_window(builder, 0.050)
+            system.recover_site("site-0")
+            assert system.settle(max_time=system.sim.now + 120.0), name
+            assert handle.status is not TxnStatus.PENDING, name
+            assert system.total_polyvalues() == 0, name
