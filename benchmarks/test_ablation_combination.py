@@ -18,7 +18,7 @@ resolve them exactly.  The bench measures, for N in {0, 1, 3}:
 
 import pytest
 
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import Transaction, TxnStatus
 

@@ -79,7 +79,7 @@ def drive_all_edges():
     # Edge: abort received while in wait — partition the participant
     # after it sent ready, under a *longer* wait timeout so the healed
     # partition delivers the abort before the timer fires.
-    from repro.txn.runtime import ProtocolConfig
+    from repro.txn.config import ProtocolConfig
 
     patient = DistributedSystem.build(
         sites=3,

@@ -57,7 +57,7 @@ from repro.core.polyvalue import (
     possibly,
 )
 from repro.txn.baselines import blocking_system, polyvalue_system, relaxed_system
-from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.config import CommitPolicy, ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
 

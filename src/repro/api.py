@@ -144,7 +144,7 @@ from repro.txn.baselines import (
     polyvalue_system,
     relaxed_system,
 )
-from repro.txn.runtime import (
+from repro.txn.config import (
     PROTOCOL_NAMES,
     CommitPolicy,
     CommitProtocol,
@@ -206,6 +206,25 @@ from repro.frontier import (
     run_frontier,
 )
 
+# The Runtime seam and the live cluster (docs/runtime.md): the same
+# state machines on sim time or wall-clock asyncio sockets.
+from repro.runtime import AsyncioRuntime, Periodic, Runtime, SimRuntime
+from repro.live import (
+    ClusterThread,
+    HttpApi,
+    LiveCluster,
+    LiveClusterError,
+    TransactionScriptError,
+    WireError,
+    compile_script,
+    decode_envelope,
+    decode_message,
+    encode_envelope,
+    encode_message,
+    run_serve,
+)
+from repro.live.cluster import LIVE_PROTOCOLS
+
 # Parallel campaign engine (docs/performance.md, "Parallel campaigns").
 from repro.parallel import (
     CampaignOutcome,
@@ -217,12 +236,14 @@ from repro.parallel import (
 )
 
 __all__ = [
+    "AsyncioRuntime",
     "CampaignMetrics",
     "CampaignOutcome",
     "CampaignRecorder",
     "CampaignStore",
     "ChaosProfile",
     "CheckContext",
+    "ClusterThread",
     "CommitPolicy",
     "CommitProtocol",
     "Condition",
@@ -236,7 +257,11 @@ __all__ = [
     "FRONTIER_PROTOCOLS",
     "FailureAction",
     "FrontierReport",
+    "HttpApi",
+    "LIVE_PROTOCOLS",
     "Literal",
+    "LiveCluster",
+    "LiveClusterError",
     "LiveState",
     "MetricsRegistry",
     "Network",
@@ -246,6 +271,7 @@ __all__ = [
     "PROTOCOL_FAULTS",
     "PROTOCOL_NAMES",
     "Patience",
+    "Periodic",
     "PeriodicTask",
     "PolyContext",
     "PolyTransactionResult",
@@ -261,8 +287,10 @@ __all__ = [
     "Rng",
     "RttEstimator",
     "RunRecord",
+    "Runtime",
     "ScheduleScript",
     "ScriptedFailures",
+    "SimRuntime",
     "SimTime",
     "SimulationError",
     "Simulator",
@@ -275,12 +303,14 @@ __all__ = [
     "TransactionError",
     "TransactionHandle",
     "TransactionInDoubt",
+    "TransactionScriptError",
     "TrialFailure",
     "TrialRecord",
     "TxnId",
     "TxnStatus",
     "UncertainValueError",
     "VerdictRecord",
+    "WireError",
     "as_pairs",
     "blocking_system",
     "cache_info",
@@ -290,17 +320,22 @@ __all__ = [
     "check_quiescent",
     "clear_caches",
     "combine",
+    "compile_script",
     "conditions_are_complete",
     "conditions_are_complete_and_disjoint",
     "conditions_are_disjoint",
     "config_for_protocol",
     "configure_caches",
+    "decode_envelope",
+    "decode_message",
     "decode_state",
     "decode_value",
     "default_jobs",
     "default_store_path",
     "definitely",
     "depends_on",
+    "encode_envelope",
+    "encode_message",
     "encode_state",
     "encode_value",
     "execute_polytransaction",
@@ -326,6 +361,7 @@ __all__ = [
     "run_mutation_smoke",
     "run_protocol_mutation_smoke",
     "run_schedule",
+    "run_serve",
     "run_trials",
     "serve_dash",
     "simplify",

@@ -227,7 +227,7 @@ def _resilience_spread(items3):
 
 
 def _resilience_config(resilient: bool, retry=None):
-    from repro.txn.runtime import ProtocolConfig
+    from repro.txn.config import ProtocolConfig
     from repro.txn.timeouts import TimeoutPolicy
 
     kwargs = {"retry": retry} if retry is not None else {}

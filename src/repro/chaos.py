@@ -39,7 +39,7 @@ from repro.parallel.artifacts import write_violation_artifact
 from repro.parallel.pool import run_trials
 from repro.parallel.seeds import trial_seeds
 from repro.sim.rand import Rng
-from repro.txn.runtime import (
+from repro.txn.config import (
     PROTOCOL_NAMES,
     ProtocolConfig,
     config_for_protocol,

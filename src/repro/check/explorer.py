@@ -45,7 +45,7 @@ from repro.parallel.artifacts import (
 from repro.parallel.pool import run_trials
 from repro.parallel.seeds import trial_seeds
 from repro.sim.rand import Rng
-from repro.txn.runtime import ProtocolConfig, config_for_protocol
+from repro.txn.config import ProtocolConfig, config_for_protocol
 from repro.check.oracles import (
     CheckContext,
     Verdict,

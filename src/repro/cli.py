@@ -32,7 +32,13 @@ code:
   one metric across runs/PRs with deltas, or dump one run's full
   evidence (trials, metrics, verdicts, histograms);
 * ``serve-dash`` — the zero-dependency live dashboard: stdlib HTTP +
-  SSE streaming the observability bus of a running scenario.
+  SSE streaming the observability bus of a running scenario;
+* ``serve`` — a *live* cluster: the same state machines on wall-clock
+  asyncio sockets, driven over a stdlib HTTP/JSON API (submit
+  transaction scripts, read items, query outcomes, crash/restart
+  sites; ``docs/runtime.md``);
+* ``client`` — the scripted driver for ``serve`` (health, transfer,
+  crash/restart, and an end-to-end crash-recovery demo).
 
 All randomness is seeded: ``--seed`` is the campaign seed and, for the
 multi-trial commands (``check``, ``chaos``, ``bench``), ``--seeds`` is
@@ -65,7 +71,12 @@ from repro.analysis.model import (
 )
 from repro.analysis.montecarlo import simulate, simulate_many
 from repro.analysis.sweep import SWEEPABLE, format_sweep_table, sweep
-from repro.txn.runtime import PROTOCOL_NAMES
+from repro.txn.config import PROTOCOL_NAMES
+
+#: Protocols `repro serve` can run live (pathsensitive is sim-only;
+#: mirrors repro.live.cluster.LIVE_PROTOCOLS without importing asyncio
+#: machinery at CLI startup).
+LIVE_PROTOCOL_NAMES = ("polyvalue", "blocking", "relaxed", "paxos")
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -177,6 +188,42 @@ def _add_campaign_metrics(parser: argparse.ArgumentParser) -> None:
                         help="after the run, write the campaign.* progress "
                         "metrics in Prometheus text exposition format to "
                         "PATH ('-' prints the human report table instead)")
+
+
+def _add_campaign_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    jobs: bool = True,
+    store: bool = True,
+    metrics: bool = True,
+    protocol: bool = False,
+    protocol_multiple: bool = False,
+    protocol_default: Optional[str] = None,
+    protocol_choices: Sequence[str] = PROTOCOL_NAMES,
+    protocol_help: str = "commit protocol to run",
+) -> None:
+    """The flag block every campaign/cluster driver shares.
+
+    One definition of ``--jobs`` / ``--store`` / ``--campaign-metrics``
+    / ``--protocol`` so the drivers (table2, sweep, check, chaos,
+    bench, frontier, serve-dash, serve) present identical spellings,
+    defaults and help text; each driver toggles only which flags apply.
+    """
+    if jobs:
+        _add_jobs(parser)
+    if store:
+        _add_store(parser)
+    if metrics:
+        _add_campaign_metrics(parser)
+    if protocol:
+        if protocol_multiple:
+            parser.add_argument("--protocol", action="append",
+                                choices=protocol_choices,
+                                help=protocol_help)
+        else:
+            parser.add_argument("--protocol", choices=protocol_choices,
+                                default=protocol_default,
+                                help=protocol_help)
 
 
 def _attach_campaign_metrics(args, bus):
@@ -923,6 +970,29 @@ def _cmd_history(args: argparse.Namespace) -> int:
         return _history_runs(store, args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.live.httpapi import run_serve
+
+    run_serve(
+        sites=args.sites,
+        protocol=args.protocol,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+    )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.live.client import main as client_main
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    return client_main(rest)
+
+
 def _cmd_serve_dash(args: argparse.Namespace) -> int:
     from repro.obs.live import serve_dash
 
@@ -961,9 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = commands.add_parser("table2", help="run Table 2 (Monte-Carlo)")
     table2.add_argument("--duration", type=float, default=2000.0)
     table2.add_argument("--seed", type=int, default=0)
-    _add_jobs(table2)
-    _add_store(table2)
-    _add_campaign_metrics(table2)
+    _add_campaign_flags(table2)
     table2.set_defaults(handler=_cmd_table2)
 
     model = commands.add_parser("model", help="evaluate the analytic model")
@@ -986,9 +1054,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also run the Monte-Carlo sim per point")
     sweep_cmd.add_argument("--duration", type=float, default=None)
     sweep_cmd.add_argument("--seed", type=int, default=0)
-    _add_jobs(sweep_cmd)
-    _add_store(sweep_cmd)
-    _add_campaign_metrics(sweep_cmd)
+    _add_campaign_flags(sweep_cmd)
     sweep_cmd.set_defaults(handler=_cmd_sweep)
 
     demo = commands.add_parser("demo", help="failure/polyvalue walkthrough")
@@ -1031,16 +1097,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 0)")
     check.add_argument("--seeds", type=int, default=10,
                        help="number of random-walk trials (default 10)")
-    _add_jobs(check)
     check.add_argument("--steps", type=int, default=12,
                        help="failure actions per random walk (default 12)")
     check.add_argument("--scenario", action="append",
                        help="restrict to this scenario (repeatable)")
     check.add_argument("--no-enumeration", action="store_true",
                        help="skip the systematic small-scope schedules")
-    check.add_argument("--protocol", choices=PROTOCOL_NAMES, default=None,
-                       help="explore this commit protocol instead of the "
-                       "default polyvalue system")
     check.add_argument("--mutation", action="store_true",
                        help="also run the mutation smoke test")
     check.add_argument("--mutation-only", action="store_true",
@@ -1051,8 +1113,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", default=None, metavar="ARTIFACT",
                        help="re-execute a violation artifact instead of "
                        "exploring")
-    _add_store(check)
-    _add_campaign_metrics(check)
+    _add_campaign_flags(check, protocol=True,
+                        protocol_help="explore this commit protocol instead "
+                        "of the default polyvalue system")
     check.set_defaults(handler=_cmd_check)
 
     chaos = commands.add_parser(
@@ -1064,7 +1127,6 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 0)")
     chaos.add_argument("--seeds", type=int, default=10,
                        help="number of chaos-walk trials (default 10)")
-    _add_jobs(chaos)
     chaos.add_argument("--steps", type=int, default=14,
                        help="failure actions per chaos walk (default 14)")
     chaos.add_argument("--scenario", action="append",
@@ -1090,18 +1152,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--polyvalue-budget", type=int, default=None,
                        help="per-site polyvalue budget (overload valve; "
                        "default off)")
-    chaos.add_argument("--protocol", choices=PROTOCOL_NAMES,
-                       default="polyvalue",
-                       help="commit protocol the campaign stresses "
-                       "(default polyvalue; see docs/protocols.md)")
     chaos.add_argument("--artifact-dir", default=None,
                        help="write replayable (schedule, profile) "
                        "artifacts for violations here")
     chaos.add_argument("--replay", default=None, metavar="ARTIFACT",
                        help="re-execute a chaos violation artifact "
                        "instead of exploring")
-    _add_store(chaos)
-    _add_campaign_metrics(chaos)
+    _add_campaign_flags(chaos, protocol=True, protocol_default="polyvalue",
+                        protocol_help="commit protocol the campaign "
+                        "stresses (default polyvalue; see "
+                        "docs/protocols.md)")
     chaos.set_defaults(handler=_cmd_chaos)
 
     bench = commands.add_parser(
@@ -1112,7 +1172,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign seed (default 0)")
     bench.add_argument("--seeds", type=int, default=None,
                        help="explorer trial count (default: 25 full, 5 smoke)")
-    _add_jobs(bench)
     bench.add_argument("--smoke", action="store_true",
                        help="shrunken budgets for CI")
     bench.add_argument("--output", default=None, metavar="PATH",
@@ -1124,11 +1183,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "run), or the word 'store' (the default store)")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed relative guard regression (default 0.25)")
-    bench.add_argument("--protocol", action="append",
-                       choices=PROTOCOL_NAMES,
-                       help="restrict the frontier bake-off to these "
-                       "protocols (repeatable; default: all four peers)")
-    _add_store(bench)
+    _add_campaign_flags(bench, metrics=False, protocol=True,
+                        protocol_multiple=True,
+                        protocol_help="restrict the frontier bake-off to "
+                        "these protocols (repeatable; default: all four "
+                        "peers)")
     bench.set_defaults(handler=_cmd_bench)
 
     frontier = commands.add_parser(
@@ -1141,20 +1200,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "from (default 0)")
     frontier.add_argument("--seeds", type=int, default=4,
                           help="fail-stop walks per scenario (default 4)")
-    _add_jobs(frontier)
     frontier.add_argument("--smoke", action="store_true",
                           help="shrunken scenario/walk budget for CI")
     frontier.add_argument("--scenario", action="append",
                           help="restrict to this scenario (repeatable)")
-    frontier.add_argument("--protocol", action="append",
-                          choices=PROTOCOL_NAMES,
-                          help="restrict to this protocol (repeatable; "
-                          "default: polyvalue, blocking, paxos, "
-                          "pathsensitive)")
     frontier.add_argument("--output", default=None, metavar="PATH",
                           help="write the results/guards JSON payload here")
-    _add_store(frontier)
-    _add_campaign_metrics(frontier)
+    _add_campaign_flags(frontier, protocol=True, protocol_multiple=True,
+                        protocol_help="restrict to this protocol "
+                        "(repeatable; default: polyvalue, blocking, "
+                        "paxos, pathsensitive)")
     frontier.set_defaults(handler=_cmd_frontier)
 
     history = commands.add_parser(
@@ -1198,7 +1253,7 @@ def build_parser() -> argparse.ArgumentParser:
     dash.add_argument("--seed", type=int, default=7)
     dash.add_argument("--trials", type=int, default=2,
                       help="trials per chaos campaign iteration")
-    _add_jobs(dash)
+    _add_campaign_flags(dash, store=False, metrics=False)
     dash.add_argument("--duration", type=float, default=None,
                       help="stop after this many wall seconds "
                       "(default: run until Ctrl-C)")
@@ -1206,11 +1261,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="log every HTTP request")
     dash.set_defaults(handler=_cmd_serve_dash)
 
+    serve = commands.add_parser(
+        "serve",
+        help="stand up a live polyvalue cluster (real sockets, real "
+        "clocks) behind an HTTP/JSON API",
+    )
+    serve.add_argument("--sites", type=int, default=3,
+                       help="number of database sites (default 3)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for the cluster (default 0)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8790,
+                       help="HTTP API port (0 = ephemeral; default 8790)")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="persist per-site durable state here (enables "
+                       "restart-from-disk; default: in-memory only)")
+    _add_campaign_flags(serve, jobs=False, store=False, metrics=False,
+                        protocol=True, protocol_default="polyvalue",
+                        protocol_choices=LIVE_PROTOCOL_NAMES,
+                        protocol_help="commit protocol the cluster runs "
+                        "(default polyvalue; pathsensitive is sim-only)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = commands.add_parser(
+        "client",
+        help="drive a running 'repro serve' cluster (health, transfer, "
+        "crash/restart, demo)",
+    )
+    client.add_argument("rest", nargs=argparse.REMAINDER,
+                        help="client arguments; run 'repro client -- "
+                        "--help' for the full list")
+    client.set_defaults(handler=_cmd_client)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "client":
+        # The client owns its whole argument list (its options would
+        # otherwise be swallowed by this parser before REMAINDER kicks
+        # in), so hand over before argparse sees them.
+        from repro.live.client import main as client_main
+
+        return client_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -44,7 +44,7 @@ from repro.net.failures import ScheduleScript
 from repro.obs.events import EventBus
 from repro.parallel.pool import run_trials
 from repro.parallel.seeds import trial_seeds
-from repro.txn.runtime import PROTOCOL_NAMES, config_for_protocol
+from repro.txn.config import PROTOCOL_NAMES, config_for_protocol
 from repro.check.explorer import Schedule, random_walk
 from repro.check.scenarios import SCENARIOS, build_scenario
 

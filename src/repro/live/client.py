@@ -1,0 +1,231 @@
+"""Scripted client for a live cluster — ``python -m repro client``.
+
+A thin :mod:`urllib.request` driver over the HTTP API so a running
+``python -m repro serve`` cluster can be exercised without curl
+incantations.  Commands::
+
+    health                       liveness + down-site list
+    state                        full cluster summary
+    item ITEM                    read one item
+    txn TXN                      query one transaction's outcome
+    transfer FROM TO AMOUNT      submit a transfer script (reads both,
+                                 debits FROM, credits TO)
+    submit JSON                  submit a raw transaction script
+    crash SITE / restart SITE    failure injection
+    demo                         end-to-end tour: transfer, crash the
+                                 coordinator mid-transaction, restart,
+                                 show the outcome resolve
+
+All commands print the server's JSON response.  ``--wait`` blocks a
+submit until the transaction is decided.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+
+class ClientError(Exception):
+    """The server rejected a request or could not be reached."""
+
+
+def request(
+    base: str,
+    path: str,
+    *,
+    method: str = "GET",
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    """One HTTP round-trip; returns the decoded JSON response."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(
+        base.rstrip("/") + path, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            message = payload.get("error", str(exc))
+        except Exception:  # noqa: BLE001 - best-effort error body
+            message = str(exc)
+        raise ClientError(f"{exc.code}: {message}") from None
+    except urllib.error.URLError as exc:
+        raise ClientError(f"cannot reach {base}: {exc.reason}") from None
+
+
+def transfer_script(source: str, target: str, amount: int) -> Dict[str, Any]:
+    """The canonical two-item transfer as a transaction script."""
+    return {
+        "label": f"transfer:{source}->{target}",
+        "items": [source, target],
+        "ops": [
+            {"write": source, "expr": ["-", ["read", source], amount]},
+            {"write": target, "expr": ["+", ["read", target], amount]},
+        ],
+    }
+
+
+def wait_for_health(base: str, *, timeout: float = 15.0) -> Dict[str, Any]:
+    """Poll ``/health`` until the server answers (serve takes a moment)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return request(base, "/health", timeout=2.0)
+        except ClientError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def poll_txn(
+    base: str, txn: str, *, timeout: float = 15.0
+) -> Dict[str, Any]:
+    """Poll ``/txn/<id>`` until the outcome is decided."""
+    deadline = time.monotonic() + timeout
+    while True:
+        described = request(base, f"/txn/{txn}")
+        if described.get("status") != "pending":
+            return described
+        if time.monotonic() >= deadline:
+            return described
+        time.sleep(0.1)
+
+
+def _demo(base: str, out) -> int:
+    """Commit a transfer, then crash the coordinator mid-transaction,
+    restart it, and watch the in-doubt outcome resolve."""
+    state = request(base, "/state")
+    sites = sorted(state["sites"])
+    items: List[str] = []
+    for site_id in sites:
+        items.extend(state["sites"][site_id]["items"])
+    if len(items) < 2:
+        raise ClientError("demo needs at least two items")
+    source, target = items[0], items[1]
+    print(f"[demo] transfer 5: {source} -> {target} (wait)", file=out)
+    decided = request(
+        base,
+        "/txn",
+        method="POST",
+        body={"script": transfer_script(source, target, 5), "wait": True},
+    )
+    print(json.dumps(decided, indent=2, sort_keys=True), file=out)
+    coordinator = sites[0]
+    print(f"[demo] submit transfer, then crash coordinator {coordinator}", file=out)
+    pending = request(
+        base,
+        "/txn",
+        method="POST",
+        body={"script": transfer_script(items[0], items[-1], 3), "at": coordinator},
+    )
+    request(base, "/crash", method="POST", body={"site": coordinator})
+    time.sleep(0.5)
+    request(base, "/restart", method="POST", body={"site": coordinator})
+    print(f"[demo] coordinator restarted; polling {pending['txn']}", file=out)
+    outcome = poll_txn(base, pending["txn"])
+    print(json.dumps(outcome, indent=2, sort_keys=True), file=out)
+    if outcome.get("status") == "pending":
+        print("[demo] FAILED: outcome did not resolve", file=out)
+        return 1
+    print(f"[demo] resolved: {outcome['status']}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    """CLI entry; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro client", description="drive a live repro cluster"
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of the serve API (default http://127.0.0.1:PORT)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8790, help="serve port when --url is unset"
+    )
+    parser.add_argument(
+        "--wait", action="store_true", help="block submits until decided"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=15.0, help="wait/poll timeout (s)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("health")
+    sub.add_parser("state")
+    item = sub.add_parser("item")
+    item.add_argument("item")
+    txn = sub.add_parser("txn")
+    txn.add_argument("txn")
+    transfer = sub.add_parser("transfer")
+    transfer.add_argument("source")
+    transfer.add_argument("target")
+    transfer.add_argument("amount", type=int)
+    submit = sub.add_parser("submit")
+    submit.add_argument("script", help="transaction script as a JSON string")
+    for submitting in (transfer, submit):
+        submitting.add_argument("--at", default=None, help="coordinator site")
+        # SUPPRESS so these only land in the namespace when given here,
+        # letting the pre-subcommand spellings keep working too.
+        submitting.add_argument(
+            "--wait", action="store_true", default=argparse.SUPPRESS
+        )
+        submitting.add_argument(
+            "--timeout", type=float, default=argparse.SUPPRESS
+        )
+    for name in ("crash", "restart"):
+        failure = sub.add_parser(name)
+        failure.add_argument("site")
+    sub.add_parser("demo")
+    args = parser.parse_args(argv)
+
+    base = args.url if args.url else f"http://127.0.0.1:{args.port}"
+    try:
+        if args.command == "demo":
+            wait_for_health(base, timeout=args.timeout)
+            return _demo(base, out)
+        if args.command == "health":
+            result = request(base, "/health")
+        elif args.command == "state":
+            result = request(base, "/state")
+        elif args.command == "item":
+            result = request(base, f"/item/{args.item}")
+        elif args.command == "txn":
+            result = poll_txn(base, args.txn, timeout=args.timeout)
+        elif args.command in ("crash", "restart"):
+            result = request(
+                base, f"/{args.command}", method="POST", body={"site": args.site}
+            )
+        else:  # transfer / submit
+            if args.command == "transfer":
+                script = transfer_script(args.source, args.target, args.amount)
+            else:
+                try:
+                    script = json.loads(args.script)
+                except json.JSONDecodeError as exc:
+                    raise ClientError(f"script is not JSON: {exc}") from None
+            body: Dict[str, Any] = {"script": script}
+            if args.at:
+                body["at"] = args.at
+            if args.wait:
+                body["wait"] = True
+                body["timeout"] = args.timeout
+            result = request(base, "/txn", method="POST", body=body)
+        print(json.dumps(result, indent=2, sort_keys=True), file=out)
+        return 0
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

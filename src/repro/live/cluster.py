@@ -1,0 +1,460 @@
+"""LiveCluster — N polyvalue database sites on wall-clock sockets.
+
+The live counterpart of :class:`repro.txn.system.DistributedSystem`:
+the same :class:`~repro.txn.site.DatabaseSite` /
+:class:`~repro.txn.paxos.PaxosSite` state machines, the same
+:class:`~repro.txn.runtime.SiteRuntime` services, composed over an
+:class:`~repro.runtime.aio.AsyncioRuntime` instead of the simulator.
+Timers are real ``call_later`` timers, messages are JSON frames over
+localhost TCP, and each site checkpoints its durable state to a JSON
+file after every action — so :meth:`crash`/:meth:`restart` genuinely
+exercise restart-from-disk.
+
+Transactions arrive as JSON scripts (:mod:`repro.live.txnscript`)
+because live clients cannot ship Python callables.
+
+Path-sensitive commit stays sim-only: its pre-analysis probes execute
+the transaction *body* ahead of coordination, which the script DSL
+supports, but its local-apply convergence accounting is validated
+against the simulator's quiescence notion that has no live equivalent
+yet.  ``LIVE_PROTOCOLS`` is the supported set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.errors import ReproError
+from repro.core.polyvalue import Value, is_polyvalue
+from repro.core.outcome import OutcomeLog, OutcomeTable
+from repro.core.serialize import encode_value
+from repro.db.catalog import Catalog
+from repro.db.locks import LockManager
+from repro.db.store import ItemStore
+from repro.metrics.collector import MetricsCollector
+from repro.net.message import SiteId
+from repro.obs.events import EventBus
+from repro.runtime.aio import AsyncioRuntime
+from repro.txn.config import (
+    CommitProtocol,
+    ProtocolConfig,
+    config_for_protocol,
+)
+from repro.txn.paxos import DecisionBoard, PaxosSite
+from repro.txn.runtime import SiteRuntime, TransitionLog
+from repro.txn.site import DatabaseSite
+from repro.txn.timeouts import TimeoutPolicy
+from repro.txn.transaction import (
+    Transaction,
+    TransactionHandle,
+    TxnId,
+    TxnStatus,
+)
+from repro.live.txnscript import compile_script
+
+ItemId = str
+
+#: Protocols the live cluster can run (pathsensitive is sim-only).
+LIVE_PROTOCOLS = ("polyvalue", "blocking", "relaxed", "paxos")
+
+
+class LiveClusterError(ReproError):
+    """The live cluster was misconfigured or misused."""
+
+
+def _default_items(sites: int) -> Dict[ItemId, int]:
+    """Two account items per site, value 100 — enough for transfers."""
+    return {f"acct-{index}": 100 for index in range(sites * 2)}
+
+
+class LiveCluster:
+    """A wall-clock polyvalue cluster on localhost.
+
+    Drive it from inside an asyncio event loop (``await start()`` …
+    ``await stop()``), or through :class:`ClusterThread` from
+    synchronous code.
+    """
+
+    def __init__(
+        self,
+        *,
+        sites: int = 3,
+        items: Optional[Mapping[ItemId, Value]] = None,
+        protocol: str = "polyvalue",
+        config: Optional[ProtocolConfig] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        data_dir: Optional[str] = None,
+    ) -> None:
+        if sites <= 0:
+            raise LiveClusterError(f"need at least one site, got {sites}")
+        if protocol not in LIVE_PROTOCOLS:
+            raise LiveClusterError(
+                f"protocol {protocol!r} is not live-capable; "
+                f"expected one of {LIVE_PROTOCOLS}"
+            )
+        if config is None:
+            # Live default: adaptive patience — the fixed constants are
+            # sim-calibrated; real sockets get Jacobson RTT estimators.
+            config = ProtocolConfig(timeout_policy=TimeoutPolicy(mode="adaptive"))
+        self.config = config_for_protocol(protocol, config)
+        self.protocol = protocol
+        self.initial_values: Dict[ItemId, Value] = dict(
+            items if items is not None else _default_items(sites)
+        )
+        site_ids = [f"site-{index}" for index in range(sites)]
+        self.catalog = Catalog.round_robin(sorted(self.initial_values), site_ids)
+        self.runtime = AsyncioRuntime(host=host, data_dir=data_dir, seed=seed)
+        self.bus = EventBus()
+        self.metrics = MetricsCollector()
+        self.transitions = TransitionLog(bus=self.bus)
+        self.decision_board: Optional[DecisionBoard] = None
+        if self.config.protocol is CommitProtocol.PAXOS:
+            self.decision_board = DecisionBoard()
+        self.sites: Dict[SiteId, DatabaseSite] = {}
+        self.handles: List[TransactionHandle] = []
+        self._by_txn: Dict[TxnId, TransactionHandle] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Listen on every site's socket and build the state machines.
+
+        If the data directory already holds site checkpoints (a
+        previous incarnation of this cluster), each site restores from
+        its file before serving — restart-the-whole-cluster recovery.
+        """
+        await self.runtime.start()
+        for site_id in sorted(self.catalog.all_sites()):
+            await self.runtime.listen(site_id)
+        for site_id in sorted(self.catalog.all_sites()):
+            store = ItemStore(
+                {
+                    item: self.initial_values[item]
+                    for item in self.catalog.items_at(site_id)
+                }
+            )
+            runtime = SiteRuntime(
+                site_id=site_id,
+                rt=self.runtime,
+                catalog=self.catalog,
+                store=store,
+                locks=LockManager(),
+                outcomes=OutcomeTable(),
+                outcome_log=OutcomeLog(),
+                config=self.config,
+                metrics=self.metrics,
+                transitions=self.transitions,
+                bus=self.bus,
+            )
+            if self.decision_board is not None:
+                site = PaxosSite(runtime, self.decision_board)
+            else:
+                site = DatabaseSite(runtime)
+            self.sites[site_id] = site
+            snapshot = self.runtime.load_durable(site_id)
+            if snapshot is not None:
+                site.restore_durable(snapshot)
+                site.recover()
+            self.runtime.checkpoint(site_id)
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop maintenance loops and close every socket."""
+        for site in self.sites.values():
+            site.shutdown()
+        await self.runtime.close()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Client surface
+
+    def submit_script(
+        self, script: Mapping[str, Any], *, at: Optional[SiteId] = None
+    ) -> TransactionHandle:
+        """Submit a JSON transaction script; returns its handle."""
+        return self.submit(compile_script(script), at=at)
+
+    def submit(
+        self, transaction: Transaction, *, at: Optional[SiteId] = None
+    ) -> TransactionHandle:
+        """Submit *transaction*, coordinated at *at* (default: the home
+        site of its first declared item).  Same contract as
+        :meth:`DistributedSystem.submit`, including the immediate abort
+        when the coordinator is down."""
+        if not self._started:
+            raise LiveClusterError("cluster is not started")
+        coordinator = (
+            at if at is not None else self.catalog.site_of(transaction.items[0])
+        )
+        if coordinator not in self.sites:
+            raise LiveClusterError(f"unknown site {coordinator!r}")
+        site = self.sites[coordinator]
+        handle = TransactionHandle(
+            txn="?",
+            transaction=transaction,
+            submitted_at=self.runtime.now,
+        )
+        self.handles.append(handle)
+        if not site.is_up:
+            handle.txn = f"unsent@{coordinator}"
+            handle.was_delayed_by_failure = True
+            handle.mark_aborted(
+                self.runtime.now, f"coordinator site {coordinator} is down"
+            )
+            self.metrics.txn_submitted(site=coordinator)
+            self.metrics.txn_aborted(site=coordinator)
+            return handle
+        txn = site.submit(transaction, handle)
+        self._by_txn[txn] = handle
+        # begin() consumed a durable sequence number and possibly logged
+        # state; submit runs outside the runtime's own checkpoint
+        # wrappers, so persist explicitly.
+        self.runtime.checkpoint(coordinator)
+        return handle
+
+    def handle_of(self, txn: TxnId) -> Optional[TransactionHandle]:
+        """The handle for *txn* (None if unknown)."""
+        return self._by_txn.get(txn)
+
+    async def wait_decided(
+        self, handle: TransactionHandle, *, timeout: float = 10.0
+    ) -> bool:
+        """Poll until *handle* is decided; False on timeout."""
+        deadline = self.runtime.now + timeout
+        while handle.status is TxnStatus.PENDING:
+            if self.runtime.now >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
+    async def wait_converged(self, *, timeout: float = 10.0) -> bool:
+        """Poll until no polyvalues, residue, or pending handles remain."""
+        deadline = self.runtime.now + timeout
+        while True:
+            if (
+                self.total_polyvalues() == 0
+                and self.total_protocol_residue() == 0
+                and not self.pending_handles()
+            ):
+                return True
+            if self.runtime.now >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+
+    def crash(self, site_id: SiteId) -> None:
+        """Fail-stop *site*: volatile state lost, its traffic dropped.
+
+        Undecided transactions it coordinated are presumed aborted —
+        the same contract as :meth:`DistributedSystem.crash_site`.
+        """
+        site = self._site(site_id)
+        self.runtime.mark_down(site_id)
+        undecided = site.crash()
+        for handle in undecided:
+            if handle.status is TxnStatus.PENDING:
+                handle.was_delayed_by_failure = True
+                handle.mark_aborted(
+                    self.runtime.now, "coordinator crashed; presumed abort"
+                )
+                self.metrics.txn_aborted(site=site_id)
+
+    def restart(self, site_id: SiteId) -> None:
+        """Restart *site* from its durable checkpoint file.
+
+        On a durable runtime the in-memory durable structures are
+        overwritten from disk first — the restart path truly goes
+        through the file.  Without a data dir this degrades to the
+        simulator's recovery semantics (durable attributes survive in
+        memory).
+        """
+        site = self._site(site_id)
+        snapshot = self.runtime.load_durable(site_id)
+        if snapshot is not None:
+            site.restore_durable(snapshot)
+        self.runtime.mark_up(site_id)
+        site.recover()
+        self.runtime.checkpoint(site_id)
+
+    def _site(self, site_id: SiteId) -> DatabaseSite:
+        try:
+            return self.sites[site_id]
+        except KeyError:
+            raise LiveClusterError(f"unknown site {site_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Observations (mirrors the DistributedSystem surface)
+
+    def read_item(self, item: ItemId) -> Value:
+        return self.sites[self.catalog.site_of(item)].store.read(item)
+
+    def database_state(self) -> Dict[ItemId, Value]:
+        state: Dict[ItemId, Value] = {}
+        for site in self.sites.values():
+            state.update(site.store.all_values())
+        return state
+
+    def total_polyvalues(self) -> int:
+        return sum(site.polyvalue_count() for site in self.sites.values())
+
+    def total_protocol_residue(self) -> int:
+        return sum(site.protocol_residue() for site in self.sites.values())
+
+    def pending_handles(self) -> List[TransactionHandle]:
+        return [
+            handle
+            for handle in self.handles
+            if handle.status is TxnStatus.PENDING
+        ]
+
+    def down_sites(self) -> List[SiteId]:
+        return sorted(
+            site_id
+            for site_id, site in self.sites.items()
+            if not site.is_up
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-safe status summary (the HTTP ``/state`` payload)."""
+        return {
+            "protocol": self.protocol,
+            "sites": {
+                site_id: {
+                    "up": site.is_up,
+                    "port": self.runtime.port_of(site_id),
+                    "items": sorted(site.store.items()),
+                    "polyvalues": site.polyvalue_count(),
+                    "residue": site.protocol_residue(),
+                }
+                for site_id, site in sorted(self.sites.items())
+            },
+            "polyvalues": self.total_polyvalues(),
+            "pending": [handle.txn for handle in self.pending_handles()],
+            "transport": self.runtime.stats.as_dict(),
+        }
+
+    def describe_item(self, item: ItemId) -> Dict[str, Any]:
+        """One item's value, JSON-encoded (polyvalues in wire form)."""
+        value = self.read_item(item)
+        return {
+            "item": item,
+            "site": self.catalog.site_of(item),
+            "value": encode_value(value),
+            "polyvalue": is_polyvalue(value),
+        }
+
+    def describe_txn(self, txn: TxnId) -> Optional[Dict[str, Any]]:
+        """One transaction's client-visible outcome (None if unknown)."""
+        handle = self._by_txn.get(txn)
+        if handle is None:
+            return None
+        return {
+            "txn": handle.txn,
+            "status": handle.status.value,
+            "label": handle.transaction.label,
+            "reason": handle.abort_reason,
+            "submitted_at": handle.submitted_at,
+            "decided_at": handle.decided_at,
+        }
+
+
+class ClusterThread:
+    """A LiveCluster (plus optional HTTP API) on a background thread.
+
+    For synchronous callers — tests and the differential harness — that
+    want a live cluster without owning an event loop::
+
+        with ClusterThread(sites=3) as ct:
+            handle = ct.call(ct.cluster.submit_script, script)
+            ct.run(ct.cluster.wait_decided(handle))
+
+    ``call`` runs a plain function on the loop thread; ``run`` awaits a
+    coroutine there.  Everything that touches the cluster must go
+    through one of the two — the cluster is not thread-safe.
+    """
+
+    def __init__(
+        self,
+        *,
+        http: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **cluster_kwargs: Any,
+    ) -> None:
+        self._http = http
+        self._host = host
+        self._port_request = port
+        self._cluster_kwargs = cluster_kwargs
+        self.cluster: Optional[LiveCluster] = None
+        self.port: Optional[int] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+
+    def start(self) -> "ClusterThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise LiveClusterError("cluster thread failed to start in time")
+        if self._error is not None:
+            raise LiveClusterError(f"cluster thread died: {self._error!r}")
+        return self
+
+    def stop(self) -> None:
+        if self.loop is not None and self._stop is not None:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+    def call(self, fn, *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn(*args, **kwargs)`` on the loop thread, return result."""
+
+        async def _invoke() -> Any:
+            return fn(*args, **kwargs)
+
+        return self.run(_invoke())
+
+    def run(self, coro) -> Any:
+        """Await *coro* on the loop thread, return its result."""
+        if self.loop is None:
+            raise LiveClusterError("cluster thread is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(
+            timeout=60.0
+        )
+
+    def __enter__(self) -> "ClusterThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_event_loop()
+        self._stop = asyncio.Event()
+        self.cluster = LiveCluster(**self._cluster_kwargs)
+        await self.cluster.start()
+        api = None
+        if self._http:
+            from repro.live.httpapi import HttpApi
+
+            api = HttpApi(self.cluster, host=self._host, port=self._port_request)
+            self.port = await api.start()
+        self._ready.set()
+        await self._stop.wait()
+        if api is not None:
+            await api.close()
+        await self.cluster.stop()

@@ -1,0 +1,261 @@
+"""A stdlib HTTP/JSON control surface for :class:`LiveCluster`.
+
+``python -m repro serve`` stands up a cluster and binds this API; any
+HTTP client (curl, the bundled ``python -m repro client``) can then
+submit transactions, read items, query outcomes, and crash/restart
+sites.  The server is a hand-rolled asyncio HTTP/1.1 responder — no
+``http.server`` thread pool, so every request runs on the same event
+loop as the cluster itself and observes/mutates it without locks.
+
+Routes (all responses are JSON)::
+
+    GET  /health            liveness probe: {"ok": true, ...}
+    GET  /state             full cluster summary (sites, ports, pending)
+    GET  /item/<id>         one item's value (polyvalues in wire form)
+    GET  /txn/<id>          one transaction's outcome
+    POST /txn               submit a transaction script
+                            body: {"script": {...}, "at"?: site,
+                                   "wait"?: bool, "timeout"?: seconds}
+    POST /crash             {"site": "site-0"} — fail-stop a site
+    POST /restart           {"site": "site-0"} — restart from checkpoint
+
+Malformed input is 400, unknown items/transactions/routes are 404;
+error bodies are ``{"error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.errors import ReproError, UnknownItemError
+from repro.live.txnscript import TransactionScriptError
+
+_MAX_HEADER_BYTES = 16384
+_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpFail(Exception):
+    """Internal: abort request handling with a status + message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpApi:
+    """Serve the cluster control API on *host*:*port* (0 = ephemeral)."""
+
+    def __init__(self, cluster: Any, *, host: str = "127.0.0.1", port: int = 0):
+        self.cluster = cluster
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload = await self._route(method, path, body)
+            except _HttpFail as fail:
+                status, payload = fail.status, {"error": fail.message}
+            except ReproError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(blob)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + blob)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _HttpFail(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        total = len(request_line)
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > _MAX_HEADER_BYTES:
+                raise _HttpFail(413, "headers too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpFail(400, "bad Content-Length") from None
+        if content_length > _MAX_BODY_BYTES:
+            raise _HttpFail(413, "body too large")
+        body: Optional[Dict[str, Any]] = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpFail(400, f"body is not JSON: {exc}") from None
+            if not isinstance(body, dict):
+                raise _HttpFail(400, "body must be a JSON object")
+        return method, path, body
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    async def _route(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET":
+            if path == "/health":
+                return 200, {
+                    "ok": True,
+                    "protocol": self.cluster.protocol,
+                    "sites": len(self.cluster.sites),
+                    "down": self.cluster.down_sites(),
+                }
+            if path == "/state":
+                return 200, self.cluster.describe()
+            if path.startswith("/item/"):
+                item = path[len("/item/") :]
+                try:
+                    return 200, self.cluster.describe_item(item)
+                except UnknownItemError as exc:
+                    raise _HttpFail(404, str(exc)) from None
+            if path.startswith("/txn/"):
+                txn = path[len("/txn/") :]
+                described = self.cluster.describe_txn(txn)
+                if described is None:
+                    raise _HttpFail(404, f"unknown transaction {txn!r}")
+                return 200, described
+            raise _HttpFail(404, f"no such resource {path!r}")
+        if method == "POST":
+            if path == "/txn":
+                return await self._post_txn(body or {})
+            if path == "/crash":
+                site = self._required_site(body)
+                self.cluster.crash(site)
+                return 200, {"site": site, "up": False}
+            if path == "/restart":
+                site = self._required_site(body)
+                self.cluster.restart(site)
+                return 200, {"site": site, "up": True}
+            raise _HttpFail(404, f"no such resource {path!r}")
+        raise _HttpFail(405, f"unsupported method {method}")
+
+    async def _post_txn(
+        self, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        script = body.get("script")
+        if script is None:
+            raise _HttpFail(400, 'POST /txn needs a "script" object')
+        at = body.get("at")
+        if at is not None and not isinstance(at, str):
+            raise _HttpFail(400, '"at" must be a site id string')
+        try:
+            handle = self.cluster.submit_script(script, at=at)
+        except (TransactionScriptError, UnknownItemError) as exc:
+            raise _HttpFail(400, str(exc)) from None
+        decided = True
+        if body.get("wait", False):
+            timeout = float(body.get("timeout", 10.0))
+            decided = await self.cluster.wait_decided(handle, timeout=timeout)
+        described = self.cluster.describe_txn(handle.txn) or {
+            "txn": handle.txn,
+            "status": handle.status.value,
+        }
+        described["decided"] = decided and handle.decided_at is not None
+        return 200, described
+
+    def _required_site(self, body: Optional[Dict[str, Any]]) -> str:
+        site = (body or {}).get("site")
+        if not isinstance(site, str):
+            raise _HttpFail(400, 'request needs a "site" string')
+        if site not in self.cluster.sites:
+            raise _HttpFail(404, f"unknown site {site!r}")
+        return site
+
+
+def run_serve(
+    *,
+    sites: int = 3,
+    protocol: str = "polyvalue",
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    port: int = 8790,
+    data_dir: Optional[str] = None,
+    announce: bool = True,
+) -> None:
+    """Blocking entry point behind ``python -m repro serve``."""
+    from repro.live.cluster import LiveCluster
+
+    async def _main() -> None:
+        cluster = LiveCluster(
+            sites=sites,
+            protocol=protocol,
+            seed=seed,
+            host=host,
+            data_dir=data_dir,
+        )
+        await cluster.start()
+        api = HttpApi(cluster, host=host, port=port)
+        bound = await api.start()
+        if announce:
+            print(f"repro live cluster: protocol={protocol} sites={sites}")
+            for site_id in sorted(cluster.sites):
+                print(f"  {site_id}: 127.0.0.1:{cluster.runtime.port_of(site_id)}")
+            print(f"  http api: http://{host}:{bound}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await api.close()
+            await cluster.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

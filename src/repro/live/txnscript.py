@@ -1,0 +1,133 @@
+"""A declarative JSON transaction language for live clients.
+
+Simulated workloads submit :class:`~repro.txn.transaction.Transaction`
+objects whose bodies are Python callables — which cannot cross an HTTP
+boundary.  Live clients instead POST a *transaction script*: a small
+JSON document that :func:`compile_script` turns into a real
+``Transaction`` whose body interprets the script against the
+polytransaction context, so scripted transactions get the full
+polyvalue treatment (a read that returns a polyvalue forks the
+evaluation per alternative exactly as a Python body would).
+
+Script shape::
+
+    {
+      "label": "transfer",               # optional
+      "items": ["a", "b"],               # every item read or written
+      "ops": [
+        {"write": "a", "expr": ["-", ["read", "a"], 4]},
+        {"write": "b", "expr": ["+", ["read", "b"], 4]}
+      ]
+    }
+
+Expressions are s-expressions as JSON arrays; anything that is not an
+array is a literal::
+
+    ["read", "a"]            the current value of item "a"
+    ["const", [1, 2]]        a literal that happens to be an array
+    ["+", e1, e2, ...]       also -, *, "min", "max"
+
+Reads observe the transaction's snapshot, exactly like the Python
+bodies the simulator submits: a write does not feed back into later
+reads of the same item (the last write to an item wins), matching the
+polytransaction context's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.core.errors import ReproError
+from repro.txn.transaction import Transaction
+
+
+class TransactionScriptError(ReproError):
+    """A transaction script is malformed."""
+
+
+def _fold(op: Callable[[Any, Any], Any], args: List[Any]) -> Any:
+    result = args[0]
+    for value in args[1:]:
+        result = op(result, value)
+    return result
+
+
+_OPERATORS: Dict[str, Callable[[List[Any]], Any]] = {
+    "+": lambda args: _fold(lambda a, b: a + b, args),
+    "-": lambda args: _fold(lambda a, b: a - b, args),
+    "*": lambda args: _fold(lambda a, b: a * b, args),
+    "min": lambda args: min(args),
+    "max": lambda args: max(args),
+}
+
+
+def _eval(expr: Any, ctx: Any) -> Any:
+    if not isinstance(expr, list):
+        return expr  # literal scalar
+    if not expr:
+        raise TransactionScriptError("empty expression")
+    head = expr[0]
+    if head == "read":
+        if len(expr) != 2 or not isinstance(expr[1], str):
+            raise TransactionScriptError(f"bad read expression: {expr!r}")
+        return ctx.read(expr[1])
+    if head == "const":
+        if len(expr) != 2:
+            raise TransactionScriptError(f"bad const expression: {expr!r}")
+        return expr[1]
+    op = _OPERATORS.get(head)
+    if op is None:
+        raise TransactionScriptError(
+            f"unknown operator {head!r}; expected read/const/"
+            f"{sorted(_OPERATORS)}"
+        )
+    if len(expr) < 2:
+        raise TransactionScriptError(f"operator {head!r} needs arguments")
+    return op([_eval(arg, ctx) for arg in expr[1:]])
+
+
+def validate_script(script: Mapping[str, Any]) -> None:
+    """Raise :class:`TransactionScriptError` unless *script* is well-formed.
+
+    Structural checks only — expressions are validated as they are
+    evaluated, because a read of a polyvalued item legitimately forks.
+    """
+    if not isinstance(script, Mapping):
+        raise TransactionScriptError("script must be a JSON object")
+    items = script.get("items")
+    if not isinstance(items, list) or not items:
+        raise TransactionScriptError('script needs a non-empty "items" list')
+    if not all(isinstance(item, str) for item in items):
+        raise TransactionScriptError("item names must be strings")
+    ops = script.get("ops")
+    if not isinstance(ops, list):
+        raise TransactionScriptError('script needs an "ops" list')
+    known = set(items)
+    for op in ops:
+        if not isinstance(op, Mapping) or "write" not in op or "expr" not in op:
+            raise TransactionScriptError(
+                f'each op needs "write" and "expr": {op!r}'
+            )
+        if op["write"] not in known:
+            raise TransactionScriptError(
+                f'op writes {op["write"]!r}, which is not in "items"'
+            )
+    label = script.get("label", "")
+    if not isinstance(label, str):
+        raise TransactionScriptError('"label" must be a string')
+
+
+def compile_script(script: Mapping[str, Any]) -> Transaction:
+    """A :class:`Transaction` that executes *script* when coordinated."""
+    validate_script(script)
+    ops = [(op["write"], op["expr"]) for op in script["ops"]]
+
+    def body(ctx: Any) -> None:
+        for item, expr in ops:
+            ctx.write(item, _eval(expr, ctx))
+
+    return Transaction(
+        body=body,
+        items=tuple(script["items"]),
+        label=str(script.get("label", "")),
+    )

@@ -1,0 +1,30 @@
+"""repro.runtime — the seam between protocol state machines and the world.
+
+:class:`Runtime` is the one interface through which the transaction
+layer reaches a clock, timers, a transport, per-stream randomness, and
+durability.  Two implementations:
+
+* :class:`SimRuntime` (:mod:`repro.runtime.sim`) — a thin adapter over
+  the discrete-event :class:`~repro.sim.engine.Simulator` and
+  :class:`~repro.net.network.Network`; bit-for-bit identical to wiring
+  the state machines to the simulator directly, so the explorer, chaos
+  campaigns, oracles, and committed bench fingerprints are unchanged.
+* :class:`AsyncioRuntime` (:mod:`repro.runtime.aio`) — wall-clock
+  asyncio: timers on the event loop, length-prefixed JSON frames over
+  TCP sockets, and durable per-site JSON state files for crash/restart.
+
+See ``docs/runtime.md`` for the contract and the sim-vs-live
+guarantees.
+"""
+
+from repro.runtime.base import Periodic, Runtime, TimerHandle
+from repro.runtime.sim import SimRuntime
+from repro.runtime.aio import AsyncioRuntime
+
+__all__ = [
+    "AsyncioRuntime",
+    "Periodic",
+    "Runtime",
+    "SimRuntime",
+    "TimerHandle",
+]

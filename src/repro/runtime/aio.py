@@ -1,0 +1,369 @@
+"""AsyncioRuntime — the :class:`Runtime` on wall-clock asyncio sockets.
+
+The live transport (stdlib only):
+
+* **Clock** — ``loop.time()`` rebased to 0 at :meth:`start`, so live
+  timestamps read like sim timestamps.
+* **Timers** — ``loop.call_later``; the returned ``asyncio.TimerHandle``
+  already satisfies the :class:`~repro.runtime.base.TimerHandle`
+  protocol.
+* **Transport** — one TCP server per site on localhost (ephemeral
+  ports by default), messages as 4-byte big-endian length-prefixed
+  JSON frames (codec in :mod:`repro.live.wire`).  Outbound connections
+  are cached per recipient and re-opened once on failure; beyond that
+  a send is simply lost, which is exactly the delivery contract the
+  protocols are designed for.
+* **Durability** — after every timer fire and every inbound dispatch
+  for site S, S's registered snapshot is JSON-serialised to
+  ``<data_dir>/site-<S>.json`` via atomic write-then-rename.  Sends
+  only enqueue an asyncio task, and tasks cannot run before the
+  current callback (checkpoint included) returns — so durable state
+  always reaches disk *before* any message provoked by it reaches a
+  socket.  That ordering is what makes the coordinator's "log the
+  outcome, then send complete" and the participant's "stage durably,
+  then send ready" hold on the live runtime with no changes to the
+  protocol code.
+* **Fault injection** — :meth:`mark_down`/:meth:`mark_up` emulate a
+  crashed process (all inbound and outbound frames dropped), and
+  :meth:`set_fault` installs a predicate that selectively drops
+  delivered envelopes — the live analogue of the sim network's message
+  faults, used by tests to force the wait-timeout polyvalue path over
+  real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.core.errors import SimulationError
+from repro.net.message import Envelope, SiteId
+from repro.runtime.base import Runtime, TimerHandle
+from repro.sim.rand import Rng
+
+
+@dataclass
+class TransportStats:
+    """Counters for the live transport (mirrors NetworkStats in spirit)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    reconnects: int = 0
+    checkpoints: int = 0
+    handler_errors: int = 0
+    errors: list = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "reconnects": self.reconnects,
+            "checkpoints": self.checkpoints,
+            "handler_errors": self.handler_errors,
+        }
+
+
+class AsyncioRuntime(Runtime):
+    """Wall-clock runtime: asyncio timers + TCP frames + durable files.
+
+    Usage (from inside a running event loop)::
+
+        rt = AsyncioRuntime(data_dir="/tmp/cluster")
+        await rt.start()
+        await rt.listen("site-0")       # before registering handlers
+        rt.register("site-0", handler)
+        ...
+        await rt.close()
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        data_dir: Optional[str] = None,
+        seed: int = 0,
+        encode: Optional[Callable[[Envelope], bytes]] = None,
+        decode: Optional[Callable[[bytes], Envelope]] = None,
+    ) -> None:
+        self.host = host
+        self.data_dir = data_dir
+        self.durable = data_dir is not None
+        self._seed = seed
+        if encode is None or decode is None:
+            # Default codec; imported lazily because repro.live depends
+            # on repro.txn message types, not the other way around.
+            from repro.live import wire
+
+            encode = encode if encode is not None else wire.encode_envelope
+            decode = decode if decode is not None else wire.decode_envelope
+        self._encode = encode
+        self._decode = decode
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._epoch = 0.0
+        self._handlers: Dict[SiteId, Callable[[Any], None]] = {}
+        self._servers: Dict[SiteId, asyncio.AbstractServer] = {}
+        self._ports: Dict[SiteId, int] = {}
+        self._writers: Dict[SiteId, asyncio.StreamWriter] = {}
+        self._conn_locks: Dict[SiteId, asyncio.Lock] = {}
+        self._down: Set[SiteId] = set()
+        self._snapshots: Dict[SiteId, Callable[[], Dict[str, Any]]] = {}
+        self._tasks: Set = set()
+        self._fault: Optional[Callable[[Envelope], bool]] = None
+        self.stats = TransportStats()
+        if self.durable:
+            os.makedirs(data_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Bind the runtime to the running event loop and zero the clock."""
+        self._loop = asyncio.get_event_loop()
+        self._epoch = self._loop.time()
+
+    async def listen(self, site: SiteId) -> int:
+        """Open *site*'s TCP server; returns the bound port."""
+        if self._loop is None:
+            await self.start()
+        server = await asyncio.start_server(self._serve_connection, self.host, 0)
+        port = server.sockets[0].getsockname()[1]
+        self._servers[site] = server
+        self._ports[site] = port
+        return port
+
+    async def close(self) -> None:
+        """Tear down servers, cached connections, and in-flight sends."""
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._tasks.clear()
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        for writer in self._writers.values():
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self._writers.clear()
+        self._servers.clear()
+
+    def port_of(self, site: SiteId) -> Optional[int]:
+        """The TCP port *site* listens on (None before :meth:`listen`)."""
+        return self._ports.get(site)
+
+    # ------------------------------------------------------------------
+    # Runtime interface
+
+    @property
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._epoch
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        label: str = "",
+        site: SiteId = "",
+    ) -> TimerHandle:
+        if self._loop is None:
+            raise SimulationError("AsyncioRuntime.schedule before start()")
+        return self._loop.call_later(
+            max(0.0, delay), self._fire_timer, action, site, label
+        )
+
+    def _fire_timer(self, action: Callable[[], None], site: SiteId, label: str) -> None:
+        try:
+            action()
+        except Exception as exc:
+            self.stats.handler_errors += 1
+            self.stats.errors.append(f"timer {label or '?'}: {exc!r}")
+        else:
+            self.checkpoint(site)
+
+    def send(self, sender: SiteId, recipient: SiteId, payload: Any) -> None:
+        if sender in self._down:
+            self.stats.dropped += 1
+            return
+        if recipient not in self._ports:
+            self.stats.dropped += 1
+            return
+        envelope = Envelope(
+            sender=sender, recipient=recipient, payload=payload, sent_at=self.now
+        )
+        try:
+            blob = self._encode(envelope)
+        except Exception as exc:
+            self.stats.dropped += 1
+            self.stats.errors.append(f"encode to {recipient}: {exc!r}")
+            return
+        frame = len(blob).to_bytes(4, "big") + blob
+        self.stats.sent += 1
+        self._spawn(self._deliver(recipient, frame))
+
+    def register(self, site: SiteId, handler: Callable[[Any], None]) -> None:
+        self._handlers[site] = handler
+
+    def rng(self, stream: str) -> Rng:
+        return Rng(self._seed).fork(stream)
+
+    # ------------------------------------------------------------------
+    # Durability
+
+    def attach_durability(
+        self, site: SiteId, snapshot: Callable[[], Dict[str, Any]]
+    ) -> None:
+        self._snapshots[site] = snapshot
+
+    def _site_path(self, site: SiteId) -> str:
+        return os.path.join(self.data_dir or "", f"site-{site}.json")
+
+    def checkpoint(self, site: SiteId) -> None:
+        if not self.durable or site in self._down:
+            return
+        provider = self._snapshots.get(site)
+        if provider is None:
+            return
+        path = self._site_path(site)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(provider(), fh, separators=(",", ":"))
+        os.replace(tmp, path)
+        self.stats.checkpoints += 1
+
+    def load_durable(self, site: SiteId) -> Optional[Dict[str, Any]]:
+        if not self.durable:
+            return None
+        try:
+            with open(self._site_path(site), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Fault injection (the live analogue of the sim network's faults)
+
+    def mark_down(self, site: SiteId) -> None:
+        """Emulate a crashed process: drop all frames to/from *site*."""
+        self._down.add(site)
+
+    def mark_up(self, site: SiteId) -> None:
+        self._down.discard(site)
+
+    def set_fault(self, fault: Optional[Callable[[Envelope], bool]]) -> None:
+        """Drop every delivered envelope for which *fault* returns True."""
+        self._fault = fault
+
+    # ------------------------------------------------------------------
+    # Transport internals
+
+    def _spawn(self, coro) -> None:
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._reap)
+
+    def _reap(self, task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:  # pragma: no cover - defensive
+            self.stats.errors.append(f"task: {exc!r}")
+
+    async def _deliver(self, recipient: SiteId, frame: bytes) -> None:
+        lock = self._conn_locks.setdefault(recipient, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(recipient)
+            for attempt in (0, 1):
+                if writer is None:
+                    port = self._ports.get(recipient)
+                    if port is None:
+                        self.stats.dropped += 1
+                        return
+                    try:
+                        _, writer = await asyncio.open_connection(self.host, port)
+                    except OSError:
+                        self.stats.dropped += 1
+                        return
+                    if attempt:
+                        self.stats.reconnects += 1
+                    self._writers[recipient] = writer
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                    return
+                except (ConnectionError, OSError):
+                    self._writers.pop(recipient, None)
+                    try:
+                        writer.close()
+                    except Exception:  # pragma: no cover - teardown
+                        pass
+                    writer = None
+            self.stats.dropped += 1
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            # Track the connection task so close() cancels it instead of
+            # leaving it for noisy event-loop teardown.
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = int.from_bytes(header, "big")
+                body = await reader.readexactly(length)
+                self._dispatch(body)
+        except asyncio.CancelledError:
+            pass  # runtime is closing; end the connection quietly
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown
+                pass
+
+    def _dispatch(self, body: bytes) -> None:
+        try:
+            envelope = self._decode(body)
+        except Exception as exc:
+            self.stats.dropped += 1
+            self.stats.errors.append(f"decode: {exc!r}")
+            return
+        if envelope.recipient in self._down:
+            self.stats.dropped += 1
+            return
+        if self._fault is not None and self._fault(envelope):
+            self.stats.dropped += 1
+            return
+        handler = self._handlers.get(envelope.recipient)
+        if handler is None:
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        try:
+            handler(envelope)
+        except Exception as exc:
+            self.stats.handler_errors += 1
+            self.stats.errors.append(
+                f"handler {envelope.recipient}: {exc!r}"
+            )
+        else:
+            self.checkpoint(envelope.recipient)

@@ -37,8 +37,8 @@ _DEPRECATED = {
     "blocking_system": ("repro.txn.baselines", "blocking_system"),
     "polyvalue_system": ("repro.txn.baselines", "polyvalue_system"),
     "relaxed_system": ("repro.txn.baselines", "relaxed_system"),
-    "CommitPolicy": ("repro.txn.runtime", "CommitPolicy"),
-    "ProtocolConfig": ("repro.txn.runtime", "ProtocolConfig"),
+    "CommitPolicy": ("repro.txn.config", "CommitPolicy"),
+    "ProtocolConfig": ("repro.txn.config", "ProtocolConfig"),
     "ProtocolTracer": ("repro.txn.tracing", "ProtocolTracer"),
     "DistributedSystem": ("repro.txn.system", "DistributedSystem"),
     "Transaction": ("repro.txn.transaction", "Transaction"),

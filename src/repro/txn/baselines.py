@@ -31,7 +31,7 @@ import dataclasses
 from typing import Mapping, Optional
 
 from repro.core.polyvalue import Value
-from repro.txn.runtime import (
+from repro.txn.config import (
     CommitPolicy,
     ProtocolConfig,
     config_for_protocol,

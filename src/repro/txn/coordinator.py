@@ -34,7 +34,7 @@ from repro.core import polytransaction
 from repro.core.errors import ConditionError, PolyvalueError, TransactionError
 from repro.core.polytransaction import TooManyAlternativesError
 from repro.core.polyvalue import depends_on, is_polyvalue, reduce_value
-from repro.sim.events import Event
+from repro.runtime.base import TimerHandle
 from repro.txn import protocol
 from repro.txn.runtime import SiteRuntime
 from repro.txn.transaction import (
@@ -65,7 +65,7 @@ class _CoordTxn:
     awaiting: Set[str] = field(default_factory=set)
     values: Dict[ItemId, Any] = field(default_factory=dict)
     outputs: Dict[str, Any] = field(default_factory=dict)
-    timer: Optional[Event] = None
+    timer: Optional[TimerHandle] = None
     #: When the current phase's request went out to each site — the
     #: reply closes a per-peer round-trip sample for adaptive patience.
     sent_at: Dict[str, float] = field(default_factory=dict)
@@ -91,6 +91,16 @@ class Coordinator:
     def active_transactions(self) -> Set[TxnId]:
         """Transactions this coordinator is currently driving."""
         return set(self._active)
+
+    @property
+    def sequence(self) -> int:
+        """The durable transaction-id counter (checkpointed so a
+        restarted live coordinator never reuses a txn id)."""
+        return self._sequence
+
+    def restore_sequence(self, sequence: int) -> None:
+        """Overwrite the txn-id counter from a checkpoint."""
+        self._sequence = sequence
 
     def phase_of(self, txn: TxnId) -> Optional[str]:
         """The protocol phase *txn* is in at this coordinator.

@@ -39,9 +39,10 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.core.polyvalue import Polyvalue
 from repro.db.locks import LockMode
-from repro.sim.events import Event
+from repro.runtime.base import TimerHandle
 from repro.txn import protocol
-from repro.txn.runtime import CommitPolicy, SiteRuntime, SiteState
+from repro.txn.config import CommitPolicy
+from repro.txn.runtime import SiteRuntime, SiteState
 from repro.txn.transaction import TxnId, coordinator_of
 
 ItemId = str
@@ -56,7 +57,7 @@ class _ParticipantTxn:
     state: SiteState = SiteState.COMPUTE
     read_items: Tuple[ItemId, ...] = ()
     staged: Optional[Dict[ItemId, Any]] = None
-    timer: Optional[Event] = None
+    timer: Optional[TimerHandle] = None
     #: BLOCKING policy: when this record started holding its locks past
     #: the wait-phase timeout (for blocked-item-seconds accounting).
     blocked_since: Optional[float] = None
@@ -109,6 +110,19 @@ class Participant:
     def unaudited_unilateral(self) -> Dict[TxnId, bool]:
         """RELAXED policy: unilateral decisions not yet audited."""
         return dict(self._unilateral)
+
+    def durable_staged(self) -> Dict[TxnId, Dict[ItemId, Any]]:
+        """The staged-at-ready updates held durably (for checkpoints)."""
+        return dict(self._durable_staged)
+
+    def restore_durable(
+        self,
+        staged: Dict[TxnId, Dict[ItemId, Any]],
+        unilateral: Dict[TxnId, bool],
+    ) -> None:
+        """Overwrite durable state from a checkpoint (site is down)."""
+        self._durable_staged = dict(staged)
+        self._unilateral = dict(unilateral)
 
     # ------------------------------------------------------------------
     # Compute phase

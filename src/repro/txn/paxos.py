@@ -380,6 +380,19 @@ class PaxosParticipant(Participant):
     ) -> Optional[Tuple[Tuple[SiteId, ...], Tuple[SiteId, ...]]]:
         return self._meta.get(txn)
 
+    def durable_meta(
+        self,
+    ) -> Dict[TxnId, Tuple[Tuple[SiteId, ...], Tuple[SiteId, ...]]]:
+        """The durable (participants, acceptors) records (checkpoints)."""
+        return dict(self._meta)
+
+    def restore_meta(
+        self,
+        meta: Dict[TxnId, Tuple[Tuple[SiteId, ...], Tuple[SiteId, ...]]],
+    ) -> None:
+        """Overwrite the durable registration records from a checkpoint."""
+        self._meta = dict(meta)
+
     def handle_paxos_stage(self, message: PaxosStage, sender: SiteId) -> None:
         rt = self._rt
         txn = message.txn
@@ -870,3 +883,55 @@ class PaxosSite(DatabaseSite):
         # maintenance loop, whose paxos extension runs failover for
         # every undecided registrar entry.
         return undecided
+
+    # ------------------------------------------------------------------
+    # Durable state (live runtime checkpoint/restore)
+    # ------------------------------------------------------------------
+
+    def durable_snapshot(self) -> Dict[str, object]:
+        snapshot = super().durable_snapshot()
+        snapshot["paxos"] = {
+            "registrar": {
+                txn: list(sites) for txn, sites in self.registrar.items()
+            },
+            "promised": dict(self._promised),
+            "accepted": [
+                [txn, instance, ballot, vote]
+                for (txn, instance), (ballot, vote) in sorted(
+                    self._accepted.items()
+                )
+            ],
+            "meta": {
+                txn: [list(participants), list(acceptors)]
+                for txn, (participants, acceptors) in self.participant
+                .durable_meta()
+                .items()
+            },
+        }
+        return snapshot
+
+    def restore_durable(self, snapshot: Dict[str, object]) -> None:
+        super().restore_durable(snapshot)
+        paxos = snapshot.get("paxos", {})
+        self.registrar = {
+            txn: tuple(sites)
+            for txn, sites in paxos.get("registrar", {}).items()
+        }
+        self._promised = {
+            txn: int(ballot)
+            for txn, ballot in paxos.get("promised", {}).items()
+        }
+        self._accepted = {
+            (txn, instance): (int(ballot), str(vote))
+            for txn, instance, ballot, vote in paxos.get("accepted", [])
+        }
+        self.participant.restore_meta(
+            {
+                txn: (tuple(participants), tuple(acceptors))
+                for txn, (participants, acceptors) in paxos.get(
+                    "meta", {}
+                ).items()
+            }
+        )
+        self._proposals.clear()
+        self._round.clear()

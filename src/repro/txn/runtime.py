@@ -1,30 +1,27 @@
 """Shared runtime plumbing for the transaction layer.
 
-:class:`ProtocolConfig` gathers every tunable of the commit protocol —
-most importantly the *commit policy*, which selects between the paper's
-mechanism and the two baseline behaviours of section 2:
-
-* ``POLYVALUE`` — a participant whose wait phase times out installs
-  polyvalues and releases its locks (section 3.1);
-* ``BLOCKING`` — the classic window-minimisation baseline: the
-  participant keeps its locks and blocks the items until the outcome is
-  learned (section 2.2);
-* ``RELAXED`` — the relaxed-consistency baseline: the participant makes
-  an arbitrary unilateral decision (section 2.3); the simulator records
-  when that decision disagrees with the coordinator's.
-
-:class:`SiteRuntime` bundles the per-site services (clock, network,
+:class:`SiteRuntime` bundles the per-site services (clock, transport,
 store, locks, outcome table, metrics) that the participant and
 coordinator roles both need, and :class:`TransitionLog` records the
 Figure-1 state transitions that the protocol bench replays.
+
+The clock/timer/transport surface is the :class:`repro.runtime.Runtime`
+interface — the protocol state machines never touch the simulator or
+the network directly, which is what lets the same code run on the
+discrete-event kernel (:class:`repro.runtime.SimRuntime`) or on
+wall-clock asyncio sockets (:class:`repro.runtime.AsyncioRuntime`).
+
+Configuration (:class:`CommitPolicy`, :class:`ProtocolConfig`, …) moved
+to :mod:`repro.txn.config`; importing those names from here still works
+but emits :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Set, Tuple
 
 from typing import Optional
 
@@ -35,196 +32,12 @@ from repro.db.locks import LockManager
 from repro.db.store import ItemStore
 from repro.metrics.collector import MetricsCollector
 from repro.net.message import SiteId
-from repro.net.network import Network
 from repro.obs.events import EventBus
-from repro.sim.engine import Simulator
-from repro.sim.events import Event
-from repro.txn.timeouts import Patience, RetryPolicy, TimeoutPolicy
+from repro.runtime.base import Runtime, TimerHandle
+from repro.txn.timeouts import Patience
 
-
-class CommitPolicy(enum.Enum):
-    """What a participant does when its wait phase times out."""
-
-    POLYVALUE = "polyvalue"
-    BLOCKING = "blocking"
-    RELAXED = "relaxed"
-
-
-class CommitProtocol(enum.Enum):
-    """Which atomic-commitment protocol the system runs.
-
-    * ``TWO_PHASE`` — the paper's two-phase commit; the
-      :class:`CommitPolicy` selects what a participant does when its
-      wait phase times out (polyvalues, blocking, or relaxed).
-    * ``PAXOS`` — Paxos Commit (Gray & Lamport, "Consensus on
-      Transaction Commit"): each participant's prepared/aborted vote is
-      decided by its own Paxos instance over 2F+1 acceptors, so the
-      commit decision survives any F simultaneous faults and no site
-      ever blocks on a single coordinator.
-    * ``PATH_SENSITIVE`` — path-sensitive commit (after Soethout et
-      al.'s local coordination avoidance): transactions whose outcome
-      is invariant across serialization orders are detected by
-      pre-analysis (:mod:`repro.txn.preanalysis` plus finite-difference
-      probing) and decided locally without any coordination round;
-      only the coordination-requiring residue runs two-phase commit.
-    """
-
-    TWO_PHASE = "two-phase"
-    PAXOS = "paxos"
-    PATH_SENSITIVE = "path-sensitive"
-
-
-@dataclass(frozen=True)
-class ProtocolConfig:
-    """Tunables of the update protocol.
-
-    All durations are simulated seconds.  The defaults suit a LAN-ish
-    network (10 ms base latency): the protocol normally finishes in a
-    few tens of milliseconds, so "promptly" — the paper's word for both
-    participant and coordinator patience — defaults to half a second.
-    """
-
-    policy: CommitPolicy = CommitPolicy.POLYVALUE
-    #: Participant patience in the compute phase: how long a site that
-    #: acquired read locks waits for the coordinator's stage request (or
-    #: abort) before discarding the transaction (Figure 1, compute→idle).
-    compute_timeout: float = 0.5
-    #: Participant patience in the wait phase: how long after sending
-    #: *ready* a site waits for complete/abort before applying its
-    #: policy (Figure 1, wait→idle with polyvalue installation).
-    wait_timeout: float = 0.5
-    #: Coordinator patience: how long it waits for all read replies, and
-    #: then for all ready messages, before deciding to abort.
-    ready_timeout: float = 0.4
-    #: How often a site holding unresolved polyvalues (or blocked
-    #: transactions) re-queries coordinators for outcomes.
-    outcome_query_interval: float = 1.0
-    #: RELAXED policy only: probability the unilateral decision is
-    #: "complete" (the paper calls the choice arbitrary).
-    relaxed_commit_probability: float = 1.0
-    #: POLYVALUE policy: how many times a wait-phase participant asks
-    #: the coordinator for the outcome (re-arming its timer) before
-    #: giving up and installing polyvalues.  This implements the
-    #: paper's §6 remark that "the polyvalue mechanism can be combined
-    #: with other atomic distributed update protocols to decrease the
-    #: chance that polyvalues will be created": transient hiccups (a
-    #: lost complete message, a short partition) resolve within a retry
-    #: or two, and only genuine outages produce polyvalues.  0 installs
-    #: immediately at the first timeout, as in section 3.1.
-    wait_query_retries: int = 0
-    #: Cap on polytransaction fan-out (section 3.2 alternatives).
-    max_alternatives: int = 1024
-    #: How the three patience constants above are interpreted: the
-    #: default fixed policy uses them verbatim (bit-for-bit replayable);
-    #: an adaptive policy treats them as pre-sample fallbacks and feeds
-    #: per-peer Jacobson RTT estimators into every timeout (see
-    #: :mod:`repro.txn.timeouts`).
-    timeout_policy: TimeoutPolicy = TimeoutPolicy()
-    #: Bounded retransmission for the outcome-maintenance loop:
-    #: per-destination exponential backoff with deterministic jitter
-    #: and a down-peer suppression window.
-    retry: RetryPolicy = RetryPolicy()
-    #: Graceful-degradation valve (the paper's §6 hybrid): when set, a
-    #: site already holding this many unresolved polyvalues answers new
-    #: wait-phase timeouts with the BLOCKING policy instead of
-    #: installing more — bounding in-doubt state under overload at the
-    #: cost of availability on the affected items.  None disables.
-    polyvalue_budget: Optional[int] = None
-    #: Fault injection for the correctness harness (repro.check) ONLY.
-    #: None in any real configuration.  When set to a fault name (see
-    #: :data:`repro.check.mutation.FAULTS`), the participant's
-    #: wait-phase branch deliberately misbehaves so the mutation smoke
-    #: test can prove the invariant oracles detect protocol bugs.
-    wait_phase_fault: Optional[str] = None
-    #: Which commit protocol the system runs.  ``TWO_PHASE`` keeps the
-    #: paper's protocol (modulated by :attr:`policy`); ``PAXOS`` and
-    #: ``PATH_SENSITIVE`` select the bake-off peers.
-    protocol: CommitProtocol = CommitProtocol.TWO_PHASE
-    #: PAXOS only: the number of simultaneous acceptor faults the
-    #: commit must survive.  The acceptor set has 2F+1 members drawn
-    #: round-robin from the sites; None sizes F to the largest value
-    #: the site count supports, ``(n_sites - 1) // 2``.
-    paxos_fault_tolerance: Optional[int] = None
-    #: PAXOS only: how long a wait-phase participant waits for the
-    #: leader's decision before starting leader failover (running
-    #: Phase 1 itself with a higher ballot).
-    paxos_failover_timeout: float = 0.5
-    #: Fault injection for the Paxos state machine (repro.check ONLY):
-    #: ``"acceptor-no-persist"`` makes acceptors acknowledge Phase 2a
-    #: without persisting, so failover can resurrect a forgotten vote
-    #: and contradict the fast-path decision.
-    paxos_fault: Optional[str] = None
-    #: Fault injection for the path-sensitive analyser (repro.check
-    #: ONLY): ``"misclassify-one"`` forces the first
-    #: coordination-requiring transaction onto the local fast path, so
-    #: the effect oracles can prove they catch a wrong classification.
-    path_fault: Optional[str] = None
-
-    @property
-    def protocol_kind(self) -> str:
-        """The oracle-dispatch name of this configuration's protocol.
-
-        One of ``{"polyvalue", "blocking", "relaxed", "paxos",
-        "pathsensitive"}`` — the same vocabulary the CLI's
-        ``--protocol`` flag uses.  Oracles dispatch on this rather
-        than on (protocol, policy) pairs.
-        """
-        if self.protocol is CommitProtocol.PAXOS:
-            return "paxos"
-        if self.protocol is CommitProtocol.PATH_SENSITIVE:
-            return "pathsensitive"
-        return self.policy.value
-
-
-#: The CLI's ``--protocol`` vocabulary, in presentation order.
-PROTOCOL_NAMES = (
-    "polyvalue",
-    "blocking",
-    "relaxed",
-    "paxos",
-    "pathsensitive",
-)
-
-
-def config_for_protocol(
-    name: str, base: Optional[ProtocolConfig] = None
-) -> ProtocolConfig:
-    """A :class:`ProtocolConfig` for one of the five ``--protocol`` names.
-
-    *base* supplies every other tunable (timeouts, retry policy, fault
-    hooks); only the (protocol, policy) pair is rewritten.  The
-    path-sensitive residue path runs the polyvalue policy so its
-    coordinated transactions inherit the paper's availability story.
-    """
-    base = base if base is not None else ProtocolConfig()
-    if name == "polyvalue":
-        return dataclasses.replace(
-            base, protocol=CommitProtocol.TWO_PHASE,
-            policy=CommitPolicy.POLYVALUE,
-        )
-    if name == "blocking":
-        return dataclasses.replace(
-            base, protocol=CommitProtocol.TWO_PHASE,
-            policy=CommitPolicy.BLOCKING,
-        )
-    if name == "relaxed":
-        return dataclasses.replace(
-            base, protocol=CommitProtocol.TWO_PHASE,
-            policy=CommitPolicy.RELAXED,
-        )
-    if name == "paxos":
-        return dataclasses.replace(
-            base, protocol=CommitProtocol.PAXOS,
-            policy=CommitPolicy.BLOCKING,
-        )
-    if name == "pathsensitive":
-        return dataclasses.replace(
-            base, protocol=CommitProtocol.PATH_SENSITIVE,
-            policy=CommitPolicy.POLYVALUE,
-        )
-    raise ValueError(
-        f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}"
-    )
+if TYPE_CHECKING:  # the runtime value lives in repro.txn.config now
+    from repro.txn.config import ProtocolConfig
 
 
 #: Participant states, exactly the three of Figure 1.
@@ -358,11 +171,15 @@ class TransitionLog:
 
 @dataclass
 class SiteRuntime:
-    """The services one database site's protocol roles share."""
+    """The services one database site's protocol roles share.
+
+    All clock, timer, and transport access funnels through :attr:`rt`
+    — a :class:`repro.runtime.Runtime`.  Swapping that one field is
+    what moves a site between simulated time and wall-clock sockets.
+    """
 
     site_id: SiteId
-    sim: Simulator
-    network: Network
+    rt: Runtime
     catalog: Catalog
     store: ItemStore
     locks: LockManager
@@ -400,9 +217,9 @@ class SiteRuntime:
 
     def send(self, recipient: SiteId, payload: Any) -> None:
         """Send a protocol message from this site."""
-        self.network.send(self.site_id, recipient, payload)
+        self.rt.send(self.site_id, recipient, payload)
 
-    def schedule(self, delay: float, action: Callable[[], None], *, label: str = "") -> Event:
+    def schedule(self, delay: float, action: Callable[[], None], *, label: str = "") -> TimerHandle:
         """Schedule an action, guarded so it is dropped if the site is down.
 
         A crashed site's timers must not fire: the site's volatile state
@@ -413,12 +230,12 @@ class SiteRuntime:
             if self.up:
                 action()
 
-        return self.sim.schedule(delay, guarded, label=label)
+        return self.rt.schedule(delay, guarded, label=label, site=self.site_id)
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
-        return self.sim.now
+        """Current runtime time (simulated or wall-clock seconds)."""
+        return self.rt.now
 
     def apply_write(self, item: str, value: Value) -> None:
         """Write *value* to the local store with full polyvalue bookkeeping.
@@ -467,3 +284,28 @@ class SiteRuntime:
                         site=self.site_id,
                         item=item,
                     )
+
+
+#: Names the runtime redesign moved to repro.txn.config; the old import
+#: path keeps working through the PEP 562 shim below (the PR 3 pattern).
+_MOVED_TO_CONFIG = (
+    "CommitPolicy",
+    "CommitProtocol",
+    "ProtocolConfig",
+    "PROTOCOL_NAMES",
+    "config_for_protocol",
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_CONFIG:
+        warnings.warn(
+            f"importing {name!r} from repro.txn.runtime is deprecated; "
+            f"use repro.txn.config (or repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.txn.config as _config
+
+        return getattr(_config, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 from repro.core.errors import ProtocolError
 from repro.core.polyvalue import is_polyvalue
 from repro.net.message import Envelope, SiteId
-from repro.sim.engine import PeriodicTask
+from repro.runtime.base import Periodic
 from repro.txn import protocol
 from repro.txn.coordinator import Coordinator
 from repro.txn.participant import Participant
@@ -64,13 +64,19 @@ class DatabaseSite:
         #: Volatile: consecutive unacknowledged sends per destination;
         #: reaching the policy threshold suppresses the destination.
         self._peer_strikes: Dict[SiteId, int] = {}
-        self._maintenance = PeriodicTask(
-            runtime.sim,
+        # Raw (unguarded) runtime schedule on purpose: the periodic
+        # keeps re-arming while the site is down — exactly the old
+        # PeriodicTask-on-the-simulator behaviour — and the action
+        # itself checks `runtime.up`.
+        self._maintenance = Periodic(
+            runtime.rt,
             runtime.config.outcome_query_interval,
             self._outcome_maintenance,
             label=f"outcome-maintenance:{runtime.site_id}",
+            site=runtime.site_id,
         )
-        runtime.network.register(runtime.site_id, self.on_message)
+        runtime.rt.register(runtime.site_id, self.on_message)
+        runtime.rt.attach_durability(runtime.site_id, self.durable_snapshot)
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -355,3 +361,107 @@ class DatabaseSite:
         # Kick maintenance immediately: recovery is exactly when queued
         # queries and notifications are most likely to matter.
         self._outcome_maintenance()
+
+    def shutdown(self) -> None:
+        """Stop background work permanently (live-cluster teardown)."""
+        self._maintenance.stop()
+
+    # ------------------------------------------------------------------
+    # Durable state (live runtime checkpoint/restore)
+    # ------------------------------------------------------------------
+
+    #: Bump when the snapshot layout changes incompatibly.
+    DURABLE_VERSION = 1
+
+    def durable_snapshot(self) -> Dict[str, object]:
+        """This site's durable state as a JSON-serialisable dict.
+
+        Exactly the state the crash/recovery docstring above calls
+        stable: item values (polyvalues included), the outcome log, the
+        learned-outcome cache, direct doubts, owed notifications, staged
+        updates, relaxed-policy unilateral choices, and the coordinator's
+        transaction sequence (so a restarted coordinator never reuses a
+        txn id).  The in-memory copy is authoritative while the process
+        lives; the :class:`~repro.runtime.aio.AsyncioRuntime` persists
+        this after every action, and :meth:`restore_durable` rebuilds
+        the site from it — the same philosophy as
+        :mod:`repro.txn.snapshot`, per site instead of per system.
+        """
+        from repro.core.serialize import encode_state
+
+        rt = self.runtime
+        return {
+            "version": self.DURABLE_VERSION,
+            "site": self.site_id,
+            "values": encode_state(rt.store.all_values()),
+            "outcome_log": {
+                txn: {
+                    "committed": entry.committed,
+                    "unacknowledged": sorted(entry.unacknowledged),
+                }
+                for txn, entry in rt.outcome_log.entries().items()
+            },
+            "known_outcomes": dict(rt.known_outcomes),
+            "direct_doubts": sorted(rt.direct_doubts),
+            "pending_notifies": [
+                [txn, site, committed]
+                for (txn, site), committed in sorted(
+                    self._pending_notifies.items()
+                )
+            ],
+            "staged": {
+                txn: encode_state(staged)
+                for txn, staged in self.participant.durable_staged().items()
+            },
+            "unilateral": self.participant.unaudited_unilateral(),
+            "sequence": self.coordinator.sequence,
+        }
+
+    def restore_durable(self, snapshot: Dict[str, object]) -> None:
+        """Rebuild durable state from :meth:`durable_snapshot` output.
+
+        Call on a down site, before :meth:`recover`.  Volatile state is
+        cleared; the outcome table is rebuilt from the restored
+        polyvalues themselves (they *are* the durable record of which
+        items depend on which in-doubt transactions).
+        """
+        from repro.core.serialize import decode_state
+
+        rt = self.runtime
+        version = snapshot.get("version")
+        if version != self.DURABLE_VERSION:
+            raise ProtocolError(
+                f"unsupported durable snapshot version {version!r}"
+            )
+        rt.known_outcomes = dict(snapshot.get("known_outcomes", {}))
+        rt.direct_doubts = set(snapshot.get("direct_doubts", []))
+        outcome_log = type(rt.outcome_log)()
+        for txn, entry in snapshot.get("outcome_log", {}).items():
+            outcome_log.decide(
+                txn,
+                bool(entry["committed"]),
+                participants=entry.get("unacknowledged", []),
+            )
+        rt.outcome_log = outcome_log
+        rt.outcomes = type(rt.outcomes)()
+        for item, value in decode_state(snapshot.get("values", {})).items():
+            rt.store.write(item, value)
+            if is_polyvalue(value):
+                rt.outcomes.record_dependencies(value.depends_on(), item)
+        self._pending_notifies = {
+            (txn, site): bool(committed)
+            for txn, site, committed in snapshot.get("pending_notifies", [])
+        }
+        self.participant.restore_durable(
+            staged={
+                txn: decode_state(staged)
+                for txn, staged in snapshot.get("staged", {}).items()
+            },
+            unilateral={
+                txn: bool(choice)
+                for txn, choice in snapshot.get("unilateral", {}).items()
+            },
+        )
+        self.coordinator.restore_sequence(int(snapshot.get("sequence", 0)))
+        self._retry.clear()
+        self._peer_strikes.clear()

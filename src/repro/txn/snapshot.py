@@ -28,7 +28,7 @@ from repro.core.errors import ReproError
 from repro.core.polyvalue import depends_on
 from repro.core.serialize import decode_value, encode_value
 from repro.db.catalog import Catalog
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 from repro.txn.system import DistributedSystem
 
 SNAPSHOT_VERSION = 1

@@ -34,12 +34,9 @@ from repro.sim.engine import Simulator
 from repro.sim.rand import Rng
 from repro.txn.paxos import DecisionBoard, PaxosSite
 from repro.txn.pathsensitive import PathRegistry, PathSensitiveSite
-from repro.txn.runtime import (
-    CommitProtocol,
-    ProtocolConfig,
-    SiteRuntime,
-    TransitionLog,
-)
+from repro.runtime.sim import SimRuntime
+from repro.txn.config import CommitProtocol, ProtocolConfig
+from repro.txn.runtime import SiteRuntime, TransitionLog
 from repro.txn.site import DatabaseSite
 from repro.txn.transaction import Transaction, TransactionHandle, TxnStatus
 
@@ -91,6 +88,10 @@ class DistributedSystem:
             corruption_probability=corruption_probability,
             bus=self.bus,
         )
+        #: The Runtime the sites run on — here, always the sim adapter.
+        #: The facade itself keeps direct `sim`/`network` access: it is
+        #: the composition root, not a protocol state machine.
+        self.runtime = SimRuntime(self.sim, self.network, rng=self.rng)
         self.sites: Dict[SiteId, DatabaseSite] = {}
         self.handles: List[TransactionHandle] = []
         #: Populated for the protocols that need system-wide registries:
@@ -111,8 +112,7 @@ class DistributedSystem:
             )
             runtime = SiteRuntime(
                 site_id=site_id,
-                sim=self.sim,
-                network=self.network,
+                rt=self.runtime,
                 catalog=catalog,
                 store=store,
                 locks=LockManager(),

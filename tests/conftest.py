@@ -12,7 +12,7 @@ and skipped by default so ``pytest -x -q`` stays fast; CI passes
 
 import pytest
 
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import Transaction
 

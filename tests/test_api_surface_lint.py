@@ -1,0 +1,101 @@
+"""API-surface lint: the txn state machines depend only on the Runtime.
+
+The point of the Runtime seam (docs/runtime.md) is that coordinator,
+participant, paxos, and path-sensitive state machines are portable
+between the simulator and the live asyncio transport.  That only holds
+if nothing under ``repro.txn`` reaches directly for the simulator or
+the sim network — every clock read, timer, send, and RNG draw must go
+through :class:`repro.runtime.base.Runtime`.
+
+This test walks the AST of every module in ``src/repro/txn`` and fails
+on any import of the banned substrate modules.  ``system.py`` is the
+one exemption: it is the *sim* composition root, whose whole job is to
+assemble Simulator + Network + SimRuntime (the live counterpart,
+``repro.live.cluster``, lives outside the package for the same reason).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+TXN_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "src" / "repro" / "txn"
+)
+
+#: Modules the protocol layer must not touch (prefix match): the sim
+#: engine, the sim network, and the sim failure injectors.  The message
+#: types (repro.net.message) are transport-neutral data and stay legal.
+BANNED_PREFIXES = (
+    "repro.sim",
+    "repro.net.network",
+    "repro.net.failures",
+)
+
+#: The sim composition root — the one module allowed to see the sim.
+EXEMPT = {"system.py"}
+
+
+def _banned(module_name: str) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in BANNED_PREFIXES
+    )
+
+
+def _violations(path: pathlib.Path) -> list:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _banned(alias.name):
+                    found.append(
+                        f"{path.name}:{node.lineno}: import {alias.name}"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            # Relative imports stay inside repro.txn and cannot name the
+            # banned modules; level>0 has module=None for bare "from . ".
+            if node.module and node.level == 0 and _banned(node.module):
+                found.append(
+                    f"{path.name}:{node.lineno}: from {node.module} import ..."
+                )
+    return found
+
+
+def txn_modules():
+    return sorted(
+        p for p in TXN_DIR.glob("*.py") if p.name not in EXEMPT
+    )
+
+
+def test_txn_layer_exists():
+    assert TXN_DIR.is_dir()
+    assert len(txn_modules()) >= 5
+
+
+@pytest.mark.parametrize("path", txn_modules(), ids=lambda p: p.name)
+def test_txn_module_does_not_reach_the_simulator(path):
+    violations = _violations(path)
+    assert not violations, (
+        "protocol code must depend on repro.runtime.base.Runtime, not the "
+        "sim substrate:\n  " + "\n  ".join(violations)
+    )
+
+
+def test_lint_catches_a_banned_import(tmp_path):
+    """The linter itself is live: a planted violation is reported."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.sim.engine import Simulator\n"
+        "import repro.net.network\n",
+        encoding="utf-8",
+    )
+    assert len(_violations(bad)) == 2
+
+
+def test_exempt_system_module_is_the_composition_root():
+    """system.py must still exist — the exemption is not dead config."""
+    assert (TXN_DIR / "system.py").is_file()

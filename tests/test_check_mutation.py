@@ -11,7 +11,7 @@ import pytest
 from repro.check import FAULTS, run_mutation_smoke
 from repro.check.mutation import _armed, smoke_schedules
 from repro.check.explorer import run_schedule
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 
 
 class TestFaultInjection:

@@ -24,7 +24,7 @@ from repro.check.oracles import (
 from repro.core.conditions import Condition
 from repro.core.polyvalue import Polyvalue
 from repro.db.locks import LockMode
-from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.config import CommitPolicy, ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import TxnStatus
 

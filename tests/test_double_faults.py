@@ -19,7 +19,7 @@ decides at 0.04 and completes land at 0.05.
 import pytest
 
 from repro.core.polyvalue import is_polyvalue
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import TxnStatus
 

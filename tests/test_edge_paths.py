@@ -7,7 +7,7 @@ from repro.core.errors import ConditionError, PolyvalueError
 from repro.core.polyvalue import Polyvalue
 from repro.net.message import Envelope
 from repro.txn import protocol
-from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.config import CommitPolicy, ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import Transaction, TxnStatus
 

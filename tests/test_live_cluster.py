@@ -1,0 +1,255 @@
+"""LiveCluster: the polyvalue protocol on wall-clock asyncio sockets.
+
+These tests exercise real TCP frames, real ``call_later`` timers, and
+real durable checkpoint files — the same state machines the simulator
+drives, but nothing simulated.  Timeouts in the configs are shrunken so
+the wait-timeout/outcome-query paths fire within test budgets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live import ClusterThread, LiveCluster, LiveClusterError
+from repro.live.client import poll_txn, request, transfer_script
+from repro.txn.config import ProtocolConfig
+from repro.txn.protocol import Complete, OutcomeNotify
+from repro.txn.timeouts import TimeoutPolicy
+from repro.txn.transaction import TxnStatus
+
+
+def fast_config() -> ProtocolConfig:
+    return ProtocolConfig(
+        wait_timeout=0.2,
+        outcome_query_interval=0.25,
+        timeout_policy=TimeoutPolicy(),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLiveCommit:
+    def test_transfer_commits_and_applies(self):
+        async def scenario():
+            cluster = LiveCluster(sites=3, seed=1)
+            await cluster.start()
+            try:
+                handle = cluster.submit_script(
+                    transfer_script("acct-0", "acct-1", 7)
+                )
+                assert await cluster.wait_decided(handle, timeout=10.0)
+                assert handle.status is TxnStatus.COMMITTED
+                assert await cluster.wait_converged(timeout=10.0)
+                return (
+                    cluster.read_item("acct-0"),
+                    cluster.read_item("acct-1"),
+                    cluster.runtime.stats.as_dict(),
+                )
+            finally:
+                await cluster.stop()
+
+        a, b, stats = run(scenario())
+        assert (a, b) == (93, 107)
+        assert stats["sent"] > 0
+        assert stats["handler_errors"] == 0
+
+    def test_paxos_protocol_runs_live(self):
+        async def scenario():
+            cluster = LiveCluster(sites=3, seed=3, protocol="paxos")
+            await cluster.start()
+            try:
+                handle = cluster.submit_script(
+                    transfer_script("acct-0", "acct-2", 5)
+                )
+                assert await cluster.wait_decided(handle, timeout=10.0)
+                assert handle.status is TxnStatus.COMMITTED
+                assert await cluster.wait_converged(timeout=15.0)
+                return cluster.read_item("acct-0"), cluster.read_item("acct-2")
+            finally:
+                await cluster.stop()
+
+        assert run(scenario()) == (95, 105)
+
+    def test_pathsensitive_is_rejected_as_sim_only(self):
+        with pytest.raises(LiveClusterError):
+            LiveCluster(sites=3, protocol="pathsensitive")
+
+    def test_unknown_item_and_site_rejected(self):
+        async def scenario():
+            cluster = LiveCluster(sites=2, seed=0)
+            await cluster.start()
+            try:
+                with pytest.raises(LiveClusterError):
+                    cluster.submit_script(
+                        transfer_script("acct-0", "acct-1", 1), at="site-9"
+                    )
+                with pytest.raises(LiveClusterError):
+                    cluster.crash("site-9")
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestLiveCrashRecovery:
+    def test_coordinator_crash_restart_from_durable_files(self, tmp_path):
+        async def scenario():
+            cluster = LiveCluster(
+                sites=3, seed=1, config=fast_config(), data_dir=str(tmp_path)
+            )
+            await cluster.start()
+            try:
+                first = cluster.submit_script(
+                    transfer_script("acct-0", "acct-1", 7)
+                )
+                assert await cluster.wait_decided(first, timeout=10.0)
+                assert first.status is TxnStatus.COMMITTED
+
+                second = cluster.submit_script(
+                    transfer_script("acct-0", "acct-3", 3), at="site-0"
+                )
+                cluster.crash("site-0")
+                assert second.status is TxnStatus.ABORTED
+                assert "presumed abort" in second.abort_reason
+                assert cluster.down_sites() == ["site-0"]
+
+                await asyncio.sleep(0.3)
+                cluster.restart("site-0")
+                assert cluster.down_sites() == []
+                assert await cluster.wait_converged(timeout=15.0)
+                return cluster.database_state()
+            finally:
+                await cluster.stop()
+
+        state = run(scenario())
+        # The committed transfer survives the crash (restored from the
+        # checkpoint file); the aborted one leaves no trace.
+        assert state["acct-0"] == 93
+        assert state["acct-1"] == 107
+        assert state["acct-3"] == 100
+        files = sorted(p.name for p in tmp_path.glob("site-*.json"))
+        assert files == [
+            "site-site-0.json", "site-site-1.json", "site-site-2.json",
+        ]
+
+    def test_whole_cluster_restart_restores_state_from_disk(self, tmp_path):
+        async def first_life():
+            cluster = LiveCluster(sites=3, seed=1, data_dir=str(tmp_path))
+            await cluster.start()
+            try:
+                handle = cluster.submit_script(
+                    transfer_script("acct-0", "acct-1", 9)
+                )
+                assert await cluster.wait_decided(handle, timeout=10.0)
+                assert await cluster.wait_converged(timeout=10.0)
+                return cluster.database_state()
+            finally:
+                await cluster.stop()
+
+        async def second_life():
+            cluster = LiveCluster(sites=3, seed=1, data_dir=str(tmp_path))
+            await cluster.start()
+            try:
+                return cluster.database_state()
+            finally:
+                await cluster.stop()
+
+        before = run(first_life())
+        after = run(second_life())
+        assert after == before
+        assert after["acct-0"] == 91
+
+    def test_wait_timeout_installs_polyvalue_over_real_sockets(self):
+        """The paper's §3.1 mechanism, live: a participant that misses
+        Complete times out of the wait phase, installs a polyvalue, and
+        the §3.3 outcome machinery resolves it once messages flow."""
+
+        async def scenario():
+            cluster = LiveCluster(sites=3, seed=4, config=fast_config())
+            await cluster.start()
+            try:
+                cluster.runtime.set_fault(
+                    lambda env: env.recipient == "site-2"
+                    and isinstance(env.payload, (Complete, OutcomeNotify))
+                )
+                handle = cluster.submit_script(
+                    transfer_script("acct-0", "acct-2", 6)
+                )
+                assert await cluster.wait_decided(handle, timeout=10.0)
+                assert handle.status is TxnStatus.COMMITTED
+
+                deadline = cluster.runtime.now + 8.0
+                while (
+                    cluster.total_polyvalues() == 0
+                    and cluster.runtime.now < deadline
+                ):
+                    await asyncio.sleep(0.02)
+                polyvalued = cluster.describe_item("acct-2")["polyvalue"]
+
+                cluster.runtime.set_fault(None)
+                converged = await cluster.wait_converged(timeout=15.0)
+                return polyvalued, converged, cluster.read_item("acct-2")
+            finally:
+                await cluster.stop()
+
+        polyvalued, converged, value = run(scenario())
+        assert polyvalued, "site-2 should have installed a polyvalue"
+        assert converged
+        assert value == 106
+
+
+class TestHttpApi:
+    def test_full_http_surface(self):
+        with ClusterThread(http=True, sites=3, seed=2,
+                           config=fast_config()) as ct:
+            base = f"http://127.0.0.1:{ct.port}"
+
+            health = request(base, "/health")
+            assert health["ok"] and health["sites"] == 3
+
+            state = request(base, "/state")
+            assert set(state["sites"]) == {"site-0", "site-1", "site-2"}
+
+            committed = request(
+                base, "/txn", method="POST",
+                body={"script": transfer_script("acct-0", "acct-1", 4),
+                      "wait": True},
+            )
+            assert committed["status"] == "committed"
+            assert committed["decided"] is True
+
+            item = request(base, "/item/acct-1")
+            assert item["value"] == 104 and item["site"] == "site-1"
+
+            pending = request(
+                base, "/txn", method="POST",
+                body={"script": transfer_script("acct-0", "acct-3", 2),
+                      "at": "site-0"},
+            )
+            request(base, "/crash", method="POST", body={"site": "site-0"})
+            assert request(base, "/health")["down"] == ["site-0"]
+            request(base, "/restart", method="POST", body={"site": "site-0"})
+
+            outcome = poll_txn(base, pending["txn"], timeout=15.0)
+            assert outcome["status"] == "aborted"
+            assert "presumed abort" in outcome["reason"]
+
+    def test_http_error_paths(self):
+        with ClusterThread(http=True, sites=2, seed=0) as ct:
+            base = f"http://127.0.0.1:{ct.port}"
+            for path, method, body, code in [
+                ("/item/nope", "GET", None, "404"),
+                ("/txn/nope", "GET", None, "404"),
+                ("/nothing", "GET", None, "404"),
+                ("/crash", "POST", {"site": "zz"}, "404"),
+                ("/crash", "POST", {}, "400"),
+                ("/txn", "POST", {}, "400"),
+                ("/txn", "POST", {"script": {"items": []}}, "400"),
+            ]:
+                with pytest.raises(Exception) as info:
+                    request(base, path, method=method, body=body)
+                assert code in str(info.value)

@@ -296,7 +296,7 @@ class TestSpanTracer:
         assert waits[0].attrs["ended_by"] == "wait-timeout"
 
     def test_overflow_abort_annotates_root_span(self):
-        from repro.txn.runtime import ProtocolConfig
+        from repro.txn.config import ProtocolConfig
 
         config = ProtocolConfig(max_alternatives=1)
         system = DistributedSystem.build(
@@ -325,7 +325,7 @@ class TestSpanTracer:
         assert all("overflow" not in r.attrs for r in others)
 
     def test_overload_window_span_covers_block_to_resolution(self):
-        from repro.txn.runtime import ProtocolConfig
+        from repro.txn.config import ProtocolConfig
 
         config = ProtocolConfig(polyvalue_budget=0)
         system = DistributedSystem.build(

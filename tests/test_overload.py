@@ -11,7 +11,8 @@ instead of fanning out more uncertainty.
 import pytest
 
 from repro.core.polyvalue import is_polyvalue
-from repro.txn.runtime import ProtocolConfig, SiteState
+from repro.txn.config import ProtocolConfig
+from repro.txn.runtime import SiteState
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import TxnStatus
 

@@ -11,7 +11,8 @@ in-doubt window — and it must install polyvalues and release its locks.
 import pytest
 
 from repro.core.polyvalue import is_polyvalue
-from repro.txn.runtime import ProtocolConfig, SiteState
+from repro.txn.config import ProtocolConfig
+from repro.txn.runtime import SiteState
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import Transaction, TxnStatus
 

@@ -16,7 +16,7 @@ import math
 import pytest
 
 from repro.txn import protocol
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.timeouts import RetryPolicy
 

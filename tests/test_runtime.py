@@ -9,15 +9,11 @@ from repro.db.locks import LockManager
 from repro.db.store import ItemStore
 from repro.metrics.collector import MetricsCollector
 from repro.net.network import Network
+from repro.runtime.sim import SimRuntime
 from repro.sim.engine import Simulator
 from repro.sim.rand import Rng
-from repro.txn.runtime import (
-    CommitPolicy,
-    ProtocolConfig,
-    SiteRuntime,
-    SiteState,
-    TransitionLog,
-)
+from repro.txn.config import CommitPolicy, ProtocolConfig
+from repro.txn.runtime import SiteRuntime, SiteState, TransitionLog
 
 
 def make_runtime(initial=None):
@@ -25,8 +21,7 @@ def make_runtime(initial=None):
     network = Network(sim, Rng(0))
     runtime = SiteRuntime(
         site_id="s1",
-        sim=sim,
-        network=network,
+        rt=SimRuntime(sim, network),
         catalog=Catalog.from_mapping({"a": "s1"}),
         store=ItemStore(initial or {"a": 1}),
         locks=LockManager(),
@@ -74,14 +69,14 @@ class TestScheduleGuard:
         fired = []
         runtime.schedule(1.0, lambda: fired.append(True))
         runtime.up = False
-        runtime.sim.run()
+        runtime.rt.sim.run()
         assert fired == []
 
     def test_timer_fires_when_up(self):
         runtime = make_runtime()
         fired = []
         runtime.schedule(1.0, lambda: fired.append(True))
-        runtime.sim.run()
+        runtime.rt.sim.run()
         assert fired == [True]
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import ProtocolError, UnknownItemError
 from repro.db.catalog import Catalog
-from repro.txn.runtime import CommitPolicy, ProtocolConfig
+from repro.txn.config import CommitPolicy, ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import TxnStatus
 

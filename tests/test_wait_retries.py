@@ -4,7 +4,7 @@ installing polyvalues (ProtocolConfig.wait_query_retries)."""
 import pytest
 
 from repro.core.polyvalue import is_polyvalue
-from repro.txn.runtime import ProtocolConfig
+from repro.txn.config import ProtocolConfig
 from repro.txn.system import DistributedSystem
 from repro.txn.transaction import TxnStatus
 
